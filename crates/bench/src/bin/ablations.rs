@@ -1,0 +1,45 @@
+//! Ablation studies of the design choices DESIGN.md §5 calls out.
+//!
+//! Usage: `cargo run -p shrimp-bench --bin ablations`
+
+use shrimp_bench::ablations::*;
+
+fn main() {
+    println!("== A1: combine-timeout sweep (1-word AU latency) ==");
+    for (timeout_us, latency_us) in combine_timeout_sweep() {
+        println!("  hold window {timeout_us:>5.2} us  ->  one-way {latency_us:>6.2} us");
+    }
+
+    println!("\n== A2: write combining on/off (64 B as 16 word stores) ==");
+    for (combine, latency_us, packets, rx_bus_us) in combining_on_off() {
+        println!(
+            "  combining {:<5}  latency {latency_us:>6.2} us  packets {packets:>3}  rx EISA busy {rx_bus_us:>5.2} us",
+            combine
+        );
+    }
+
+    println!("\n== A3: deliberate-update word-alignment restriction (NX DU-1copy, 1 KB) ==");
+    let (aligned, unaligned) = alignment_fallback();
+    println!("  aligned buffer   {aligned:>7.2} us one-way");
+    println!("  unaligned buffer {unaligned:>7.2} us one-way (marshal-copy fallback, §6)");
+
+    println!("\n== A4: optimistic safe copy (16 KB csend, receiver 2 ms late) ==");
+    let ((ob, ot), (bb, bt)) = optimistic_copy_on_off(16 * 1024);
+    println!("  optimistic:     sender blocked {ob:>8.1} us, delivery complete {ot:>8.1} us");
+    println!("  no safe copy:   sender blocked {bb:>8.1} us, delivery complete {bt:>8.1} us");
+
+    println!("\n== A5: an interrupt per message vs polling (16 B transfers) ==");
+    let (polling, interrupts) = interrupt_per_message();
+    println!("  polling protocol:        {polling:>7.2} us one-way");
+    println!("  notification per packet: {interrupts:>7.2} us one-way (signal delivery on the path)");
+
+    println!("\n== A6: zero-copy rendezvous vs chunked one-copy (3 KB NX message) ==");
+    for (allowed, latency_us) in zero_copy_on_off() {
+        println!("  zero-copy {:<5}  ->  {latency_us:>7.2} us one-way", allowed);
+    }
+
+    println!("\n== A7: credit-return batching (one-way 128 B stream) ==");
+    for (batch, rate) in credit_batch_sweep() {
+        println!("  batch {batch:>2}  ->  {:>9.0} messages/s", rate);
+    }
+}

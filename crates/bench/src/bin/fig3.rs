@@ -1,0 +1,46 @@
+//! Regenerates **Figure 3**: latency and bandwidth delivered by the
+//! SHRIMP VMMC layer, for AU-1copy / AU-2copy / DU-0copy / DU-1copy.
+//!
+//! Usage: `cargo run -p shrimp-bench --bin fig3 [-- --uncached]`
+//!
+//! `--uncached` additionally reports the caching-disabled AU case quoted
+//! in §3.4 (3.7 µs vs 4.75 µs for one word).
+
+use shrimp_bench::pingpong::{vmmc_pingpong, Strategy};
+use shrimp_bench::{paper_sizes, render_figure, Series, LATENCY_CUTOFF};
+use shrimp_node::CostModel;
+
+fn main() {
+    let uncached = std::env::args().any(|a| a == "--uncached");
+    let sizes = paper_sizes();
+
+    let mut all = Vec::new();
+    for strategy in Strategy::all() {
+        let mut s = Series::new(strategy.label());
+        for &size in &sizes {
+            s.points.push(vmmc_pingpong(strategy, size, false, CostModel::shrimp_prototype()));
+        }
+        all.push(s);
+    }
+    println!(
+        "{}",
+        render_figure(
+            "Figure 3: VMMC base-layer latency and bandwidth",
+            &all,
+            LATENCY_CUTOFF
+        )
+    );
+
+    let word_au = all[0].latency_at(4).unwrap();
+    let word_du = all[2].latency_at(4).unwrap();
+    println!("anchors: AU 1-word {word_au:.2} us (paper 4.75), DU 1-word {word_du:.2} us (paper 7.6)");
+    println!(
+        "         DU-0copy peak {:.1} MB/s (paper ~23)",
+        all[2].peak_bandwidth()
+    );
+
+    if uncached {
+        let p = vmmc_pingpong(Strategy::Au1Copy, 4, true, CostModel::shrimp_prototype());
+        println!("         AU 1-word, caching disabled: {:.2} us (paper 3.7)", p.latency_us);
+    }
+}

@@ -1,0 +1,35 @@
+//! Regenerates **Figure 4**: NX latency and bandwidth for the five
+//! protocol variants.
+//!
+//! Usage: `cargo run -p shrimp-bench --bin fig4`
+
+use shrimp_bench::nx_pingpong::{nx_pingpong, NxVariant};
+use shrimp_bench::pingpong::{vmmc_pingpong, Strategy};
+use shrimp_bench::{paper_sizes, render_figure, Series, LATENCY_CUTOFF};
+use shrimp_node::CostModel;
+
+fn main() {
+    let sizes = paper_sizes();
+    let mut all = Vec::new();
+    for variant in NxVariant::all() {
+        let mut s = Series::new(variant.label());
+        for &size in &sizes {
+            s.points.push(nx_pingpong(variant, size, CostModel::shrimp_prototype()));
+        }
+        all.push(s);
+    }
+    println!("{}", render_figure("Figure 4: NX latency and bandwidth", &all, LATENCY_CUTOFF));
+
+    let hw = vmmc_pingpong(Strategy::Au1Copy, 8, false, CostModel::shrimp_prototype());
+    let nx = all[0].latency_at(8).unwrap();
+    println!(
+        "anchors: AU small-message overhead over hardware {:.2} us (paper: just over 6)",
+        nx - hw.latency_us
+    );
+    let hw_bw = vmmc_pingpong(Strategy::Du0Copy, 10240, false, CostModel::shrimp_prototype());
+    println!(
+        "         zero-copy 10 KB bandwidth {:.1} MB/s vs raw hardware {:.1} MB/s",
+        all[2].bandwidth_at(10240).unwrap(),
+        hw_bw.bandwidth_mbs
+    );
+}

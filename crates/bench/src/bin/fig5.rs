@@ -1,0 +1,33 @@
+//! Regenerates **Figure 5**: VRPC round-trip latency and bandwidth as a
+//! function of argument/result size, for DU-1copy and AU-1copy.
+//!
+//! Usage: `cargo run -p shrimp-bench --bin fig5`
+
+use shrimp_bench::vrpc_bench::{vrpc_roundtrip, VrpcVariant};
+use shrimp_bench::{paper_sizes, render_figure, Series, LATENCY_CUTOFF};
+use shrimp_node::CostModel;
+
+fn main() {
+    let sizes = paper_sizes();
+    let mut all = Vec::new();
+    for variant in VrpcVariant::all() {
+        let mut s = Series::new(variant.label());
+        for &size in &sizes {
+            s.points.push(vrpc_roundtrip(variant, size, CostModel::shrimp_prototype()));
+        }
+        all.push(s);
+    }
+    println!(
+        "{}",
+        render_figure(
+            "Figure 5: VRPC round-trip latency and bandwidth (single INOUT opaque argument)",
+            &all,
+            LATENCY_CUTOFF
+        )
+    );
+    println!(
+        "anchors: null RPC round trip {:.1} us AU / {:.1} us DU (paper: ~29 us)",
+        all[1].latency_at(4).unwrap(),
+        all[0].latency_at(4).unwrap()
+    );
+}

@@ -1,0 +1,50 @@
+//! Regenerates **Figure 8**: round-trip time for a null RPC with a
+//! single INOUT argument of varying size — compatible (VRPC) vs
+//! non-compatible (SHRIMP RPC), fastest (one-copy automatic update)
+//! version of each.
+//!
+//! Usage: `cargo run -p shrimp-bench --bin fig8 [-- --breakdown]`
+//!
+//! `--breakdown` also reports the specialized system's software-only
+//! overhead (paper §5: under 1 µs).
+
+use shrimp_bench::rpc_compare::{
+    compatible_roundtrip, specialized_roundtrip, specialized_software_overhead,
+};
+use shrimp_node::CostModel;
+
+fn main() {
+    let breakdown = std::env::args().any(|a| a == "--breakdown");
+    let sizes: Vec<usize> = vec![4, 50, 100, 200, 300, 400, 500, 600, 700, 800, 900, 1000];
+
+    println!("== Figure 8: null RPC round-trip time, single INOUT argument ==\n");
+    println!("{:<12}{:>18}{:>18}{:>10}", "bytes", "compatible us", "non-compatible us", "ratio");
+    let mut first = None;
+    let mut last = None;
+    for &size in &sizes {
+        let c = compatible_roundtrip(size, CostModel::shrimp_prototype());
+        let s = specialized_roundtrip(size, CostModel::shrimp_prototype());
+        let ratio = c.latency_us / s.latency_us;
+        println!("{:<12}{:>18.2}{:>18.2}{:>10.2}", size, c.latency_us, s.latency_us, ratio);
+        if first.is_none() {
+            first = Some((c.latency_us, s.latency_us));
+        }
+        last = Some(ratio);
+    }
+    let (c0, s0) = first.expect("at least one size");
+    println!(
+        "\nanchors: null call {s0:.1} us non-compatible vs {c0:.1} us compatible \
+         (paper: 9.5 vs 29, more than a factor of three)"
+    );
+    println!(
+        "         ratio at 1000 B: {:.2} (paper: roughly a factor of two)",
+        last.expect("at least one size")
+    );
+    if breakdown {
+        println!(
+            "         specialized software-only round trip: {:.2} us \
+             (paper: software overhead under 1 us per call)",
+            specialized_software_overhead()
+        );
+    }
+}

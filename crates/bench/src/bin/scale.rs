@@ -1,0 +1,34 @@
+//! Scaling studies on the planned 16-node expansion (paper §8).
+//!
+//! Usage: `cargo run -p shrimp-bench --bin scale`
+
+use shrimp_bench::scale::{barrier_latency, bcast_completion, ring_aggregate_bandwidth};
+
+fn main() {
+    println!("== scaling: 4-node prototype vs planned 16-node machine ==\n");
+    println!("{:<26}{:>12}{:>12}", "metric", "2x2 (4n)", "4x4 (16n)");
+    println!(
+        "{:<26}{:>12.1}{:>12.1}",
+        "gsync barrier (us)",
+        barrier_latency(2, 2, 4),
+        barrier_latency(4, 4, 4)
+    );
+    println!(
+        "{:<26}{:>12.1}{:>12.1}",
+        "tree bcast 2KB (us)",
+        bcast_completion(2, 2, 2048, true),
+        bcast_completion(4, 4, 2048, true)
+    );
+    println!(
+        "{:<26}{:>12.1}{:>12.1}",
+        "naive bcast 2KB (us)",
+        bcast_completion(2, 2, 2048, false),
+        bcast_completion(4, 4, 2048, false)
+    );
+    println!(
+        "{:<26}{:>12.0}{:>12.0}",
+        "ring aggregate (MB/s)",
+        ring_aggregate_bandwidth(2, 2, 10240),
+        ring_aggregate_bandwidth(4, 4, 10240)
+    );
+}

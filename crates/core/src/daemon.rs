@@ -1,0 +1,243 @@
+//! The SHRIMP daemon: the trusted third party of the VMMC model.
+//!
+//! One daemon runs per node. Daemons cooperate to establish and destroy
+//! import-export mappings between user processes: they validate
+//! permissions, manage receive-buffer memory (the incoming page table)
+//! and outgoing bindings, so that user processes never touch the page
+//! tables directly — the protection half of VMMC (paper §2.1, §3.3).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use shrimp_mesh::NodeId;
+use shrimp_nic::{IptEntry, Nic};
+
+use crate::error::VmmcError;
+
+/// Who may import an exported receive buffer.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum ExportPerms {
+    /// Any process on any node.
+    #[default]
+    Any,
+    /// Only processes on the listed nodes.
+    Nodes(Vec<NodeId>),
+}
+
+impl ExportPerms {
+    /// Whether a process on `node` may import.
+    pub fn allows(&self, node: NodeId) -> bool {
+        match self {
+            ExportPerms::Any => true,
+            ExportPerms::Nodes(nodes) => nodes.contains(&node),
+        }
+    }
+}
+
+/// Name of an exported buffer, unique within its node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BufferName(pub u64);
+
+impl std::fmt::Display for BufferName {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "buf{}", self.0)
+    }
+}
+
+/// Daemon-side record of one exported receive buffer.
+#[derive(Debug, Clone)]
+pub struct ExportRecord {
+    /// Physical page frames backing the buffer, in order.
+    pub ppages: Arc<Vec<u64>>,
+    /// Byte offset of the buffer start within the first page.
+    pub first_offset: usize,
+    /// Buffer length in bytes.
+    pub len: usize,
+    /// Import permissions.
+    pub perms: ExportPerms,
+}
+
+/// The mapping information a successful import returns.
+#[derive(Debug, Clone)]
+pub struct MappingInfo {
+    /// Exporting node.
+    pub node: NodeId,
+    /// Exported buffer name.
+    pub name: BufferName,
+    /// Physical page frames backing the buffer, in order.
+    pub ppages: Arc<Vec<u64>>,
+    /// Byte offset of the buffer start within the first page.
+    pub first_offset: usize,
+    /// Buffer length in bytes.
+    pub len: usize,
+}
+
+/// The per-node trusted mapping server.
+pub struct Daemon {
+    node_id: NodeId,
+    nic: Arc<Nic>,
+    exports: Mutex<HashMap<BufferName, ExportRecord>>,
+    next_name: AtomicU64,
+}
+
+impl std::fmt::Debug for Daemon {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Daemon").field("node", &self.node_id).finish_non_exhaustive()
+    }
+}
+
+impl Daemon {
+    /// Create the daemon for a node.
+    pub fn new(node_id: NodeId, nic: Arc<Nic>) -> Arc<Daemon> {
+        Arc::new(Daemon {
+            node_id,
+            nic,
+            exports: Mutex::new(HashMap::new()),
+            next_name: AtomicU64::new(1),
+        })
+    }
+
+    /// The node this daemon serves.
+    pub fn node_id(&self) -> NodeId {
+        self.node_id
+    }
+
+    /// Register an export: records it and enables the pages in the NIC's
+    /// incoming page table so the hardware will accept data for them.
+    pub fn register_export(&self, record: ExportRecord) -> BufferName {
+        let name = BufferName(self.next_name.fetch_add(1, Ordering::SeqCst));
+        for &p in record.ppages.iter() {
+            self.nic.ipt().set(p, IptEntry { enabled: true, interrupt: false });
+        }
+        self.exports.lock().insert(name, record);
+        name
+    }
+
+    /// Remove an export and disable its pages in the incoming page
+    /// table. The caller (the VMMC layer) must have drained pending
+    /// traffic first.
+    pub fn unregister_export(&self, name: BufferName) -> Option<ExportRecord> {
+        let record = self.exports.lock().remove(&name)?;
+        for &p in record.ppages.iter() {
+            self.nic.ipt().set(p, IptEntry { enabled: false, interrupt: false });
+        }
+        Some(record)
+    }
+
+    /// Resolve an import request from a process on `importer`.
+    ///
+    /// # Errors
+    ///
+    /// [`VmmcError::UnknownBuffer`] if the name is not exported here;
+    /// [`VmmcError::PermissionDenied`] if the export's permissions
+    /// exclude the importer.
+    pub fn resolve_import(&self, importer: NodeId, name: BufferName) -> Result<MappingInfo, VmmcError> {
+        let exports = self.exports.lock();
+        let record = exports
+            .get(&name)
+            .ok_or(VmmcError::UnknownBuffer { node: self.node_id, name: name.0 })?;
+        if !record.perms.allows(importer) {
+            return Err(VmmcError::PermissionDenied { node: self.node_id, name: name.0 });
+        }
+        Ok(MappingInfo {
+            node: self.node_id,
+            name,
+            ppages: Arc::clone(&record.ppages),
+            first_offset: record.first_offset,
+            len: record.len,
+        })
+    }
+
+    /// Set the receiver-specified notification-interrupt flag on every
+    /// page of an export (used when a handler is attached).
+    pub fn set_export_interrupt(&self, name: BufferName, on: bool) -> Result<(), VmmcError> {
+        let exports = self.exports.lock();
+        let record = exports
+            .get(&name)
+            .ok_or(VmmcError::UnknownBuffer { node: self.node_id, name: name.0 })?;
+        for &p in record.ppages.iter() {
+            self.nic.ipt().set_interrupt(p, on);
+        }
+        Ok(())
+    }
+
+    /// Number of live exports.
+    pub fn export_count(&self) -> usize {
+        self.exports.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shrimp_mesh::{Backplane, LinkParams, Topology};
+    use shrimp_node::{CostModel, Node};
+    use shrimp_sim::Kernel;
+
+    fn daemon() -> (Kernel, Arc<Daemon>, Arc<Nic>) {
+        let kernel = Kernel::new();
+        let net: Arc<Backplane<shrimp_nic::NicPacket>> =
+            Backplane::new(kernel.handle(), Topology::shrimp_prototype(), LinkParams::paragon());
+        let node = Node::new(kernel.handle(), NodeId(0), 64, CostModel::shrimp_prototype());
+        let nic = Nic::install(node, net);
+        let d = Daemon::new(NodeId(0), Arc::clone(&nic));
+        (kernel, d, nic)
+    }
+
+    fn record(pages: Vec<u64>, perms: ExportPerms) -> ExportRecord {
+        let len = pages.len() * shrimp_node::PAGE_SIZE;
+        ExportRecord { ppages: Arc::new(pages), first_offset: 0, len, perms }
+    }
+
+    #[test]
+    fn export_enables_ipt_pages_and_unregister_disables() {
+        let (_k, d, nic) = daemon();
+        let name = d.register_export(record(vec![4, 5], ExportPerms::Any));
+        assert!(nic.ipt().get(4).enabled);
+        assert!(nic.ipt().get(5).enabled);
+        assert_eq!(d.export_count(), 1);
+        d.unregister_export(name).unwrap();
+        assert!(!nic.ipt().get(4).enabled);
+        assert_eq!(d.export_count(), 0);
+        assert!(d.unregister_export(name).is_none());
+    }
+
+    #[test]
+    fn import_respects_permissions() {
+        let (_k, d, _nic) = daemon();
+        let open = d.register_export(record(vec![1], ExportPerms::Any));
+        let closed = d.register_export(record(vec![2], ExportPerms::Nodes(vec![NodeId(3)])));
+        assert!(d.resolve_import(NodeId(2), open).is_ok());
+        let err = d.resolve_import(NodeId(2), closed).unwrap_err();
+        assert!(matches!(err, VmmcError::PermissionDenied { .. }));
+        assert!(d.resolve_import(NodeId(3), closed).is_ok());
+    }
+
+    #[test]
+    fn import_of_unknown_buffer_fails() {
+        let (_k, d, _nic) = daemon();
+        let err = d.resolve_import(NodeId(1), BufferName(99)).unwrap_err();
+        assert_eq!(err, VmmcError::UnknownBuffer { node: NodeId(0), name: 99 });
+    }
+
+    #[test]
+    fn export_interrupt_flag_programs_ipt() {
+        let (_k, d, nic) = daemon();
+        let name = d.register_export(record(vec![7], ExportPerms::Any));
+        d.set_export_interrupt(name, true).unwrap();
+        assert!(nic.ipt().get(7).interrupt);
+        d.set_export_interrupt(name, false).unwrap();
+        assert!(!nic.ipt().get(7).interrupt);
+        assert!(d.set_export_interrupt(BufferName(55), true).is_err());
+    }
+
+    #[test]
+    fn perms_allows_matrix() {
+        assert!(ExportPerms::Any.allows(NodeId(9)));
+        let p = ExportPerms::Nodes(vec![NodeId(1), NodeId(2)]);
+        assert!(p.allows(NodeId(1)));
+        assert!(!p.allows(NodeId(0)));
+    }
+}

@@ -1,0 +1,101 @@
+//! VMMC error types.
+
+use shrimp_mesh::NodeId;
+use shrimp_node::MemFault;
+
+/// Errors returned by the VMMC layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmmcError {
+    /// The named buffer does not exist on the target node.
+    UnknownBuffer {
+        /// Node that was asked.
+        node: NodeId,
+        /// Buffer name that failed to resolve.
+        name: u64,
+    },
+    /// The exporter's permissions do not allow this importer.
+    PermissionDenied {
+        /// Node that owns the export.
+        node: NodeId,
+        /// Buffer name.
+        name: u64,
+    },
+    /// Deliberate update requires word-aligned source, destination
+    /// offset, and length.
+    Misaligned,
+    /// The transfer extends past the end of the imported buffer.
+    OutOfRange {
+        /// Offset requested into the receive buffer.
+        offset: usize,
+        /// Length requested.
+        len: usize,
+        /// Size of the imported buffer.
+        buffer_len: usize,
+    },
+    /// Automatic-update bindings are page-granular; the local address or
+    /// the destination offset is not page-aligned.
+    UnalignedBinding,
+    /// A local memory access faulted.
+    Fault(MemFault),
+    /// The import handle was already unimported.
+    StaleImport,
+}
+
+impl std::fmt::Display for VmmcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VmmcError::UnknownBuffer { node, name } => {
+                write!(f, "no exported buffer {name} on {node}")
+            }
+            VmmcError::PermissionDenied { node, name } => {
+                write!(f, "import of buffer {name} on {node} denied")
+            }
+            VmmcError::Misaligned => {
+                write!(f, "deliberate update requires word-aligned source, destination, and length")
+            }
+            VmmcError::OutOfRange { offset, len, buffer_len } => {
+                write!(f, "transfer of {len} bytes at offset {offset} exceeds buffer of {buffer_len} bytes")
+            }
+            VmmcError::UnalignedBinding => {
+                write!(f, "automatic-update bindings must be page-aligned")
+            }
+            VmmcError::Fault(e) => write!(f, "memory fault: {e}"),
+            VmmcError::StaleImport => write!(f, "import handle was unimported"),
+        }
+    }
+}
+
+impl std::error::Error for VmmcError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VmmcError::Fault(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MemFault> for VmmcError {
+    fn from(e: MemFault) -> Self {
+        VmmcError::Fault(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = VmmcError::UnknownBuffer { node: NodeId(2), name: 77 };
+        assert_eq!(e.to_string(), "no exported buffer 77 on node2");
+        let e = VmmcError::OutOfRange { offset: 10, len: 20, buffer_len: 16 };
+        assert!(e.to_string().contains("exceeds"));
+    }
+
+    #[test]
+    fn mem_fault_converts_and_chains() {
+        use std::error::Error;
+        let e: VmmcError = MemFault::NotMapped { vpage: 3 }.into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,332 @@
+//! Whole-system assembly: nodes, NICs, daemons, backplane, Ethernet.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Weak};
+
+use parking_lot::Mutex;
+use shrimp_mesh::{Backplane, LinkParams, NodeId, Topology};
+use shrimp_nic::{Nic, NicPacket, IRQ_NOTIFICATION, IRQ_RECV_FREEZE};
+use shrimp_node::{CostModel, Ethernet, Node, UserProc};
+use shrimp_sim::{Kernel, SimHandle};
+
+use crate::daemon::Daemon;
+use crate::endpoint::{EndpointShared, Vmmc};
+
+/// Configuration for building a [`ShrimpSystem`].
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Mesh shape; the node count is `topology.len()`.
+    pub topology: Topology,
+    /// DRAM pages per node (4 KB each).
+    pub mem_pages_per_node: usize,
+    /// The cost model applied on every node.
+    pub costs: CostModel,
+    /// Backplane channel parameters.
+    pub link: LinkParams,
+}
+
+impl SystemConfig {
+    /// The four-node prototype: 2×2 mesh, 40 MB DRAM per node, calibrated
+    /// costs, Paragon backplane.
+    pub fn prototype() -> SystemConfig {
+        SystemConfig {
+            topology: Topology::shrimp_prototype(),
+            mem_pages_per_node: 10 * 1024, // 40 MB
+            costs: CostModel::shrimp_prototype(),
+            link: LinkParams::paragon(),
+        }
+    }
+
+    /// The planned 16-node expansion (paper §8: "We also plan to expand
+    /// the system to 16 nodes"): a 4×4 mesh with otherwise identical
+    /// per-node hardware.
+    pub fn expanded_16() -> SystemConfig {
+        SystemConfig { topology: Topology::new(4, 4), ..SystemConfig::prototype() }
+    }
+
+    /// An arbitrary `width × height` machine with prototype nodes, for
+    /// scaling studies.
+    pub fn with_mesh(width: usize, height: usize) -> SystemConfig {
+        SystemConfig { topology: Topology::new(width, height), ..SystemConfig::prototype() }
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig::prototype()
+    }
+}
+
+/// Routes incoming-data events (DMA completions, notification
+/// interrupts) from a node's NIC to the endpoint that exported the
+/// destination page.
+#[derive(Default)]
+pub(crate) struct Registry {
+    map: Mutex<HashMap<(usize, u64), Weak<EndpointShared>>>,
+}
+
+impl Registry {
+    pub(crate) fn register_pages(&self, node: usize, pages: &[u64], ep: &Arc<EndpointShared>) {
+        let mut m = self.map.lock();
+        for &p in pages {
+            m.insert((node, p), Arc::downgrade(ep));
+        }
+    }
+
+    pub(crate) fn unregister_pages(&self, node: usize, pages: &[u64]) {
+        let mut m = self.map.lock();
+        for &p in pages {
+            m.remove(&(node, p));
+        }
+    }
+
+    pub(crate) fn lookup(&self, node: usize, ppage: u64) -> Option<Arc<EndpointShared>> {
+        self.map.lock().get(&(node, ppage)).and_then(Weak::upgrade)
+    }
+}
+
+/// A fully-wired SHRIMP multicomputer: the object benchmarks and
+/// applications start from.
+///
+/// # Examples
+///
+/// ```
+/// use shrimp_sim::Kernel;
+/// use shrimp_core::{ShrimpSystem, SystemConfig};
+///
+/// let kernel = Kernel::new();
+/// let system = ShrimpSystem::build(&kernel, SystemConfig::prototype());
+/// assert_eq!(system.len(), 4);
+/// ```
+pub struct ShrimpSystem {
+    handle: SimHandle,
+    topology: Topology,
+    net: Arc<Backplane<NicPacket>>,
+    eth: Arc<Ethernet>,
+    nodes: Vec<Arc<Node>>,
+    nics: Vec<Arc<Nic>>,
+    daemons: Vec<Arc<Daemon>>,
+    pub(crate) registry: Arc<Registry>,
+    violations: Mutex<Vec<(NodeId, u64)>>,
+}
+
+impl std::fmt::Debug for ShrimpSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShrimpSystem")
+            .field("topology", &self.topology)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShrimpSystem {
+    /// Build and wire the whole machine on `kernel`.
+    pub fn build(kernel: &Kernel, config: SystemConfig) -> Arc<ShrimpSystem> {
+        let handle = kernel.handle();
+        let net: Arc<Backplane<NicPacket>> =
+            Backplane::new(handle.clone(), config.topology, config.link);
+        let eth = Ethernet::new(handle.clone());
+        let registry = Arc::new(Registry::default());
+
+        let mut nodes = Vec::new();
+        let mut nics = Vec::new();
+        let mut daemons = Vec::new();
+        for id in config.topology.nodes() {
+            let node = Node::new(handle.clone(), id, config.mem_pages_per_node, config.costs.clone());
+            let nic = Nic::install(Arc::clone(&node), Arc::clone(&net));
+            let daemon = Daemon::new(id, Arc::clone(&nic));
+            nodes.push(node);
+            nics.push(nic);
+            daemons.push(daemon);
+        }
+
+        let system = Arc::new(ShrimpSystem {
+            handle,
+            topology: config.topology,
+            net,
+            eth,
+            nodes,
+            nics,
+            daemons,
+            registry,
+            violations: Mutex::new(Vec::new()),
+        });
+
+        // Wire per-node delivery and interrupt routing.
+        for (i, node) in system.nodes.iter().enumerate() {
+            let sys = Arc::downgrade(&system);
+            system.nics[i].set_delivery_hook(move |ppage, at| {
+                if let Some(sys) = sys.upgrade() {
+                    if let Some(ep) = sys.registry.lookup(i, ppage) {
+                        ep.on_delivery(ppage, at);
+                    }
+                }
+            });
+            let sys = Arc::downgrade(&system);
+            node.set_interrupt_hook(move |irq| {
+                let Some(sys) = sys.upgrade() else { return };
+                match irq.vector {
+                    IRQ_NOTIFICATION => {
+                        if let Some(ep) = sys.registry.lookup(i, irq.info) {
+                            ep.on_notification(irq.info);
+                        }
+                    }
+                    IRQ_RECV_FREEZE => {
+                        sys.violations.lock().push((NodeId(i), irq.info));
+                    }
+                    _ => {}
+                }
+            });
+        }
+        system
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True for an empty system (never constructible).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The mesh topology.
+    pub fn topology(&self) -> Topology {
+        self.topology
+    }
+
+    /// The simulation handle.
+    pub fn sim(&self) -> &SimHandle {
+        &self.handle
+    }
+
+    /// The routing backplane.
+    pub fn net(&self) -> &Arc<Backplane<NicPacket>> {
+        &self.net
+    }
+
+    /// The Ethernet side channel.
+    pub fn ethernet(&self) -> &Arc<Ethernet> {
+        &self.eth
+    }
+
+    /// Node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn node(&self, i: usize) -> &Arc<Node> {
+        &self.nodes[i]
+    }
+
+    /// NIC of node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn nic(&self, i: usize) -> &Arc<Nic> {
+        &self.nics[i]
+    }
+
+    /// Daemon of node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn daemon(&self, i: usize) -> &Arc<Daemon> {
+        &self.daemons[i]
+    }
+
+    /// Create a user process with a VMMC endpoint on node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn endpoint(self: &Arc<Self>, i: usize, name: impl Into<String>) -> Vmmc {
+        let proc_ = UserProc::new(Arc::clone(&self.nodes[i]), name);
+        Vmmc::new(Arc::clone(self), i, proc_)
+    }
+
+    /// Receive-path protection violations observed so far, as
+    /// `(node, physical page)` pairs. A correct protocol never triggers
+    /// any; tests assert emptiness.
+    pub fn violations(&self) -> Vec<(NodeId, u64)> {
+        self.violations.lock().clone()
+    }
+
+    /// The OS recovery path for a frozen receive datapath: what the
+    /// freeze interrupt handler would do after deciding the offending
+    /// page should accept data after all — enable the page in the
+    /// incoming page table and unfreeze the NIC, which reprocesses its
+    /// queued packets. Returns whether the node was frozen.
+    pub fn repair_and_unfreeze(&self, node: usize, ppage: u64) -> bool {
+        let nic = &self.nics[node];
+        let was = nic.is_frozen();
+        nic.ipt().set(ppage, shrimp_nic::IptEntry { enabled: true, interrupt: false });
+        nic.unfreeze();
+        was
+    }
+
+    /// True when no packet is in flight anywhere: mesh delivered
+    /// everything injected and every NIC finished its incoming DMA and
+    /// holds no open combining packet.
+    pub fn quiescent(&self) -> bool {
+        let m = self.net.stats();
+        m.injected == m.delivered && self.nics.iter().all(|n| n.in_flight() == 0)
+    }
+
+    /// A machine-wide utilization and traffic snapshot (the kind of
+    /// counters the prototype's diagnostics network existed to carry).
+    pub fn report(&self) -> SystemReport {
+        SystemReport {
+            at: self.handle.now(),
+            mesh: self.net.stats(),
+            nics: self.nics.iter().map(|n| n.stats()).collect(),
+            bus_busy_us: self
+                .nodes
+                .iter()
+                .map(|n| {
+                    let (mb, _, _) = n.membus().stats();
+                    let (eb, _, _) = n.eisa().stats();
+                    (mb.as_us(), eb.as_us())
+                })
+                .collect(),
+            violations: self.violations.lock().len(),
+        }
+    }
+}
+
+/// Snapshot returned by [`ShrimpSystem::report`].
+#[derive(Debug, Clone)]
+pub struct SystemReport {
+    /// Virtual time of the snapshot.
+    pub at: shrimp_sim::SimTime,
+    /// Backplane traffic.
+    pub mesh: shrimp_mesh::MeshStats,
+    /// Per-node NIC counters.
+    pub nics: Vec<shrimp_nic::NicStats>,
+    /// Per-node cumulative `(memory bus, EISA bus)` busy time in µs.
+    pub bus_busy_us: Vec<(f64, f64)>,
+    /// Protection violations observed.
+    pub violations: usize,
+}
+
+impl std::fmt::Display for SystemReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "system report at {}", self.at)?;
+        writeln!(
+            f,
+            "  mesh: {} packets injected, {} delivered, {} payload bytes",
+            self.mesh.injected, self.mesh.delivered, self.mesh.payload_bytes
+        )?;
+        for (i, (nic, (mb, eb))) in self.nics.iter().zip(&self.bus_busy_us).enumerate() {
+            writeln!(
+                f,
+                "  node{i}: out {} AU + {} DU pkts ({} B), in {} pkts ({} B); \
+                 membus busy {mb:.0} us, eisa busy {eb:.0} us",
+                nic.au_packets_out, nic.du_packets_out, nic.bytes_out, nic.packets_in, nic.bytes_in
+            )?;
+        }
+        write!(f, "  protection violations: {}", self.violations)
+    }
+}

@@ -1,0 +1,91 @@
+//! Property tests for VMMC data transfer: arbitrary sequences of
+//! deliberate-update sends into one exported buffer must leave exactly
+//! the bytes sequential program order would.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use proptest::prelude::*;
+use shrimp_core::{BufferName, ExportOpts, ShrimpSystem, SystemConfig};
+use shrimp_mesh::NodeId;
+use shrimp_node::{CacheMode, PAGE_SIZE};
+use shrimp_sim::{Kernel, SimChannel};
+
+#[derive(Debug, Clone)]
+struct Xfer {
+    /// Word-aligned destination offset.
+    dst_off: usize,
+    /// Word-aligned length.
+    len: usize,
+    fill: u8,
+}
+
+const BUF: usize = 2 * PAGE_SIZE;
+
+fn xfers() -> impl Strategy<Value = Vec<Xfer>> {
+    proptest::collection::vec(
+        (0usize..(BUF / 4 - 1), 1usize..512, any::<u8>()).prop_map(|(w, lw, fill)| {
+            let dst_off = w * 4;
+            let len = (lw * 4).min(BUF - dst_off);
+            Xfer { dst_off, len, fill }
+        }),
+        1..25,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn deliberate_updates_apply_in_program_order(xs in xfers()) {
+        let kernel = Kernel::new();
+        let system = ShrimpSystem::build(&kernel, SystemConfig::prototype());
+        let names: SimChannel<BufferName> = SimChannel::new();
+        let final_mem: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+
+        {
+            let rx = system.endpoint(1, "rx");
+            let names = names.clone();
+            let final_mem = Arc::clone(&final_mem);
+            let n_xfers = xs.len();
+            kernel.spawn("rx", move |ctx| {
+                let buf = rx.proc_().alloc(BUF, CacheMode::WriteBack);
+                let name = rx.export(ctx, buf, BUF, ExportOpts::default()).unwrap();
+                names.send(&ctx.handle(), name);
+                // Wait for the sender's completion counter (last word).
+                rx.wait_u32(ctx, buf.add(BUF - 4), 100_000, move |v| v == n_xfers as u32)
+                    .unwrap();
+                *final_mem.lock() = rx.proc_().peek(buf, BUF).unwrap();
+            });
+        }
+        {
+            let tx = system.endpoint(0, "tx");
+            let xs = xs.clone();
+            kernel.spawn("tx", move |ctx| {
+                let name = names.recv(ctx);
+                let dst = tx.import(ctx, NodeId(1), name).unwrap();
+                let src = tx.proc_().alloc(BUF, CacheMode::WriteBack);
+                let counter = tx.proc_().alloc(PAGE_SIZE, CacheMode::WriteBack);
+                for (i, x) in xs.iter().enumerate() {
+                    tx.proc_().poke(src, &vec![x.fill; x.len]).unwrap();
+                    tx.send(ctx, src, &dst, x.dst_off, x.len).unwrap();
+                    // Completion counter after each transfer (in-order
+                    // delivery makes it a valid commit point).
+                    tx.proc_().write_u32(ctx, counter, i as u32 + 1).unwrap();
+                    tx.send(ctx, counter, &dst, BUF - 4, 4).unwrap();
+                }
+            });
+        }
+        kernel.run_until_quiescent().unwrap();
+        prop_assert!(system.violations().is_empty());
+
+        // Sequential model.
+        let mut expect = vec![0u8; BUF];
+        for x in &xs {
+            expect[x.dst_off..x.dst_off + x.len].fill(x.fill);
+        }
+        expect[BUF - 4..].copy_from_slice(&(xs.len() as u32).to_le_bytes());
+        let got = final_mem.lock().clone();
+        prop_assert_eq!(got, expect);
+    }
+}

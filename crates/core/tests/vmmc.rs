@@ -1,0 +1,396 @@
+//! Integration tests of the VMMC layer on the fully-wired prototype:
+//! import-export protection, deliberate and automatic update, ordering,
+//! notifications, and mapping teardown.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use shrimp_core::{BufferName, ExportOpts, ExportPerms, ShrimpSystem, SystemConfig, Vmmc, VmmcError};
+use shrimp_mesh::NodeId;
+use shrimp_node::{CacheMode, VAddr, PAGE_SIZE};
+use shrimp_sim::{Ctx, Kernel, SimChannel, SimDur};
+
+fn prototype() -> (Kernel, Arc<ShrimpSystem>) {
+    let kernel = Kernel::new();
+    let system = ShrimpSystem::build(&kernel, SystemConfig::prototype());
+    (kernel, system)
+}
+
+/// Receiver exports one buffer and publishes its name; sender imports.
+fn export_one(
+    rx: &Vmmc,
+    ctx: &Ctx,
+    bytes: usize,
+    names: &SimChannel<BufferName>,
+) -> VAddr {
+    let buf = rx.proc_().alloc(bytes, CacheMode::WriteBack);
+    let name = rx.export(ctx, buf, bytes, ExportOpts::default()).unwrap();
+    names.send(&ctx.handle(), name);
+    buf
+}
+
+#[test]
+fn deliberate_update_transfers_across_pages() {
+    let (kernel, system) = prototype();
+    let names: SimChannel<BufferName> = SimChannel::new();
+    let rx = system.endpoint(1, "rx");
+    let tx = system.endpoint(0, "tx");
+    let n = 3 * PAGE_SIZE + 512;
+
+    {
+        let names = names.clone();
+        kernel.spawn("rx", move |ctx| {
+            let buf = export_one(&rx, ctx, n, &names);
+            rx.wait_u32(ctx, buf.add(n - 4), 64, |v| v == 0xFEED).unwrap();
+            let got = rx.proc_().peek(buf, n - 4).unwrap();
+            let want: Vec<u8> = (0..n - 4).map(|i| (i % 241) as u8).collect();
+            assert_eq!(got, want);
+        });
+    }
+    kernel.spawn("tx", move |ctx| {
+        let name = names.recv(ctx);
+        let dst = tx.import(ctx, NodeId(1), name).unwrap();
+        let src = tx.proc_().alloc(n, CacheMode::WriteBack);
+        let mut data: Vec<u8> = (0..n - 4).map(|i| (i % 241) as u8).collect();
+        data.extend_from_slice(&0xFEEDu32.to_le_bytes());
+        tx.proc_().write(ctx, src, &data).unwrap();
+        tx.send(ctx, src, &dst, 0, n).unwrap();
+    });
+    kernel.run_until_quiescent().unwrap();
+    assert!(system.violations().is_empty());
+}
+
+#[test]
+fn send_rejects_misalignment_out_of_range_and_stale() {
+    let (kernel, system) = prototype();
+    let names: SimChannel<BufferName> = SimChannel::new();
+    let rx = system.endpoint(1, "rx");
+    let tx = system.endpoint(0, "tx");
+    {
+        let names = names.clone();
+        kernel.spawn("rx", move |ctx| {
+            let _buf = export_one(&rx, ctx, PAGE_SIZE, &names);
+            // Stay alive long enough for the sender to finish.
+            ctx.advance(SimDur::from_us(50_000.0));
+        });
+    }
+    kernel.spawn("tx", move |ctx| {
+        let name = names.recv(ctx);
+        let dst = tx.import(ctx, NodeId(1), name).unwrap();
+        let src = tx.proc_().alloc(2 * PAGE_SIZE, CacheMode::WriteBack);
+
+        assert!(matches!(tx.send(ctx, src.add(2), &dst, 0, 8), Err(VmmcError::Misaligned)));
+        assert!(matches!(tx.send(ctx, src, &dst, 2, 8), Err(VmmcError::Misaligned)));
+        assert!(matches!(tx.send(ctx, src, &dst, 0, 6), Err(VmmcError::Misaligned)));
+        assert!(matches!(
+            tx.send(ctx, src, &dst, PAGE_SIZE - 4, 8),
+            Err(VmmcError::OutOfRange { .. })
+        ));
+        // Zero-length send is a no-op.
+        tx.send(ctx, src, &dst, 0, 0).unwrap();
+
+        tx.unimport(ctx, &dst);
+        assert!(matches!(tx.send(ctx, src, &dst, 0, 8), Err(VmmcError::StaleImport)));
+    });
+    kernel.run_until_quiescent().unwrap();
+}
+
+#[test]
+fn import_permission_denied_for_excluded_node() {
+    let (kernel, system) = prototype();
+    let names: SimChannel<BufferName> = SimChannel::new();
+    let rx = system.endpoint(1, "rx");
+    let tx = system.endpoint(0, "tx");
+    {
+        let names = names.clone();
+        kernel.spawn("rx", move |ctx| {
+            let buf = rx.proc_().alloc(PAGE_SIZE, CacheMode::WriteBack);
+            let name = rx
+                .export(
+                    ctx,
+                    buf,
+                    PAGE_SIZE,
+                    ExportOpts { perms: ExportPerms::Nodes(vec![NodeId(2)]), handler: None },
+                )
+                .unwrap();
+            names.send(&ctx.handle(), name);
+        });
+    }
+    kernel.spawn("tx", move |ctx| {
+        let name = names.recv(ctx);
+        let err = tx.import(ctx, NodeId(1), name).unwrap_err();
+        assert!(matches!(err, VmmcError::PermissionDenied { .. }));
+        let err = tx.import(ctx, NodeId(1), BufferName(999)).unwrap_err();
+        assert!(matches!(err, VmmcError::UnknownBuffer { .. }));
+    });
+    kernel.run_until_quiescent().unwrap();
+}
+
+#[test]
+fn automatic_update_binding_propagates_stores() {
+    let (kernel, system) = prototype();
+    let names: SimChannel<BufferName> = SimChannel::new();
+    let rx = system.endpoint(1, "rx");
+    let tx = system.endpoint(0, "tx");
+    {
+        let names = names.clone();
+        kernel.spawn("rx", move |ctx| {
+            let buf = export_one(&rx, ctx, 2 * PAGE_SIZE, &names);
+            rx.wait_u32(ctx, buf.add(128 + 60), 64, |v| v == 77).unwrap();
+            assert_eq!(rx.proc_().peek(buf.add(128), 60).unwrap(), vec![9u8; 60]);
+        });
+    }
+    kernel.spawn("tx", move |ctx| {
+        let name = names.recv(ctx);
+        let dst = tx.import(ctx, NodeId(1), name).unwrap();
+        let send_buf = tx.proc_().alloc(2 * PAGE_SIZE, CacheMode::WriteBack);
+        let binding = tx.bind_au(ctx, send_buf, &dst, 0, 2, true, false).unwrap();
+        // Ordinary stores now propagate: no explicit send operation.
+        tx.proc_().write(ctx, send_buf.add(128), &[9u8; 60]).unwrap();
+        tx.proc_().write_u32(ctx, send_buf.add(128 + 60), 77).unwrap();
+        tx.unbind_au(ctx, binding);
+        // After unbind, stores stay local.
+        tx.proc_().write_u32(ctx, send_buf, 0xDEAD).unwrap();
+    });
+    kernel.run_until_quiescent().unwrap();
+    assert!(system.violations().is_empty());
+}
+
+#[test]
+fn au_then_du_control_after_data_ordering() {
+    // The pattern every library relies on: transfer data, then control
+    // information; in-order delivery means the flag's arrival implies the
+    // data's.
+    let (kernel, system) = prototype();
+    let names: SimChannel<BufferName> = SimChannel::new();
+    let rx = system.endpoint(1, "rx");
+    let tx = system.endpoint(0, "tx");
+    {
+        let names = names.clone();
+        kernel.spawn("rx", move |ctx| {
+            let buf = export_one(&rx, ctx, PAGE_SIZE, &names);
+            for round in 1..=20u32 {
+                rx.wait_u32(ctx, buf.add(PAGE_SIZE - 4), 64, |v| v == round).unwrap();
+                // Flag arrived: the 256 bytes of data must be complete.
+                let got = rx.proc_().peek(buf, 256).unwrap();
+                assert_eq!(got, vec![round as u8; 256], "round {round}");
+            }
+        });
+    }
+    kernel.spawn("tx", move |ctx| {
+        let name = names.recv(ctx);
+        let dst = tx.import(ctx, NodeId(1), name).unwrap();
+        let src = tx.proc_().alloc(PAGE_SIZE, CacheMode::WriteBack);
+        let flag_src = tx.proc_().alloc(PAGE_SIZE, CacheMode::WriteBack);
+        for round in 1..=20u32 {
+            tx.proc_().write(ctx, src, &vec![round as u8; 256]).unwrap();
+            tx.send(ctx, src, &dst, 0, 256).unwrap();
+            tx.proc_().write_u32(ctx, flag_src, round).unwrap();
+            tx.send(ctx, flag_src, &dst, PAGE_SIZE - 4, 4).unwrap();
+        }
+    });
+    kernel.run_until_quiescent().unwrap();
+}
+
+#[test]
+fn notification_handler_runs_with_signal_semantics() {
+    let (kernel, system) = prototype();
+    let names: SimChannel<BufferName> = SimChannel::new();
+    let rx = system.endpoint(1, "rx");
+    let tx = system.endpoint(0, "tx");
+    let handled = Arc::new(Mutex::new(Vec::new()));
+    {
+        let names = names.clone();
+        let handled = Arc::clone(&handled);
+        kernel.spawn("rx", move |ctx| {
+            let buf = rx.proc_().alloc(PAGE_SIZE, CacheMode::WriteBack);
+            let h2 = Arc::clone(&handled);
+            let name = rx
+                .export(
+                    ctx,
+                    buf,
+                    PAGE_SIZE,
+                    ExportOpts {
+                        perms: ExportPerms::Any,
+                        handler: Some(Box::new(move |_ctx, ev| h2.lock().push(ev.buffer))),
+                    },
+                )
+                .unwrap();
+            names.send(&ctx.handle(), name);
+            // Block while the first message arrives: it must queue.
+            rx.set_notifications_blocked(ctx, true);
+            ctx.advance(SimDur::from_us(3_000.0));
+            assert!(handled.lock().is_empty(), "notification ran while blocked");
+            rx.set_notifications_blocked(ctx, false);
+            let ev = rx.wait_notification(ctx);
+            assert_eq!(ev.buffer, name);
+            assert_eq!(handled.lock().len(), 1);
+            // Second notification consumed by polling.
+            let ev2 = rx.wait_notification(ctx);
+            assert_eq!(ev2.buffer, name);
+        });
+    }
+    kernel.spawn("tx", move |ctx| {
+        let name = names.recv(ctx);
+        let dst = tx.import(ctx, NodeId(1), name).unwrap();
+        let src = tx.proc_().alloc(PAGE_SIZE, CacheMode::WriteBack);
+        tx.send_notify(ctx, src, &dst, 0, 64).unwrap();
+        ctx.advance(SimDur::from_us(5_000.0));
+        tx.send_notify(ctx, src, &dst, 0, 64).unwrap();
+    });
+    kernel.run_until_quiescent().unwrap();
+}
+
+#[test]
+fn unexport_disables_pages_and_subsequent_sends_violate() {
+    let (kernel, system) = prototype();
+    let names: SimChannel<BufferName> = SimChannel::new();
+    let done: SimChannel<()> = SimChannel::new();
+    let rx = system.endpoint(1, "rx");
+    let tx = system.endpoint(0, "tx");
+    {
+        let names = names.clone();
+        let done = done.clone();
+        kernel.spawn("rx", move |ctx| {
+            let buf = export_one(&rx, ctx, PAGE_SIZE, &names);
+            // Wait for the first message, then tear down.
+            rx.wait_u32(ctx, buf, 64, |v| v == 1).unwrap();
+            let name_of = {
+                // find our export name: it was sent over the channel, so
+                // recompute via a second export is unnecessary; instead
+                // the sender echoes the name back through `done` timing.
+                // Simpler: re-export is avoided; unexport takes the name
+                // we still hold.
+                buf
+            };
+            let _ = name_of;
+            done.send(&ctx.handle(), ());
+        });
+    }
+    {
+        let sys = Arc::clone(&system);
+        kernel.spawn("tx", move |ctx| {
+            let name = names.recv(ctx);
+            let dst = tx.import(ctx, NodeId(1), name).unwrap();
+            let src = tx.proc_().alloc(PAGE_SIZE, CacheMode::WriteBack);
+            tx.proc_().write_u32(ctx, src, 1).unwrap();
+            tx.send(ctx, src, &dst, 0, 4).unwrap();
+            done.recv(ctx);
+            // The receiver endpoint drops its export when its process
+            // ends; emulate the raced late send by disabling via daemon.
+            sys.daemon(1).unregister_export(name).unwrap();
+            tx.send(ctx, src, &dst, 0, 4).unwrap();
+            // Give the violation time to surface.
+            ctx.advance(SimDur::from_us(2_000.0));
+        });
+    }
+    kernel.run_until_quiescent().unwrap();
+    let v = system.violations();
+    assert_eq!(v.len(), 1);
+    assert_eq!(v[0].0, NodeId(1));
+}
+
+#[test]
+fn explicit_unexport_waits_for_pending_traffic() {
+    let (kernel, system) = prototype();
+    let names: SimChannel<BufferName> = SimChannel::new();
+    let rx = system.endpoint(1, "rx");
+    let tx = system.endpoint(0, "tx");
+    {
+        let names = names.clone();
+        kernel.spawn("rx", move |ctx| {
+            let buf = rx.proc_().alloc(PAGE_SIZE, CacheMode::WriteBack);
+            let name = rx.export(ctx, buf, PAGE_SIZE, ExportOpts::default()).unwrap();
+            names.send(&ctx.handle(), name);
+            rx.wait_u32(ctx, buf, 64, |v| v == 42).unwrap();
+            // Unexport drains in-flight traffic before disabling pages.
+            rx.unexport(ctx, name).unwrap();
+            assert!(rx.unexport(ctx, name).is_err());
+        });
+    }
+    kernel.spawn("tx", move |ctx| {
+        let name = names.recv(ctx);
+        let dst = tx.import(ctx, NodeId(1), name).unwrap();
+        let src = tx.proc_().alloc(PAGE_SIZE, CacheMode::WriteBack);
+        tx.proc_().write_u32(ctx, src, 42).unwrap();
+        tx.send(ctx, src, &dst, 0, PAGE_SIZE).unwrap();
+    });
+    kernel.run_until_quiescent().unwrap();
+    assert!(system.violations().is_empty());
+}
+
+#[test]
+fn bidirectional_au_ping_pong() {
+    // The specialized-RPC pattern: both sides bind AU windows to each
+    // other and communicate purely with stores.
+    let (kernel, system) = prototype();
+    let names_a: SimChannel<BufferName> = SimChannel::new();
+    let names_b: SimChannel<BufferName> = SimChannel::new();
+    let a = system.endpoint(0, "a");
+    let b = system.endpoint(3, "b");
+    const ROUNDS: u32 = 10;
+    {
+        let names_a = names_a.clone();
+        let names_b = names_b.clone();
+        kernel.spawn("a", move |ctx| {
+            let recv = a.proc_().alloc(PAGE_SIZE, CacheMode::WriteBack);
+            let name = a.export(ctx, recv, PAGE_SIZE, ExportOpts::default()).unwrap();
+            names_a.send(&ctx.handle(), name);
+            let peer = names_b.recv(ctx);
+            let dst = a.import(ctx, NodeId(3), peer).unwrap();
+            let send = a.proc_().alloc(PAGE_SIZE, CacheMode::WriteBack);
+            let _bind = a.bind_au(ctx, send, &dst, 0, 1, true, false).unwrap();
+            for i in 1..=ROUNDS {
+                a.proc_().write_u32(ctx, send, i).unwrap();
+                a.wait_u32(ctx, recv, 64, |v| v == i).unwrap();
+            }
+        });
+    }
+    kernel.spawn("b", move |ctx| {
+        let recv = b.proc_().alloc(PAGE_SIZE, CacheMode::WriteBack);
+        let name = b.export(ctx, recv, PAGE_SIZE, ExportOpts::default()).unwrap();
+        names_b.send(&ctx.handle(), name);
+        let peer = names_a.recv(ctx);
+        let dst = b.import(ctx, NodeId(0), peer).unwrap();
+        let send = b.proc_().alloc(PAGE_SIZE, CacheMode::WriteBack);
+        let _bind = b.bind_au(ctx, send, &dst, 0, 1, true, false).unwrap();
+        for i in 1..=ROUNDS {
+            b.wait_u32(ctx, recv, 64, |v| v == i).unwrap();
+            b.proc_().write_u32(ctx, send, i).unwrap();
+        }
+    });
+    kernel.run_until_quiescent().unwrap();
+    assert!(system.violations().is_empty());
+}
+
+#[test]
+fn au_binding_rejects_unaligned_windows() {
+    let (kernel, system) = prototype();
+    let names: SimChannel<BufferName> = SimChannel::new();
+    let rx = system.endpoint(1, "rx");
+    let tx = system.endpoint(0, "tx");
+    {
+        let names = names.clone();
+        kernel.spawn("rx", move |ctx| {
+            let _ = export_one(&rx, ctx, 2 * PAGE_SIZE, &names);
+        });
+    }
+    kernel.spawn("tx", move |ctx| {
+        let name = names.recv(ctx);
+        let dst = tx.import(ctx, NodeId(1), name).unwrap();
+        let send = tx.proc_().alloc(2 * PAGE_SIZE, CacheMode::WriteBack);
+        assert!(matches!(
+            tx.bind_au(ctx, send.add(16), &dst, 0, 1, true, false),
+            Err(VmmcError::UnalignedBinding)
+        ));
+        assert!(matches!(
+            tx.bind_au(ctx, send, &dst, 100, 1, true, false),
+            Err(VmmcError::UnalignedBinding)
+        ));
+        assert!(matches!(
+            tx.bind_au(ctx, send, &dst, 0, 5, true, false),
+            Err(VmmcError::OutOfRange { .. })
+        ));
+    });
+    kernel.run_until_quiescent().unwrap();
+}

@@ -1,0 +1,40 @@
+//! # shrimp-mesh — the Paragon-style routing backplane
+//!
+//! The SHRIMP prototype connects its four PC nodes with an Intel routing
+//! backplane: a two-dimensional mesh of Intel Mesh Routing Chips (iMRCs)
+//! — the same network used in the Paragon multicomputer — supporting
+//! deadlock-free, oblivious wormhole routing and preserving the order of
+//! messages from each sender to each receiver.
+//!
+//! This crate models that backplane for the simulation:
+//!
+//! * [`Topology`] — rectangular 2-D meshes with dimension-order routing;
+//! * [`Backplane`] — channel reservation timelines, per-hop head latency,
+//!   serialization and contention, and the per-pair in-order delivery
+//!   guarantee (asserted on every delivery);
+//! * [`LinkParams`] — calibrated channel parameters
+//!   ([`LinkParams::paragon`] approximates the prototype's backplane).
+//!
+//! See the `backplane` module docs for the fidelity discussion.
+//!
+//! ```
+//! use shrimp_sim::Kernel;
+//! use shrimp_mesh::{Backplane, LinkParams, Topology, NodeId};
+//!
+//! let kernel = Kernel::new();
+//! let net: std::sync::Arc<Backplane<&'static str>> =
+//!     Backplane::new(kernel.handle(), Topology::shrimp_prototype(), LinkParams::paragon());
+//! net.attach(NodeId(1), |d| assert_eq!(d.payload, "hello"));
+//! net.inject(NodeId(0), NodeId(1), 5, "hello");
+//! kernel.run_until_quiescent()?;
+//! # Ok::<(), shrimp_sim::SimError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod backplane;
+mod topology;
+
+pub use backplane::{Backplane, Delivery, LinkParams, MeshStats};
+pub use topology::{Coord, Direction, NodeId, Topology};

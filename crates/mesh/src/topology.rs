@@ -1,0 +1,266 @@
+//! Mesh topology and dimension-order routing.
+//!
+//! The SHRIMP prototype's backplane is a two-dimensional mesh of Intel
+//! Mesh Routing Chips (iMRCs) — the Paragon network — using deadlock-free,
+//! oblivious wormhole routing (Dally & Seitz). Oblivious dimension-order
+//! routing sends every packet first along the X dimension, then along Y;
+//! because the route is a pure function of (source, destination), all
+//! packets between a pair of nodes follow the same path, which (with FIFO
+//! links) yields the in-order delivery guarantee the VMMC layer relies on.
+
+use std::fmt;
+
+/// Identifies a node (and its router) in the mesh, row-major.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// A position in the mesh grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Coord {
+    /// Column (X dimension, routed first).
+    pub x: usize,
+    /// Row (Y dimension, routed second).
+    pub y: usize,
+}
+
+/// One of the four mesh directions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Increasing X.
+    East,
+    /// Decreasing X.
+    West,
+    /// Increasing Y.
+    South,
+    /// Decreasing Y.
+    North,
+}
+
+impl Direction {
+    /// Index 0..4, used to address per-router output links.
+    pub fn index(self) -> usize {
+        match self {
+            Direction::East => 0,
+            Direction::West => 1,
+            Direction::South => 2,
+            Direction::North => 3,
+        }
+    }
+}
+
+/// A rectangular 2-D mesh.
+///
+/// The 4-node SHRIMP prototype is a 2×2 mesh
+/// ([`Topology::shrimp_prototype`]); the paper's planned expansion to 16
+/// nodes is 4×4.
+///
+/// # Examples
+///
+/// ```
+/// use shrimp_mesh::{Topology, NodeId};
+/// let t = Topology::new(4, 4);
+/// assert_eq!(t.len(), 16);
+/// let route = t.route(NodeId(0), NodeId(15));
+/// assert_eq!(route.len(), 6); // 3 east + 3 south
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Topology {
+    width: usize,
+    height: usize,
+}
+
+impl Topology {
+    /// Create a `width × height` mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: usize, height: usize) -> Topology {
+        assert!(width > 0 && height > 0, "mesh dimensions must be positive");
+        Topology { width, height }
+    }
+
+    /// The 2×2 mesh of the four-node prototype system.
+    pub fn shrimp_prototype() -> Topology {
+        Topology::new(2, 2)
+    }
+
+    /// Mesh width (X extent).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Mesh height (Y extent).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Total number of nodes.
+    pub fn len(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// True for a degenerate 0-node mesh (never constructible; present for
+    /// API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All node ids in this mesh.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.len()).map(NodeId)
+    }
+
+    /// Grid coordinate of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn coord(&self, node: NodeId) -> Coord {
+        assert!(node.0 < self.len(), "node {node} out of range for {self:?}");
+        Coord { x: node.0 % self.width, y: node.0 / self.width }
+    }
+
+    /// Node at a grid coordinate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is outside the mesh.
+    pub fn node_at(&self, c: Coord) -> NodeId {
+        assert!(c.x < self.width && c.y < self.height, "coordinate out of range");
+        NodeId(c.y * self.width + c.x)
+    }
+
+    /// Neighbor of `node` in `dir`, if it exists.
+    pub fn neighbor(&self, node: NodeId, dir: Direction) -> Option<NodeId> {
+        let c = self.coord(node);
+        let n = match dir {
+            Direction::East if c.x + 1 < self.width => Coord { x: c.x + 1, y: c.y },
+            Direction::West if c.x > 0 => Coord { x: c.x - 1, y: c.y },
+            Direction::South if c.y + 1 < self.height => Coord { x: c.x, y: c.y + 1 },
+            Direction::North if c.y > 0 => Coord { x: c.x, y: c.y - 1 },
+            _ => return None,
+        };
+        Some(self.node_at(n))
+    }
+
+    /// The dimension-order (X then Y) route from `src` to `dst`: the
+    /// sequence of `(router, direction)` hops. Empty when `src == dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range.
+    pub fn route(&self, src: NodeId, dst: NodeId) -> Vec<(NodeId, Direction)> {
+        let s = self.coord(src);
+        let d = self.coord(dst);
+        let mut hops = Vec::with_capacity(s.x.abs_diff(d.x) + s.y.abs_diff(d.y));
+        let mut cur = s;
+        while cur.x != d.x {
+            let dir = if cur.x < d.x { Direction::East } else { Direction::West };
+            hops.push((self.node_at(cur), dir));
+            cur.x = if cur.x < d.x { cur.x + 1 } else { cur.x - 1 };
+        }
+        while cur.y != d.y {
+            let dir = if cur.y < d.y { Direction::South } else { Direction::North };
+            hops.push((self.node_at(cur), dir));
+            cur.y = if cur.y < d.y { cur.y + 1 } else { cur.y - 1 };
+        }
+        hops
+    }
+
+    /// Manhattan distance between two nodes (number of mesh links a packet
+    /// traverses, excluding injection/ejection).
+    pub fn distance(&self, a: NodeId, b: NodeId) -> usize {
+        let ca = self.coord(a);
+        let cb = self.coord(b);
+        ca.x.abs_diff(cb.x) + ca.y.abs_diff(cb.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prototype_is_2x2() {
+        let t = Topology::shrimp_prototype();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.coord(NodeId(3)), Coord { x: 1, y: 1 });
+        assert_eq!(t.node_at(Coord { x: 0, y: 1 }), NodeId(2));
+    }
+
+    #[test]
+    fn route_is_x_then_y() {
+        let t = Topology::new(4, 4);
+        let route = t.route(NodeId(1), NodeId(14)); // (1,0) -> (2,3)
+        assert_eq!(
+            route,
+            vec![
+                (NodeId(1), Direction::East),
+                (NodeId(2), Direction::South),
+                (NodeId(6), Direction::South),
+                (NodeId(10), Direction::South),
+            ]
+        );
+    }
+
+    #[test]
+    fn route_to_self_is_empty() {
+        let t = Topology::new(3, 3);
+        assert!(t.route(NodeId(4), NodeId(4)).is_empty());
+        assert_eq!(t.distance(NodeId(4), NodeId(4)), 0);
+    }
+
+    #[test]
+    fn route_westward_and_northward() {
+        let t = Topology::new(3, 2);
+        let route = t.route(NodeId(5), NodeId(0)); // (2,1) -> (0,0)
+        assert_eq!(
+            route,
+            vec![
+                (NodeId(5), Direction::West),
+                (NodeId(4), Direction::West),
+                (NodeId(3), Direction::North),
+            ]
+        );
+    }
+
+    #[test]
+    fn neighbors_respect_edges() {
+        let t = Topology::new(2, 2);
+        assert_eq!(t.neighbor(NodeId(0), Direction::East), Some(NodeId(1)));
+        assert_eq!(t.neighbor(NodeId(0), Direction::West), None);
+        assert_eq!(t.neighbor(NodeId(0), Direction::South), Some(NodeId(2)));
+        assert_eq!(t.neighbor(NodeId(0), Direction::North), None);
+        assert_eq!(t.neighbor(NodeId(3), Direction::East), None);
+        assert_eq!(t.neighbor(NodeId(3), Direction::North), Some(NodeId(1)));
+    }
+
+    #[test]
+    fn route_length_equals_distance() {
+        let t = Topology::new(5, 4);
+        for a in t.nodes() {
+            for b in t.nodes() {
+                assert_eq!(t.route(a, b).len(), t.distance(a, b));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn coord_of_invalid_node_panics() {
+        Topology::new(2, 2).coord(NodeId(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn zero_dimension_panics() {
+        Topology::new(0, 3);
+    }
+}

@@ -1,0 +1,115 @@
+#![allow(clippy::type_complexity)]
+
+//! Property tests for the mesh backplane: the invariants the VMMC layer
+//! and every library protocol rely on.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use proptest::prelude::*;
+use shrimp_mesh::{Backplane, LinkParams, NodeId, Topology};
+use shrimp_sim::{Kernel, SimDur, SimTime};
+
+#[derive(Debug, Clone)]
+struct Injection {
+    src: usize,
+    dst: usize,
+    bytes: usize,
+    delay_ns: u64,
+}
+
+fn injection_strategy(nodes: usize) -> impl Strategy<Value = Injection> {
+    (0..nodes, 0..nodes, 1usize..4096, 0u64..5_000).prop_map(|(src, dst, bytes, delay_ns)| {
+        Injection { src, dst, bytes, delay_ns }
+    })
+}
+
+fn run_workload(
+    topo: Topology,
+    injections: Vec<Injection>,
+) -> Vec<(usize, usize, u64, SimTime, usize)> {
+    let kernel = Kernel::new();
+    let net: Arc<Backplane<u64>> = Backplane::new(kernel.handle(), topo, LinkParams::paragon());
+    let log: Arc<Mutex<Vec<(usize, usize, u64, SimTime, usize)>>> = Arc::new(Mutex::new(Vec::new()));
+    for node in topo.nodes() {
+        let log = Arc::clone(&log);
+        net.attach(node, move |d| {
+            log.lock().push((d.src.0, d.dst.0, d.seq, d.at, d.payload_bytes));
+        });
+    }
+    // Stagger injections through time via scheduled events.
+    let mut t = SimDur::ZERO;
+    for (i, inj) in injections.iter().enumerate() {
+        t += SimDur::from_ns(inj.delay_ns as f64);
+        let net = Arc::clone(&net);
+        let inj = inj.clone();
+        kernel.schedule_in(t, move || {
+            net.inject(NodeId(inj.src), NodeId(inj.dst), inj.bytes, i as u64);
+        });
+    }
+    kernel.run_until_quiescent().unwrap();
+    let stats = net.stats();
+    assert_eq!(stats.injected, injections.len() as u64, "conservation: all injected");
+    assert_eq!(stats.delivered, injections.len() as u64, "conservation: all delivered");
+    let v = log.lock().clone();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every packet is delivered exactly once, to the right node, in
+    /// per-pair FIFO order, and no earlier than the unloaded latency bound.
+    #[test]
+    fn mesh_delivery_invariants(
+        injections in proptest::collection::vec(injection_strategy(4), 1..60)
+    ) {
+        let topo = Topology::shrimp_prototype();
+        let deliveries = run_workload(topo, injections.clone());
+        prop_assert_eq!(deliveries.len(), injections.len());
+
+        // Per-pair sequence numbers strictly increase in delivery order.
+        let mut last_seq: std::collections::HashMap<(usize, usize), u64> =
+            std::collections::HashMap::new();
+        let mut last_at: std::collections::HashMap<(usize, usize), SimTime> =
+            std::collections::HashMap::new();
+        for (src, dst, seq, at, _bytes) in &deliveries {
+            if let Some(prev) = last_seq.get(&(*src, *dst)) {
+                prop_assert_eq!(*seq, prev + 1, "FIFO violated for {}->{}", src, dst);
+                prop_assert!(at >= &last_at[&(*src, *dst)]);
+            } else {
+                prop_assert_eq!(*seq, 0u64);
+            }
+            last_seq.insert((*src, *dst), *seq);
+            last_at.insert((*src, *dst), *at);
+        }
+    }
+
+    /// Delivery on a 4x4 mesh also respects the analytic unloaded bound
+    /// when a single packet travels alone.
+    #[test]
+    fn single_packet_never_beats_light(
+        src in 0usize..16, dst in 0usize..16, bytes in 1usize..8192
+    ) {
+        let topo = Topology::new(4, 4);
+        let kernel = Kernel::new();
+        let net: Arc<Backplane<()>> = Backplane::new(kernel.handle(), topo, LinkParams::paragon());
+        net.attach(NodeId(dst), |_| {});
+        let at = net.inject(NodeId(src), NodeId(dst), bytes, ());
+        let bound = net.unloaded_latency(NodeId(src), NodeId(dst), bytes);
+        prop_assert_eq!(at, SimTime::ZERO + bound);
+        kernel.run_until_quiescent().unwrap();
+    }
+
+    /// Total payload bytes delivered equals total injected.
+    #[test]
+    fn payload_byte_conservation(
+        injections in proptest::collection::vec(injection_strategy(4), 1..40)
+    ) {
+        let topo = Topology::shrimp_prototype();
+        let deliveries = run_workload(topo, injections.clone());
+        let injected: usize = injections.iter().map(|i| i.bytes).sum();
+        let delivered: usize = deliveries.iter().map(|d| d.4).sum();
+        prop_assert_eq!(injected, delivered);
+    }
+}

@@ -1,0 +1,31 @@
+//! # shrimp-nic — the SHRIMP network interface model
+//!
+//! The custom SHRIMP network interface is the key system component: two
+//! printed-circuit boards connecting each PC to both the Xpress memory
+//! bus (a very simple snooping card) and the EISA expansion bus (all the
+//! logic), implementing hardware support for virtual memory-mapped
+//! communication (paper §3.2, Figure 2).
+//!
+//! This crate models every datapath block of that figure:
+//!
+//! * snoop logic + [`OutgoingPageTable`] + [`Packetizer`] (automatic
+//!   update, write combining, combine timer);
+//! * the deliberate-update engine ([`Nic::du_transfer`]) with its EISA
+//!   DMA source reads and the word-alignment restriction;
+//! * the incoming DMA engine with the per-packet [`IncomingPageTable`]
+//!   check, freeze-and-interrupt on protection violation, and the
+//!   two-flag notification interrupt rule.
+//!
+//! The arbiter of Figure 2 (incoming given priority over outgoing at the
+//! NIC's port) is subsumed by the FIFO bus model: both directions
+//! contend on the EISA bandwidth resource.
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod nic;
+mod packetizer;
+mod tables;
+
+pub use nic::{DuRequest, Nic, NicPacket, NicStats, IRQ_NOTIFICATION, IRQ_RECV_FREEZE};
+pub use packetizer::{OutPacket, OutWrite, Packetizer};
+pub use tables::{IncomingPageTable, IptEntry, OptEntry, OutgoingPageTable};

@@ -1,0 +1,758 @@
+//! The SHRIMP network interface.
+//!
+//! One `Nic` sits between a node's buses and the routing backplane and
+//! implements the two datapaths of paper Figure 2:
+//!
+//! * **Outgoing** — either the memory-bus *snoop logic* (automatic
+//!   update: OPT lookup, packetizing with optional combining and a
+//!   combine timer) or the *deliberate-update engine* (two-access
+//!   initiation, EISA DMA reads of the source, packetization);
+//! * **Incoming** — the *incoming DMA engine*: per-packet incoming page
+//!   table check, then DMA into main memory over the EISA bus; an
+//!   interrupt is raised after a packet lands iff both the
+//!   sender-specified and receiver-specified flags are set; data for a
+//!   disabled page freezes the receive datapath and interrupts the CPU.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+
+use parking_lot::Mutex;
+use shrimp_mesh::{Backplane, Delivery, NodeId};
+use shrimp_node::{Interrupt, Node, PAddr, SnoopWrite, PAGE_SIZE};
+use shrimp_sim::{SimDur, SimTime};
+
+use crate::packetizer::{OutPacket, OutWrite, Packetizer};
+use crate::tables::{IncomingPageTable, OutgoingPageTable};
+#[cfg(test)]
+use crate::tables::{IptEntry, OptEntry};
+
+/// Interrupt vector: a notification packet landed (info = physical page).
+pub const IRQ_NOTIFICATION: u32 = 1;
+/// Interrupt vector: the receive datapath froze on a disabled page
+/// (info = physical page).
+pub const IRQ_RECV_FREEZE: u32 = 2;
+
+/// A packet on the wire between two NICs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NicPacket {
+    /// Destination physical byte address (within one page).
+    pub dst_paddr: u64,
+    /// Payload bytes.
+    pub data: Vec<u8>,
+    /// Sender-specified destination-interrupt flag.
+    pub interrupt: bool,
+}
+
+/// A deliberate-update transfer request, as decoded from the two-access
+/// initiation sequence (the VMMC layer charges the two EISA programmed
+/// I/O accesses before handing the request to the engine).
+#[derive(Debug, Clone, Copy)]
+pub struct DuRequest {
+    /// Source physical address on the local node.
+    pub src: PAddr,
+    /// Destination node.
+    pub dst_node: NodeId,
+    /// Destination physical byte address on that node.
+    pub dst_paddr: u64,
+    /// Transfer length in bytes.
+    pub len: usize,
+    /// Request a destination interrupt on the final packet.
+    pub interrupt: bool,
+}
+
+/// Traffic counters for one NIC.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NicStats {
+    /// Automatic-update packets injected.
+    pub au_packets_out: u64,
+    /// Deliberate-update packets injected.
+    pub du_packets_out: u64,
+    /// Total payload bytes injected.
+    pub bytes_out: u64,
+    /// Packets received and DMA'd to memory.
+    pub packets_in: u64,
+    /// Payload bytes received.
+    pub bytes_in: u64,
+    /// Times the receive datapath froze on a disabled page.
+    pub freezes: u64,
+}
+
+type DeliveryHook = Arc<dyn Fn(u64, SimTime) + Send + Sync>;
+
+struct FreezeState {
+    frozen: bool,
+    pending: VecDeque<NicPacket>,
+}
+
+/// The network interface of one node. Construct with [`Nic::install`],
+/// which wires the snoop hook and the backplane sink.
+pub struct Nic {
+    node: Arc<Node>,
+    net: Arc<Backplane<NicPacket>>,
+    opt: OutgoingPageTable,
+    ipt: IncomingPageTable,
+    pktz: Mutex<Packetizer>,
+    freeze: Mutex<FreezeState>,
+    delivery_hook: Mutex<Option<DeliveryHook>>,
+    stats: Mutex<NicStats>,
+    pending_recv_dma: AtomicU64,
+    /// Outgoing-FIFO sequencer: no packet may be injected earlier than a
+    /// previously enqueued one, whatever its datapath's processing lead.
+    out_tail: Mutex<SimTime>,
+}
+
+impl std::fmt::Debug for Nic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Nic").field("node", &self.node.id()).finish_non_exhaustive()
+    }
+}
+
+impl Nic {
+    /// Build the NIC for `node`, register its snoop logic on the memory
+    /// bus and its incoming DMA engine on the backplane, and return it.
+    pub fn install(node: Arc<Node>, net: Arc<Backplane<NicPacket>>) -> Arc<Nic> {
+        let max_payload = node.costs().au_combine_limit.min(node.costs().max_packet_payload);
+        let nic = Arc::new(Nic {
+            node: Arc::clone(&node),
+            net: Arc::clone(&net),
+            opt: OutgoingPageTable::new(),
+            ipt: IncomingPageTable::new(),
+            pktz: Mutex::new(Packetizer::new(max_payload, PAGE_SIZE as u64)),
+            freeze: Mutex::new(FreezeState { frozen: false, pending: VecDeque::new() }),
+            delivery_hook: Mutex::new(None),
+            stats: Mutex::new(NicStats::default()),
+            pending_recv_dma: AtomicU64::new(0),
+            out_tail: Mutex::new(SimTime::ZERO),
+        });
+
+        let weak: Weak<Nic> = Arc::downgrade(&nic);
+        node.set_snoop_hook(move |w| {
+            if let Some(nic) = weak.upgrade() {
+                nic.on_snoop(w);
+            }
+        });
+
+        let weak: Weak<Nic> = Arc::downgrade(&nic);
+        net.attach(node.id(), move |d| {
+            if let Some(nic) = weak.upgrade() {
+                nic.on_incoming(d);
+            }
+        });
+
+        nic
+    }
+
+    /// The node this NIC is plugged into.
+    pub fn node(&self) -> &Arc<Node> {
+        &self.node
+    }
+
+    /// The outgoing page table (automatic-update bindings).
+    pub fn opt(&self) -> &OutgoingPageTable {
+        &self.opt
+    }
+
+    /// The incoming page table (receive enables and interrupt flags).
+    pub fn ipt(&self) -> &IncomingPageTable {
+        &self.ipt
+    }
+
+    /// Install the delivery hook, called (with the destination physical
+    /// page and completion time) after each packet's DMA completes. The
+    /// VMMC layer uses it to wake blocked receivers.
+    pub fn set_delivery_hook(&self, hook: impl Fn(u64, SimTime) + Send + Sync + 'static) {
+        *self.delivery_hook.lock() = Some(Arc::new(hook));
+    }
+
+    /// Traffic counters.
+    pub fn stats(&self) -> NicStats {
+        *self.stats.lock()
+    }
+
+    // ------------------------------------------------------------------
+    // Outgoing: automatic update
+    // ------------------------------------------------------------------
+
+    fn on_snoop(self: &Arc<Self>, w: SnoopWrite) {
+        let entry = match self.opt.lookup(w.paddr.page()) {
+            Some(e) => e,
+            None => return, // write to an unbound page: not our traffic
+        };
+        let dst_paddr =
+            entry.dst_ppage * PAGE_SIZE as u64 + w.paddr.offset() as u64;
+        let mut data = vec![0u8; w.len];
+        self.node.mem().read(w.paddr, &mut data);
+
+        let costs = self.node.costs();
+        let flushed = {
+            let mut p = self.pktz.lock();
+            p.push(OutWrite {
+                dst_node: entry.dst_node,
+                dst_paddr,
+                data,
+                interrupt: entry.dst_interrupt,
+                combine: entry.combine,
+                at: w.at,
+            })
+        };
+        let lead = costs.nic_snoop + costs.nic_packetize;
+        for pkt in flushed {
+            self.schedule_inject(lead, pkt, true);
+        }
+        self.arm_combine_timer();
+    }
+
+    /// Arm (or re-arm) the combine timer for the currently open packet.
+    fn arm_combine_timer(self: &Arc<Self>) {
+        let (gen, deadline) = {
+            let p = self.pktz.lock();
+            match p.open_last_write_at() {
+                None => return,
+                Some(at) => (p.generation(), at + self.node.costs().au_combine_timeout),
+            }
+        };
+        let me = Arc::clone(self);
+        self.node.sim().schedule_at(deadline, move || {
+            let pkt = {
+                let mut p = me.pktz.lock();
+                if p.generation() != gen {
+                    return; // extended or flushed since: stale timer
+                }
+                p.flush()
+            };
+            if let Some(pkt) = pkt {
+                let costs = me.node.costs();
+                me.schedule_inject(costs.nic_snoop + costs.nic_packetize, pkt, true);
+            }
+        });
+    }
+
+    /// Close any held combining packet immediately (ordering flushes and
+    /// unbind paths).
+    pub fn flush_combining(self: &Arc<Self>) {
+        let pkt = self.pktz.lock().flush();
+        if let Some(pkt) = pkt {
+            self.schedule_inject(self.node.costs().nic_packetize, pkt, true);
+        }
+    }
+
+    fn schedule_inject(self: &Arc<Self>, after: SimDur, pkt: OutPacket, is_au: bool) {
+        {
+            let mut st = self.stats.lock();
+            if is_au {
+                st.au_packets_out += 1;
+            } else {
+                st.du_packets_out += 1;
+            }
+            st.bytes_out += pkt.data.len() as u64;
+        }
+        // Enter the outgoing FIFO: a packet never departs before one
+        // enqueued earlier, even when its datapath has a shorter
+        // processing lead (ties run in enqueue order).
+        let at = {
+            let mut tail = self.out_tail.lock();
+            let at = (self.node.sim().now() + after).max(*tail);
+            *tail = at;
+            at
+        };
+        let me = Arc::clone(self);
+        self.node.sim().schedule_at(at, move || {
+            let bytes = pkt.data.len();
+            me.net.inject(
+                me.node.id(),
+                pkt.dst_node,
+                bytes,
+                NicPacket { dst_paddr: pkt.dst_paddr, data: pkt.data, interrupt: pkt.interrupt },
+            );
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Outgoing: deliberate update
+    // ------------------------------------------------------------------
+
+    /// Execute a deliberate-update transfer: DMA the source out of main
+    /// memory in packet-sized pieces, packetize, and inject. `done` fires
+    /// once the final piece has been injected (the source buffer is then
+    /// reusable and all packets are ordered ahead of any later traffic).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless source, destination, and length are word-aligned and
+    /// the length is positive — the hardware restriction the paper's
+    /// libraries must design around (§4, §6).
+    pub fn du_transfer(
+        self: &Arc<Self>,
+        req: DuRequest,
+        done: impl FnOnce(SimTime) + Send + 'static,
+    ) {
+        assert!(req.len > 0, "deliberate update of zero bytes");
+        assert!(
+            req.src.0.is_multiple_of(4) && req.dst_paddr.is_multiple_of(4) && req.len.is_multiple_of(4),
+            "deliberate update requires word-aligned source, destination, and length"
+        );
+        // FIFO ordering with any held automatic-update packet.
+        self.flush_combining();
+        let me = Arc::clone(self);
+        let setup = self.node.costs().du_engine_setup;
+        self.node.sim().schedule_in(setup, move || {
+            me.du_chunk(req, 0, Box::new(done));
+        });
+    }
+
+    fn du_chunk(self: &Arc<Self>, req: DuRequest, off: usize, done: Box<dyn FnOnce(SimTime) + Send>) {
+        let addr = req.dst_paddr + off as u64;
+        let to_page_end = (PAGE_SIZE as u64 - addr % PAGE_SIZE as u64) as usize;
+        let n = (req.len - off)
+            .min(self.node.costs().max_packet_payload)
+            .min(to_page_end);
+        let me = Arc::clone(self);
+        self.node.dma_read(PAddr(req.src.0 + off as u64), n, move |_t, data| {
+            let is_last = off + n == req.len;
+            let pkt = OutPacket {
+                dst_node: req.dst_node,
+                dst_paddr: addr,
+                data,
+                // The destination interrupt rides on the final packet so
+                // the notification fires after all data has landed.
+                interrupt: req.interrupt && is_last,
+            };
+            me.schedule_inject(me.node.costs().nic_packetize, pkt, false);
+            if is_last {
+                done(me.node.sim().now());
+            } else {
+                me.du_chunk(req, off + n, done);
+            }
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Incoming
+    // ------------------------------------------------------------------
+
+    fn on_incoming(self: &Arc<Self>, d: Delivery<NicPacket>) {
+        let pkt = d.payload;
+        {
+            let mut fz = self.freeze.lock();
+            if fz.frozen {
+                fz.pending.push_back(pkt);
+                return;
+            }
+        }
+        self.receive(pkt);
+    }
+
+    fn receive(self: &Arc<Self>, pkt: NicPacket) {
+        let ppage = pkt.dst_paddr / PAGE_SIZE as u64;
+        debug_assert!(
+            (pkt.dst_paddr + pkt.data.len() as u64 - 1) / PAGE_SIZE as u64 == ppage,
+            "packet crosses a destination page"
+        );
+        let entry = self.ipt.get(ppage);
+        if !entry.enabled {
+            {
+                let mut fz = self.freeze.lock();
+                fz.frozen = true;
+                fz.pending.push_back(pkt);
+                self.stats.lock().freezes += 1;
+            }
+            self.node.raise_interrupt(Interrupt { vector: IRQ_RECV_FREEZE, info: ppage });
+            return;
+        }
+        self.pending_recv_dma.fetch_add(1, Ordering::SeqCst);
+        let me = Arc::clone(self);
+        let check = self.node.costs().nic_ipt_check;
+        self.node.sim().schedule_in(check, move || {
+            let dst = PAddr(pkt.dst_paddr);
+            let want_irq = pkt.interrupt;
+            let bytes = pkt.data.len();
+            let me2 = Arc::clone(&me);
+            me.node.dma_write(dst, pkt.data, move |t| {
+                {
+                    let mut st = me2.stats.lock();
+                    st.packets_in += 1;
+                    st.bytes_in += bytes as u64;
+                }
+                let entry_now = me2.ipt.get(ppage);
+                if want_irq && entry_now.interrupt {
+                    me2.node.raise_interrupt(Interrupt { vector: IRQ_NOTIFICATION, info: ppage });
+                }
+                me2.pending_recv_dma.fetch_sub(1, Ordering::SeqCst);
+                let hook = me2.delivery_hook.lock().clone();
+                if let Some(h) = hook {
+                    h(ppage, t);
+                }
+            });
+        });
+    }
+
+    /// Packets accepted by the incoming datapath whose DMA has not yet
+    /// completed, plus any packet held open in the combining buffer.
+    /// Zero means this NIC is quiescent; the VMMC unexport/unimport
+    /// drain uses this.
+    pub fn in_flight(&self) -> u64 {
+        let open = if self.pktz.lock().has_open() { 1 } else { 0 };
+        self.pending_recv_dma.load(Ordering::SeqCst) + open
+    }
+
+    /// Whether the receive datapath is frozen.
+    pub fn is_frozen(&self) -> bool {
+        self.freeze.lock().frozen
+    }
+
+    /// Unfreeze the receive datapath (the OS does this after repairing
+    /// the incoming page table) and reprocess the queued packets. If a
+    /// queued packet still targets a disabled page the datapath refreezes
+    /// at that packet.
+    pub fn unfreeze(self: &Arc<Self>) {
+        loop {
+            let pkt = {
+                let mut fz = self.freeze.lock();
+                fz.frozen = false;
+                match fz.pending.pop_front() {
+                    None => return,
+                    Some(p) => p,
+                }
+            };
+            let ppage = pkt.dst_paddr / PAGE_SIZE as u64;
+            if !self.ipt.get(ppage).enabled {
+                let mut fz = self.freeze.lock();
+                fz.frozen = true;
+                fz.pending.push_front(pkt);
+                self.stats.lock().freezes += 1;
+                self.node.raise_interrupt(Interrupt { vector: IRQ_RECV_FREEZE, info: ppage });
+                return;
+            }
+            self.receive(pkt);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shrimp_mesh::{LinkParams, Topology};
+    use shrimp_node::{CacheMode, CostModel, UserProc};
+    use shrimp_sim::Kernel;
+
+    struct Rig {
+        kernel: Kernel,
+        nics: Vec<Arc<Nic>>,
+        procs: Vec<UserProc>,
+    }
+
+    fn rig(n_nodes: usize) -> Rig {
+        rig_with(n_nodes, CostModel::shrimp_prototype())
+    }
+
+    fn rig_with(n_nodes: usize, costs: CostModel) -> Rig {
+        let kernel = Kernel::new();
+        let topo = if n_nodes <= 4 { Topology::shrimp_prototype() } else { Topology::new(4, 4) };
+        let net: Arc<Backplane<NicPacket>> =
+            Backplane::new(kernel.handle(), topo, LinkParams::paragon());
+        let mut nics = Vec::new();
+        let mut procs = Vec::new();
+        for i in 0..n_nodes {
+            let node = Node::new(kernel.handle(), NodeId(i), 256, costs.clone());
+            node.set_interrupt_hook(|_| {});
+            nics.push(Nic::install(Arc::clone(&node), Arc::clone(&net)));
+            procs.push(UserProc::new(node, format!("p{i}")));
+        }
+        Rig { kernel, nics, procs }
+    }
+
+    /// Map one page on the receiver, enable it in the IPT, bind one page
+    /// on the sender's OPT to it; returns (send_va, recv_va).
+    fn bind_one_page(r: &Rig, sender: usize, receiver: usize, combine: bool) -> (shrimp_node::VAddr, shrimp_node::VAddr) {
+        let send_va = r.procs[sender].alloc(PAGE_SIZE, CacheMode::WriteThrough);
+        let recv_va = r.procs[receiver].alloc(PAGE_SIZE, CacheMode::WriteBack);
+        let (send_pa, _) = r.procs[sender].aspace().translate(send_va, true).unwrap();
+        let (recv_pa, _) = r.procs[receiver].aspace().translate(recv_va, true).unwrap();
+        r.nics[receiver].ipt().set(recv_pa.page(), IptEntry { enabled: true, interrupt: false });
+        r.nics[sender].opt().bind(
+            send_pa.page(),
+            OptEntry {
+                dst_node: NodeId(receiver),
+                dst_ppage: recv_pa.page(),
+                combine,
+                dst_interrupt: false,
+            },
+        );
+        (send_va, recv_va)
+    }
+
+    #[test]
+    fn automatic_update_propagates_stores() {
+        let r = rig(2);
+        let (send_va, recv_va) = bind_one_page(&r, 0, 1, true);
+        let p0 = r.procs[0].clone();
+        let p1 = r.procs[1].clone();
+        r.kernel.spawn("writer", move |ctx| {
+            p0.write(ctx, send_va.add(16), b"automatic update!").unwrap();
+        });
+        r.kernel.run_until_quiescent().unwrap();
+        assert_eq!(p1.peek(recv_va.add(16), 17).unwrap(), b"automatic update!");
+        let st = r.nics[0].stats();
+        assert_eq!(st.au_packets_out, 1);
+        assert_eq!(r.nics[1].stats().packets_in, 1);
+    }
+
+    #[test]
+    fn combining_merges_consecutive_stores_into_one_packet() {
+        // A generous combine window so the two separate store runs land
+        // within it (the default window is sized for streaming copies).
+        let mut costs = CostModel::shrimp_prototype();
+        costs.au_combine_timeout = shrimp_sim::SimDur::from_us(10.0);
+        let r = rig_with(2, costs);
+        let (send_va, recv_va) = bind_one_page(&r, 0, 1, true);
+        let p0 = r.procs[0].clone();
+        let p1 = r.procs[1].clone();
+        r.kernel.spawn("writer", move |ctx| {
+            // Two immediately-consecutive write runs: combined by the NIC.
+            p0.write(ctx, send_va, &[1u8; 8]).unwrap();
+            p0.write(ctx, send_va.add(8), &[2u8; 8]).unwrap();
+        });
+        r.kernel.run_until_quiescent().unwrap();
+        assert_eq!(r.nics[0].stats().au_packets_out, 1);
+        assert_eq!(p1.peek(recv_va, 16).unwrap(), [[1u8; 8], [2u8; 8]].concat());
+    }
+
+    #[test]
+    fn without_combining_each_store_run_is_a_packet() {
+        let r = rig(2);
+        let (send_va, _recv_va) = bind_one_page(&r, 0, 1, false);
+        let p0 = r.procs[0].clone();
+        r.kernel.spawn("writer", move |ctx| {
+            p0.write(ctx, send_va, &[1u8; 8]).unwrap();
+            p0.write(ctx, send_va.add(8), &[2u8; 8]).unwrap();
+        });
+        r.kernel.run_until_quiescent().unwrap();
+        assert_eq!(r.nics[0].stats().au_packets_out, 2);
+    }
+
+    #[test]
+    fn combine_timer_flushes_lone_write() {
+        let r = rig(2);
+        let (send_va, recv_va) = bind_one_page(&r, 0, 1, true);
+        let p0 = r.procs[0].clone();
+        let p1 = r.procs[1].clone();
+        let done_at = Arc::new(Mutex::new(SimTime::ZERO));
+        let d = Arc::clone(&done_at);
+        r.kernel.spawn("writer", move |ctx| {
+            p0.write_u32(ctx, send_va, 0x1234_5678).unwrap();
+            *d.lock() = ctx.now();
+        });
+        r.kernel.run_until_quiescent().unwrap();
+        assert_eq!(p1.peek(recv_va, 4).unwrap(), 0x1234_5678u32.to_le_bytes());
+        // Delivery happened strictly after the combine timeout elapsed.
+        let ct = CostModel::shrimp_prototype().au_combine_timeout;
+        let delivered = r.kernel.now();
+        assert!(delivered >= *done_at.lock() + ct);
+    }
+
+    #[test]
+    fn deliberate_update_moves_data_and_signals_done() {
+        let r = rig(2);
+        let src_va = r.procs[0].alloc(PAGE_SIZE, CacheMode::WriteBack);
+        let dst_va = r.procs[1].alloc(PAGE_SIZE, CacheMode::WriteBack);
+        let (src_pa, _) = r.procs[0].aspace().translate(src_va, false).unwrap();
+        let (dst_pa, _) = r.procs[1].aspace().translate(dst_va, true).unwrap();
+        r.nics[1].ipt().set(dst_pa.page(), IptEntry { enabled: true, interrupt: false });
+        r.procs[0].poke(src_va, &vec![0x5A; 2048]).unwrap();
+        let done = Arc::new(Mutex::new(None));
+        let d = Arc::clone(&done);
+        r.nics[0].du_transfer(
+            DuRequest { src: src_pa, dst_node: NodeId(1), dst_paddr: dst_pa.0, len: 2048, interrupt: false },
+            move |t| *d.lock() = Some(t),
+        );
+        r.kernel.run_until_quiescent().unwrap();
+        assert!(done.lock().is_some());
+        assert_eq!(r.procs[1].peek(dst_va, 2048).unwrap(), vec![0x5A; 2048]);
+        assert_eq!(r.nics[0].stats().du_packets_out, 1);
+    }
+
+    #[test]
+    fn large_du_splits_into_max_payload_packets() {
+        let r = rig(2);
+        let src_va = r.procs[0].alloc(3 * PAGE_SIZE, CacheMode::WriteBack);
+        let dst_va = r.procs[1].alloc(3 * PAGE_SIZE, CacheMode::WriteBack);
+        let (src_pa, _) = r.procs[0].aspace().translate(src_va, false).unwrap();
+        let (dst_pa, _) = r.procs[1].aspace().translate(dst_va, true).unwrap();
+        for p in 0..3 {
+            r.nics[1].ipt().set(dst_pa.page() + p, IptEntry { enabled: true, interrupt: false });
+        }
+        let data: Vec<u8> = (0..3 * PAGE_SIZE).map(|i| (i % 253) as u8).collect();
+        r.procs[0].poke(src_va, &data).unwrap();
+        r.nics[0].du_transfer(
+            DuRequest { src: src_pa, dst_node: NodeId(1), dst_paddr: dst_pa.0, len: 3 * PAGE_SIZE, interrupt: false },
+            |_| {},
+        );
+        r.kernel.run_until_quiescent().unwrap();
+        assert_eq!(r.procs[1].peek(dst_va, 3 * PAGE_SIZE).unwrap(), data);
+        let expected = (3 * PAGE_SIZE).div_ceil(CostModel::shrimp_prototype().max_packet_payload);
+        assert_eq!(r.nics[0].stats().du_packets_out, expected as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "word-aligned")]
+    fn unaligned_du_is_rejected_by_hardware() {
+        let r = rig(2);
+        r.nics[0].du_transfer(
+            DuRequest { src: PAddr(2), dst_node: NodeId(1), dst_paddr: 0, len: 4, interrupt: false },
+            |_| {},
+        );
+    }
+
+    #[test]
+    fn packet_to_disabled_page_freezes_and_interrupts() {
+        let r = rig(2);
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let s = Arc::clone(&seen);
+        r.nics[1].node().set_interrupt_hook(move |irq| s.lock().push(irq.vector));
+        let src_va = r.procs[0].alloc(PAGE_SIZE, CacheMode::WriteBack);
+        let (src_pa, _) = r.procs[0].aspace().translate(src_va, false).unwrap();
+        // Destination page 10 on node 1 was never enabled.
+        r.nics[0].du_transfer(
+            DuRequest { src: src_pa, dst_node: NodeId(1), dst_paddr: 10 * PAGE_SIZE as u64, len: 64, interrupt: false },
+            |_| {},
+        );
+        r.kernel.run_until_quiescent().unwrap();
+        assert!(r.nics[1].is_frozen());
+        assert_eq!(*seen.lock(), vec![IRQ_RECV_FREEZE]);
+        assert_eq!(r.nics[1].stats().packets_in, 0);
+    }
+
+    #[test]
+    fn unfreeze_after_enable_delivers_pending() {
+        let r = rig(2);
+        r.nics[1].node().set_interrupt_hook(|_| {});
+        let src_va = r.procs[0].alloc(PAGE_SIZE, CacheMode::WriteBack);
+        let (src_pa, _) = r.procs[0].aspace().translate(src_va, false).unwrap();
+        r.procs[0].poke(src_va, &[7u8; 64]).unwrap();
+        let dst = 10 * PAGE_SIZE as u64;
+        r.nics[0].du_transfer(
+            DuRequest { src: src_pa, dst_node: NodeId(1), dst_paddr: dst, len: 64, interrupt: false },
+            |_| {},
+        );
+        r.kernel.run_until_quiescent().unwrap();
+        assert!(r.nics[1].is_frozen());
+        // OS repairs the IPT and unfreezes.
+        r.nics[1].ipt().set(10, IptEntry { enabled: true, interrupt: false });
+        r.nics[1].unfreeze();
+        r.kernel.run_until_quiescent().unwrap();
+        let mut out = vec![0u8; 64];
+        r.nics[1].node().mem().read(PAddr(dst), &mut out);
+        assert_eq!(out, [7u8; 64]);
+        assert_eq!(r.nics[1].stats().packets_in, 1);
+    }
+
+    #[test]
+    fn notification_interrupt_requires_both_flags() {
+        let r = rig(2);
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let s = Arc::clone(&seen);
+        r.nics[1].node().set_interrupt_hook(move |irq| s.lock().push((irq.vector, irq.info)));
+        let src_va = r.procs[0].alloc(PAGE_SIZE, CacheMode::WriteBack);
+        let (src_pa, _) = r.procs[0].aspace().translate(src_va, false).unwrap();
+        let dst_va = r.procs[1].alloc(PAGE_SIZE, CacheMode::WriteBack);
+        let (dst_pa, _) = r.procs[1].aspace().translate(dst_va, true).unwrap();
+
+        // Case 1: sender flag set, receiver flag clear -> no interrupt.
+        r.nics[1].ipt().set(dst_pa.page(), IptEntry { enabled: true, interrupt: false });
+        r.nics[0].du_transfer(
+            DuRequest { src: src_pa, dst_node: NodeId(1), dst_paddr: dst_pa.0, len: 4, interrupt: true },
+            |_| {},
+        );
+        r.kernel.run_until_quiescent().unwrap();
+        assert!(seen.lock().is_empty());
+
+        // Case 2: both flags set -> notification interrupt with the page.
+        r.nics[1].ipt().set_interrupt(dst_pa.page(), true);
+        r.nics[0].du_transfer(
+            DuRequest { src: src_pa, dst_node: NodeId(1), dst_paddr: dst_pa.0, len: 4, interrupt: true },
+            |_| {},
+        );
+        r.kernel.run_until_quiescent().unwrap();
+        assert_eq!(*seen.lock(), vec![(IRQ_NOTIFICATION, dst_pa.page())]);
+    }
+
+    #[test]
+    fn explicit_flush_does_not_overtake_pending_packet() {
+        // Regression: a non-consecutive write closes the open packet
+        // (scheduled with the snoop+packetize lead) and opens a new one;
+        // an immediate flush_combining (shorter lead) must not let the
+        // new packet overtake the first in the outgoing FIFO.
+        let r = rig(2);
+        let (send_va, recv_va) = bind_one_page(&r, 0, 1, true);
+        let p0 = r.procs[0].clone();
+        let nic0 = Arc::clone(&r.nics[0]);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        {
+            let order = Arc::clone(&order);
+            let (recv_pa, _) = r.procs[1].aspace().translate(recv_va, false).unwrap();
+            let base = recv_pa.0;
+            r.nics[1].set_delivery_hook(move |_ppage, _| {
+                order.lock().push(base); // count deliveries in order
+            });
+        }
+        let p1 = r.procs[1].clone();
+        r.kernel.spawn("writer", move |ctx| {
+            p0.write(ctx, send_va.add(64), b"0123456789abcdef").unwrap();
+            // Non-consecutive: closes the 16-byte packet, opens this one.
+            p0.write_u32(ctx, send_va.add(4000), 7).unwrap();
+            // Explicit flush with the short lead.
+            nic0.flush_combining();
+        });
+        r.kernel.run_until_quiescent().unwrap();
+        assert_eq!(order.lock().len(), 2);
+        // In-order delivery: the data must be present once the flag is.
+        assert_eq!(p1.peek(recv_va.add(64), 16).unwrap(), b"0123456789abcdef");
+        assert_eq!(
+            u32::from_le_bytes(p1.peek(recv_va.add(4000), 4).unwrap().try_into().unwrap()),
+            7
+        );
+    }
+
+    #[test]
+    fn du_after_au_write_is_not_reordered() {
+        // An AU write held open by the combine timer must be flushed
+        // ahead of a subsequent deliberate update (FIFO outgoing order).
+        let r = rig(2);
+        let (send_va, recv_va) = bind_one_page(&r, 0, 1, true);
+        let src_va = r.procs[0].alloc(PAGE_SIZE, CacheMode::WriteBack);
+        let dst_va = r.procs[1].alloc(PAGE_SIZE, CacheMode::WriteBack);
+        let (src_pa, _) = r.procs[0].aspace().translate(src_va, false).unwrap();
+        let (dst_pa, _) = r.procs[1].aspace().translate(dst_va, true).unwrap();
+        r.nics[1].ipt().set(dst_pa.page(), IptEntry { enabled: true, interrupt: false });
+        let order = Arc::new(Mutex::new(Vec::new()));
+        {
+            let order = Arc::clone(&order);
+            let recv_page = {
+                let (recv_pa, _) = r.procs[1].aspace().translate(recv_va, false).unwrap();
+                recv_pa.page()
+            };
+            let du_page = dst_pa.page();
+            r.nics[1].set_delivery_hook(move |ppage, _| {
+                if ppage == recv_page {
+                    order.lock().push("au");
+                } else if ppage == du_page {
+                    order.lock().push("du");
+                }
+            });
+        }
+        let p0 = r.procs[0].clone();
+        let nic0 = Arc::clone(&r.nics[0]);
+        r.kernel.spawn("writer", move |ctx| {
+            // AU write held in the combining buffer...
+            p0.write_u32(ctx, send_va, 99).unwrap();
+            // ...then immediately a DU transfer (before the combine timer).
+            nic0.du_transfer(
+                DuRequest { src: src_pa, dst_node: NodeId(1), dst_paddr: dst_pa.0, len: 4, interrupt: false },
+                |_| {},
+            );
+        });
+        r.kernel.run_until_quiescent().unwrap();
+        assert_eq!(*order.lock(), vec!["au", "du"]);
+    }
+}

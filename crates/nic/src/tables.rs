@@ -1,0 +1,140 @@
+//! The NIC's outgoing and incoming page tables.
+//!
+//! * The **Outgoing Page Table (OPT)** is indexed by local physical page
+//!   number and holds automatic-update bindings: destination node and
+//!   page, combining configuration, and the sender-specified destination
+//!   interrupt flag (paper §3.2, Figure 2).
+//! * The **Incoming Page Table (IPT)** has an entry for *every* local
+//!   physical page with a receive-enable flag and a receiver-specified
+//!   interrupt flag. Incoming data for a disabled page freezes the
+//!   receive datapath and interrupts the node CPU.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+use shrimp_mesh::NodeId;
+
+/// One automatic-update binding in the outgoing page table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OptEntry {
+    /// Destination node.
+    pub dst_node: NodeId,
+    /// Destination physical page on that node.
+    pub dst_ppage: u64,
+    /// Whether consecutive writes may be combined into one packet.
+    pub combine: bool,
+    /// Whether delivery of packets from this page should request a
+    /// destination interrupt (sender-specified notification flag).
+    pub dst_interrupt: bool,
+}
+
+/// One incoming page table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IptEntry {
+    /// Whether the network interface may transfer data into this page.
+    pub enabled: bool,
+    /// Receiver-specified interrupt flag: an interrupt is raised after a
+    /// packet lands here only if the packet also carried the
+    /// sender-specified flag.
+    pub interrupt: bool,
+}
+
+/// The outgoing page table: local physical page → AU binding.
+#[derive(Debug, Default)]
+pub struct OutgoingPageTable {
+    entries: Mutex<HashMap<u64, OptEntry>>,
+}
+
+impl OutgoingPageTable {
+    /// An empty table.
+    pub fn new() -> OutgoingPageTable {
+        OutgoingPageTable::default()
+    }
+
+    /// Install (or replace) the binding for a local physical page.
+    pub fn bind(&self, local_ppage: u64, entry: OptEntry) {
+        self.entries.lock().insert(local_ppage, entry);
+    }
+
+    /// Remove the binding for a page; returns the old entry.
+    pub fn unbind(&self, local_ppage: u64) -> Option<OptEntry> {
+        self.entries.lock().remove(&local_ppage)
+    }
+
+    /// Look up the binding for a page.
+    pub fn lookup(&self, local_ppage: u64) -> Option<OptEntry> {
+        self.entries.lock().get(&local_ppage).copied()
+    }
+
+    /// Number of bound pages.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// True if no pages are bound.
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+}
+
+/// The incoming page table: local physical page → receive permissions.
+/// Pages without an explicit entry are disabled (the hardware table has
+/// an entry per page, initialized to disabled).
+#[derive(Debug, Default)]
+pub struct IncomingPageTable {
+    entries: Mutex<HashMap<u64, IptEntry>>,
+}
+
+impl IncomingPageTable {
+    /// An empty (all-disabled) table.
+    pub fn new() -> IncomingPageTable {
+        IncomingPageTable::default()
+    }
+
+    /// Set the entry for a page.
+    pub fn set(&self, ppage: u64, entry: IptEntry) {
+        self.entries.lock().insert(ppage, entry);
+    }
+
+    /// Read the entry for a page (disabled default if never set).
+    pub fn get(&self, ppage: u64) -> IptEntry {
+        self.entries.lock().get(&ppage).copied().unwrap_or_default()
+    }
+
+    /// Flip just the interrupt flag for a page, preserving enablement.
+    pub fn set_interrupt(&self, ppage: u64, interrupt: bool) {
+        let mut g = self.entries.lock();
+        g.entry(ppage).or_default().interrupt = interrupt;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opt_bind_lookup_unbind() {
+        let opt = OutgoingPageTable::new();
+        assert!(opt.is_empty());
+        let e = OptEntry { dst_node: NodeId(2), dst_ppage: 9, combine: true, dst_interrupt: false };
+        opt.bind(5, e);
+        assert_eq!(opt.lookup(5), Some(e));
+        assert_eq!(opt.lookup(6), None);
+        assert_eq!(opt.len(), 1);
+        assert_eq!(opt.unbind(5), Some(e));
+        assert_eq!(opt.unbind(5), None);
+    }
+
+    #[test]
+    fn ipt_defaults_to_disabled() {
+        let ipt = IncomingPageTable::new();
+        assert_eq!(ipt.get(3), IptEntry { enabled: false, interrupt: false });
+        ipt.set(3, IptEntry { enabled: true, interrupt: false });
+        assert!(ipt.get(3).enabled);
+        ipt.set_interrupt(3, true);
+        assert_eq!(ipt.get(3), IptEntry { enabled: true, interrupt: true });
+        // set_interrupt on an unseen page creates a disabled entry.
+        ipt.set_interrupt(7, true);
+        assert_eq!(ipt.get(7), IptEntry { enabled: false, interrupt: true });
+    }
+}

@@ -1,0 +1,163 @@
+//! The commodity Ethernet side channel.
+//!
+//! Besides the fast backplane, the prototype's PC nodes are connected by
+//! an ordinary shared Ethernet used for diagnostics, booting, and
+//! low-priority messages (paper §3.1). The sockets library uses it to
+//! exchange the data needed to establish VMMC mappings during connection
+//! setup (§4.3), and the daemons could use it for mapping negotiation.
+//!
+//! The model is a single shared 10 Mbit/s segment: one bandwidth resource
+//! plus a fixed per-frame software overhead (the in-kernel UDP/IP path of
+//! 1995-era Linux), delivering into per-(node, port) mailboxes.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use shrimp_mesh::NodeId;
+use shrimp_sim::{BandwidthResource, Ctx, SimChannel, SimDur, SimHandle};
+
+/// Address of an Ethernet mailbox: node plus 16-bit port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EthAddr {
+    /// Destination node.
+    pub node: NodeId,
+    /// Destination port.
+    pub port: u16,
+}
+
+/// A received Ethernet frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EthFrame {
+    /// Sending node.
+    pub from: NodeId,
+    /// Payload bytes.
+    pub data: Vec<u8>,
+}
+
+/// The shared Ethernet segment connecting every node.
+pub struct Ethernet {
+    handle: SimHandle,
+    wire: BandwidthResource,
+    frame_overhead: SimDur,
+    ports: Mutex<HashMap<EthAddr, SimChannel<EthFrame>>>,
+}
+
+impl std::fmt::Debug for Ethernet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ethernet").finish_non_exhaustive()
+    }
+}
+
+impl Ethernet {
+    /// A 10 Mbit/s (1.25 MB/s) segment with 300 µs per-frame protocol
+    /// overhead, matching mid-90s kernel UDP stacks.
+    pub fn new(handle: SimHandle) -> Arc<Ethernet> {
+        Arc::new(Ethernet {
+            handle,
+            wire: BandwidthResource::new("ethernet", 1.25e6, SimDur::from_us(50.0)),
+            frame_overhead: SimDur::from_us(300.0),
+            ports: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// Bind a mailbox at `addr`, returning its receive channel. Binding
+    /// an already-bound address returns the existing mailbox.
+    pub fn bind(&self, addr: EthAddr) -> SimChannel<EthFrame> {
+        self.ports.lock().entry(addr).or_default().clone()
+    }
+
+    /// Send `data` from `from` to the mailbox at `to`. The frame is
+    /// delivered after protocol overhead plus wire serialization; frames
+    /// are reliable and ordered (the real system ran a handshake over
+    /// UDP; modelling loss would add nothing to the reproduction).
+    ///
+    /// The destination mailbox is created on demand, so a send can
+    /// precede the matching bind.
+    pub fn send(self: &Arc<Self>, from: NodeId, to: EthAddr, data: Vec<u8>) {
+        let grant = self.wire.reserve(self.handle.now() + self.frame_overhead, data.len());
+        let me = Arc::clone(self);
+        let frame = EthFrame { from, data };
+        self.handle.schedule_at(grant.end, move || {
+            let ch = me.bind(to);
+            let h = me.handle.clone();
+            ch.send(&h, frame);
+        });
+    }
+
+    /// Blocking receive on a mailbox (helper over the bound channel).
+    pub fn recv(&self, ctx: &Ctx, addr: EthAddr) -> EthFrame {
+        let ch = self.bind(addr);
+        ch.recv(ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shrimp_sim::{Kernel, SimTime};
+
+    #[test]
+    fn frames_arrive_in_order_with_ethernet_latency() {
+        let kernel = Kernel::new();
+        let eth = Ethernet::new(kernel.handle());
+        let got = Arc::new(Mutex::new(Vec::new()));
+        {
+            let eth = Arc::clone(&eth);
+            let got = Arc::clone(&got);
+            kernel.spawn("rx", move |ctx| {
+                for _ in 0..2 {
+                    let f = eth.recv(ctx, EthAddr { node: NodeId(1), port: 9 });
+                    got.lock().push((f.from, f.data, ctx.now()));
+                }
+            });
+        }
+        {
+            let eth = Arc::clone(&eth);
+            kernel.spawn("tx", move |ctx| {
+                eth.send(NodeId(0), EthAddr { node: NodeId(1), port: 9 }, vec![1, 2, 3]);
+                ctx.advance(SimDur::from_us(1.0));
+                eth.send(NodeId(2), EthAddr { node: NodeId(1), port: 9 }, vec![4]);
+            });
+        }
+        kernel.run_until_quiescent().unwrap();
+        let got = got.lock();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].0, NodeId(0));
+        assert_eq!(got[0].1, vec![1, 2, 3]);
+        assert_eq!(got[1].0, NodeId(2));
+        assert_eq!(got[1].1, vec![4]);
+        // Ethernet is slow: at least the 300us frame overhead.
+        assert!(got[0].2 >= SimTime::ZERO + SimDur::from_us(300.0));
+    }
+
+    #[test]
+    fn send_before_bind_is_not_lost() {
+        let kernel = Kernel::new();
+        let eth = Ethernet::new(kernel.handle());
+        eth.send(NodeId(0), EthAddr { node: NodeId(3), port: 1 }, vec![9]);
+        let got = Arc::new(Mutex::new(None));
+        {
+            let eth = Arc::clone(&eth);
+            let got = Arc::clone(&got);
+            kernel.spawn("late-rx", move |ctx| {
+                ctx.advance(SimDur::from_us(10_000.0));
+                *got.lock() = Some(eth.recv(ctx, EthAddr { node: NodeId(3), port: 1 }).data);
+            });
+        }
+        kernel.run_until_quiescent().unwrap();
+        assert_eq!(got.lock().clone(), Some(vec![9]));
+    }
+
+    #[test]
+    fn distinct_ports_are_independent() {
+        let kernel = Kernel::new();
+        let eth = Ethernet::new(kernel.handle());
+        let a = eth.bind(EthAddr { node: NodeId(0), port: 1 });
+        let b = eth.bind(EthAddr { node: NodeId(0), port: 2 });
+        eth.send(NodeId(1), EthAddr { node: NodeId(0), port: 2 }, vec![5]);
+        kernel.run_until_quiescent().unwrap();
+        assert!(a.is_empty());
+        assert_eq!(b.try_recv().map(|f| f.data), Some(vec![5]));
+    }
+}

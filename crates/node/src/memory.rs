@@ -1,0 +1,212 @@
+//! Physical memory and page frame allocation.
+
+use parking_lot::Mutex;
+
+/// Page size of the simulated Pentium nodes (4 KB).
+pub const PAGE_SIZE: usize = 4096;
+
+/// A physical byte address on one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PAddr(pub u64);
+
+impl PAddr {
+    /// Physical page number containing this address.
+    pub fn page(self) -> u64 {
+        self.0 / PAGE_SIZE as u64
+    }
+
+    /// Byte offset within the page.
+    pub fn offset(self) -> usize {
+        (self.0 % PAGE_SIZE as u64) as usize
+    }
+}
+
+/// A virtual byte address within one process's address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VAddr(pub u64);
+
+impl VAddr {
+    /// Virtual page number containing this address.
+    pub fn page(self) -> u64 {
+        self.0 / PAGE_SIZE as u64
+    }
+
+    /// Byte offset within the page.
+    pub fn offset(self) -> usize {
+        (self.0 % PAGE_SIZE as u64) as usize
+    }
+
+    /// Address advanced by `n` bytes.
+    #[allow(clippy::should_implement_trait)] // pointer-style offset, not ops::Add
+    pub fn add(self, n: usize) -> VAddr {
+        VAddr(self.0 + n as u64)
+    }
+
+    /// True if the address is 4-byte (word) aligned — the alignment the
+    /// SHRIMP deliberate-update engine requires of source and destination.
+    pub fn is_word_aligned(self) -> bool {
+        self.0.is_multiple_of(4)
+    }
+}
+
+/// The DRAM of one node: a flat byte array with page-frame accounting.
+///
+/// Reads and writes here are *functional only* — they move bytes without
+/// charging simulated time. Timing is charged by the caller (CPU store
+/// helpers in [`crate::UserProc`], DMA engines in [`crate::Node`]).
+#[derive(Debug)]
+pub struct PhysMem {
+    data: Mutex<Vec<u8>>,
+}
+
+impl PhysMem {
+    /// Allocate `pages` page frames of zeroed memory.
+    pub fn new(pages: usize) -> PhysMem {
+        PhysMem { data: Mutex::new(vec![0; pages * PAGE_SIZE]) }
+    }
+
+    /// Total size in bytes.
+    pub fn len(&self) -> usize {
+        self.data.lock().len()
+    }
+
+    /// True if the memory has zero size.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of page frames.
+    pub fn pages(&self) -> usize {
+        self.len() / PAGE_SIZE
+    }
+
+    /// Copy `out.len()` bytes starting at `at` into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn read(&self, at: PAddr, out: &mut [u8]) {
+        let data = self.data.lock();
+        let s = at.0 as usize;
+        out.copy_from_slice(&data[s..s + out.len()]);
+    }
+
+    /// Copy `bytes` into memory starting at `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn write(&self, at: PAddr, bytes: &[u8]) {
+        let mut data = self.data.lock();
+        let s = at.0 as usize;
+        data[s..s + bytes.len()].copy_from_slice(bytes);
+    }
+
+    /// Read a little-endian u32 (flag words, descriptors).
+    pub fn read_u32(&self, at: PAddr) -> u32 {
+        let mut b = [0u8; 4];
+        self.read(at, &mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Write a little-endian u32.
+    pub fn write_u32(&self, at: PAddr, v: u32) {
+        self.write(at, &v.to_le_bytes());
+    }
+}
+
+/// A simple page-frame allocator (free list + bump).
+#[derive(Debug)]
+pub struct PageAllocator {
+    next: u64,
+    limit: u64,
+    free: Vec<u64>,
+}
+
+impl PageAllocator {
+    /// Manage frames `[first, first + count)`.
+    pub fn new(first: u64, count: u64) -> PageAllocator {
+        PageAllocator { next: first, limit: first + count, free: Vec::new() }
+    }
+
+    /// Allocate `n` *contiguous* page frames; returns the first frame
+    /// number, or `None` if out of memory. Freed single frames are reused
+    /// only for single-frame requests.
+    pub fn alloc(&mut self, n: u64) -> Option<u64> {
+        if n == 1 {
+            if let Some(f) = self.free.pop() {
+                return Some(f);
+            }
+        }
+        if self.next + n <= self.limit {
+            let f = self.next;
+            self.next += n;
+            Some(f)
+        } else {
+            None
+        }
+    }
+
+    /// Return frames to the allocator.
+    pub fn free(&mut self, first: u64, n: u64) {
+        for f in first..first + n {
+            debug_assert!(!self.free.contains(&f), "double free of frame {f}");
+            self.free.push(f);
+        }
+    }
+
+    /// Frames still available (contiguity ignored).
+    pub fn available(&self) -> u64 {
+        (self.limit - self.next) + self.free.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addresses_split_into_page_and_offset() {
+        let a = PAddr(2 * PAGE_SIZE as u64 + 17);
+        assert_eq!(a.page(), 2);
+        assert_eq!(a.offset(), 17);
+        let v = VAddr(5 * PAGE_SIZE as u64);
+        assert_eq!(v.page(), 5);
+        assert_eq!(v.offset(), 0);
+        assert!(v.is_word_aligned());
+        assert!(!v.add(2).is_word_aligned());
+    }
+
+    #[test]
+    fn physmem_read_write_round_trip() {
+        let m = PhysMem::new(2);
+        m.write(PAddr(100), b"hello shrimp");
+        let mut out = [0u8; 12];
+        m.read(PAddr(100), &mut out);
+        assert_eq!(&out, b"hello shrimp");
+        m.write_u32(PAddr(0), 0xDEAD_BEEF);
+        assert_eq!(m.read_u32(PAddr(0)), 0xDEAD_BEEF);
+        assert_eq!(m.pages(), 2);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn physmem_out_of_bounds_panics() {
+        let m = PhysMem::new(1);
+        m.write(PAddr(PAGE_SIZE as u64 - 2), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn allocator_bumps_and_reuses() {
+        let mut a = PageAllocator::new(10, 5);
+        assert_eq!(a.alloc(2), Some(10));
+        assert_eq!(a.alloc(1), Some(12));
+        assert_eq!(a.available(), 2);
+        a.free(12, 1);
+        assert_eq!(a.alloc(1), Some(12)); // reused
+        assert_eq!(a.alloc(3), None); // only 2 contiguous left
+        assert_eq!(a.alloc(2), Some(13));
+        assert_eq!(a.available(), 0);
+    }
+}

@@ -1,0 +1,258 @@
+//! Per-process virtual memory: page tables, translation, protection.
+//!
+//! The SHRIMP design leans on the ordinary MMU for protection: receive
+//! buffers are exported at page granularity, deliberate-update source
+//! pages are validated through the page tables, and the incoming page
+//! table of the NIC guards physical pages. This module models the
+//! process-side page table; the NIC-side tables live in `shrimp-nic`.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use crate::memory::{PAddr, VAddr, PAGE_SIZE};
+
+/// Per-page cacheability, as configured in the process page tables
+/// (paper §3.1: write-through or write-back per virtual page; caching can
+/// also be disabled).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CacheMode {
+    /// Cached write-back (default for ordinary data).
+    #[default]
+    WriteBack,
+    /// Cached write-through — required for automatic-update send regions,
+    /// so every store appears on the memory bus for the NIC to snoop.
+    WriteThrough,
+    /// Uncached.
+    Uncached,
+}
+
+/// A page-table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pte {
+    /// Physical page frame.
+    pub ppage: u64,
+    /// Whether user stores are permitted.
+    pub writable: bool,
+    /// Cacheability of the page.
+    pub cache: CacheMode,
+}
+
+/// A failed translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemFault {
+    /// No mapping for the virtual page.
+    NotMapped {
+        /// The faulting virtual page number.
+        vpage: u64,
+    },
+    /// Store attempted to a read-only page.
+    ReadOnly {
+        /// The faulting virtual page number.
+        vpage: u64,
+    },
+}
+
+impl std::fmt::Display for MemFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemFault::NotMapped { vpage } => write!(f, "virtual page {vpage} not mapped"),
+            MemFault::ReadOnly { vpage } => write!(f, "store to read-only virtual page {vpage}"),
+        }
+    }
+}
+
+impl std::error::Error for MemFault {}
+
+/// One process's address space: a software page table plus a bump
+/// allocator for fresh virtual ranges.
+#[derive(Debug)]
+pub struct AddressSpace {
+    inner: Mutex<AspaceInner>,
+}
+
+#[derive(Debug)]
+struct AspaceInner {
+    ptes: HashMap<u64, Pte>,
+    next_vpage: u64,
+}
+
+impl Default for AddressSpace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AddressSpace {
+    /// An empty address space. User mappings start at virtual page 16
+    /// (keeping low addresses unmapped catches null-ish pointer bugs in
+    /// protocol code).
+    pub fn new() -> AddressSpace {
+        AddressSpace { inner: Mutex::new(AspaceInner { ptes: HashMap::new(), next_vpage: 16 }) }
+    }
+
+    /// Reserve `n` fresh consecutive virtual pages (no physical backing
+    /// yet); returns the first page number.
+    pub fn reserve_vpages(&self, n: u64) -> u64 {
+        let mut g = self.inner.lock();
+        let first = g.next_vpage;
+        g.next_vpage += n;
+        first
+    }
+
+    /// Install or replace the mapping for a virtual page.
+    pub fn map(&self, vpage: u64, pte: Pte) {
+        self.inner.lock().ptes.insert(vpage, pte);
+    }
+
+    /// Remove the mapping for a virtual page; returns the old entry.
+    pub fn unmap(&self, vpage: u64) -> Option<Pte> {
+        self.inner.lock().ptes.remove(&vpage)
+    }
+
+    /// Look up the entry for a virtual page.
+    pub fn pte(&self, vpage: u64) -> Option<Pte> {
+        self.inner.lock().ptes.get(&vpage).copied()
+    }
+
+    /// Change the cache mode of an already-mapped page.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`MemFault::NotMapped`] if the page has no mapping.
+    pub fn set_cache_mode(&self, vpage: u64, cache: CacheMode) -> Result<(), MemFault> {
+        let mut g = self.inner.lock();
+        match g.ptes.get_mut(&vpage) {
+            Some(pte) => {
+                pte.cache = cache;
+                Ok(())
+            }
+            None => Err(MemFault::NotMapped { vpage }),
+        }
+    }
+
+    /// Translate a virtual address, checking write permission if `write`.
+    ///
+    /// # Errors
+    ///
+    /// [`MemFault::NotMapped`] or [`MemFault::ReadOnly`].
+    pub fn translate(&self, va: VAddr, write: bool) -> Result<(PAddr, CacheMode), MemFault> {
+        let vpage = va.page();
+        let g = self.inner.lock();
+        match g.ptes.get(&vpage) {
+            None => Err(MemFault::NotMapped { vpage }),
+            Some(pte) => {
+                if write && !pte.writable {
+                    return Err(MemFault::ReadOnly { vpage });
+                }
+                Ok((PAddr(pte.ppage * PAGE_SIZE as u64 + va.offset() as u64), pte.cache))
+            }
+        }
+    }
+
+    /// Split the byte range `[va, va + len)` into per-page contiguous
+    /// chunks, translating each. Used by every multi-page memory
+    /// operation.
+    ///
+    /// # Errors
+    ///
+    /// Any chunk's translation fault aborts the whole operation (no time
+    /// is charged by this call; it is pure address arithmetic).
+    pub fn translate_range(
+        &self,
+        va: VAddr,
+        len: usize,
+        write: bool,
+    ) -> Result<Vec<(PAddr, usize, CacheMode)>, MemFault> {
+        let mut chunks = Vec::new();
+        let mut off = 0usize;
+        while off < len {
+            let cur = va.add(off);
+            let in_page = PAGE_SIZE - cur.offset();
+            let n = in_page.min(len - off);
+            let (pa, cache) = self.translate(cur, write)?;
+            chunks.push((pa, n, cache));
+            off += n;
+        }
+        Ok(chunks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn aspace_with(vpage: u64, ppage: u64, writable: bool) -> AddressSpace {
+        let a = AddressSpace::new();
+        a.map(vpage, Pte { ppage, writable, cache: CacheMode::WriteBack });
+        a
+    }
+
+    #[test]
+    fn translate_maps_page_and_offset() {
+        let a = aspace_with(20, 3, true);
+        let va = VAddr(20 * PAGE_SIZE as u64 + 100);
+        let (pa, cache) = a.translate(va, true).unwrap();
+        assert_eq!(pa, PAddr(3 * PAGE_SIZE as u64 + 100));
+        assert_eq!(cache, CacheMode::WriteBack);
+    }
+
+    #[test]
+    fn unmapped_page_faults() {
+        let a = AddressSpace::new();
+        let err = a.translate(VAddr(0), false).unwrap_err();
+        assert_eq!(err, MemFault::NotMapped { vpage: 0 });
+    }
+
+    #[test]
+    fn readonly_page_rejects_stores_but_allows_loads() {
+        let a = aspace_with(20, 3, false);
+        let va = VAddr(20 * PAGE_SIZE as u64);
+        assert!(a.translate(va, false).is_ok());
+        assert_eq!(a.translate(va, true).unwrap_err(), MemFault::ReadOnly { vpage: 20 });
+    }
+
+    #[test]
+    fn translate_range_splits_on_page_boundaries() {
+        let a = AddressSpace::new();
+        a.map(20, Pte { ppage: 7, writable: true, cache: CacheMode::WriteThrough });
+        a.map(21, Pte { ppage: 3, writable: true, cache: CacheMode::WriteBack });
+        let va = VAddr(20 * PAGE_SIZE as u64 + PAGE_SIZE as u64 - 10);
+        let chunks = a.translate_range(va, 30, true).unwrap();
+        assert_eq!(chunks.len(), 2);
+        assert_eq!(chunks[0], (PAddr(7 * PAGE_SIZE as u64 + PAGE_SIZE as u64 - 10), 10, CacheMode::WriteThrough));
+        assert_eq!(chunks[1], (PAddr(3 * PAGE_SIZE as u64), 20, CacheMode::WriteBack));
+    }
+
+    #[test]
+    fn translate_range_fails_if_any_page_unmapped() {
+        let a = aspace_with(20, 7, true);
+        let va = VAddr(20 * PAGE_SIZE as u64 + PAGE_SIZE as u64 - 10);
+        assert!(a.translate_range(va, 30, false).is_err());
+    }
+
+    #[test]
+    fn set_cache_mode_changes_translation() {
+        let a = aspace_with(20, 7, true);
+        a.set_cache_mode(20, CacheMode::WriteThrough).unwrap();
+        let (_, cache) = a.translate(VAddr(20 * PAGE_SIZE as u64), false).unwrap();
+        assert_eq!(cache, CacheMode::WriteThrough);
+        assert!(a.set_cache_mode(99, CacheMode::Uncached).is_err());
+    }
+
+    #[test]
+    fn reserve_vpages_is_monotonic() {
+        let a = AddressSpace::new();
+        let p1 = a.reserve_vpages(4);
+        let p2 = a.reserve_vpages(1);
+        assert_eq!(p2, p1 + 4);
+    }
+
+    #[test]
+    fn unmap_removes_mapping() {
+        let a = aspace_with(20, 7, true);
+        assert!(a.unmap(20).is_some());
+        assert!(a.translate(VAddr(20 * PAGE_SIZE as u64), false).is_err());
+        assert!(a.unmap(20).is_none());
+    }
+}

@@ -1,0 +1,459 @@
+//! User processes: timed access to simulated virtual memory.
+//!
+//! A [`UserProc`] ties together a node, an address space, and the cost
+//! model. Message *payloads and flags* live in simulated DRAM and are
+//! moved with the timed operations here; library bookkeeping (queue
+//! indices, descriptors held in Rust structures) is charged through the
+//! abstract `lib_*` costs of the [`CostModel`](crate::CostModel).
+
+use std::sync::Arc;
+
+use shrimp_sim::Ctx;
+
+use crate::memory::{PAddr, VAddr, PAGE_SIZE};
+
+/// Granularity at which long store runs and copies report to the snoop
+/// logic, letting the NIC stream packets while the run continues.
+const STREAM_QUANTUM: usize = 512;
+use crate::mmu::{AddressSpace, CacheMode, MemFault, Pte};
+use crate::node::{Node, SnoopWrite};
+
+/// A user-level process on one node.
+///
+/// Cloning is cheap and shares the same address space (threads of one
+/// process).
+#[derive(Clone)]
+pub struct UserProc {
+    name: Arc<String>,
+    node: Arc<Node>,
+    aspace: Arc<AddressSpace>,
+}
+
+impl std::fmt::Debug for UserProc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UserProc")
+            .field("name", &self.name)
+            .field("node", &self.node.id())
+            .finish()
+    }
+}
+
+impl UserProc {
+    /// Create a process with an empty address space on `node`.
+    pub fn new(node: Arc<Node>, name: impl Into<String>) -> UserProc {
+        UserProc { name: Arc::new(name.into()), node, aspace: Arc::new(AddressSpace::new()) }
+    }
+
+    /// Process name (diagnostics).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The node this process runs on.
+    pub fn node(&self) -> &Arc<Node> {
+        &self.node
+    }
+
+    /// The process's page table.
+    pub fn aspace(&self) -> &Arc<AddressSpace> {
+        &self.aspace
+    }
+
+    /// Allocate a writable buffer of `bytes`, page-aligned, with the
+    /// given cache mode. Fresh physical frames are mapped for it.
+    pub fn alloc(&self, bytes: usize, cache: CacheMode) -> VAddr {
+        self.alloc_at_offset(bytes, 0, cache)
+    }
+
+    /// Allocate a writable buffer whose start is `offset` bytes into its
+    /// first page — used to exercise the word-alignment restrictions of
+    /// the deliberate-update engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset >= PAGE_SIZE` or `bytes == 0`.
+    pub fn alloc_at_offset(&self, bytes: usize, offset: usize, cache: CacheMode) -> VAddr {
+        assert!(offset < PAGE_SIZE, "offset must be within one page");
+        assert!(bytes > 0, "cannot allocate an empty buffer");
+        let pages = (offset + bytes).div_ceil(PAGE_SIZE) as u64;
+        let vfirst = self.aspace.reserve_vpages(pages);
+        let pfirst = self.node.alloc_frames(pages);
+        for i in 0..pages {
+            self.aspace.map(vfirst + i, Pte { ppage: pfirst + i, writable: true, cache });
+        }
+        VAddr(vfirst * PAGE_SIZE as u64 + offset as u64)
+    }
+
+    /// Timed CPU store of `data` at `va`: charges the per-word store cost
+    /// for each page run, contends on the memory bus for write-through and
+    /// uncached pages, and reports those runs to the NIC snoop logic.
+    ///
+    /// # Errors
+    ///
+    /// Fails without side effects if any page is unmapped or read-only.
+    pub fn write(&self, ctx: &Ctx, va: VAddr, data: &[u8]) -> Result<(), MemFault> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        let chunks = self.aspace.translate_range(va, data.len(), true)?;
+        let costs = self.node.costs();
+        let mut off = 0usize;
+        let mut first_run = true;
+        for (pa, len, cache) in chunks {
+            // Sub-chunk so a long store run *streams*: the NIC sees (and
+            // can forward) earlier stores while later ones are still
+            // executing, as the real snooping hardware does. The
+            // first-store cost is charged once for the whole run.
+            let mut sub = 0usize;
+            while sub < len {
+                let n = (len - sub).min(STREAM_QUANTUM);
+                let words = n.div_ceil(4);
+                let mut cpu = costs.store_run(cache, words);
+                if !first_run {
+                    cpu = cpu - costs.store_first(cache) + costs.store_word_of(cache);
+                }
+                first_run = false;
+                let mut end = ctx.now() + cpu;
+                if !matches!(cache, CacheMode::WriteBack) {
+                    end = end.max(self.node.charge_membus(ctx.now(), n));
+                }
+                ctx.sleep_until(end);
+                let pa_sub = PAddr(pa.0 + sub as u64);
+                self.node.mem().write(pa_sub, &data[off + sub..off + sub + n]);
+                if !matches!(cache, CacheMode::WriteBack) {
+                    self.node.snoop(SnoopWrite { paddr: pa_sub, len: n, at: ctx.now() });
+                }
+                sub += n;
+            }
+            off += len;
+        }
+        Ok(())
+    }
+
+    /// Timed CPU load of `len` bytes at `va`.
+    ///
+    /// # Errors
+    ///
+    /// Fails without side effects if any page is unmapped.
+    pub fn read(&self, ctx: &Ctx, va: VAddr, len: usize) -> Result<Vec<u8>, MemFault> {
+        let chunks = self.aspace.translate_range(va, len, false)?;
+        let costs = self.node.costs();
+        let mut out = vec![0u8; len];
+        let mut off = 0usize;
+        for (pa, n, _cache) in chunks {
+            let words = n.div_ceil(4);
+            ctx.advance(costs.load_word * words as u64);
+            self.node.mem().read(pa, &mut out[off..off + n]);
+            off += n;
+        }
+        Ok(out)
+    }
+
+    /// Timed `memcpy` from `src` to `dst` within this address space,
+    /// charged at the copy bandwidth of the destination's cache mode
+    /// (this is how an "extra copy" becomes the automatic-update send
+    /// operation: the destination is a write-through AU-bound region and
+    /// each chunk is snooped).
+    ///
+    /// # Errors
+    ///
+    /// Fails if either range faults. Partial time may have been charged
+    /// for earlier chunks, but no bytes of a faulting chunk are moved.
+    pub fn copy(&self, ctx: &Ctx, src: VAddr, dst: VAddr, len: usize) -> Result<(), MemFault> {
+        if len == 0 {
+            return Ok(());
+        }
+        let costs = self.node.costs().clone();
+        // Chunk by destination pages, then sub-chunk so long copies
+        // stream through the snooping NIC instead of arriving as one
+        // late burst.
+        let dst_chunks = self.aspace.translate_range(dst, len, true)?;
+        ctx.advance(costs.copy_setup + costs.store_first(dst_chunks[0].2));
+        let mut off = 0usize;
+        for (dpa, page_n, dcache) in dst_chunks {
+            let mut sub = 0usize;
+            while sub < page_n {
+                let n = (page_n - sub).min(STREAM_QUANTUM);
+                let data = {
+                    // Source read is untimed here: its cost is folded
+                    // into the copy bandwidth.
+                    let schunks = self.aspace.translate_range(src.add(off + sub), n, false)?;
+                    let mut buf = vec![0u8; n];
+                    let mut so = 0usize;
+                    for (spa, sn, _) in schunks {
+                        self.node.mem().read(spa, &mut buf[so..so + sn]);
+                        so += sn;
+                    }
+                    buf
+                };
+                let cpu = shrimp_sim::SimDur::per_bytes(n, costs.copy_rate(dcache));
+                let mut end = ctx.now() + cpu;
+                end = end.max(self.node.charge_membus(ctx.now(), 2 * n));
+                ctx.sleep_until(end);
+                let dpa_sub = PAddr(dpa.0 + sub as u64);
+                self.node.mem().write(dpa_sub, &data);
+                if !matches!(dcache, CacheMode::WriteBack) {
+                    self.node.snoop(SnoopWrite { paddr: dpa_sub, len: n, at: ctx.now() });
+                }
+                sub += n;
+            }
+            off += page_n;
+        }
+        Ok(())
+    }
+
+    /// Timed store of a little-endian word (flags, descriptors).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the page is unmapped or read-only.
+    pub fn write_u32(&self, ctx: &Ctx, va: VAddr, v: u32) -> Result<(), MemFault> {
+        self.write(ctx, va, &v.to_le_bytes())
+    }
+
+    /// Timed load of a little-endian word.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the page is unmapped.
+    pub fn read_u32(&self, ctx: &Ctx, va: VAddr) -> Result<u32, MemFault> {
+        let b = self.read(ctx, va, 4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Poll the word at `va` until `pred` is true, charging one
+    /// [`poll_gap`](crate::CostModel::poll_gap) per missed iteration.
+    /// Returns the satisfying value.
+    ///
+    /// The poll budget is bounded by `max_polls`; returns `None` if
+    /// exhausted, letting callers fall back to blocking (the paper's
+    /// libraries switch between polling and blocking; §6).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the page is unmapped.
+    pub fn poll_u32(
+        &self,
+        ctx: &Ctx,
+        va: VAddr,
+        max_polls: usize,
+        mut pred: impl FnMut(u32) -> bool,
+    ) -> Result<Option<u32>, MemFault> {
+        let (pa, _cache) = self.aspace.translate(va, false)?;
+        let costs = self.node.costs();
+        for _ in 0..max_polls {
+            let v = self.node.mem().read_u32(pa);
+            if pred(v) {
+                ctx.advance(costs.load_word);
+                return Ok(Some(v));
+            }
+            ctx.advance(costs.poll_gap);
+        }
+        Ok(None)
+    }
+
+    /// Untimed read for assertions and test setup.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any page is unmapped.
+    pub fn peek(&self, va: VAddr, len: usize) -> Result<Vec<u8>, MemFault> {
+        let chunks = self.aspace.translate_range(va, len, false)?;
+        let mut out = vec![0u8; len];
+        let mut off = 0usize;
+        for (pa, n, _) in chunks {
+            self.node.mem().read(pa, &mut out[off..off + n]);
+            off += n;
+        }
+        Ok(out)
+    }
+
+    /// Untimed write for test setup (does not snoop).
+    ///
+    /// # Errors
+    ///
+    /// Fails if any page is unmapped or read-only.
+    pub fn poke(&self, va: VAddr, data: &[u8]) -> Result<(), MemFault> {
+        let chunks = self.aspace.translate_range(va, data.len(), true)?;
+        let mut off = 0usize;
+        for (pa, n, _) in chunks {
+            self.node.mem().write(pa, &data[off..off + n]);
+            off += n;
+        }
+        Ok(())
+    }
+
+    /// Charge the cost of one library procedure call.
+    pub fn charge_call(&self, ctx: &Ctx) {
+        ctx.advance(self.node.costs().lib_call);
+    }
+
+    /// Charge the cost of building or parsing a descriptor/header.
+    pub fn charge_descriptor(&self, ctx: &Ctx) {
+        ctx.advance(self.node.costs().lib_descriptor);
+    }
+
+    /// Charge the cost of buffer-management bookkeeping.
+    pub fn charge_bookkeeping(&self, ctx: &Ctx) {
+        ctx.advance(self.node.costs().lib_bookkeeping);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CostModel;
+    use parking_lot::Mutex;
+    use shrimp_mesh::NodeId;
+    use shrimp_sim::{Kernel, SimDur, SimTime};
+
+    #[test]
+    fn write_then_read_round_trips_data() {
+        let kernel = Kernel::new();
+        let done = Arc::new(Mutex::new(false));
+        let d = Arc::clone(&done);
+        kernel.spawn("t", move |ctx| {
+            let p = setup_in_proc(ctx);
+            let buf = p.alloc(10_000, CacheMode::WriteBack);
+            let data: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
+            p.write(ctx, buf, &data).unwrap();
+            assert_eq!(p.read(ctx, buf, 10_000).unwrap(), data);
+            *d.lock() = true;
+        });
+        kernel.run_until_quiescent().unwrap();
+        assert!(*done.lock());
+    }
+
+    fn setup_in_proc(ctx: &Ctx) -> UserProc {
+        let node = Node::new(ctx.handle(), NodeId(0), 256, CostModel::shrimp_prototype());
+        UserProc::new(node, "tester")
+    }
+
+    #[test]
+    fn writethrough_stores_are_snooped_writeback_not() {
+        let kernel = Kernel::new();
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let s = Arc::clone(&seen);
+        kernel.spawn("t", move |ctx| {
+            let p = setup_in_proc(ctx);
+            let s2 = Arc::clone(&s);
+            p.node().set_snoop_hook(move |w| s2.lock().push(w.len));
+            let wt = p.alloc(64, CacheMode::WriteThrough);
+            let wb = p.alloc(64, CacheMode::WriteBack);
+            p.write(ctx, wt, &[1u8; 64]).unwrap();
+            p.write(ctx, wb, &[2u8; 64]).unwrap();
+        });
+        kernel.run_until_quiescent().unwrap();
+        assert_eq!(*seen.lock(), vec![64]);
+    }
+
+    #[test]
+    fn write_to_unmapped_address_faults() {
+        let kernel = Kernel::new();
+        kernel.spawn("t", move |ctx| {
+            let p = setup_in_proc(ctx);
+            let err = p.write(ctx, VAddr(0), &[1]).unwrap_err();
+            assert!(matches!(err, MemFault::NotMapped { .. }));
+        });
+        kernel.run_until_quiescent().unwrap();
+    }
+
+    #[test]
+    fn writethrough_write_takes_longer_than_writeback() {
+        let kernel = Kernel::new();
+        let times = Arc::new(Mutex::new(Vec::new()));
+        let t = Arc::clone(&times);
+        kernel.spawn("t", move |ctx| {
+            let p = setup_in_proc(ctx);
+            let wt = p.alloc(4096, CacheMode::WriteThrough);
+            let wb = p.alloc(4096, CacheMode::WriteBack);
+            let t0 = ctx.now();
+            p.write(ctx, wb, &[1u8; 4096]).unwrap();
+            let t1 = ctx.now();
+            p.write(ctx, wt, &[1u8; 4096]).unwrap();
+            let t2 = ctx.now();
+            t.lock().push((t1 - t0, t2 - t1));
+        });
+        kernel.run_until_quiescent().unwrap();
+        let g = times.lock();
+        let (wb_time, wt_time) = g[0];
+        assert!(wt_time > wb_time * 3, "wt={wt_time} wb={wb_time}");
+    }
+
+    #[test]
+    fn poll_sees_concurrent_dma_flag() {
+        let kernel = Kernel::new();
+        let observed = Arc::new(Mutex::new(None));
+        let o = Arc::clone(&observed);
+        kernel.spawn("t", move |ctx| {
+            let p = setup_in_proc(ctx);
+            let flag = p.alloc(4, CacheMode::WriteBack);
+            let (pa, _) = p.aspace().translate(flag, false).unwrap();
+            // Simulated device sets the flag via DMA after 50 us.
+            let node = Arc::clone(p.node());
+            ctx.schedule_in(SimDur::from_us(50.0), move || {
+                node.dma_write(pa, 1u32.to_le_bytes().to_vec(), |_| {});
+            });
+            let v = p.poll_u32(ctx, flag, 100_000, |v| v != 0).unwrap();
+            *o.lock() = Some((v, ctx.now()));
+        });
+        kernel.run_until_quiescent().unwrap();
+        let (v, at) = observed.lock().unwrap();
+        assert_eq!(v, Some(1));
+        assert!(at >= SimTime::ZERO + SimDur::from_us(50.0));
+        assert!(at < SimTime::ZERO + SimDur::from_us(60.0));
+    }
+
+    #[test]
+    fn poll_budget_exhaustion_returns_none() {
+        let kernel = Kernel::new();
+        kernel.spawn("t", move |ctx| {
+            let p = setup_in_proc(ctx);
+            let flag = p.alloc(4, CacheMode::WriteBack);
+            let v = p.poll_u32(ctx, flag, 10, |v| v != 0).unwrap();
+            assert_eq!(v, None);
+        });
+        kernel.run_until_quiescent().unwrap();
+    }
+
+    #[test]
+    fn copy_to_writethrough_snoops_and_is_slower() {
+        let kernel = Kernel::new();
+        let result = Arc::new(Mutex::new((SimDur::ZERO, SimDur::ZERO, 0usize)));
+        let r = Arc::clone(&result);
+        kernel.spawn("t", move |ctx| {
+            let p = setup_in_proc(ctx);
+            let snoops = Arc::new(Mutex::new(0usize));
+            let sn = Arc::clone(&snoops);
+            p.node().set_snoop_hook(move |_| *sn.lock() += 1);
+            let src = p.alloc(8192, CacheMode::WriteBack);
+            let dst_wb = p.alloc(8192, CacheMode::WriteBack);
+            let dst_wt = p.alloc(8192, CacheMode::WriteThrough);
+            p.poke(src, &vec![7u8; 8192]).unwrap();
+            let t0 = ctx.now();
+            p.copy(ctx, src, dst_wb, 8192).unwrap();
+            let t1 = ctx.now();
+            p.copy(ctx, src, dst_wt, 8192).unwrap();
+            let t2 = ctx.now();
+            assert_eq!(p.peek(dst_wt, 8192).unwrap(), vec![7u8; 8192]);
+            *r.lock() = (t1 - t0, t2 - t1, *snoops.lock());
+        });
+        kernel.run_until_quiescent().unwrap();
+        let (wb, wt, snoops) = *result.lock();
+        assert!(wt > wb, "wt copy {wt} should exceed wb copy {wb}");
+        assert_eq!(snoops, 16); // 8 KB streamed in 512-byte quanta
+    }
+
+    #[test]
+    fn alloc_at_offset_gives_unaligned_buffer() {
+        let kernel = Kernel::new();
+        kernel.spawn("t", move |ctx| {
+            let p = setup_in_proc(ctx);
+            let v = p.alloc_at_offset(100, 3, CacheMode::WriteBack);
+            assert!(!v.is_word_aligned());
+            p.write(ctx, v, &[9u8; 100]).unwrap();
+            assert_eq!(p.peek(v, 100).unwrap(), vec![9u8; 100]);
+        });
+        kernel.run_until_quiescent().unwrap();
+    }
+}

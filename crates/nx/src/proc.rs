@@ -1,0 +1,1190 @@
+//! The per-rank NX library instance: sends, receives, probes, progress.
+//!
+//! Protocol summary (paper §4.1):
+//!
+//! * **Small messages — one-copy protocol.** The sender writes the
+//!   message and a small descriptor into a packet buffer on the
+//!   receiver. The receiver examines descriptors to find arrivals, may
+//!   consume messages out of order (by type), copies the payload into
+//!   user memory, and returns a *send credit* naming the freed buffer
+//!   through the control region. When the sender finds every buffer
+//!   full, it interrupts the receiver via the urgent page to request
+//!   credits (paper §6 "Interrupts").
+//! * **Large messages — zero-copy protocol.** The sender sends a scout
+//!   descriptor, then optimistically copies the data into a local safe
+//!   buffer. The receive call replies with the export name of the user
+//!   receive buffer; the sender (immediately, or from a later library
+//!   call if it finished its safe copy first) transfers the data
+//!   directly into the receiver's user buffer and raises a done flag.
+//!   Alignment-incompatible transfers fall back to streaming chunks
+//!   through the packet buffers.
+
+use shrimp_core::{BufferName, ExportOpts, ExportPerms, VmmcError};
+use shrimp_mesh::NodeId;
+use shrimp_node::VAddr;
+use shrimp_sim::Ctx;
+
+use crate::config::{NxConfig, SendVariant};
+use crate::wire::{
+    CtrlLayout, DataLayout, Desc, MsgKind, Reply, ReplyMode, PKT_PAYLOAD, REPLY_SLOTS,
+};
+use crate::world::{InConn, OutConn};
+
+/// NX message types at or above this value are reserved for the library
+/// (collectives); `crecv(-1, ...)` does not match them.
+pub const INTERNAL_TYPE_BASE: i32 = 1 << 29;
+
+/// Handle for an asynchronous operation, returned by
+/// [`NxProc::isend`]/[`NxProc::irecv`] and consumed by
+/// [`NxProc::msgwait`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MsgHandle(u32);
+
+/// Information about the last completed receive (the NX `info...`
+/// calls).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NxInfo {
+    /// Byte count of the message.
+    pub count: usize,
+    /// Message type.
+    pub mtype: i32,
+    /// Sending rank.
+    pub src: usize,
+}
+
+/// Per-process protocol counters (diagnostics; not part of the NX API).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NxStats {
+    /// Messages sent through the one-copy small path.
+    pub small_sent: u64,
+    /// Messages sent through the scout/rendezvous path.
+    pub large_sent: u64,
+    /// Large sends completed zero-copy (user-to-user).
+    pub zero_copy_sent: u64,
+    /// Large sends completed through the chunked fallback.
+    pub chunked_sent: u64,
+    /// Messages received.
+    pub received: u64,
+    /// Times the sender found every packet buffer full and had to wait
+    /// for a credit (issuing the urgent interrupt).
+    pub credit_stalls: u64,
+}
+
+/// NX library errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NxError {
+    /// A message longer than the posted receive buffer arrived; the
+    /// message is consumed and dropped (real NX aborts the job).
+    Truncated {
+        /// Actual message length.
+        len: usize,
+        /// Posted buffer capacity.
+        max: usize,
+    },
+    /// Destination rank out of range.
+    InvalidRank(usize),
+    /// An underlying VMMC operation failed.
+    Vmmc(VmmcError),
+}
+
+impl std::fmt::Display for NxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NxError::Truncated { len, max } => {
+                write!(f, "message of {len} bytes exceeds posted buffer of {max} bytes")
+            }
+            NxError::InvalidRank(r) => write!(f, "rank {r} out of range"),
+            NxError::Vmmc(e) => write!(f, "vmmc: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NxError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NxError::Vmmc(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<VmmcError> for NxError {
+    fn from(e: VmmcError) -> Self {
+        NxError::Vmmc(e)
+    }
+}
+
+/// A large send whose receiver reply has not yet arrived; the safe copy
+/// is complete, so the application has resumed.
+pub(crate) struct PendingLarge {
+    pub msgid: u32,
+    pub source: VAddr,
+    pub len: usize,
+    pub mtype: i32,
+    pub handle: Option<MsgHandle>,
+    /// The pool buffer holding the safe copy, released on completion
+    /// (`None` when the source is the pledged user buffer).
+    pub bounce: Option<VAddr>,
+}
+
+/// A handler invoked when a posted `hrecv` completes (NX's
+/// handler-based receive).
+pub type RecvHandler = Box<dyn FnMut(&Ctx, NxInfo) + Send>;
+
+struct Posted {
+    handle: MsgHandle,
+    typesel: i32,
+    buf: VAddr,
+    maxlen: usize,
+    handler: Option<RecvHandler>,
+}
+
+fn type_matches(mtype: i32, typesel: i32) -> bool {
+    if typesel < 0 {
+        mtype < INTERNAL_TYPE_BASE
+    } else {
+        mtype == typesel
+    }
+}
+
+fn pad4(n: usize) -> usize {
+    n.div_ceil(4) * 4
+}
+
+/// One rank's NX library state. Obtained from
+/// [`NxWorld::join`](crate::NxWorld::join); all methods run in that
+/// rank's simulation process.
+pub struct NxProc {
+    vmmc: shrimp_core::Vmmc,
+    rank: usize,
+    nranks: usize,
+    config: NxConfig,
+    layout: DataLayout,
+    out: Vec<Option<OutConn>>,
+    inc: Vec<Option<InConn>>,
+    info: NxInfo,
+    local_q: std::collections::VecDeque<(i32, Vec<u8>)>,
+    posted: Vec<Posted>,
+    completed: std::collections::HashMap<MsgHandle, NxInfo>,
+    next_handle: u32,
+    pub(crate) collective_scratch: Option<(VAddr, VAddr)>,
+    pub(crate) barrier_epoch: u32,
+    progress_guard: bool,
+    stats: NxStats,
+}
+
+impl std::fmt::Debug for NxProc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NxProc").field("rank", &self.rank).field("nranks", &self.nranks).finish()
+    }
+}
+
+impl NxProc {
+    pub(crate) fn new(
+        vmmc: shrimp_core::Vmmc,
+        rank: usize,
+        nranks: usize,
+        config: NxConfig,
+        layout: DataLayout,
+        out: Vec<Option<OutConn>>,
+        inc: Vec<Option<InConn>>,
+    ) -> NxProc {
+        NxProc {
+            vmmc,
+            rank,
+            nranks,
+            config,
+            layout,
+            out,
+            inc,
+            info: NxInfo::default(),
+            local_q: std::collections::VecDeque::new(),
+            posted: Vec::new(),
+            completed: std::collections::HashMap::new(),
+            next_handle: 1,
+            collective_scratch: None,
+            barrier_epoch: 0,
+            progress_guard: false,
+            stats: NxStats::default(),
+        }
+    }
+
+    /// This process's rank (NX `mynode()`).
+    pub fn mynode(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks (NX `numnodes()`).
+    pub fn numnodes(&self) -> usize {
+        self.nranks
+    }
+
+    /// The VMMC endpoint (for allocating user buffers etc.).
+    pub fn vmmc(&self) -> &shrimp_core::Vmmc {
+        &self.vmmc
+    }
+
+    /// Protocol counters for this process.
+    pub fn stats(&self) -> NxStats {
+        self.stats
+    }
+
+    /// Byte count of the last received message (NX `infocount()`).
+    pub fn infocount(&self) -> usize {
+        self.info.count
+    }
+
+    /// Type of the last received message (NX `infotype()`).
+    pub fn infotype(&self) -> i32 {
+        self.info.mtype
+    }
+
+    /// Source rank of the last received message (NX `infonode()`).
+    pub fn infonode(&self) -> usize {
+        self.info.src
+    }
+
+    // ==================================================================
+    // Sending
+    // ==================================================================
+
+    /// Blocking typed send (NX `csend`). Returns when the user buffer is
+    /// safe to reuse.
+    ///
+    /// # Errors
+    ///
+    /// [`NxError::InvalidRank`]; [`NxError::Vmmc`] on memory faults.
+    pub fn csend(&mut self, ctx: &Ctx, mtype: i32, buf: VAddr, len: usize, dst: usize) -> Result<(), NxError> {
+        self.vmmc.proc_().charge_call(ctx);
+        self.progress(ctx)?;
+        if dst >= self.nranks {
+            return Err(NxError::InvalidRank(dst));
+        }
+        if dst == self.rank {
+            let data = self.vmmc.proc_().read(ctx, buf, len).map_err(VmmcError::from)?;
+            self.local_q.push_back((mtype, data));
+            return Ok(());
+        }
+        if len > self.config.large_threshold.min(self.config.packet_payload) {
+            self.send_large(ctx, dst, mtype, buf, len, None)?;
+        } else {
+            self.send_small(ctx, dst, mtype, Some(buf), len, MsgKind::Small, 0, 0)?;
+        }
+        Ok(())
+    }
+
+    /// Asynchronous send (NX `isend`); complete with
+    /// [`NxProc::msgwait`]. The user buffer must stay untouched until
+    /// the wait returns.
+    ///
+    /// # Errors
+    ///
+    /// As for [`NxProc::csend`].
+    pub fn isend(&mut self, ctx: &Ctx, mtype: i32, buf: VAddr, len: usize, dst: usize) -> Result<MsgHandle, NxError> {
+        self.vmmc.proc_().charge_call(ctx);
+        self.progress(ctx)?;
+        let handle = self.fresh_handle();
+        if dst >= self.nranks {
+            return Err(NxError::InvalidRank(dst));
+        }
+        if dst == self.rank || len <= self.config.large_threshold.min(self.config.packet_payload) {
+            // Small (or local) sends complete inline.
+            if dst == self.rank {
+                let data = self.vmmc.proc_().read(ctx, buf, len).map_err(VmmcError::from)?;
+                self.local_q.push_back((mtype, data));
+            } else {
+                self.send_small(ctx, dst, mtype, Some(buf), len, MsgKind::Small, 0, 0)?;
+            }
+            self.completed.insert(handle, NxInfo { count: len, mtype, src: self.rank });
+        } else {
+            // Large: scout now, data when the receiver replies. No
+            // optimistic copy — the user buffer is pledged until msgwait.
+            self.send_large(ctx, dst, mtype, buf, len, Some(handle))?;
+        }
+        Ok(handle)
+    }
+
+    fn fresh_handle(&mut self) -> MsgHandle {
+        let h = MsgHandle(self.next_handle);
+        self.next_handle += 1;
+        h
+    }
+
+    #[allow(clippy::too_many_arguments)] // one argument per descriptor field
+    fn send_small(
+        &mut self,
+        ctx: &Ctx,
+        dst: usize,
+        mtype: i32,
+        payload: Option<VAddr>,
+        len: usize,
+        kind: MsgKind,
+        msgid: u32,
+        chunk_off: u32,
+    ) -> Result<(), NxError> {
+        debug_assert!(len <= self.config.packet_payload);
+        if kind == MsgKind::Small {
+            self.stats.small_sent += 1;
+        }
+        let idx = self.alloc_buffer(ctx, dst)?;
+        let p = self.vmmc.proc_().clone();
+        let conn = self.out[dst].as_mut().expect("connection exists");
+        let seq = conn.next_seq;
+        conn.next_seq += 1;
+        let desc = Desc { size: len as u32, mtype, seq, kind: Some(kind), msgid, chunk_off };
+        p.charge_descriptor(ctx);
+
+        let variant = if kind == MsgKind::Small { self.config.send_variant } else {
+            // Control traffic (scouts, chunks' descriptors) always rides
+            // the configured small path; chunk payloads follow it too.
+            self.config.send_variant
+        };
+        match variant {
+            SendVariant::AutomaticUpdate => {
+                // Marshal the descriptor body and data as one ascending
+                // run, then commit with a single store of the kind word
+                // at the buffer start: in-order delivery guarantees the
+                // receiver never observes the flag before the data.
+                let enc = desc.encode();
+                let mut bytes = enc[4..].to_vec();
+                if let Some(src) = payload {
+                    bytes.extend(p.peek(src, len).map_err(VmmcError::from)?);
+                }
+                p.write(ctx, conn.au_send.add(self.layout.pkt(idx) + 4), &bytes)
+                    .map_err(VmmcError::from)?;
+                p.write(
+                    ctx,
+                    conn.au_send.add(self.layout.pkt(idx)),
+                    &enc[..4],
+                )
+                .map_err(VmmcError::from)?;
+            }
+            SendVariant::DuMarshal => {
+                self.du_marshal_send(ctx, dst, idx, desc, payload, len)?;
+            }
+            SendVariant::DuFromUser => {
+                let aligned = payload.is_none_or(|v| v.is_word_aligned());
+                let padded_ok = payload
+                    .is_none_or(|v| p.peek(v, pad4(len)).is_ok());
+                if !aligned || !padded_ok {
+                    // §4 "Reducing Copying": unaligned buffers take the
+                    // copying path.
+                    self.du_marshal_send(ctx, dst, idx, desc, payload, len)?;
+                } else {
+                    let conn = self.out[dst].as_mut().expect("connection exists");
+                    if let Some(src) = payload {
+                        if len > 0 {
+                            self.vmmc
+                                .send(ctx, src, &conn.data, self.layout.payload(idx), pad4(len))?;
+                        }
+                    }
+                    let conn = self.out[dst].as_mut().expect("connection exists");
+                    p.poke(conn.staging, &desc.encode()).map_err(VmmcError::from)?;
+                    p.charge_bookkeeping(ctx);
+                    self.vmmc.send(
+                        ctx,
+                        self.out[dst].as_ref().expect("connection exists").staging,
+                        &self.out[dst].as_ref().expect("connection exists").data,
+                        self.layout.desc(idx),
+                        crate::wire::DESC_BYTES,
+                    )?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Marshal `[desc | payload]` into staging and send with one
+    /// deliberate update.
+    fn du_marshal_send(
+        &mut self,
+        ctx: &Ctx,
+        dst: usize,
+        idx: usize,
+        desc: Desc,
+        payload: Option<VAddr>,
+        len: usize,
+    ) -> Result<(), NxError> {
+        let p = self.vmmc.proc_().clone();
+        let staging = self.out[dst].as_ref().expect("connection exists").staging;
+        p.poke(staging, &desc.encode()).map_err(VmmcError::from)?;
+        p.charge_bookkeeping(ctx);
+        if let Some(src) = payload {
+            if len > 0 {
+                p.copy(ctx, src, staging.add(crate::wire::DESC_BYTES), len)
+                    .map_err(VmmcError::from)?;
+            }
+        }
+        let conn = self.out[dst].as_ref().expect("connection exists");
+        self.vmmc
+            .send(ctx, staging, &conn.data, self.layout.pkt(idx), pad4(crate::wire::DESC_BYTES + len))?;
+        Ok(())
+    }
+
+    /// Take a free packet buffer, waiting on the credit ring when all
+    /// are in use (and interrupting the receiver to ask for credits).
+    fn alloc_buffer(&mut self, ctx: &Ctx, dst: usize) -> Result<usize, NxError> {
+        let p = self.vmmc.proc_().clone();
+        p.charge_bookkeeping(ctx);
+        {
+            let conn = self.out[dst].as_mut().expect("connection exists");
+            if let Some(idx) = conn.free.pop() {
+                return Ok(idx);
+            }
+        }
+        let (slot_va, c, urgent_va) = {
+            let conn = self.out[dst].as_ref().expect("connection exists");
+            (
+                conn.ctrl_local.add(CtrlLayout::credit_slot(conn.credits_taken)),
+                conn.credits_taken,
+                conn.urgent,
+            )
+        };
+        self.stats.credit_stalls += 1;
+        // Brief poll, then interrupt the receiver (paper §6: the NX
+        // library generates an interrupt to request more buffers).
+        let quick = p.poll_u32(ctx, slot_va, 64, |v| CtrlLayout::decode_credit(v, c).is_some());
+        let word = match quick.map_err(VmmcError::from)? {
+            Some(v) => v,
+            None => {
+                p.write_u32(ctx, urgent_va, 1).map_err(VmmcError::from)?;
+                self.vmmc.wait_u32(ctx, slot_va, 1024, |v| {
+                    CtrlLayout::decode_credit(v, c).is_some()
+                })?
+            }
+        };
+        let idx = CtrlLayout::decode_credit(word, c).expect("predicate checked");
+        let conn = self.out[dst].as_mut().expect("connection exists");
+        conn.credits_taken += 1;
+        Ok(idx)
+    }
+
+    fn send_large(
+        &mut self,
+        ctx: &Ctx,
+        dst: usize,
+        mtype: i32,
+        buf: VAddr,
+        len: usize,
+        handle: Option<MsgHandle>,
+    ) -> Result<(), NxError> {
+        let msgid = {
+            let conn = self.out[dst].as_mut().expect("connection exists");
+            assert!(
+                conn.pending_large.len() < REPLY_SLOTS,
+                "too many outstanding large sends on one connection"
+            );
+            let id = conn.next_msgid;
+            conn.next_msgid += 1;
+            id
+        };
+        self.stats.large_sent += 1;
+        // Scout: a descriptor-only message through the one-copy path.
+        self.send_small(ctx, dst, mtype, None, 0, MsgKind::Scout, msgid, len as u32)?;
+        // The scout's desc.size field must carry the total length; we
+        // passed it via chunk_off above to keep send_small's payload
+        // accounting simple — recorded on the receive side.
+
+        let p = self.vmmc.proc_().clone();
+        let reply_va = {
+            let conn = self.out[dst].as_ref().expect("connection exists");
+            conn.ctrl_local.add(CtrlLayout::reply_slot(msgid))
+        };
+
+        let optimistic = handle.is_none() && self.config.optimistic_copy;
+        if optimistic {
+            // Copy to the safe buffer, stopping the moment the receiver
+            // replies (footnote 1: the copy is not on the critical path).
+            let bounce = self.acquire_bounce(dst, len);
+            let mut copied = 0usize;
+            while copied < len {
+                let slot = p.peek(reply_va, Reply::BYTES).map_err(VmmcError::from)?;
+                if let Some(reply) = Reply::decode(&slot, msgid) {
+                    self.complete_large(ctx, dst, msgid, buf, len, mtype, reply, handle)?;
+                    self.release_bounce(dst, bounce);
+                    return Ok(());
+                }
+                // Small copy quanta so the reply is noticed promptly
+                // ("the sender immediately stops copying").
+                let chunk = (len - copied).min(512);
+                p.copy(ctx, buf.add(copied), bounce.add(copied), chunk)
+                    .map_err(VmmcError::from)?;
+                copied += chunk;
+            }
+            // Fully copied: the application may continue; the transfer
+            // itself happens when the reply arrives (progress()).
+            let conn = self.out[dst].as_mut().expect("connection exists");
+            conn.pending_large.push(PendingLarge {
+                msgid,
+                source: bounce,
+                len,
+                mtype,
+                handle,
+                bounce: Some(bounce),
+            });
+            Ok(())
+        } else if handle.is_some() {
+            // isend: the user buffer is pledged; transfer on reply.
+            let conn = self.out[dst].as_mut().expect("connection exists");
+            conn.pending_large.push(PendingLarge { msgid, source: buf, len, mtype, handle, bounce: None });
+            Ok(())
+        } else {
+            // Ablation: no optimistic copy — block for the reply.
+            let word_va = reply_va.add(12);
+            self.vmmc.wait_u32(ctx, word_va, 1024, |v| v == msgid)?;
+            let slot = p.peek(reply_va, Reply::BYTES).map_err(VmmcError::from)?;
+            let reply = Reply::decode(&slot, msgid).expect("ack word matched");
+            self.complete_large(ctx, dst, msgid, buf, len, mtype, reply, handle)?;
+            Ok(())
+        }
+    }
+
+    /// Take a free safe-copy buffer of at least `len` bytes from the
+    /// pool (allocating one if none is free); the caller must release it
+    /// with [`Self::release_bounce`] once the transfer completes.
+    fn acquire_bounce(&mut self, dst: usize, len: usize) -> VAddr {
+        let p = self.vmmc.proc_().clone();
+        let conn = self.out[dst].as_mut().expect("connection exists");
+        if let Some(b) = conn.bounce_pool.iter_mut().find(|b| !b.in_use && b.cap >= len) {
+            b.in_use = true;
+            return b.va;
+        }
+        let cap = len.next_power_of_two().max(8192);
+        let va = p.alloc(cap, shrimp_node::CacheMode::WriteBack);
+        conn.bounce_pool.push(crate::world::BounceBuf { va, cap, in_use: true });
+        va
+    }
+
+    fn release_bounce(&mut self, dst: usize, va: VAddr) {
+        let conn = self.out[dst].as_mut().expect("connection exists");
+        if let Some(b) = conn.bounce_pool.iter_mut().find(|b| b.va == va) {
+            b.in_use = false;
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn complete_large(
+        &mut self,
+        ctx: &Ctx,
+        dst: usize,
+        msgid: u32,
+        source: VAddr,
+        len: usize,
+        mtype: i32,
+        reply: Reply,
+        handle: Option<MsgHandle>,
+    ) -> Result<(), NxError> {
+        let p = self.vmmc.proc_().clone();
+        // Pool buffer used only to word-align an unaligned source;
+        // released below (the blocking send makes it reusable on return).
+        let mut align_bounce = None;
+        match reply.mode {
+            ReplyMode::ZeroCopy => {
+                self.stats.zero_copy_sent += 1;
+                let src = if source.is_word_aligned() {
+                    source
+                } else {
+                    let b = self.acquire_bounce(dst, len);
+                    p.copy(ctx, source, b, len).map_err(VmmcError::from)?;
+                    align_bounce = Some(b);
+                    b
+                };
+                let peer_node = {
+                    let conn = self.out[dst].as_ref().expect("connection exists");
+                    conn.data.node()
+                };
+                let cached = self.out[dst]
+                    .as_ref()
+                    .expect("connection exists")
+                    .zc_imports
+                    .get(&reply.name)
+                    .cloned();
+                let target = match cached {
+                    Some(h) => h,
+                    None => {
+                        // "If it hasn't done so already, the sender
+                        // imports that buffer."
+                        let h = self.vmmc.import(ctx, peer_node, BufferName(reply.name))?;
+                        self.out[dst]
+                            .as_mut()
+                            .expect("connection exists")
+                            .zc_imports
+                            .insert(reply.name, h.clone());
+                        h
+                    }
+                };
+                self.vmmc.send(ctx, src, &target, 0, len)?;
+                // Done flag: one word through the data region.
+                let staging_done = {
+                    let conn = self.out[dst].as_ref().expect("connection exists");
+                    conn.staging.add(crate::wire::PKT_BUF)
+                };
+                p.write_u32(ctx, staging_done, msgid).map_err(VmmcError::from)?;
+                let conn = self.out[dst].as_ref().expect("connection exists");
+                self.vmmc.send(
+                    ctx,
+                    staging_done,
+                    &conn.data,
+                    self.layout.done_slot(msgid as usize % crate::wire::DONE_SLOTS),
+                    4,
+                )?;
+            }
+            ReplyMode::Chunked => {
+                self.stats.chunked_sent += 1;
+                let mut off = 0usize;
+                while off < len {
+                    let chunk = (len - off).min(PKT_PAYLOAD);
+                    self.send_small(
+                        ctx,
+                        dst,
+                        mtype,
+                        Some(source.add(off)),
+                        chunk,
+                        MsgKind::Chunk,
+                        msgid,
+                        off as u32,
+                    )?;
+                    off += chunk;
+                }
+            }
+        }
+        let pending_bounce = {
+            let conn = self.out[dst].as_mut().expect("connection exists");
+            let b = conn
+                .pending_large
+                .iter()
+                .find(|pl| pl.msgid == msgid)
+                .and_then(|pl| pl.bounce);
+            conn.pending_large.retain(|pl| pl.msgid != msgid);
+            b
+        };
+        if let Some(b) = pending_bounce {
+            self.release_bounce(dst, b);
+        }
+        if let Some(b) = align_bounce {
+            self.release_bounce(dst, b);
+        }
+        if let Some(h) = handle {
+            self.completed.insert(h, NxInfo { count: len, mtype, src: self.rank });
+        }
+        Ok(())
+    }
+
+    // ==================================================================
+    // Receiving
+    // ==================================================================
+
+    /// Blocking typed receive (NX `crecv`): any source, `typesel == -1`
+    /// matches any application type. Returns the message length.
+    ///
+    /// # Errors
+    ///
+    /// [`NxError::Truncated`] if the arriving message exceeds `maxlen`
+    /// (the message is consumed and dropped).
+    pub fn crecv(&mut self, ctx: &Ctx, typesel: i32, buf: VAddr, maxlen: usize) -> Result<usize, NxError> {
+        self.crecvx(ctx, typesel, buf, maxlen, None)
+    }
+
+    /// `crecv` with a source-rank selector (NX `crecvx`).
+    ///
+    /// # Errors
+    ///
+    /// As for [`NxProc::crecv`].
+    pub fn crecvx(
+        &mut self,
+        ctx: &Ctx,
+        typesel: i32,
+        buf: VAddr,
+        maxlen: usize,
+        srcsel: Option<usize>,
+    ) -> Result<usize, NxError> {
+        self.vmmc.proc_().charge_call(ctx);
+        loop {
+            self.progress(ctx)?;
+            if srcsel.is_none_or(|s| s == self.rank) {
+                if let Some(pos) =
+                    self.local_q.iter().position(|(t, _)| type_matches(*t, typesel))
+                {
+                    let (mtype, data) = self.local_q.remove(pos).expect("position valid");
+                    if data.len() > maxlen {
+                        return Err(NxError::Truncated { len: data.len(), max: maxlen });
+                    }
+                    self.vmmc.proc_().write(ctx, buf, &data).map_err(VmmcError::from)?;
+                    self.info = NxInfo { count: data.len(), mtype, src: self.rank };
+                    return Ok(data.len());
+                }
+            }
+            if let Some((q, idx, desc)) = self.try_find(ctx, typesel, srcsel) {
+                match desc.kind {
+                    Some(MsgKind::Small) => return self.consume_small(ctx, q, idx, desc, buf, maxlen),
+                    Some(MsgKind::Scout) => return self.recv_large(ctx, q, idx, desc, buf, maxlen),
+                    _ => unreachable!("try_find only yields Small/Scout"),
+                }
+            }
+            self.vmmc.wait_activity(ctx, || self.arrival_visible(typesel, srcsel));
+        }
+    }
+
+    /// Post an asynchronous receive (NX `irecv`); complete with
+    /// [`NxProc::msgwait`].
+    pub fn irecv(&mut self, ctx: &Ctx, typesel: i32, buf: VAddr, maxlen: usize) -> MsgHandle {
+        self.vmmc.proc_().charge_call(ctx);
+        let handle = self.fresh_handle();
+        self.posted.push(Posted { handle, typesel, buf, maxlen, handler: None });
+        handle
+    }
+
+    /// Post a handler receive (NX `hrecv`): when a matching message
+    /// arrives, it is delivered into `buf` and `handler` runs in this
+    /// process's context — at the next library call, matching the
+    /// user-level signal semantics of the original. The returned handle
+    /// can still be `msgwait`ed.
+    pub fn hrecv(
+        &mut self,
+        ctx: &Ctx,
+        typesel: i32,
+        buf: VAddr,
+        maxlen: usize,
+        handler: RecvHandler,
+    ) -> MsgHandle {
+        self.vmmc.proc_().charge_call(ctx);
+        let handle = self.fresh_handle();
+        self.posted.push(Posted { handle, typesel, buf, maxlen, handler: Some(handler) });
+        handle
+    }
+
+    /// Wait for an asynchronous send or receive to complete (NX
+    /// `msgwait`). Updates the `info...` state for receives.
+    ///
+    /// # Errors
+    ///
+    /// Propagates protocol errors from the completing operation.
+    pub fn msgwait(&mut self, ctx: &Ctx, handle: MsgHandle) -> Result<usize, NxError> {
+        self.vmmc.proc_().charge_call(ctx);
+        loop {
+            if let Some(info) = self.completed.remove(&handle) {
+                if self.posted.iter().all(|p| p.handle != handle) {
+                    // A send handle: info.src is us; don't clobber
+                    // receive info.
+                }
+                return Ok(info.count);
+            }
+            self.progress(ctx)?;
+            // Try to complete posted receives in post order.
+            if self.try_complete_posted(ctx)? {
+                continue;
+            }
+            if self.completed.contains_key(&handle) {
+                continue;
+            }
+            self.vmmc.wait_activity(ctx, || self.arrival_visible(-1, None));
+        }
+    }
+
+    /// Non-blocking completion test (NX `msgdone`): true once the
+    /// operation behind `handle` has completed; the handle is consumed
+    /// on the first `true` (as in NX — pair each handle with exactly one
+    /// successful `msgdone` or `msgwait`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates progress-engine errors.
+    pub fn msgdone(&mut self, ctx: &Ctx, handle: MsgHandle) -> Result<bool, NxError> {
+        self.vmmc.proc_().charge_call(ctx);
+        self.progress(ctx)?;
+        self.try_complete_posted(ctx)?;
+        if self.completed.remove(&handle).is_some() {
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Non-blocking probe (NX `iprobe`): information about the first
+    /// matching arrived message, without consuming it.
+    pub fn iprobe(&mut self, ctx: &Ctx, typesel: i32) -> Result<Option<NxInfo>, NxError> {
+        self.vmmc.proc_().charge_call(ctx);
+        self.progress(ctx)?;
+        if let Some((t, data)) = self.local_q.iter().find(|(t, _)| type_matches(*t, typesel)) {
+            return Ok(Some(NxInfo { count: data.len(), mtype: *t, src: self.rank }));
+        }
+        Ok(self.try_find(ctx, typesel, None).map(|(q, _idx, desc)| NxInfo {
+            count: if desc.kind == Some(MsgKind::Scout) {
+                desc.chunk_off as usize
+            } else {
+                desc.size as usize
+            },
+            mtype: desc.mtype,
+            src: q,
+        }))
+    }
+
+    /// Blocking probe (NX `cprobe`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates progress-engine errors.
+    pub fn cprobe(&mut self, ctx: &Ctx, typesel: i32) -> Result<NxInfo, NxError> {
+        loop {
+            if let Some(info) = self.iprobe(ctx, typesel)? {
+                return Ok(info);
+            }
+            self.vmmc.wait_activity(ctx, || self.arrival_visible(typesel, None));
+        }
+    }
+
+    /// Untimed arrival check used as the blocking recheck (closes the
+    /// sleep/wake race). Also true when a pending large send's reply has
+    /// arrived — progress() must run for the protocol to move.
+    fn arrival_visible(&self, typesel: i32, srcsel: Option<usize>) -> bool {
+        self.try_find_inner(typesel, srcsel).is_some() || self.pending_reply_visible()
+    }
+
+    /// Untimed check: has any outstanding large send's reply landed?
+    fn pending_reply_visible(&self) -> bool {
+        let p = self.vmmc.proc_();
+        self.out.iter().flatten().any(|conn| {
+            conn.pending_large.iter().any(|pl| {
+                let slot = p
+                    .peek(conn.ctrl_local.add(CtrlLayout::reply_slot(pl.msgid)), Reply::BYTES)
+                    .expect("control region is mapped");
+                Reply::decode(&slot, pl.msgid).is_some()
+            })
+        })
+    }
+
+    fn try_find_peek(&self, typesel: i32) -> Option<(usize, usize, Desc)> {
+        self.try_find_inner(typesel, None)
+    }
+
+    /// Timed arrival scan.
+    fn try_find(&self, ctx: &Ctx, typesel: i32, srcsel: Option<usize>) -> Option<(usize, usize, Desc)> {
+        let p = self.vmmc.proc_();
+        p.charge_bookkeeping(ctx);
+        self.try_find_inner(typesel, srcsel)
+    }
+
+    fn try_find_inner(&self, typesel: i32, srcsel: Option<usize>) -> Option<(usize, usize, Desc)> {
+        for q in 0..self.nranks {
+            if srcsel.is_some_and(|s| s != q) {
+                continue;
+            }
+            let Some(conn) = self.inc[q].as_ref() else { continue };
+            let mut best: Option<(usize, Desc)> = None;
+            for idx in 0..self.layout.npkt {
+                let bytes = self
+                    .vmmc
+                    .proc_()
+                    .peek(conn.data_local.add(self.layout.desc(idx)), crate::wire::DESC_BYTES)
+                    .expect("data region is mapped");
+                let desc = Desc::decode(&bytes);
+                match desc.kind {
+                    Some(MsgKind::Small) | Some(MsgKind::Scout) => {}
+                    _ => continue, // free or a chunk claimed by an active large receive
+                }
+                if !type_matches(desc.mtype, typesel) {
+                    continue;
+                }
+                if best.as_ref().is_none_or(|(_, b)| desc.seq < b.seq) {
+                    best = Some((idx, desc));
+                }
+            }
+            if let Some((idx, desc)) = best {
+                return Some((q, idx, desc));
+            }
+        }
+        None
+    }
+
+    fn consume_small(
+        &mut self,
+        ctx: &Ctx,
+        q: usize,
+        idx: usize,
+        desc: Desc,
+        buf: VAddr,
+        maxlen: usize,
+    ) -> Result<usize, NxError> {
+        let n = desc.size as usize;
+        let p = self.vmmc.proc_().clone();
+        let payload_va = {
+            let conn = self.inc[q].as_ref().expect("connection exists");
+            conn.data_local.add(self.layout.payload(idx))
+        };
+        // Parsing the descriptor and size checks.
+        p.charge_descriptor(ctx);
+        let truncated = n > maxlen;
+        if !truncated && n > 0 && !self.config.in_place_receive {
+            p.copy(ctx, payload_va, buf, n).map_err(VmmcError::from)?;
+        }
+        self.release_buffer(ctx, q, idx)?;
+        if truncated {
+            return Err(NxError::Truncated { len: n, max: maxlen });
+        }
+        self.info = NxInfo { count: n, mtype: desc.mtype, src: q };
+        self.stats.received += 1;
+        Ok(n)
+    }
+
+    fn recv_large(
+        &mut self,
+        ctx: &Ctx,
+        q: usize,
+        idx: usize,
+        desc: Desc,
+        buf: VAddr,
+        maxlen: usize,
+    ) -> Result<usize, NxError> {
+        // The scout carries the total length in chunk_off (see
+        // send_large).
+        let total = desc.chunk_off as usize;
+        let msgid = desc.msgid;
+        let p = self.vmmc.proc_().clone();
+        self.release_buffer(ctx, q, idx)?;
+
+        let truncated = total > maxlen;
+        let zero_copy = self.config.allow_zero_copy
+            && !truncated
+            && buf.is_word_aligned()
+            && total.is_multiple_of(4)
+            && total > 0;
+
+        // Reply through the control region (automatic update).
+        let reply = if zero_copy {
+            let name = {
+                let peer_node = NodeId(self.node_of_peer(q));
+                let key = (buf.0, total);
+                match self.inc[q].as_ref().expect("connection exists").user_exports.get(&key) {
+                    Some(n) => *n,
+                    None => {
+                        let n = self.vmmc.export(
+                            ctx,
+                            buf,
+                            total,
+                            ExportOpts { perms: ExportPerms::Nodes(vec![peer_node]), handler: None },
+                        )?;
+                        self.inc[q]
+                            .as_mut()
+                            .expect("connection exists")
+                            .user_exports
+                            .insert(key, n);
+                        n
+                    }
+                }
+            };
+            Reply { name: name.0, mode: ReplyMode::ZeroCopy, ack: msgid }
+        } else {
+            Reply { name: 0, mode: ReplyMode::Chunked, ack: msgid }
+        };
+        {
+            let conn = self.inc[q].as_ref().expect("connection exists");
+            p.write(ctx, conn.ctrl_au.add(CtrlLayout::reply_slot(msgid)), &reply.encode())
+                .map_err(VmmcError::from)?;
+        }
+
+        if zero_copy {
+            // Wait for the sender's done flag, then clear it.
+            let done_va = {
+                let conn = self.inc[q].as_ref().expect("connection exists");
+                conn.data_local
+                    .add(self.layout.done_slot(msgid as usize % crate::wire::DONE_SLOTS))
+            };
+            self.vmmc.wait_u32(ctx, done_va, 1024, |v| v == msgid)?;
+            p.write_u32(ctx, done_va, 0).map_err(VmmcError::from)?;
+            self.info = NxInfo { count: total, mtype: desc.mtype, src: q };
+            self.stats.received += 1;
+            Ok(total)
+        } else {
+            // Chunked: consume chunks of this msgid in order.
+            let mut received = 0usize;
+            while received < total {
+                match self.find_chunk(q, msgid) {
+                    Some((cidx, cdesc)) => {
+                        let n = cdesc.size as usize;
+                        if !truncated {
+                            let payload_va = {
+                                let conn = self.inc[q].as_ref().expect("connection exists");
+                                conn.data_local.add(self.layout.payload(cidx))
+                            };
+                            p.copy(ctx, payload_va, buf.add(cdesc.chunk_off as usize), n)
+                                .map_err(VmmcError::from)?;
+                        }
+                        self.release_buffer(ctx, q, cidx)?;
+                        received += n;
+                    }
+                    None => {
+                        self.vmmc.wait_activity(ctx, || self.find_chunk(q, msgid).is_some());
+                    }
+                }
+            }
+            if truncated {
+                return Err(NxError::Truncated { len: total, max: maxlen });
+            }
+            self.info = NxInfo { count: total, mtype: desc.mtype, src: q };
+            self.stats.received += 1;
+            Ok(total)
+        }
+    }
+
+    fn find_chunk(&self, q: usize, msgid: u32) -> Option<(usize, Desc)> {
+        let conn = self.inc[q].as_ref()?;
+        let mut best: Option<(usize, Desc)> = None;
+        for idx in 0..self.layout.npkt {
+            let bytes = self
+                .vmmc
+                .proc_()
+                .peek(conn.data_local.add(self.layout.desc(idx)), crate::wire::DESC_BYTES)
+                .expect("data region is mapped");
+            let desc = Desc::decode(&bytes);
+            if desc.kind == Some(MsgKind::Chunk) && desc.msgid == msgid
+                && best.as_ref().is_none_or(|(_, b)| desc.seq < b.seq) {
+                    best = Some((idx, desc));
+                }
+        }
+        best
+    }
+
+    fn node_of_peer(&self, q: usize) -> usize {
+        // The peer's node index is recoverable from its data import.
+        self.out[q].as_ref().expect("connection exists").data.node().0
+    }
+
+    fn release_buffer(&mut self, ctx: &Ctx, q: usize, idx: usize) -> Result<(), NxError> {
+        let p = self.vmmc.proc_().clone();
+        let (kind_va, flush_now) = {
+            let conn = self.inc[q].as_mut().expect("connection exists");
+            conn.pending_credits.push(idx);
+            (
+                conn.data_local.add(self.layout.desc_kind_word(idx)),
+                conn.pending_credits.len() >= self.config.credit_batch
+                    || conn.flush_requested.load(std::sync::atomic::Ordering::SeqCst),
+            )
+        };
+        // Mark the buffer free locally (cheap write-back store) and
+        // update the free-buffer accounting.
+        p.charge_bookkeeping(ctx);
+        p.write_u32(ctx, kind_va, 0).map_err(VmmcError::from)?;
+        if flush_now {
+            self.flush_credits(ctx, q)?;
+        }
+        Ok(())
+    }
+
+    fn flush_credits(&mut self, ctx: &Ctx, q: usize) -> Result<(), NxError> {
+        let p = self.vmmc.proc_().clone();
+        loop {
+            let (idx, c, slot_va) = {
+                let conn = self.inc[q].as_mut().expect("connection exists");
+                if conn.pending_credits.is_empty() {
+                    conn.flush_requested.store(false, std::sync::atomic::Ordering::SeqCst);
+                    return Ok(());
+                }
+                let idx = conn.pending_credits.remove(0);
+                let c = conn.credits_returned;
+                conn.credits_returned += 1;
+                (idx, c, conn.ctrl_au.add(CtrlLayout::credit_slot(c)))
+            };
+            // Credit returned through automatic update.
+            p.charge_bookkeeping(ctx);
+            p.write_u32(ctx, slot_va, CtrlLayout::credit_word(c, idx))
+                .map_err(VmmcError::from)?;
+        }
+    }
+
+    /// Block until every outstanding large send has been transferred to
+    /// its receiver. Call before the process stops making NX calls (the
+    /// optimistic-copy protocol finishes transfers lazily from later
+    /// library calls, so a process that exits without flushing can leave
+    /// a receiver waiting forever).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transfer errors.
+    pub fn flush(&mut self, ctx: &Ctx) -> Result<(), NxError> {
+        self.vmmc.proc_().charge_call(ctx);
+        loop {
+            self.progress(ctx)?;
+            if self.out.iter().flatten().all(|c| c.pending_large.is_empty()) {
+                return Ok(());
+            }
+            self.vmmc.wait_activity(ctx, || self.pending_reply_visible());
+        }
+    }
+
+    /// Complete the first posted receive whose message has arrived;
+    /// returns whether one completed. Runs the `hrecv` handler, if any.
+    /// Re-entrant calls (the completion path itself drives progress)
+    /// return `false` immediately.
+    fn try_complete_posted(&mut self, ctx: &Ctx) -> Result<bool, NxError> {
+        if self.progress_guard {
+            return Ok(false);
+        }
+        let Some(pos) = self.posted.iter().position(|p| {
+            self.try_find_peek(p.typesel).is_some()
+                || self.local_q.iter().any(|(t, _)| type_matches(*t, p.typesel))
+        }) else {
+            return Ok(false);
+        };
+        let mut p = self.posted.remove(pos);
+        self.progress_guard = true;
+        let r = self.crecvx(ctx, p.typesel, p.buf, p.maxlen, None);
+        self.progress_guard = false;
+        r?;
+        let info = self.info;
+        self.completed.insert(p.handle, info);
+        if let Some(h) = p.handler.as_mut() {
+            // Handler semantics follow the notification model (§2.3):
+            // signal-delivery cost, then user code in this process.
+            ctx.advance(self.vmmc.proc_().node().costs().signal_delivery);
+            h(ctx, info);
+        }
+        Ok(true)
+    }
+
+    /// Drive background protocol work: deliver queued notifications
+    /// (urgent credit requests), flush requested credits, and complete
+    /// large sends whose replies have arrived. Called automatically at
+    /// the top of every library call.
+    ///
+    /// # Errors
+    ///
+    /// Propagates VMMC errors from completing transfers.
+    pub fn progress(&mut self, ctx: &Ctx) -> Result<(), NxError> {
+        self.vmmc.poll_notifications(ctx);
+        // Handler receives complete from any library call.
+        if self.posted.iter().any(|p| p.handler.is_some()) {
+            while self.try_complete_posted(ctx)? {}
+        }
+        // Credit flushes requested by urgent interrupts.
+        for q in 0..self.nranks {
+            let wants = self.inc[q]
+                .as_ref()
+                .is_some_and(|c| c.flush_requested.load(std::sync::atomic::Ordering::SeqCst));
+            if wants {
+                self.flush_credits(ctx, q)?;
+            }
+        }
+        // Large sends whose replies arrived.
+        for q in 0..self.nranks {
+            loop {
+                let found = {
+                    let Some(conn) = self.out[q].as_ref() else { break };
+                    let p = self.vmmc.proc_();
+                    conn.pending_large.iter().find_map(|pl| {
+                        let slot = p
+                            .peek(conn.ctrl_local.add(CtrlLayout::reply_slot(pl.msgid)), Reply::BYTES)
+                            .expect("control region is mapped");
+                        Reply::decode(&slot, pl.msgid)
+                            .map(|r| (pl.msgid, pl.source, pl.len, pl.mtype, pl.handle, r))
+                    })
+                };
+                match found {
+                    Some((msgid, source, len, mtype, handle, reply)) => {
+                        self.complete_large(ctx, q, msgid, source, len, mtype, reply, handle)?;
+                    }
+                    None => break,
+                }
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,314 @@
+//! On-the-wire layout of the NX connection regions.
+//!
+//! Every ordered process pair (s → r) uses three mapped regions:
+//!
+//! * the **data region**, exported by the receiver: `NPKT` fixed-size
+//!   packet buffers, each ending with a 32-byte descriptor whose `kind`
+//!   word doubles as the arrival flag (it lands in the final packet, so
+//!   in-order delivery makes it the commit point), followed by 8
+//!   large-transfer *done* slots;
+//! * the **control region**, exported by the sender and written by the
+//!   receiver through automatic update: the credit ring (page 0) and the
+//!   scout reply slots (page 1);
+//! * the **urgent page**, exported by the receiver with a notification
+//!   handler; the sender writes it with the destination-interrupt flag
+//!   set when it finds all packet buffers full (paper §6 "Interrupts").
+
+use shrimp_node::PAGE_SIZE;
+
+/// Bytes per packet buffer, descriptor included.
+pub const PKT_BUF: usize = 2048;
+/// Bytes of descriptor at the end of each packet buffer.
+pub const DESC_BYTES: usize = 32;
+/// Payload bytes per packet buffer.
+pub const PKT_PAYLOAD: usize = PKT_BUF - DESC_BYTES;
+/// Large-transfer done slots per connection.
+pub const DONE_SLOTS: usize = 8;
+/// Credit ring slots (must exceed any packet-buffer count in use).
+pub const CREDIT_SLOTS: usize = 64;
+/// Scout reply slots per connection (bounds outstanding large sends).
+pub const REPLY_SLOTS: usize = 8;
+
+/// Message kind tags stored in a descriptor. `0` marks a free buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u32)]
+pub enum MsgKind {
+    /// A complete small message.
+    Small = 1,
+    /// A scout announcing a large transfer (payload empty, `size` is the
+    /// full length).
+    Scout = 2,
+    /// One chunk of a large transfer using the non-aligned fallback.
+    Chunk = 3,
+}
+
+impl MsgKind {
+    /// Decode a descriptor kind word.
+    pub fn from_u32(v: u32) -> Option<MsgKind> {
+        match v {
+            1 => Some(MsgKind::Small),
+            2 => Some(MsgKind::Scout),
+            3 => Some(MsgKind::Chunk),
+            _ => None,
+        }
+    }
+}
+
+/// A decoded packet-buffer descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Desc {
+    /// Payload length for Small/Chunk; total message length for Scout.
+    pub size: u32,
+    /// NX message type.
+    pub mtype: i32,
+    /// Per-connection send sequence number.
+    pub seq: u32,
+    /// Message kind (arrival flag; `None` = free buffer).
+    pub kind: Option<MsgKind>,
+    /// Large-transfer id (Scout/Chunk).
+    pub msgid: u32,
+    /// Byte offset of this chunk within the large message (Chunk).
+    pub chunk_off: u32,
+}
+
+impl Desc {
+    /// Encode into the 32-byte wire form. The `kind` word — the arrival
+    /// flag — is the **first** word, so the automatic-update send path
+    /// can write everything after it first and commit with a final
+    /// single-word store (in-order delivery then guarantees the whole
+    /// message precedes the flag on the receiver).
+    pub fn encode(&self) -> [u8; DESC_BYTES] {
+        let mut b = [0u8; DESC_BYTES];
+        b[0..4].copy_from_slice(&self.kind.map_or(0, |k| k as u32).to_le_bytes());
+        b[4..8].copy_from_slice(&self.size.to_le_bytes());
+        b[8..12].copy_from_slice(&(self.mtype as u32).to_le_bytes());
+        b[12..16].copy_from_slice(&self.seq.to_le_bytes());
+        b[16..20].copy_from_slice(&self.msgid.to_le_bytes());
+        b[20..24].copy_from_slice(&self.chunk_off.to_le_bytes());
+        b
+    }
+
+    /// Decode from the wire form.
+    pub fn decode(b: &[u8]) -> Desc {
+        let word = |i: usize| u32::from_le_bytes([b[i], b[i + 1], b[i + 2], b[i + 3]]);
+        Desc {
+            kind: MsgKind::from_u32(word(0)),
+            size: word(4),
+            mtype: word(8) as i32,
+            seq: word(12),
+            msgid: word(16),
+            chunk_off: word(20),
+        }
+    }
+}
+
+/// Scout reply modes written by the receiver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u32)]
+pub enum ReplyMode {
+    /// Zero-copy: the sender transfers straight into the receiver's
+    /// exported user buffer (`name` in the reply).
+    ZeroCopy = 1,
+    /// Alignment forbids zero-copy: stream chunks through the packet
+    /// buffers instead.
+    Chunked = 2,
+}
+
+/// A decoded scout reply slot (16 bytes: name u64, mode u32, ack u32;
+/// `ack == msgid` is the arrival flag and is written last in the run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reply {
+    /// Export name of the receiver's user buffer (ZeroCopy mode).
+    pub name: u64,
+    /// Transfer mode.
+    pub mode: ReplyMode,
+    /// Echoed msgid; acts as the arrival flag.
+    pub ack: u32,
+}
+
+impl Reply {
+    /// Bytes per reply slot.
+    pub const BYTES: usize = 16;
+
+    /// Encode into the 16-byte wire form.
+    pub fn encode(&self) -> [u8; 16] {
+        let mut b = [0u8; 16];
+        b[0..8].copy_from_slice(&self.name.to_le_bytes());
+        b[8..12].copy_from_slice(&(self.mode as u32).to_le_bytes());
+        b[12..16].copy_from_slice(&self.ack.to_le_bytes());
+        b
+    }
+
+    /// Decode from the wire form; `None` until the ack matches `msgid`.
+    pub fn decode(b: &[u8], msgid: u32) -> Option<Reply> {
+        let ack = u32::from_le_bytes([b[12], b[13], b[14], b[15]]);
+        if ack != msgid {
+            return None;
+        }
+        let mode = match u32::from_le_bytes([b[8], b[9], b[10], b[11]]) {
+            1 => ReplyMode::ZeroCopy,
+            2 => ReplyMode::Chunked,
+            _ => return None,
+        };
+        Some(Reply { name: u64::from_le_bytes(b[0..8].try_into().expect("8 bytes")), mode, ack })
+    }
+}
+
+/// Byte offsets within the data region (exported by the receiver).
+///
+/// Each packet buffer is `[descriptor | payload]`. A message is written
+/// as one ascending run (or the payload first and the descriptor in a
+/// second, later transfer), so the descriptor is always part of the
+/// *final* packet to land and its `kind` word is a safe arrival flag —
+/// packets commit atomically at DMA completion, and in the real hardware
+/// write combining gives the same property (§4.1).
+#[derive(Debug, Clone, Copy)]
+pub struct DataLayout {
+    /// Packet buffers per connection.
+    pub npkt: usize,
+}
+
+impl DataLayout {
+    /// Offset of packet buffer `i`.
+    pub fn pkt(&self, i: usize) -> usize {
+        assert!(i < self.npkt, "packet buffer index out of range");
+        i * PKT_BUF
+    }
+
+    /// Offset of packet buffer `i`'s descriptor (the buffer start).
+    pub fn desc(&self, i: usize) -> usize {
+        self.pkt(i)
+    }
+
+    /// Offset of packet buffer `i`'s payload.
+    pub fn payload(&self, i: usize) -> usize {
+        self.pkt(i) + DESC_BYTES
+    }
+
+    /// Offset of the descriptor's kind word (the arrival flag — the
+    /// first word of the buffer, written last on the AU path).
+    pub fn desc_kind_word(&self, i: usize) -> usize {
+        self.desc(i)
+    }
+
+    /// Offset of large-transfer done slot `s`.
+    pub fn done_slot(&self, s: usize) -> usize {
+        assert!(s < DONE_SLOTS, "done slot out of range");
+        self.npkt * PKT_BUF + s * 4
+    }
+
+    /// Total data-region size in bytes (page-aligned).
+    pub fn total(&self) -> usize {
+        (self.npkt * PKT_BUF + DONE_SLOTS * 4).div_ceil(PAGE_SIZE) * PAGE_SIZE
+    }
+}
+
+/// Byte offsets within the control region (exported by the sender,
+/// written by the receiver via automatic update).
+#[derive(Debug, Clone, Copy)]
+pub struct CtrlLayout;
+
+impl CtrlLayout {
+    /// Offset of credit ring slot `c % CREDIT_SLOTS`.
+    pub fn credit_slot(c: u64) -> usize {
+        (c % CREDIT_SLOTS as u64) as usize * 4
+    }
+
+    /// Encoded credit word for credit number `c` freeing buffer `idx`.
+    pub fn credit_word(c: u64, idx: usize) -> u32 {
+        (((c as u32) & 0x00FF_FFFF) << 8) | (idx as u32 + 1)
+    }
+
+    /// Decode a credit word expected to be credit number `c`; returns
+    /// the freed buffer index when it has arrived.
+    pub fn decode_credit(v: u32, c: u64) -> Option<usize> {
+        if v & 0xFF == 0 {
+            return None;
+        }
+        if (v >> 8) != ((c as u32) & 0x00FF_FFFF) {
+            return None;
+        }
+        Some((v & 0xFF) as usize - 1)
+    }
+
+    /// Offset of scout reply slot for `msgid` (second page of the
+    /// region).
+    pub fn reply_slot(msgid: u32) -> usize {
+        PAGE_SIZE + (msgid as usize % REPLY_SLOTS) * Reply::BYTES
+    }
+
+    /// Total control-region size in bytes.
+    pub fn total() -> usize {
+        2 * PAGE_SIZE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn desc_round_trips() {
+        let d = Desc {
+            size: 1234,
+            mtype: -7,
+            seq: 42,
+            kind: Some(MsgKind::Scout),
+            msgid: 9,
+            chunk_off: 2048,
+        };
+        assert_eq!(Desc::decode(&d.encode()), d);
+    }
+
+    #[test]
+    fn free_buffer_decodes_as_no_kind() {
+        let d = Desc::decode(&[0u8; DESC_BYTES]);
+        assert_eq!(d.kind, None);
+    }
+
+    #[test]
+    fn reply_round_trips_and_gates_on_ack() {
+        let r = Reply { name: 0xDEAD_BEEF_CAFE, mode: ReplyMode::ZeroCopy, ack: 5 };
+        let b = r.encode();
+        assert_eq!(Reply::decode(&b, 5), Some(r));
+        assert_eq!(Reply::decode(&b, 6), None);
+    }
+
+    #[test]
+    fn credit_word_round_trips() {
+        for c in [0u64, 1, 63, 64, 1000] {
+            for idx in [0usize, 1, 15] {
+                let w = CtrlLayout::credit_word(c, idx);
+                assert_eq!(CtrlLayout::decode_credit(w, c), Some(idx));
+                assert_eq!(CtrlLayout::decode_credit(w, c + 1), None);
+            }
+        }
+        assert_eq!(CtrlLayout::decode_credit(0, 0), None);
+    }
+
+    #[test]
+    fn data_layout_offsets_do_not_overlap() {
+        let l = DataLayout { npkt: 16 };
+        assert_eq!(l.pkt(0), 0);
+        assert_eq!(l.desc(0), 0);
+        assert_eq!(l.payload(0), DESC_BYTES);
+        assert_eq!(l.pkt(1), PKT_BUF);
+        assert_eq!(l.desc_kind_word(1), PKT_BUF);
+        assert!(l.done_slot(0) >= l.payload(15) + PKT_PAYLOAD);
+        assert_eq!(l.total() % PAGE_SIZE, 0);
+        assert!(l.total() >= l.done_slot(DONE_SLOTS - 1) + 4);
+    }
+
+    #[test]
+    fn ctrl_layout_reply_slots_on_second_page() {
+        assert_eq!(CtrlLayout::credit_slot(65), 4);
+        assert!(CtrlLayout::reply_slot(0) >= PAGE_SIZE);
+        assert_eq!(CtrlLayout::total(), 2 * PAGE_SIZE);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn pkt_index_bounds_checked() {
+        DataLayout { npkt: 4 }.pkt(4);
+    }
+}

@@ -1,0 +1,325 @@
+//! NX job setup: connection establishment between every process pair.
+//!
+//! In NX a connection is set up between each pair of processes at
+//! initialization time (paper §4 "Connections"). [`NxWorld`] plays the
+//! role of the NX loader: each rank's process calls [`NxWorld::join`],
+//! which exports its receive-side regions, publishes their names through
+//! the loader (the trusted third party), waits for every other rank, and
+//! then imports its peers' regions and creates the automatic-update
+//! bindings.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use shrimp_core::{BufferName, ExportOpts, ExportPerms, ImportHandle, ShrimpSystem};
+use shrimp_mesh::NodeId;
+use shrimp_node::{CacheMode, VAddr, PAGE_SIZE};
+use shrimp_sim::{Ctx, Gate};
+
+use crate::config::NxConfig;
+use crate::proc::NxProc;
+use crate::wire::{CtrlLayout, DataLayout};
+
+/// Which region of an ordered pair a published name refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum RegionKind {
+    /// Packet buffers + done slots, exported by the receiver.
+    Data,
+    /// Credit ring + reply slots, exported by the sender.
+    Ctrl,
+    /// Interrupt page, exported by the receiver.
+    Urgent,
+}
+
+#[derive(Default)]
+struct Published {
+    names: HashMap<(RegionKind, usize, usize), BufferName>,
+}
+
+/// The NX job: fixed set of processes, one per rank.
+pub struct NxWorld {
+    system: Arc<ShrimpSystem>,
+    config: NxConfig,
+    /// Node index hosting each rank.
+    nodes: Vec<usize>,
+    published: Mutex<Published>,
+    joined: AtomicUsize,
+    ready: Gate,
+}
+
+impl std::fmt::Debug for NxWorld {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NxWorld").field("ranks", &self.nodes.len()).finish_non_exhaustive()
+    }
+}
+
+/// Sender-side state for one outgoing connection (this rank → peer).
+pub(crate) struct OutConn {
+    /// The peer's data region.
+    pub data: ImportHandle,
+    /// Local AU mirror of the peer's data region (write-through, bound).
+    pub au_send: VAddr,
+    /// Local AU page bound to the peer's urgent page (interrupting).
+    pub urgent: VAddr,
+    /// Local staging area (one packet buffer + a spare descriptor + a
+    /// done word), word-aligned, used by the deliberate-update paths.
+    pub staging: VAddr,
+    /// Local view of our exported control region (credits arrive here).
+    pub ctrl_local: VAddr,
+    /// Free packet buffers.
+    pub free: Vec<usize>,
+    /// Credits consumed so far (index of the next credit to wait for).
+    pub credits_taken: u64,
+    /// Next message sequence number.
+    pub next_seq: u32,
+    /// Next large-transfer id.
+    pub next_msgid: u32,
+    /// Outstanding large sends awaiting the receiver's reply.
+    pub pending_large: Vec<crate::proc::PendingLarge>,
+    /// Imports of the peer's exported user buffers (zero-copy), by name.
+    pub zc_imports: HashMap<u64, ImportHandle>,
+    /// Pool of safe-copy buffers for the optimistic large-send protocol.
+    /// Each outstanding large send holds its own buffer until its
+    /// transfer completes (a shared buffer would let a later send
+    /// corrupt an earlier pending one's safe copy).
+    pub bounce_pool: Vec<BounceBuf>,
+}
+
+/// One safe-copy buffer in the pool.
+pub(crate) struct BounceBuf {
+    pub va: VAddr,
+    pub cap: usize,
+    pub in_use: bool,
+}
+
+/// Receiver-side state for one incoming connection (peer → this rank).
+pub(crate) struct InConn {
+    /// Local view of our exported data region.
+    pub data_local: VAddr,
+    /// Local AU region bound to the peer's control region.
+    pub ctrl_au: VAddr,
+    /// Credits returned so far.
+    pub credits_returned: u64,
+    /// Buffers consumed but whose credits have not been flushed yet.
+    pub pending_credits: Vec<usize>,
+    /// Set by the urgent-page notification handler: the sender is out of
+    /// buffers, flush credits now.
+    pub flush_requested: Arc<AtomicBool>,
+    /// Exported user receive buffers (zero-copy), keyed by (va, len).
+    pub user_exports: HashMap<(u64, usize), BufferName>,
+}
+
+impl NxWorld {
+    /// Create a world with one rank per entry of `nodes` (the node index
+    /// each rank runs on).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is empty or names an out-of-range node.
+    pub fn new(system: Arc<ShrimpSystem>, config: NxConfig, nodes: Vec<usize>) -> Arc<NxWorld> {
+        assert!(!nodes.is_empty(), "an NX world needs at least one rank");
+        for &n in &nodes {
+            assert!(n < system.len(), "node {n} out of range");
+        }
+        Arc::new(NxWorld {
+            system,
+            config,
+            nodes,
+            published: Mutex::new(Published::default()),
+            joined: AtomicUsize::new(0),
+            ready: Gate::new(),
+        })
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True for an empty world (never constructible).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The configuration all ranks share.
+    pub fn config(&self) -> &NxConfig {
+        &self.config
+    }
+
+    /// The node index hosting `rank`.
+    pub fn node_of(&self, rank: usize) -> usize {
+        self.nodes[rank]
+    }
+
+    /// Called once from each rank's process: allocates and exports this
+    /// rank's receive-side regions, rendezvouses with every other rank,
+    /// then imports and binds. Returns the rank's NX library instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice for the same rank or with an out-of-range
+    /// rank.
+    pub fn join(self: &Arc<Self>, ctx: &Ctx, rank: usize) -> NxProc {
+        assert!(rank < self.len(), "rank {rank} out of range");
+        let vmmc = self.system.endpoint(self.node_of(rank), format!("nx-rank{rank}"));
+        let layout = DataLayout { npkt: self.config.packet_buffers };
+        let n = self.len();
+
+        // Phase 1: export receive-side regions and publish their names.
+        let mut in_parts: Vec<Option<(VAddr, Arc<AtomicBool>)>> = (0..n).map(|_| None).collect();
+        let mut ctrl_parts: Vec<Option<VAddr>> = (0..n).map(|_| None).collect();
+        for peer in 0..n {
+            if peer == rank {
+                continue;
+            }
+            // Data region (peer sends to me).
+            let data_local = vmmc.proc_().alloc(layout.total(), CacheMode::WriteBack);
+            let data_name = vmmc
+                .export(ctx, data_local, layout.total(), ExportOpts::default())
+                .expect("exporting NX data region");
+            // Urgent page with a handler that requests a credit flush.
+            let urgent_local = vmmc.proc_().alloc(PAGE_SIZE, CacheMode::WriteBack);
+            let flush_requested = Arc::new(AtomicBool::new(false));
+            let fr = Arc::clone(&flush_requested);
+            let urgent_name = vmmc
+                .export(
+                    ctx,
+                    urgent_local,
+                    PAGE_SIZE,
+                    ExportOpts {
+                        perms: ExportPerms::Any,
+                        handler: Some(Box::new(move |_ctx, _ev| {
+                            fr.store(true, Ordering::SeqCst);
+                        })),
+                    },
+                )
+                .expect("exporting NX urgent page");
+            // Control region (I send to peer; peer writes credits back).
+            let ctrl_local = vmmc.proc_().alloc(CtrlLayout::total(), CacheMode::WriteBack);
+            let ctrl_name = vmmc
+                .export(ctx, ctrl_local, CtrlLayout::total(), ExportOpts::default())
+                .expect("exporting NX control region");
+
+            let mut pubs = self.published.lock();
+            pubs.names.insert((RegionKind::Data, peer, rank), data_name);
+            pubs.names.insert((RegionKind::Urgent, peer, rank), urgent_name);
+            pubs.names.insert((RegionKind::Ctrl, rank, peer), ctrl_name);
+            in_parts[peer] = Some((data_local, flush_requested));
+            ctrl_parts[peer] = Some(ctrl_local);
+        }
+
+        // Rendezvous.
+        if self.joined.fetch_add(1, Ordering::SeqCst) + 1 == n {
+            self.ready.open(&ctx.handle());
+        }
+        self.ready.wait(ctx);
+
+        // Phase 2: import peers' regions and create AU bindings.
+        let mut out = Vec::with_capacity(n);
+        let mut inc = Vec::with_capacity(n);
+        for peer in 0..n {
+            if peer == rank {
+                out.push(None);
+                inc.push(None);
+                continue;
+            }
+            let (data_name, urgent_name, ctrl_name) = {
+                let pubs = self.published.lock();
+                (
+                    pubs.names[&(RegionKind::Data, rank, peer)],
+                    pubs.names[&(RegionKind::Urgent, rank, peer)],
+                    pubs.names[&(RegionKind::Ctrl, peer, rank)],
+                )
+            };
+            let peer_node = NodeId(self.node_of(peer));
+
+            // Outgoing: peer's data region + urgent page.
+            let data = vmmc.import(ctx, peer_node, data_name).expect("importing NX data region");
+            let au_send = vmmc.proc_().alloc(layout.total(), CacheMode::WriteBack);
+            vmmc.bind_au(ctx, au_send, &data, 0, layout.total() / PAGE_SIZE, true, false)
+                .expect("binding NX AU send region");
+            let urgent_import =
+                vmmc.import(ctx, peer_node, urgent_name).expect("importing NX urgent page");
+            let urgent = vmmc.proc_().alloc(PAGE_SIZE, CacheMode::WriteBack);
+            vmmc.bind_au(ctx, urgent, &urgent_import, 0, 1, true, true)
+                .expect("binding NX urgent page");
+            let staging = vmmc.proc_().alloc(crate::wire::PKT_BUF + 64, CacheMode::WriteBack);
+            let (data_local, flush_requested) =
+                in_parts[peer].take().expect("phase 1 created this");
+            let ctrl_local = ctrl_parts[peer].take().expect("phase 1 created this");
+            out.push(Some(OutConn {
+                data,
+                au_send,
+                urgent,
+                staging,
+                ctrl_local,
+                free: (0..self.config.packet_buffers).collect(),
+                credits_taken: 0,
+                next_seq: 1,
+                next_msgid: 1,
+                pending_large: Vec::new(),
+                zc_imports: HashMap::new(),
+                bounce_pool: Vec::new(),
+            }));
+
+            // Incoming: bind to the peer's control region for credits.
+            let ctrl_import =
+                vmmc.import(ctx, peer_node, ctrl_name).expect("importing NX control region");
+            let ctrl_au = vmmc.proc_().alloc(CtrlLayout::total(), CacheMode::WriteBack);
+            vmmc.bind_au(ctx, ctrl_au, &ctrl_import, 0, CtrlLayout::total() / PAGE_SIZE, true, false)
+                .expect("binding NX control region");
+            inc.push(Some(InConn {
+                data_local,
+                ctrl_au,
+                credits_returned: 0,
+                pending_credits: Vec::new(),
+                flush_requested,
+                user_exports: HashMap::new(),
+            }));
+        }
+
+        NxProc::new(vmmc, rank, self.len(), self.config.clone(), layout, out, inc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shrimp_core::SystemConfig;
+    use shrimp_sim::Kernel;
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn empty_world_rejected() {
+        let kernel = Kernel::new();
+        let system = ShrimpSystem::build(&kernel, SystemConfig::prototype());
+        NxWorld::new(system, NxConfig::default(), vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_node_rejected() {
+        let kernel = Kernel::new();
+        let system = ShrimpSystem::build(&kernel, SystemConfig::prototype());
+        NxWorld::new(system, NxConfig::default(), vec![0, 9]);
+    }
+
+    #[test]
+    fn join_wires_all_ranks() {
+        let kernel = Kernel::new();
+        let system = ShrimpSystem::build(&kernel, SystemConfig::prototype());
+        let world = NxWorld::new(Arc::clone(&system), NxConfig::default(), vec![0, 1, 2, 3]);
+        for rank in 0..4 {
+            let world = Arc::clone(&world);
+            kernel.spawn(format!("rank{rank}"), move |ctx| {
+                let nx = world.join(ctx, rank);
+                assert_eq!(nx.mynode(), rank);
+                assert_eq!(nx.numnodes(), 4);
+            });
+        }
+        kernel.run_until_quiescent().unwrap();
+        assert!(system.violations().is_empty());
+    }
+}

@@ -1,0 +1,385 @@
+//! Integration tests of the NX library on the 4-node prototype.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use shrimp_core::{ShrimpSystem, SystemConfig};
+use shrimp_node::{CacheMode, VAddr};
+use shrimp_nx::{NxConfig, NxError, NxProc, NxWorld, SendVariant, PKT_PAYLOAD};
+use shrimp_sim::{Ctx, Kernel};
+
+fn run_world<F>(nranks: usize, config: NxConfig, bodies: F) -> Arc<ShrimpSystem>
+where
+    F: Fn(usize) -> Box<dyn FnOnce(&Ctx, NxProc) + Send> ,
+{
+    let kernel = Kernel::new();
+    let system = ShrimpSystem::build(&kernel, SystemConfig::prototype());
+    let nodes: Vec<usize> = (0..nranks).map(|r| r % system.len()).collect();
+    let world = NxWorld::new(Arc::clone(&system), config, nodes);
+    for rank in 0..nranks {
+        let world = Arc::clone(&world);
+        let body = bodies(rank);
+        kernel.spawn(format!("rank{rank}"), move |ctx| {
+            let nx = world.join(ctx, rank);
+            body(ctx, nx);
+        });
+    }
+    kernel.run_until_quiescent().expect("NX world simulation failed");
+    assert!(system.violations().is_empty(), "protection violations");
+    system
+}
+
+fn alloc_filled(nx: &NxProc, pattern: u8, len: usize) -> VAddr {
+    let buf = nx.vmmc().proc_().alloc(len.max(4), CacheMode::WriteBack);
+    nx.vmmc().proc_().poke(buf, &vec![pattern; len]).unwrap();
+    buf
+}
+
+#[test]
+fn small_message_round_trip_all_variants() {
+    for variant in [SendVariant::AutomaticUpdate, SendVariant::DuMarshal, SendVariant::DuFromUser] {
+        let mut config = NxConfig::paper_default();
+        config.send_variant = variant;
+        run_world(2, config, |rank| {
+            Box::new(move |ctx, mut nx| {
+                if rank == 0 {
+                    let buf = alloc_filled(&nx, 0xA5, 777);
+                    nx.csend(ctx, 17, buf, 777, 1).unwrap();
+                } else {
+                    let buf = nx.vmmc().proc_().alloc(2048, CacheMode::WriteBack);
+                    let n = nx.crecv(ctx, 17, buf, 2048).unwrap();
+                    assert_eq!(n, 777);
+                    assert_eq!(nx.infocount(), 777);
+                    assert_eq!(nx.infotype(), 17);
+                    assert_eq!(nx.infonode(), 0);
+                    assert_eq!(nx.vmmc().proc_().peek(buf, 777).unwrap(), vec![0xA5; 777]);
+                }
+            })
+        });
+    }
+}
+
+#[test]
+fn large_message_zero_copy_round_trip() {
+    let n = 64 * 1024;
+    run_world(2, NxConfig::paper_default(), move |rank| {
+        Box::new(move |ctx, mut nx| {
+            if rank == 0 {
+                let buf = nx.vmmc().proc_().alloc(n, CacheMode::WriteBack);
+                let data: Vec<u8> = (0..n).map(|i| (i % 251) as u8).collect();
+                nx.vmmc().proc_().poke(buf, &data).unwrap();
+                nx.csend(ctx, 3, buf, n, 1).unwrap();
+                // Keep making library calls so a pending transfer
+                // completes even if the receiver replied late.
+                let scratch = nx.vmmc().proc_().alloc(16, CacheMode::WriteBack);
+                let _ = nx.crecv(ctx, 4, scratch, 16).unwrap();
+            } else {
+                let buf = nx.vmmc().proc_().alloc(n, CacheMode::WriteBack);
+                let got = nx.crecv(ctx, 3, buf, n).unwrap();
+                assert_eq!(got, n);
+                let want: Vec<u8> = (0..n).map(|i| (i % 251) as u8).collect();
+                assert_eq!(nx.vmmc().proc_().peek(buf, n).unwrap(), want);
+                // Ack back to release the sender.
+                let scratch = nx.vmmc().proc_().alloc(16, CacheMode::WriteBack);
+                nx.csend(ctx, 4, scratch, 4, 0).unwrap();
+            }
+        })
+    });
+}
+
+#[test]
+fn large_message_unaligned_falls_back_to_chunks() {
+    let n = 10_000; // not a multiple of 4 is the receiver side; use odd buffer
+    run_world(2, NxConfig::paper_default(), move |rank| {
+        Box::new(move |ctx, mut nx| {
+            if rank == 0 {
+                let buf = alloc_filled(&nx, 0x3C, n);
+                nx.csend(ctx, 9, buf, n, 1).unwrap();
+                let scratch = nx.vmmc().proc_().alloc(16, CacheMode::WriteBack);
+                let _ = nx.crecv(ctx, 10, scratch, 16).unwrap();
+            } else {
+                // Unaligned user receive buffer: zero-copy is forbidden.
+                let buf = nx.vmmc().proc_().alloc_at_offset(n + 8, 2, CacheMode::WriteBack);
+                let got = nx.crecv(ctx, 9, buf, n + 4).unwrap();
+                assert_eq!(got, n);
+                assert_eq!(nx.vmmc().proc_().peek(buf, n).unwrap(), vec![0x3C; n]);
+                let scratch = nx.vmmc().proc_().alloc(16, CacheMode::WriteBack);
+                nx.csend(ctx, 10, scratch, 4, 0).unwrap();
+            }
+        })
+    });
+}
+
+#[test]
+fn typed_receive_consumes_out_of_order() {
+    run_world(2, NxConfig::paper_default(), |rank| {
+        Box::new(move |ctx, mut nx| {
+            if rank == 0 {
+                let a = alloc_filled(&nx, 1, 64);
+                let b = alloc_filled(&nx, 2, 64);
+                let c = alloc_filled(&nx, 3, 64);
+                nx.csend(ctx, 100, a, 64, 1).unwrap();
+                nx.csend(ctx, 200, b, 64, 1).unwrap();
+                nx.csend(ctx, 300, c, 64, 1).unwrap();
+            } else {
+                let buf = nx.vmmc().proc_().alloc(64, CacheMode::WriteBack);
+                // Consume in reverse type order.
+                nx.crecv(ctx, 300, buf, 64).unwrap();
+                assert_eq!(nx.vmmc().proc_().peek(buf, 64).unwrap(), vec![3; 64]);
+                nx.crecv(ctx, 200, buf, 64).unwrap();
+                assert_eq!(nx.vmmc().proc_().peek(buf, 64).unwrap(), vec![2; 64]);
+                nx.crecv(ctx, 100, buf, 64).unwrap();
+                assert_eq!(nx.vmmc().proc_().peek(buf, 64).unwrap(), vec![1; 64]);
+            }
+        })
+    });
+}
+
+#[test]
+fn same_type_messages_arrive_in_order() {
+    run_world(2, NxConfig::paper_default(), |rank| {
+        Box::new(move |ctx, mut nx| {
+            if rank == 0 {
+                let buf = nx.vmmc().proc_().alloc(8, CacheMode::WriteBack);
+                for i in 0..50u32 {
+                    nx.vmmc().proc_().poke(buf, &i.to_le_bytes()).unwrap();
+                    nx.csend(ctx, 5, buf, 4, 1).unwrap();
+                }
+            } else {
+                let buf = nx.vmmc().proc_().alloc(8, CacheMode::WriteBack);
+                for i in 0..50u32 {
+                    nx.crecv(ctx, 5, buf, 8).unwrap();
+                    let got = nx.vmmc().proc_().peek(buf, 4).unwrap();
+                    assert_eq!(u32::from_le_bytes(got.try_into().unwrap()), i);
+                }
+            }
+        })
+    });
+}
+
+#[test]
+fn credit_exhaustion_blocks_then_recovers() {
+    // More in-flight messages than packet buffers: the sender must wait
+    // for credits (and interrupt the receiver), then complete.
+    let mut config = NxConfig::paper_default();
+    config.packet_buffers = 4;
+    config.credit_batch = 2;
+    run_world(2, config, |rank| {
+        Box::new(move |ctx, mut nx| {
+            if rank == 0 {
+                let buf = alloc_filled(&nx, 7, 128);
+                for _ in 0..32 {
+                    nx.csend(ctx, 1, buf, 128, 1).unwrap();
+                }
+            } else {
+                // Delay before receiving so buffers fill up.
+                ctx.advance(shrimp_sim::SimDur::from_us(3000.0));
+                let buf = nx.vmmc().proc_().alloc(128, CacheMode::WriteBack);
+                for _ in 0..32 {
+                    let n = nx.crecv(ctx, 1, buf, 128).unwrap();
+                    assert_eq!(n, 128);
+                    assert_eq!(nx.vmmc().proc_().peek(buf, 128).unwrap(), vec![7; 128]);
+                }
+            }
+        })
+    });
+}
+
+#[test]
+fn isend_irecv_msgwait() {
+    run_world(2, NxConfig::paper_default(), |rank| {
+        Box::new(move |ctx, mut nx| {
+            if rank == 0 {
+                let buf = alloc_filled(&nx, 0x44, 256);
+                let h = nx.isend(ctx, 8, buf, 256, 1).unwrap();
+                nx.msgwait(ctx, h).unwrap();
+            } else {
+                let buf = nx.vmmc().proc_().alloc(256, CacheMode::WriteBack);
+                let h = nx.irecv(ctx, 8, buf, 256);
+                let n = nx.msgwait(ctx, h).unwrap();
+                assert_eq!(n, 256);
+                assert_eq!(nx.vmmc().proc_().peek(buf, 256).unwrap(), vec![0x44; 256]);
+            }
+        })
+    });
+}
+
+#[test]
+fn probes_report_without_consuming() {
+    run_world(2, NxConfig::paper_default(), |rank| {
+        Box::new(move |ctx, mut nx| {
+            if rank == 0 {
+                let buf = alloc_filled(&nx, 9, 40);
+                nx.csend(ctx, 77, buf, 40, 1).unwrap();
+            } else {
+                let info = nx.cprobe(ctx, -1).unwrap();
+                assert_eq!(info.count, 40);
+                assert_eq!(info.mtype, 77);
+                assert_eq!(info.src, 0);
+                // Probe again: still there.
+                assert!(nx.iprobe(ctx, 77).unwrap().is_some());
+                assert!(nx.iprobe(ctx, 78).unwrap().is_none());
+                let buf = nx.vmmc().proc_().alloc(64, CacheMode::WriteBack);
+                assert_eq!(nx.crecv(ctx, -1, buf, 64).unwrap(), 40);
+                assert!(nx.iprobe(ctx, -1).unwrap().is_none());
+            }
+        })
+    });
+}
+
+#[test]
+fn truncated_small_message_is_an_error() {
+    run_world(2, NxConfig::paper_default(), |rank| {
+        Box::new(move |ctx, mut nx| {
+            if rank == 0 {
+                let buf = alloc_filled(&nx, 1, 512);
+                nx.csend(ctx, 2, buf, 512, 1).unwrap();
+            } else {
+                let buf = nx.vmmc().proc_().alloc(64, CacheMode::WriteBack);
+                match nx.crecv(ctx, 2, buf, 64) {
+                    Err(NxError::Truncated { len: 512, max: 64 }) => {}
+                    other => panic!("expected truncation, got {other:?}"),
+                }
+            }
+        })
+    });
+}
+
+#[test]
+fn self_send_loops_back() {
+    run_world(1, NxConfig::paper_default(), |_rank| {
+        Box::new(move |ctx, mut nx| {
+            let src = alloc_filled(&nx, 0xEE, 100);
+            let dst = nx.vmmc().proc_().alloc(100, CacheMode::WriteBack);
+            nx.csend(ctx, 1, src, 100, 0).unwrap();
+            assert_eq!(nx.crecv(ctx, 1, dst, 100).unwrap(), 100);
+            assert_eq!(nx.vmmc().proc_().peek(dst, 100).unwrap(), vec![0xEE; 100]);
+            assert!(matches!(nx.csend(ctx, 1, src, 4, 9), Err(NxError::InvalidRank(9))));
+        })
+    });
+}
+
+#[test]
+fn four_rank_ring_exchange() {
+    run_world(4, NxConfig::paper_default(), |rank| {
+        Box::new(move |ctx, mut nx| {
+            let n = nx.numnodes();
+            let buf = alloc_filled(&nx, rank as u8, 1024);
+            let recv = nx.vmmc().proc_().alloc(1024, CacheMode::WriteBack);
+            let next = (rank + 1) % n;
+            let prev = (rank + n - 1) % n;
+            for round in 0..3 {
+                nx.csend(ctx, round, buf, 1024, next).unwrap();
+                nx.crecv(ctx, round, recv, 1024).unwrap();
+                assert_eq!(nx.infonode(), prev);
+                assert_eq!(nx.vmmc().proc_().peek(recv, 1024).unwrap(), vec![prev as u8; 1024]);
+            }
+        })
+    });
+}
+
+#[test]
+fn barrier_and_reductions() {
+    let results: Arc<Mutex<Vec<(f64, i64)>>> = Arc::new(Mutex::new(Vec::new()));
+    let r2 = Arc::clone(&results);
+    run_world(4, NxConfig::paper_default(), move |rank| {
+        let results = Arc::clone(&r2);
+        Box::new(move |ctx, mut nx| {
+            nx.gsync(ctx).unwrap();
+            let s = nx.gdsum(ctx, (rank + 1) as f64).unwrap();
+            let i = nx.gisum(ctx, (rank as i64 + 1) * 10).unwrap();
+            nx.gsync(ctx).unwrap();
+            results.lock().push((s, i));
+        })
+    });
+    let results = results.lock();
+    assert_eq!(results.len(), 4);
+    for (s, i) in results.iter() {
+        assert_eq!(*s, 10.0); // 1+2+3+4
+        assert_eq!(*i, 100); // 10+20+30+40
+    }
+}
+
+#[test]
+fn chunked_threshold_zero_forces_rendezvous_everywhere() {
+    let mut config = NxConfig::paper_default();
+    config.large_threshold = 0;
+    run_world(2, config, |rank| {
+        Box::new(move |ctx, mut nx| {
+            if rank == 0 {
+                let buf = alloc_filled(&nx, 0x11, 4096);
+                nx.csend(ctx, 1, buf, 4096, 1).unwrap();
+                let scratch = nx.vmmc().proc_().alloc(16, CacheMode::WriteBack);
+                let _ = nx.crecv(ctx, 2, scratch, 16).unwrap();
+            } else {
+                let buf = nx.vmmc().proc_().alloc(4096, CacheMode::WriteBack);
+                assert_eq!(nx.crecv(ctx, 1, buf, 4096).unwrap(), 4096);
+                assert_eq!(nx.vmmc().proc_().peek(buf, 4096).unwrap(), vec![0x11; 4096]);
+                let scratch = nx.vmmc().proc_().alloc(16, CacheMode::WriteBack);
+                nx.csend(ctx, 2, scratch, 4, 0).unwrap();
+            }
+        })
+    });
+}
+
+#[test]
+fn boundary_sizes_round_trip() {
+    // Exactly at and around the one-copy/zero-copy protocol switch.
+    for n in [0usize, 1, 3, 4, PKT_PAYLOAD - 1, PKT_PAYLOAD, PKT_PAYLOAD + 1, 2 * PKT_PAYLOAD] {
+        run_world(2, NxConfig::paper_default(), move |rank| {
+            Box::new(move |ctx, mut nx| {
+                if rank == 0 {
+                    let buf = alloc_filled(&nx, 0x5F, n.max(4));
+                    nx.csend(ctx, 1, buf, n, 1).unwrap();
+                    let scratch = nx.vmmc().proc_().alloc(16, CacheMode::WriteBack);
+                    let _ = nx.crecv(ctx, 2, scratch, 16).unwrap();
+                } else {
+                    let buf = nx.vmmc().proc_().alloc((n + 8).max(8), CacheMode::WriteBack);
+                    assert_eq!(nx.crecv(ctx, 1, buf, n + 4).unwrap(), n, "size {n}");
+                    if n > 0 {
+                        assert_eq!(nx.vmmc().proc_().peek(buf, n).unwrap(), vec![0x5F; n]);
+                    }
+                    let scratch = nx.vmmc().proc_().alloc(16, CacheMode::WriteBack);
+                    nx.csend(ctx, 2, scratch, 4, 0).unwrap();
+                }
+            })
+        });
+    }
+}
+
+#[test]
+fn stats_classify_protocol_paths() {
+    let stats = Arc::new(Mutex::new(None));
+    let s2 = Arc::clone(&stats);
+    run_world(2, NxConfig::paper_default(), move |rank| {
+        let stats = Arc::clone(&s2);
+        Box::new(move |ctx, mut nx| {
+            if rank == 0 {
+                let small = alloc_filled(&nx, 1, 100);
+                let large = alloc_filled(&nx, 2, 8192);
+                nx.csend(ctx, 1, small, 100, 1).unwrap(); // small path
+                nx.csend(ctx, 2, large, 8192, 1).unwrap(); // zero-copy
+                // Unalignable length -> chunked fallback.
+                nx.csend(ctx, 3, large, 8190, 1).unwrap();
+                let scratch = nx.vmmc().proc_().alloc(16, CacheMode::WriteBack);
+                nx.crecv(ctx, 9, scratch, 16).unwrap();
+                nx.flush(ctx).unwrap();
+                *stats.lock() = Some(nx.stats());
+            } else {
+                let buf = nx.vmmc().proc_().alloc(8192, CacheMode::WriteBack);
+                for t in [1, 2, 3] {
+                    nx.crecv(ctx, t, buf, 8192).unwrap();
+                }
+                let scratch = nx.vmmc().proc_().alloc(16, CacheMode::WriteBack);
+                nx.csend(ctx, 9, scratch, 4, 0).unwrap();
+                assert_eq!(nx.stats().received, 3);
+            }
+        })
+    });
+    let st = stats.lock().unwrap();
+    assert_eq!(st.small_sent, 1); // only the 100 B message takes the small path
+    assert_eq!(st.large_sent, 2);
+    assert_eq!(st.zero_copy_sent, 1);
+    assert_eq!(st.chunked_sent, 1);
+    assert_eq!(st.received, 1);
+}

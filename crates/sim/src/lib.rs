@@ -1,0 +1,64 @@
+//! # shrimp-sim — deterministic discrete-event simulation kernel
+//!
+//! This crate is the execution substrate for the SHRIMP multicomputer
+//! reproduction. It provides:
+//!
+//! * [`SimTime`] / [`SimDur`] — integer-picosecond virtual time;
+//! * [`Kernel`] — a deterministic event loop;
+//! * [`Ctx`] — *blocking processes*: protocol code runs on dedicated OS
+//!   threads but the kernel interleaves them one-at-a-time in virtual-time
+//!   order, so message-passing libraries are written in the same natural
+//!   blocking style the original SHRIMP libraries were;
+//! * [`BandwidthResource`] — FIFO-arbitrated buses and links;
+//! * [`WaitQueue`], [`Gate`], [`SimChannel`] — blocking synchronization;
+//! * [`SplitMix64`] — a deterministic PRNG for workload generators.
+//!
+//! ## Determinism
+//!
+//! Same program + same seeds = identical event order and timestamps on
+//! every run. All scheduling ties break FIFO by sequence number, and only
+//! one thread executes at a time, so there are no racy interleavings.
+//! Benchmarks in this repository therefore need no repetition for
+//! statistical confidence — a single simulated run is exact.
+//!
+//! ## Example
+//!
+//! ```
+//! use shrimp_sim::{Kernel, SimDur, SimChannel};
+//!
+//! let kernel = Kernel::new();
+//! let ch: SimChannel<&'static str> = SimChannel::new();
+//!
+//! let rx = ch.clone();
+//! kernel.spawn("server", move |ctx| {
+//!     let msg = rx.recv(ctx);
+//!     assert_eq!(msg, "ping");
+//!     assert_eq!(ctx.now().as_us(), 3.0);
+//! });
+//!
+//! let tx = ch.clone();
+//! kernel.spawn("client", move |ctx| {
+//!     ctx.advance(SimDur::from_us(3.0)); // think time
+//!     tx.send(&ctx.handle(), "ping");
+//! });
+//!
+//! kernel.run_until_quiescent()?;
+//! # Ok::<(), shrimp_sim::SimError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod kernel;
+mod process;
+mod resource;
+mod rng;
+mod sync;
+mod time;
+
+pub use kernel::{Kernel, ProcessId, SimError, TraceEvent, Tracer};
+pub use process::{Ctx, SimHandle};
+pub use resource::{BandwidthResource, Grant};
+pub use rng::SplitMix64;
+pub use sync::{Gate, SimChannel, WaitQueue};
+pub use time::{SimDur, SimTime};

@@ -1,0 +1,359 @@
+//! Blocking synchronization primitives for simulation processes.
+//!
+//! These are the simulation-world analogues of condition variables and
+//! channels. Because the kernel guarantees only one logical thread runs at
+//! a time, their internals are simple FIFO queues — there are no lost
+//! wake-up races beyond the park/unpark latch already handled by the
+//! kernel.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::kernel::ProcessId;
+use crate::process::{Ctx, SimHandle};
+
+/// A FIFO wait queue: processes [`wait`](WaitQueue::wait) on it and are
+/// released in order by [`notify_one`](WaitQueue::notify_one) /
+/// [`notify_all`](WaitQueue::notify_all).
+///
+/// This is a building block; most protocol code uses the higher-level
+/// pattern of polling a shared flag (the paper's libraries poll) or
+/// [`Gate`].
+///
+/// # Examples
+///
+/// ```
+/// use shrimp_sim::{Kernel, SimDur, WaitQueue};
+/// use std::sync::Arc;
+///
+/// let k = Kernel::new();
+/// let q = Arc::new(WaitQueue::new());
+/// let q2 = Arc::clone(&q);
+/// let h = k.handle();
+/// k.spawn("waiter", move |ctx| {
+///     q2.wait(ctx);
+///     assert_eq!(ctx.now().as_us(), 4.0);
+/// });
+/// let q3 = Arc::clone(&q);
+/// k.schedule_in(SimDur::from_us(4.0), move || { q3.notify_one(&h); });
+/// k.run_until_quiescent()?;
+/// # Ok::<(), shrimp_sim::SimError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct WaitQueue {
+    waiters: Mutex<VecDeque<ProcessId>>,
+}
+
+impl WaitQueue {
+    /// Create an empty queue.
+    pub fn new() -> WaitQueue {
+        WaitQueue::default()
+    }
+
+    /// Block the calling process until released by a notify call.
+    pub fn wait(&self, ctx: &Ctx) {
+        let pid = ctx.pid();
+        self.waiters.lock().push_back(pid);
+        loop {
+            ctx.park();
+            // A stale latched wake-up (from an unrelated unpark) could
+            // release the park early; re-check membership.
+            if !self.waiters.lock().contains(&pid) {
+                return;
+            }
+        }
+    }
+
+    /// Release the longest-waiting process, if any. Returns whether a
+    /// process was released.
+    pub fn notify_one(&self, h: &SimHandle) -> bool {
+        let popped = self.waiters.lock().pop_front();
+        match popped {
+            Some(pid) => {
+                h.unpark(pid);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Release every waiting process. Returns how many were released.
+    pub fn notify_all(&self, h: &SimHandle) -> usize {
+        let drained: Vec<ProcessId> = self.waiters.lock().drain(..).collect();
+        for pid in &drained {
+            h.unpark(*pid);
+        }
+        drained.len()
+    }
+
+    /// Number of processes currently waiting.
+    pub fn len(&self) -> usize {
+        self.waiters.lock().len()
+    }
+
+    /// True if no process is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.waiters.lock().is_empty()
+    }
+}
+
+/// A latched boolean gate: starts closed, opens once, and releases every
+/// current and future waiter. Used for "connection established" and
+/// "server ready" rendezvous points.
+///
+/// # Examples
+///
+/// ```
+/// use shrimp_sim::{Kernel, SimDur, Gate};
+/// use std::sync::Arc;
+///
+/// let k = Kernel::new();
+/// let gate = Arc::new(Gate::new());
+/// let g = Arc::clone(&gate);
+/// k.spawn("client", move |ctx| {
+///     g.wait(ctx); // blocks until the server opens the gate
+/// });
+/// let g2 = Arc::clone(&gate);
+/// let h = k.handle();
+/// k.schedule_in(SimDur::from_us(1.0), move || g2.open(&h));
+/// k.run_until_quiescent()?;
+/// # Ok::<(), shrimp_sim::SimError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct Gate {
+    inner: Mutex<GateInner>,
+}
+
+#[derive(Debug, Default)]
+struct GateInner {
+    open: bool,
+    waiters: Vec<ProcessId>,
+}
+
+impl Gate {
+    /// Create a closed gate.
+    pub fn new() -> Gate {
+        Gate::default()
+    }
+
+    /// True once [`open`](Gate::open) has been called.
+    pub fn is_open(&self) -> bool {
+        self.inner.lock().open
+    }
+
+    /// Open the gate, releasing all waiters; idempotent.
+    pub fn open(&self, h: &SimHandle) {
+        let waiters: Vec<ProcessId> = {
+            let mut g = self.inner.lock();
+            g.open = true;
+            g.waiters.drain(..).collect()
+        };
+        for pid in waiters {
+            h.unpark(pid);
+        }
+    }
+
+    /// Block until the gate is open (returns immediately if already open).
+    pub fn wait(&self, ctx: &Ctx) {
+        {
+            let mut g = self.inner.lock();
+            if g.open {
+                return;
+            }
+            g.waiters.push(ctx.pid());
+        }
+        loop {
+            ctx.park();
+            if self.inner.lock().open {
+                return;
+            }
+        }
+    }
+}
+
+/// An unbounded, FIFO, inter-process channel carrying values of type `T`
+/// through simulated time. Receiving blocks the calling process until a
+/// value is available.
+///
+/// This models out-of-band control paths (e.g. the prototype's Ethernet);
+/// the mesh datapath is modelled in `shrimp-mesh`, not with this type.
+#[derive(Debug)]
+pub struct SimChannel<T> {
+    inner: Arc<ChannelInner<T>>,
+}
+
+#[derive(Debug)]
+struct ChannelInner<T> {
+    queue: Mutex<VecDeque<T>>,
+    waiters: WaitQueue,
+}
+
+impl<T> Clone for SimChannel<T> {
+    fn clone(&self) -> Self {
+        SimChannel { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<T: Send + 'static> Default for SimChannel<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Send + 'static> SimChannel<T> {
+    /// Create an empty channel.
+    pub fn new() -> SimChannel<T> {
+        SimChannel {
+            inner: Arc::new(ChannelInner {
+                queue: Mutex::new(VecDeque::new()),
+                waiters: WaitQueue::new(),
+            }),
+        }
+    }
+
+    /// Enqueue a value and wake one waiting receiver. Usable from both
+    /// processes and event closures.
+    pub fn send(&self, h: &SimHandle, value: T) {
+        self.inner.queue.lock().push_back(value);
+        self.inner.waiters.notify_one(h);
+    }
+
+    /// Dequeue a value, blocking the calling process until one arrives.
+    pub fn recv(&self, ctx: &Ctx) -> T {
+        loop {
+            if let Some(v) = self.inner.queue.lock().pop_front() {
+                return v;
+            }
+            self.inner.waiters.wait(ctx);
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<T> {
+        self.inner.queue.lock().pop_front()
+    }
+
+    /// Number of queued values.
+    pub fn len(&self) -> usize {
+        self.inner.queue.lock().len()
+    }
+
+    /// True if no values are queued.
+    pub fn is_empty(&self) -> bool {
+        self.inner.queue.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Kernel, SimDur};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn wait_queue_releases_in_fifo_order() {
+        let k = Kernel::new();
+        let q = Arc::new(WaitQueue::new());
+        let order = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..3 {
+            let q = Arc::clone(&q);
+            let order = Arc::clone(&order);
+            k.spawn(format!("w{i}"), move |ctx| {
+                // Stagger arrival so the queue order is w0, w1, w2.
+                ctx.advance(SimDur::from_us(i as f64));
+                q.wait(ctx);
+                order.lock().push(i);
+            });
+        }
+        let h = k.handle();
+        let q2 = Arc::clone(&q);
+        k.schedule_in(SimDur::from_us(10.0), move || {
+            q2.notify_one(&h);
+            q2.notify_one(&h);
+            q2.notify_one(&h);
+        });
+        k.run_until_quiescent().unwrap();
+        assert_eq!(*order.lock(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn notify_one_on_empty_queue_returns_false() {
+        let k = Kernel::new();
+        let q = WaitQueue::new();
+        assert!(!q.notify_one(&k.handle()));
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn gate_releases_current_and_future_waiters() {
+        let k = Kernel::new();
+        let gate = Arc::new(Gate::new());
+        let count = Arc::new(AtomicUsize::new(0));
+        // Early waiter.
+        {
+            let g = Arc::clone(&gate);
+            let c = Arc::clone(&count);
+            k.spawn("early", move |ctx| {
+                g.wait(ctx);
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        // Late waiter arrives after the gate opens.
+        {
+            let g = Arc::clone(&gate);
+            let c = Arc::clone(&count);
+            k.spawn("late", move |ctx| {
+                ctx.advance(SimDur::from_us(20.0));
+                g.wait(ctx);
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        let g = Arc::clone(&gate);
+        let h = k.handle();
+        k.schedule_in(SimDur::from_us(5.0), move || g.open(&h));
+        k.run_until_quiescent().unwrap();
+        assert!(gate.is_open());
+        assert_eq!(count.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn channel_delivers_in_order_across_processes() {
+        let k = Kernel::new();
+        let ch: SimChannel<u32> = SimChannel::new();
+        let got = Arc::new(Mutex::new(Vec::new()));
+        {
+            let ch = ch.clone();
+            let got = Arc::clone(&got);
+            k.spawn("rx", move |ctx| {
+                for _ in 0..3 {
+                    got.lock().push(ch.recv(ctx));
+                }
+            });
+        }
+        {
+            let ch = ch.clone();
+            k.spawn("tx", move |ctx| {
+                for v in [7u32, 8, 9] {
+                    ctx.advance(SimDur::from_us(1.0));
+                    ch.send(&ctx.handle(), v);
+                }
+            });
+        }
+        k.run_until_quiescent().unwrap();
+        assert_eq!(*got.lock(), vec![7, 8, 9]);
+        assert!(ch.is_empty());
+    }
+
+    #[test]
+    fn channel_try_recv_is_nonblocking() {
+        let k = Kernel::new();
+        let ch: SimChannel<u8> = SimChannel::new();
+        assert_eq!(ch.try_recv(), None);
+        ch.send(&k.handle(), 5);
+        assert_eq!(ch.len(), 1);
+        assert_eq!(ch.try_recv(), Some(5));
+    }
+}

@@ -1,0 +1,322 @@
+//! Simulated time.
+//!
+//! All simulation timestamps are integer **picoseconds** stored in a `u64`.
+//! Picosecond resolution lets the hardware model express sub-nanosecond
+//! costs (a 64-bit flit on a 175 MB/s link lasts ~45 ns = 45 714 ps) without
+//! floating-point accumulation error, while still covering more than 200
+//! days of simulated time — many orders of magnitude beyond any experiment
+//! in this repository.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An instant in simulated time, measured in picoseconds from simulation
+/// start.
+///
+/// `SimTime` is an absolute timestamp; [`SimDur`] is the corresponding
+/// duration type. The usual mixed arithmetic is provided:
+///
+/// ```
+/// use shrimp_sim::{SimTime, SimDur};
+/// let t = SimTime::ZERO + SimDur::from_us(2.5);
+/// assert_eq!(t.as_us(), 2.5);
+/// assert_eq!(t - SimTime::ZERO, SimDur::from_ns(2500.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time, measured in picoseconds.
+///
+/// ```
+/// use shrimp_sim::SimDur;
+/// let d = SimDur::from_ns(1.0) * 3;
+/// assert_eq!(d.as_ps(), 3_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDur(pub u64);
+
+impl SimTime {
+    /// The start of simulated time.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant; used as "never" in timer logic.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Raw picosecond count.
+    #[inline]
+    pub fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// This instant expressed in microseconds (the unit the paper reports).
+    #[inline]
+    pub fn as_us(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// This instant expressed in nanoseconds.
+    #[inline]
+    pub fn as_ns(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// This instant expressed in seconds.
+    #[inline]
+    pub fn as_secs(self) -> f64 {
+        self.0 as f64 / 1e12
+    }
+
+    /// Duration since an earlier instant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is after `self` (debug builds); saturates in
+    /// release builds.
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> SimDur {
+        debug_assert!(earlier <= self, "since() called with a later instant");
+        SimDur(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The later of two instants.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The earlier of two instants.
+    #[inline]
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl SimDur {
+    /// The empty duration.
+    pub const ZERO: SimDur = SimDur(0);
+
+    /// Build a duration from raw picoseconds.
+    #[inline]
+    pub const fn from_ps(ps: u64) -> SimDur {
+        SimDur(ps)
+    }
+
+    /// Build a duration from nanoseconds (rounded to the nearest picosecond).
+    #[inline]
+    pub fn from_ns(ns: f64) -> SimDur {
+        SimDur((ns * 1_000.0).round() as u64)
+    }
+
+    /// Build a duration from microseconds (rounded to the nearest picosecond).
+    #[inline]
+    pub fn from_us(us: f64) -> SimDur {
+        SimDur((us * 1_000_000.0).round() as u64)
+    }
+
+    /// Build a duration from seconds (rounded to the nearest picosecond).
+    #[inline]
+    pub fn from_secs(s: f64) -> SimDur {
+        SimDur((s * 1e12).round() as u64)
+    }
+
+    /// Raw picosecond count.
+    #[inline]
+    pub fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// This duration in microseconds.
+    #[inline]
+    pub fn as_us(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// This duration in nanoseconds.
+    #[inline]
+    pub fn as_ns(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// This duration in seconds.
+    #[inline]
+    pub fn as_secs(self) -> f64 {
+        self.0 as f64 / 1e12
+    }
+
+    /// True if this is the zero duration.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Duration needed to move `bytes` at `bytes_per_sec`, rounded up to a
+    /// whole picosecond so back-to-back transfers never overlap.
+    ///
+    /// ```
+    /// use shrimp_sim::SimDur;
+    /// // 33 MB/s EISA burst: 4 bytes take ~121 ns.
+    /// let d = SimDur::per_bytes(4, 33.0e6);
+    /// assert!((d.as_ns() - 121.2).abs() < 0.5);
+    /// ```
+    pub fn per_bytes(bytes: usize, bytes_per_sec: f64) -> SimDur {
+        assert!(bytes_per_sec > 0.0, "bandwidth must be positive");
+        SimDur(((bytes as f64 / bytes_per_sec) * 1e12).ceil() as u64)
+    }
+
+    /// Saturating multiplication by an integer count.
+    #[inline]
+    pub fn saturating_mul(self, n: u64) -> SimDur {
+        SimDur(self.0.saturating_mul(n))
+    }
+}
+
+impl Add<SimDur> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, d: SimDur) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+}
+
+impl AddAssign<SimDur> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, d: SimDur) {
+        *self = *self + d;
+    }
+}
+
+impl Sub<SimDur> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, d: SimDur) -> SimTime {
+        SimTime(self.0.saturating_sub(d.0))
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDur;
+    #[inline]
+    fn sub(self, t: SimTime) -> SimDur {
+        SimDur(self.0.saturating_sub(t.0))
+    }
+}
+
+impl Add for SimDur {
+    type Output = SimDur;
+    #[inline]
+    fn add(self, d: SimDur) -> SimDur {
+        SimDur(self.0.saturating_add(d.0))
+    }
+}
+
+impl AddAssign for SimDur {
+    #[inline]
+    fn add_assign(&mut self, d: SimDur) {
+        *self = *self + d;
+    }
+}
+
+impl Sub for SimDur {
+    type Output = SimDur;
+    #[inline]
+    fn sub(self, d: SimDur) -> SimDur {
+        SimDur(self.0.saturating_sub(d.0))
+    }
+}
+
+impl SubAssign for SimDur {
+    #[inline]
+    fn sub_assign(&mut self, d: SimDur) {
+        *self = *self - d;
+    }
+}
+
+impl Mul<u64> for SimDur {
+    type Output = SimDur;
+    #[inline]
+    fn mul(self, n: u64) -> SimDur {
+        SimDur(self.0.saturating_mul(n))
+    }
+}
+
+impl Div<u64> for SimDur {
+    type Output = SimDur;
+    #[inline]
+    fn div(self, n: u64) -> SimDur {
+        SimDur(self.0 / n)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}us", self.as_us())
+    }
+}
+
+impl fmt::Display for SimDur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}us", self.as_us())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic_round_trips() {
+        let t = SimTime::ZERO + SimDur::from_us(4.75);
+        assert_eq!(t.as_ps(), 4_750_000);
+        assert_eq!((t - SimTime::ZERO).as_us(), 4.75);
+        assert_eq!(t - SimDur::from_us(4.75), SimTime::ZERO);
+    }
+
+    #[test]
+    fn durations_saturate_instead_of_wrapping() {
+        let d = SimDur(u64::MAX) + SimDur(1);
+        assert_eq!(d.0, u64::MAX);
+        let t = SimTime::MAX + SimDur(10);
+        assert_eq!(t, SimTime::MAX);
+        assert_eq!((SimDur(3) - SimDur(5)).as_ps(), 0);
+    }
+
+    #[test]
+    fn per_bytes_rounds_up() {
+        // 1 byte at 3 bytes/sec = 1/3 s = 333_333_333_333.33.. ps -> ceil.
+        let d = SimDur::per_bytes(1, 3.0);
+        assert_eq!(d.as_ps(), 333_333_333_334);
+        assert_eq!(SimDur::per_bytes(0, 1e6), SimDur::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn per_bytes_rejects_zero_bandwidth() {
+        let _ = SimDur::per_bytes(1, 0.0);
+    }
+
+    #[test]
+    fn min_max_behave() {
+        let a = SimTime(5);
+        let b = SimTime(9);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(b.since(a), SimDur(4));
+    }
+
+    #[test]
+    fn unit_conversions() {
+        assert_eq!(SimDur::from_ns(1.0).as_ps(), 1_000);
+        assert_eq!(SimDur::from_us(1.0).as_ps(), 1_000_000);
+        assert_eq!(SimDur::from_secs(1.0).as_ps(), 1_000_000_000_000);
+        assert!((SimDur::from_us(2.0).as_secs() - 2e-6).abs() < 1e-18);
+        assert_eq!(format!("{}", SimDur::from_us(1.5)), "1.500us");
+        assert_eq!(format!("{}", SimTime::ZERO + SimDur::from_us(2.0)), "2.000us");
+    }
+}

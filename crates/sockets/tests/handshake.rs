@@ -1,0 +1,68 @@
+//! Connection-establishment robustness: the Ethernet is a shared,
+//! public channel; listeners must tolerate stray traffic.
+
+use std::sync::Arc;
+
+use shrimp_core::{ShrimpSystem, SystemConfig};
+use shrimp_mesh::NodeId;
+use shrimp_node::EthAddr;
+use shrimp_sockets::{connect, listen, SetupFrame, SocketVariant};
+use shrimp_sim::{Kernel, SimDur};
+
+#[test]
+fn listener_ignores_stray_frames_and_still_accepts() {
+    let kernel = Kernel::new();
+    let system = ShrimpSystem::build(&kernel, SystemConfig::prototype());
+    {
+        let vmmc = system.endpoint(1, "server");
+        let eth = Arc::clone(system.ethernet());
+        kernel.spawn("server", move |ctx| {
+            let listener = listen(vmmc, eth, 6000);
+            let mut sock = listener.accept(ctx).unwrap();
+            assert_eq!(sock.recv_exact(ctx, 5).unwrap(), b"hello");
+            sock.close(ctx).unwrap();
+        });
+    }
+    {
+        // A confused host sprays garbage at the listening port first.
+        let eth = Arc::clone(system.ethernet());
+        kernel.schedule_in(SimDur::from_us(1.0), move || {
+            eth.send(NodeId(3), EthAddr { node: NodeId(1), port: 6000 }, vec![0xFF, 0x00, 0x01]);
+        });
+        let eth = Arc::clone(system.ethernet());
+        kernel.schedule_in(SimDur::from_us(2.0), move || {
+            eth.send(NodeId(2), EthAddr { node: NodeId(1), port: 6000 }, Vec::new());
+        });
+    }
+    {
+        let vmmc = system.endpoint(0, "client");
+        let eth = Arc::clone(system.ethernet());
+        kernel.spawn("client", move |ctx| {
+            // Arrive after the garbage.
+            ctx.advance(SimDur::from_us(5_000.0));
+            let mut sock = connect(vmmc, ctx, &eth, NodeId(1), 6000, SocketVariant::Au2Copy).unwrap();
+            sock.send(ctx, b"hello").unwrap();
+            sock.close(ctx).unwrap();
+        });
+    }
+    kernel.run_until_quiescent().unwrap();
+    assert!(system.violations().is_empty());
+}
+
+#[test]
+fn setup_frames_survive_the_ethernet_byte_for_byte() {
+    // The frames carry mapping names — a corrupted exchange would wire
+    // the rings to the wrong pages.
+    let frames = [
+        SetupFrame::Connect {
+            node: NodeId(2),
+            region: u64::MAX,
+            variant: SocketVariant::Du2Copy,
+            reply_port: 0,
+        },
+        SetupFrame::Accept { node: NodeId(0), region: 1 },
+    ];
+    for f in frames {
+        assert_eq!(SetupFrame::decode(&f.encode()), Some(f));
+    }
+}

@@ -1,0 +1,155 @@
+//! Marshaling plans: where each parameter lives in the mirrored
+//! communication buffers.
+//!
+//! The buffers are laid out so the flag is immediately after the data
+//! and in the same place for all calls that use the same binding (paper
+//! §5 "Buffer Management"). With one fixed flag offset, each procedure's
+//! parameters are packed *ending at* the flag word, so the client stub
+//! fills memory locations consecutively upward and the final flag store
+//! extends the same ascending run — letting the hardware combine all of
+//! the arguments and the flag into a single packet.
+
+use crate::idl::{Interface, Param, ProcDef};
+
+/// One parameter's placement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamSlot {
+    /// The declaration.
+    pub param: Param,
+    /// Byte offset within the binding's buffer.
+    pub offset: usize,
+}
+
+/// A procedure's marshaling plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcPlan {
+    /// The declaration.
+    pub def: ProcDef,
+    /// Parameter placements, in declaration order (ascending offsets).
+    pub slots: Vec<ParamSlot>,
+    /// Total parameter bytes.
+    pub args_bytes: usize,
+}
+
+/// The complete plan for an interface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterfacePlan {
+    /// Interface name.
+    pub name: String,
+    /// Per-procedure plans, indexed by wire procedure number.
+    pub procs: Vec<ProcPlan>,
+    /// Byte offset of the flag word (also the size of the parameter
+    /// area).
+    pub flag_offset: usize,
+    /// Total buffer bytes per side (parameter area + flag word).
+    pub buffer_bytes: usize,
+}
+
+impl InterfacePlan {
+    /// Compute the plan for an interface.
+    pub fn new(iface: &Interface) -> InterfacePlan {
+        let flag_offset = iface
+            .procs
+            .iter()
+            .map(|p| p.params.iter().map(|q| q.ty.wire_bytes()).sum::<usize>())
+            .max()
+            .unwrap_or(0);
+        let procs = iface
+            .procs
+            .iter()
+            .map(|def| {
+                let args_bytes: usize = def.params.iter().map(|q| q.ty.wire_bytes()).sum();
+                let mut off = flag_offset - args_bytes;
+                let slots = def
+                    .params
+                    .iter()
+                    .map(|param| {
+                        let slot = ParamSlot { param: param.clone(), offset: off };
+                        off += param.ty.wire_bytes();
+                        slot
+                    })
+                    .collect();
+                ProcPlan { def: def.clone(), slots, args_bytes }
+            })
+            .collect();
+        InterfacePlan {
+            name: iface.name.clone(),
+            procs,
+            flag_offset,
+            buffer_bytes: flag_offset + 4,
+        }
+    }
+
+    /// Encode a call-flag word: sequence number and procedure index.
+    pub fn call_flag(seq: u32, proc_idx: usize) -> u32 {
+        (seq << 8) | (proc_idx as u32 + 1)
+    }
+
+    /// Encode the matching reply-flag word.
+    pub fn reply_flag(seq: u32) -> u32 {
+        seq << 8
+    }
+
+    /// Decode a call-flag word into (seq, proc index); `None` for reply
+    /// flags or the initial zero.
+    pub fn decode_call_flag(v: u32) -> Option<(u32, usize)> {
+        let idx = v & 0xFF;
+        if idx == 0 {
+            return None;
+        }
+        Some((v >> 8, (idx - 1) as usize))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::idl::parse_interface;
+
+    fn plan(src: &str) -> InterfacePlan {
+        InterfacePlan::new(&parse_interface(src).unwrap())
+    }
+
+    #[test]
+    fn params_end_at_the_flag_for_every_proc() {
+        let p = plan(
+            "interface X {
+                small(in a: i32);
+                big(in a: i32, inout b: opaque[100], out c: f64);
+            }",
+        );
+        // flag offset = max args = 4 + 100(->100) + 8 = 112.
+        assert_eq!(p.flag_offset, 112);
+        assert_eq!(p.buffer_bytes, 116);
+        // Every procedure's last parameter abuts the flag.
+        for proc_ in &p.procs {
+            if let Some(last) = proc_.slots.last() {
+                assert_eq!(last.offset + last.param.ty.wire_bytes(), p.flag_offset);
+            }
+            // Slots ascend contiguously.
+            for w in proc_.slots.windows(2) {
+                assert_eq!(w[0].offset + w[0].param.ty.wire_bytes(), w[1].offset);
+            }
+        }
+        assert_eq!(p.procs[0].slots[0].offset, 108);
+        assert_eq!(p.procs[1].slots[0].offset, 0);
+    }
+
+    #[test]
+    fn empty_proc_has_no_slots() {
+        let p = plan("interface X { nop(); f(in a: i32); }");
+        assert!(p.procs[0].slots.is_empty());
+        assert_eq!(p.procs[0].args_bytes, 0);
+    }
+
+    #[test]
+    fn flag_words_round_trip() {
+        for seq in [0u32, 1, 77, 0xFFFF] {
+            for idx in [0usize, 3, 254] {
+                let f = InterfacePlan::call_flag(seq, idx);
+                assert_eq!(InterfacePlan::decode_call_flag(f), Some((seq, idx)));
+            }
+            assert_eq!(InterfacePlan::decode_call_flag(InterfacePlan::reply_flag(seq)), None);
+        }
+    }
+}

@@ -1,0 +1,502 @@
+//! The SHRIMP RPC runtime: bindings, client stubs, server dispatch.
+//!
+//! Each binding consists of one receive buffer on each side with
+//! bidirectional import-export mappings between them (paper §5,
+//! following Bershad's URPC). Both buffers are simultaneously exported
+//! (so the peer's automatic updates land in them) and bound by automatic
+//! update (so local marshaling stores propagate to the peer). A call is
+//! nothing more than the client stub filling its buffer consecutively —
+//! arguments, then the flag — and the hardware combining everything into
+//! a single packet; OUT and INOUT parameters are written by the server
+//! procedure *by reference* and propagate back in the background while
+//! the server computes.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use shrimp_core::{BufferName, ExportOpts, ImportHandle, Vmmc, VmmcError};
+use shrimp_mesh::NodeId;
+use shrimp_node::{CacheMode, VAddr, PAGE_SIZE};
+use shrimp_sim::{Ctx, SimChannel, SimDur};
+
+use crate::idl::{Interface, Ty};
+use crate::layout::{InterfacePlan, ParamSlot};
+
+/// Reserved flag byte marking connection close.
+const CLOSE_MARK: u32 = 0xFF;
+
+/// A dynamic parameter value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Val {
+    /// `i32`.
+    I32(i32),
+    /// `u32`.
+    U32(u32),
+    /// `f64`.
+    F64(f64),
+    /// `bool`.
+    Bool(bool),
+    /// `opaque[N]` — must match the declared length.
+    Bytes(Vec<u8>),
+    /// `array<f64, N>` — must match the declared length.
+    F64Array(Vec<f64>),
+    /// `array<i32, N>` — must match the declared length.
+    I32Array(Vec<i32>),
+}
+
+impl Val {
+    /// Wire-encode, padded to the type's wire size.
+    ///
+    /// # Errors
+    ///
+    /// [`SrpcError::TypeMismatch`] if the value does not match `ty`.
+    pub fn encode(&self, ty: Ty) -> Result<Vec<u8>, SrpcError> {
+        let mut out = match (self, ty) {
+            (Val::I32(v), Ty::I32) => v.to_le_bytes().to_vec(),
+            (Val::U32(v), Ty::U32) => v.to_le_bytes().to_vec(),
+            (Val::F64(v), Ty::F64) => v.to_le_bytes().to_vec(),
+            (Val::Bool(v), Ty::Bool) => (*v as u32).to_le_bytes().to_vec(),
+            (Val::Bytes(b), Ty::Opaque(n)) if b.len() == n => b.clone(),
+            (Val::F64Array(a), Ty::F64Array(n)) if a.len() == n => {
+                a.iter().flat_map(|v| v.to_le_bytes()).collect()
+            }
+            (Val::I32Array(a), Ty::I32Array(n)) if a.len() == n => {
+                a.iter().flat_map(|v| v.to_le_bytes()).collect()
+            }
+            _ => return Err(SrpcError::TypeMismatch { expected: ty }),
+        };
+        out.resize(ty.wire_bytes(), 0);
+        Ok(out)
+    }
+
+    /// Decode a value of `ty` from its wire bytes.
+    pub fn decode(ty: Ty, b: &[u8]) -> Val {
+        match ty {
+            Ty::I32 => Val::I32(i32::from_le_bytes(b[..4].try_into().expect("4 bytes"))),
+            Ty::U32 => Val::U32(u32::from_le_bytes(b[..4].try_into().expect("4 bytes"))),
+            Ty::F64 => Val::F64(f64::from_le_bytes(b[..8].try_into().expect("8 bytes"))),
+            Ty::Bool => Val::Bool(b[0] != 0),
+            Ty::Opaque(n) => Val::Bytes(b[..n].to_vec()),
+            Ty::F64Array(n) => Val::F64Array(
+                (0..n)
+                    .map(|i| f64::from_le_bytes(b[i * 8..i * 8 + 8].try_into().expect("8 bytes")))
+                    .collect(),
+            ),
+            Ty::I32Array(n) => Val::I32Array(
+                (0..n)
+                    .map(|i| i32::from_le_bytes(b[i * 4..i * 4 + 4].try_into().expect("4 bytes")))
+                    .collect(),
+            ),
+        }
+    }
+
+    /// The zero value of a type (placeholder written into OUT slots to
+    /// keep the marshaling run consecutive).
+    pub fn zero(ty: Ty) -> Val {
+        match ty {
+            Ty::I32 => Val::I32(0),
+            Ty::U32 => Val::U32(0),
+            Ty::F64 => Val::F64(0.0),
+            Ty::Bool => Val::Bool(false),
+            Ty::Opaque(n) => Val::Bytes(vec![0; n]),
+            Ty::F64Array(n) => Val::F64Array(vec![0.0; n]),
+            Ty::I32Array(n) => Val::I32Array(vec![0; n]),
+        }
+    }
+}
+
+/// SHRIMP RPC errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SrpcError {
+    /// No such procedure in the bound interface.
+    UnknownProc(String),
+    /// Wrong number of IN arguments.
+    ArgCount {
+        /// Expected count.
+        expected: usize,
+        /// Provided count.
+        got: usize,
+    },
+    /// An argument's type does not match the declaration.
+    TypeMismatch {
+        /// The declared type.
+        expected: Ty,
+    },
+    /// Transport failure.
+    Vmmc(VmmcError),
+}
+
+impl std::fmt::Display for SrpcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SrpcError::UnknownProc(n) => write!(f, "unknown procedure '{n}'"),
+            SrpcError::ArgCount { expected, got } => {
+                write!(f, "expected {expected} in-arguments, got {got}")
+            }
+            SrpcError::TypeMismatch { expected } => {
+                write!(f, "argument does not match declared type {expected:?}")
+            }
+            SrpcError::Vmmc(e) => write!(f, "transport: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SrpcError {}
+
+impl From<VmmcError> for SrpcError {
+    fn from(e: VmmcError) -> Self {
+        SrpcError::Vmmc(e)
+    }
+}
+
+impl From<shrimp_node::MemFault> for SrpcError {
+    fn from(e: shrimp_node::MemFault) -> Self {
+        SrpcError::Vmmc(VmmcError::Fault(e))
+    }
+}
+
+/// A connection request for a named SHRIMP RPC service.
+#[derive(Debug)]
+pub struct SrpcConnect {
+    /// Client's node.
+    pub client_node: NodeId,
+    /// Client's exported communication buffer.
+    pub client_region: BufferName,
+    /// Channel for the server's (node, region) answer.
+    pub reply: SimChannel<(NodeId, BufferName)>,
+}
+
+/// Service directory for SHRIMP RPC (the binder).
+#[derive(Default)]
+pub struct SrpcDirectory {
+    services: Mutex<HashMap<String, SimChannel<SrpcConnect>>>,
+}
+
+impl std::fmt::Debug for SrpcDirectory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SrpcDirectory").finish_non_exhaustive()
+    }
+}
+
+impl SrpcDirectory {
+    /// An empty directory; share one per system.
+    pub fn new() -> Arc<SrpcDirectory> {
+        Arc::new(SrpcDirectory::default())
+    }
+
+    /// The listen/connect queue for a service name.
+    pub fn queue(&self, service: &str) -> SimChannel<SrpcConnect> {
+        self.services.lock().entry(service.to_string()).or_default().clone()
+    }
+}
+
+/// Shared binding mechanics for both sides.
+fn establish(
+    vmmc: &Vmmc,
+    ctx: &Ctx,
+    plan: &InterfacePlan,
+    peer_node: NodeId,
+    peer_region: BufferName,
+    local: VAddr,
+) -> Result<ImportHandle, SrpcError> {
+    let pages = plan.buffer_bytes.div_ceil(PAGE_SIZE);
+    let peer = vmmc.import(ctx, peer_node, peer_region)?;
+    vmmc.bind_au(ctx, local, &peer, 0, pages, true, false)?;
+    Ok(peer)
+}
+
+fn alloc_region(vmmc: &Vmmc, ctx: &Ctx, plan: &InterfacePlan) -> Result<(VAddr, BufferName), SrpcError> {
+    let bytes = plan.buffer_bytes.div_ceil(PAGE_SIZE) * PAGE_SIZE;
+    let va = vmmc.proc_().alloc(bytes, CacheMode::WriteBack);
+    let name = vmmc.export(ctx, va, bytes, ExportOpts::default())?;
+    Ok((va, name))
+}
+
+/// The client side of a binding.
+pub struct SrpcClient {
+    vmmc: Vmmc,
+    plan: InterfacePlan,
+    buf: VAddr,
+    _peer: ImportHandle,
+    seq: u32,
+}
+
+impl std::fmt::Debug for SrpcClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SrpcClient").field("interface", &self.plan.name).finish_non_exhaustive()
+    }
+}
+
+impl SrpcClient {
+    /// Bind to `service` with the given interface: exchanges buffer
+    /// names through the directory and wires the bidirectional
+    /// automatic-update mapping.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping failures.
+    pub fn bind(
+        vmmc: Vmmc,
+        ctx: &Ctx,
+        directory: &Arc<SrpcDirectory>,
+        service: &str,
+        iface: &Interface,
+    ) -> Result<SrpcClient, SrpcError> {
+        let plan = InterfacePlan::new(iface);
+        let (buf, my_name) = alloc_region(&vmmc, ctx, &plan)?;
+        let reply: SimChannel<(NodeId, BufferName)> = SimChannel::new();
+        directory.queue(service).send(
+            &ctx.handle(),
+            SrpcConnect { client_node: vmmc.node_id(), client_region: my_name, reply: reply.clone() },
+        );
+        ctx.advance(SimDur::from_us(400.0)); // out-of-band binder exchange
+        let (peer_node, peer_region) = reply.recv(ctx);
+        let peer = establish(&vmmc, ctx, &plan, peer_node, peer_region, buf)?;
+        Ok(SrpcClient { vmmc, plan, buf, _peer: peer, seq: 1 })
+    }
+
+    /// The VMMC endpoint.
+    pub fn vmmc(&self) -> &Vmmc {
+        &self.vmmc
+    }
+
+    /// The computed marshaling plan (inspectable for tests and docs).
+    pub fn plan(&self) -> &InterfacePlan {
+        &self.plan
+    }
+
+    /// Call `proc_name` with the IN/INOUT arguments in declaration
+    /// order; returns the OUT/INOUT results in declaration order.
+    ///
+    /// # Errors
+    ///
+    /// Argument-validation and transport errors.
+    pub fn call(&mut self, ctx: &Ctx, proc_name: &str, args: &[Val]) -> Result<Vec<Val>, SrpcError> {
+        self.vmmc.proc_().charge_call(ctx);
+        let idx = self
+            .plan
+            .procs
+            .iter()
+            .position(|p| p.def.name == proc_name)
+            .ok_or_else(|| SrpcError::UnknownProc(proc_name.to_string()))?;
+        let slots: Vec<ParamSlot> = self.plan.procs[idx].slots.clone();
+        let expected = slots.iter().filter(|s| s.param.dir.is_in()).count();
+        if args.len() != expected {
+            return Err(SrpcError::ArgCount { expected, got: args.len() });
+        }
+
+        // Marshal consecutively upward: IN/INOUT values, zeros into
+        // OUT-only slots (keeps the run unbroken so the hardware can
+        // combine args + flag into one packet), flag last.
+        let p = self.vmmc.proc_();
+        let mut next_in = 0usize;
+        for slot in &slots {
+            let bytes = if slot.param.dir.is_in() {
+                let v = &args[next_in];
+                next_in += 1;
+                v.encode(slot.param.ty)?
+            } else {
+                Val::zero(slot.param.ty).encode(slot.param.ty).expect("zero matches")
+            };
+            p.write(ctx, self.buf.add(slot.offset), &bytes)?;
+        }
+        let seq = self.seq;
+        self.seq += 1;
+        p.write_u32(ctx, self.buf.add(self.plan.flag_offset), InterfacePlan::call_flag(seq, idx))?;
+
+        // Wait for the reply flag (the server's final store, propagated
+        // back into this very buffer).
+        let flag_va = self.buf.add(self.plan.flag_offset);
+        let want = InterfacePlan::reply_flag(seq);
+        self.vmmc.wait_u32(ctx, flag_va, 1024, move |v| v == want)?;
+
+        // Unmarshal OUT/INOUT results.
+        let mut outs = Vec::new();
+        for slot in &slots {
+            if slot.param.dir.is_out() {
+                let b = p.read(ctx, self.buf.add(slot.offset), slot.param.ty.wire_bytes())?;
+                outs.push(Val::decode(slot.param.ty, &b));
+            }
+        }
+        Ok(outs)
+    }
+
+    /// Close the binding (the server's serve loop returns).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors.
+    pub fn close(&mut self, ctx: &Ctx) -> Result<(), SrpcError> {
+        let seq = self.seq;
+        self.vmmc.proc_().write_u32(
+            ctx,
+            self.buf.add(self.plan.flag_offset),
+            (seq << 8) | CLOSE_MARK,
+        )?;
+        Ok(())
+    }
+}
+
+/// Writes OUT/INOUT results from inside a procedure: every `set`
+/// propagates to the client immediately through automatic update,
+/// overlapping the rest of the procedure's computation.
+pub struct OutWriter<'a> {
+    vmmc: &'a Vmmc,
+    buf: VAddr,
+    slots: &'a [ParamSlot],
+    written: Vec<bool>,
+}
+
+impl OutWriter<'_> {
+    /// Write the OUT/INOUT parameter named `name`.
+    ///
+    /// # Errors
+    ///
+    /// Unknown name, non-out parameter, or type mismatch.
+    pub fn set(&mut self, ctx: &Ctx, name: &str, v: &Val) -> Result<(), SrpcError> {
+        let (i, slot) = self
+            .slots
+            .iter()
+            .enumerate()
+            .find(|(_, s)| s.param.name == name && s.param.dir.is_out())
+            .ok_or_else(|| SrpcError::UnknownProc(format!("out parameter '{name}'")))?;
+        let bytes = v.encode(slot.param.ty)?;
+        self.vmmc.proc_().write(ctx, self.buf.add(slot.offset), &bytes)?;
+        self.written[i] = true;
+        Ok(())
+    }
+}
+
+/// A procedure implementation: receives the IN/INOUT values in
+/// declaration order and writes results through the [`OutWriter`].
+pub type SrpcHandler = Box<dyn FnMut(&Ctx, &[Val], &mut OutWriter<'_>) + Send>;
+
+/// The server side of a binding.
+pub struct SrpcServer {
+    vmmc: Vmmc,
+    plan: InterfacePlan,
+    handlers: Vec<Option<SrpcHandler>>,
+}
+
+impl std::fmt::Debug for SrpcServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SrpcServer").field("interface", &self.plan.name).finish_non_exhaustive()
+    }
+}
+
+/// One accepted client binding.
+pub struct SrpcConn {
+    buf: VAddr,
+    _peer: ImportHandle,
+    seq: u32,
+}
+
+impl std::fmt::Debug for SrpcConn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SrpcConn").finish_non_exhaustive()
+    }
+}
+
+impl SrpcServer {
+    /// Create a server for the interface.
+    pub fn new(vmmc: Vmmc, iface: &Interface) -> SrpcServer {
+        let plan = InterfacePlan::new(iface);
+        let handlers = (0..plan.procs.len()).map(|_| None).collect();
+        SrpcServer { vmmc, plan, handlers }
+    }
+
+    /// Install the handler for a procedure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the procedure is not in the interface.
+    pub fn register(&mut self, proc_name: &str, handler: SrpcHandler) {
+        let idx = self
+            .plan
+            .procs
+            .iter()
+            .position(|p| p.def.name == proc_name)
+            .unwrap_or_else(|| panic!("no procedure '{proc_name}' in {}", self.plan.name));
+        self.handlers[idx] = Some(handler);
+    }
+
+    /// The VMMC endpoint.
+    pub fn vmmc(&self) -> &Vmmc {
+        &self.vmmc
+    }
+
+    /// Accept one client binding through the directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping failures.
+    pub fn accept(
+        &mut self,
+        ctx: &Ctx,
+        directory: &Arc<SrpcDirectory>,
+        service: &str,
+    ) -> Result<SrpcConn, SrpcError> {
+        let req = directory.queue(service).recv(ctx);
+        let (buf, my_name) = alloc_region(&self.vmmc, ctx, &self.plan)?;
+        req.reply.send(&ctx.handle(), (self.vmmc.node_id(), my_name));
+        let peer = establish(&self.vmmc, ctx, &self.plan, req.client_node, req.client_region, buf)?;
+        Ok(SrpcConn { buf, _peer: peer, seq: 1 })
+    }
+
+    /// Serve calls until the client closes the binding; returns the
+    /// number of calls served.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a call arrives for a procedure with no handler (a
+    /// deployment bug, as in the original stubs).
+    pub fn serve(&mut self, ctx: &Ctx, conn: &mut SrpcConn) -> Result<u64, SrpcError> {
+        let mut served = 0u64;
+        let p = self.vmmc.proc_().clone();
+        loop {
+            let flag_va = conn.buf.add(self.plan.flag_offset);
+            let seq = conn.seq;
+            let v = self
+                .vmmc
+                .wait_u32(ctx, flag_va, 1024, move |v| (v >> 8) == seq && (v & 0xFF) != 0)?;
+            if v & 0xFF == CLOSE_MARK {
+                return Ok(served);
+            }
+            let (_, idx) = InterfacePlan::decode_call_flag(v).expect("predicate checked");
+            self.vmmc.proc_().charge_bookkeeping(ctx); // dispatch lookup
+            let slots = self.plan.procs[idx].slots.clone();
+
+            // Gather IN/INOUT values (read out of the communication
+            // buffer; INOUTs are handed by reference in spirit — the
+            // handler's writes go straight back into the buffer).
+            let mut ins = Vec::new();
+            for slot in &slots {
+                if slot.param.dir.is_in() {
+                    let b = p.read(ctx, conn.buf.add(slot.offset), slot.param.ty.wire_bytes())?;
+                    ins.push(Val::decode(slot.param.ty, &b));
+                }
+            }
+            let mut writer = OutWriter {
+                vmmc: &self.vmmc,
+                buf: conn.buf,
+                slots: &slots,
+                written: vec![false; slots.len()],
+            };
+            let handler = self.handlers[idx]
+                .as_mut()
+                .unwrap_or_else(|| panic!("no handler for procedure '{}'", self.plan.procs[idx].def.name));
+            handler(ctx, &ins, &mut writer);
+
+            // When the procedure finishes, the server simply writes the
+            // flag; all written OUT values have already propagated.
+            p.write_u32(ctx, flag_va, InterfacePlan::reply_flag(seq))?;
+            conn.seq += 1;
+            served += 1;
+        }
+    }
+}

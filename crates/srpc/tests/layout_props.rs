@@ -1,0 +1,86 @@
+//! Property tests for the stub generator: every generatable interface
+//! yields a marshaling plan with the invariants the runtime (and the
+//! hardware combining) depend on.
+
+use proptest::prelude::*;
+use shrimp_srpc::{parse_interface, InterfacePlan};
+
+/// Generate a random but valid IDL source.
+fn idl_source() -> impl Strategy<Value = String> {
+    let ty = prop_oneof![
+        Just("i32".to_string()),
+        Just("u32".to_string()),
+        Just("f64".to_string()),
+        Just("bool".to_string()),
+        (1usize..300).prop_map(|n| format!("opaque[{n}]")),
+        (1usize..40).prop_map(|n| format!("array<f64, {n}>")),
+        (1usize..40).prop_map(|n| format!("array<i32, {n}>")),
+    ];
+    let dir = prop_oneof![Just("in"), Just("out"), Just("inout")];
+    let param = (dir, ty).prop_map(|(d, t)| (d, t));
+    let proc_ = proptest::collection::vec(param, 0..6);
+    proptest::collection::vec(proc_, 1..6).prop_map(|procs| {
+        let mut s = String::from("interface Gen {\n");
+        for (pi, params) in procs.iter().enumerate() {
+            s.push_str(&format!("  proc{pi}("));
+            let ps: Vec<String> = params
+                .iter()
+                .enumerate()
+                .map(|(qi, (d, t))| format!("{d} p{qi}: {t}"))
+                .collect();
+            s.push_str(&ps.join(", "));
+            s.push_str(");\n");
+        }
+        s.push('}');
+        s
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn plans_are_contiguous_and_end_at_the_flag(src in idl_source()) {
+        let iface = parse_interface(&src).expect("generated source is valid");
+        let plan = InterfacePlan::new(&iface);
+        prop_assert_eq!(plan.buffer_bytes, plan.flag_offset + 4);
+        for proc_ in &plan.procs {
+            // Slots ascend with no gaps (the consecutive-fill property
+            // the client stub needs for packet combining)...
+            for w in proc_.slots.windows(2) {
+                prop_assert_eq!(w[0].offset + w[0].param.ty.wire_bytes(), w[1].offset);
+            }
+            // ...and the run ends exactly at the flag word.
+            if let Some(last) = proc_.slots.last() {
+                prop_assert_eq!(last.offset + last.param.ty.wire_bytes(), plan.flag_offset);
+            }
+            // Every slot is word-aligned and inside the buffer.
+            for s in &proc_.slots {
+                prop_assert_eq!(s.offset % 4, 0);
+                prop_assert!(s.offset + s.param.ty.wire_bytes() <= plan.flag_offset);
+            }
+            let total: usize = proc_.slots.iter().map(|s| s.param.ty.wire_bytes()).sum();
+            prop_assert_eq!(total, proc_.args_bytes);
+        }
+    }
+
+    #[test]
+    fn flag_codec_round_trips(seq in 0u32..0x00FF_FFFF, idx in 0usize..200) {
+        let call = InterfacePlan::call_flag(seq, idx);
+        prop_assert_eq!(InterfacePlan::decode_call_flag(call), Some((seq, idx)));
+        let reply = InterfacePlan::reply_flag(seq);
+        prop_assert_eq!(InterfacePlan::decode_call_flag(reply), None);
+        prop_assert!(call != reply);
+    }
+
+    #[test]
+    fn generated_stub_mentions_every_procedure(src in idl_source()) {
+        let iface = parse_interface(&src).expect("generated source is valid");
+        let stub = shrimp_srpc::emit_client_stub(&iface);
+        for p in &iface.procs {
+            let needle = format!("pub fn {}(", p.name);
+            let found = stub.contains(&needle);
+            prop_assert!(found, "stub missing {}", needle);
+        }
+    }
+}

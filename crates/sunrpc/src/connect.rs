@@ -1,0 +1,82 @@
+//! Service binding: how a VRPC client finds a server and how the
+//! mapping pair for the SBL stream is established.
+//!
+//! Plays the role of the portmapper plus connection setup. The name
+//! exchange itself travels out of band (as the prototype did over its
+//! service network); each side then exports one region and imports the
+//! peer's, and the pair forms the bidirectional stream.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use shrimp_core::BufferName;
+use shrimp_mesh::NodeId;
+use shrimp_sim::SimChannel;
+
+use crate::stream::StreamVariant;
+
+/// A connection request delivered to a listening server.
+#[derive(Debug)]
+pub struct ConnectRequest {
+    /// The client's node.
+    pub client_node: NodeId,
+    /// Name of the region the client exported (the server→client
+    /// direction's ring lives there... no: the client's export receives
+    /// data *for the client*, i.e. the server writes into it).
+    pub client_region: BufferName,
+    /// Stream variant the client wants.
+    pub variant: StreamVariant,
+    /// Where the server sends its own exported region's name.
+    pub reply: SimChannel<(NodeId, BufferName)>,
+}
+
+/// The per-system service directory: program number → listener queue.
+#[derive(Default)]
+pub struct RpcDirectory {
+    services: Mutex<HashMap<u32, SimChannel<ConnectRequest>>>,
+}
+
+impl std::fmt::Debug for RpcDirectory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RpcDirectory").finish_non_exhaustive()
+    }
+}
+
+impl RpcDirectory {
+    /// An empty directory. Share one per simulated system.
+    pub fn new() -> Arc<RpcDirectory> {
+        Arc::new(RpcDirectory::default())
+    }
+
+    /// Register (or look up) the listener queue for a program.
+    pub fn listen(&self, prog: u32) -> SimChannel<ConnectRequest> {
+        self.services.lock().entry(prog).or_default().clone()
+    }
+
+    /// The listener queue for a program, if any client/server registered
+    /// it. Connecting to a never-served program returns the queue too —
+    /// the connect will simply block until a server arrives, matching
+    /// retry-until-bound portmapper behaviour.
+    pub fn lookup(&self, prog: u32) -> SimChannel<ConnectRequest> {
+        self.listen(prog)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn listen_and_lookup_share_a_queue() {
+        let d = RpcDirectory::new();
+        let a = d.listen(77);
+        let b = d.lookup(77);
+        let c = d.lookup(78);
+        // Same program: same queue (pushing to one is visible to the other).
+        assert_eq!(a.len(), 0);
+        drop(b);
+        drop(c);
+        assert_eq!(d.services.lock().len(), 2);
+    }
+}

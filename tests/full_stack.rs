@@ -1,0 +1,179 @@
+//! Whole-machine integration: every message-passing library running at
+//! the same time on one simulated prototype, sharing nodes, NICs, buses,
+//! and the mesh — as the real system's processes did.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use shrimp::nx::{NxConfig, NxWorld};
+use shrimp::prelude::*;
+use shrimp::sockets::{connect, listen, SocketVariant};
+use shrimp::srpc::{parse_interface, SrpcClient, SrpcDirectory, SrpcServer, Val};
+use shrimp::sunrpc::{AcceptStat, RpcDirectory, StreamVariant, VrpcClient, VrpcServer};
+
+#[test]
+fn all_four_libraries_coexist() {
+    let kernel = Kernel::new();
+    let system = shrimp::vmmc::ShrimpSystem::build(&kernel, SystemConfig::prototype());
+    let done: Arc<Mutex<Vec<&'static str>>> = Arc::new(Mutex::new(Vec::new()));
+
+    // --- NX pair on nodes 0 and 1 -------------------------------------
+    let world = NxWorld::new(Arc::clone(&system), NxConfig::paper_default(), vec![0, 1]);
+    for rank in 0..2 {
+        let world = Arc::clone(&world);
+        let done = Arc::clone(&done);
+        kernel.spawn(format!("nx{rank}"), move |ctx| {
+            let mut nx = world.join(ctx, rank);
+            let buf = nx.vmmc().proc_().alloc(4096, CacheMode::WriteBack);
+            for round in 0..20 {
+                if rank == 0 {
+                    nx.vmmc().proc_().poke(buf, &[round as u8; 512]).unwrap();
+                    nx.csend(ctx, round, buf, 512, 1).unwrap();
+                } else {
+                    let n = nx.crecv(ctx, round, buf, 4096).unwrap();
+                    assert_eq!(n, 512);
+                    assert_eq!(nx.vmmc().proc_().peek(buf, 512).unwrap(), vec![round as u8; 512]);
+                }
+            }
+            nx.flush(ctx).unwrap();
+            if rank == 0 {
+                done.lock().push("nx");
+            }
+        });
+    }
+
+    // --- VRPC pair: server node 2, client node 3 ----------------------
+    let rdir = RpcDirectory::new();
+    {
+        let vmmc = system.endpoint(2, "vrpc-server");
+        let rdir = Arc::clone(&rdir);
+        kernel.spawn("vrpc-server", move |ctx| {
+            let mut server = VrpcServer::new(vmmc, 77, 1);
+            server.register(
+                1,
+                Box::new(|_ctx, args, out| {
+                    let Ok(v) = args.get_i32() else { return AcceptStat::GarbageArgs };
+                    out.put_i32(v * 2);
+                    AcceptStat::Success
+                }),
+            );
+            let mut conn = server.accept(ctx, &rdir).unwrap();
+            server.serve(ctx, &mut conn).unwrap();
+        });
+    }
+    {
+        let vmmc = system.endpoint(3, "vrpc-client");
+        let rdir = Arc::clone(&rdir);
+        let done = Arc::clone(&done);
+        kernel.spawn("vrpc-client", move |ctx| {
+            let mut c = VrpcClient::bind(vmmc, ctx, &rdir, 77, 1, StreamVariant::AutomaticUpdate).unwrap();
+            for i in 0..15 {
+                assert_eq!(c.call(ctx, 1, move |e| e.put_i32(i), |d| d.get_i32()).unwrap(), 2 * i);
+            }
+            c.close(ctx).unwrap();
+            done.lock().push("vrpc");
+        });
+    }
+
+    // --- Sockets: node 1 serves, node 2 connects (cross traffic) ------
+    {
+        let vmmc = system.endpoint(1, "sock-server");
+        let eth = Arc::clone(system.ethernet());
+        kernel.spawn("sock-server", move |ctx| {
+            let listener = listen(vmmc, eth, 4242);
+            let mut s = listener.accept(ctx).unwrap();
+            let data = s.recv_exact(ctx, 20_000).unwrap();
+            s.send(ctx, &data[..100]).unwrap();
+            s.close(ctx).unwrap();
+        });
+    }
+    {
+        let vmmc = system.endpoint(2, "sock-client");
+        let eth = Arc::clone(system.ethernet());
+        let done = Arc::clone(&done);
+        kernel.spawn("sock-client", move |ctx| {
+            let mut s = connect(vmmc, ctx, &eth, NodeId(1), 4242, SocketVariant::Du1Copy).unwrap();
+            let data: Vec<u8> = (0..20_000).map(|i| (i % 251) as u8).collect();
+            s.send(ctx, &data).unwrap();
+            assert_eq!(s.recv_exact(ctx, 100).unwrap(), &data[..100]);
+            s.close(ctx).unwrap();
+            done.lock().push("sockets");
+        });
+    }
+
+    // --- Specialized RPC: server node 0, client node 3 -----------------
+    let sdir = SrpcDirectory::new();
+    let iface = parse_interface("interface Inc { inc(inout v: u32); }").unwrap();
+    {
+        let vmmc = system.endpoint(0, "srpc-server");
+        let sdir = Arc::clone(&sdir);
+        let iface = iface.clone();
+        kernel.spawn("srpc-server", move |ctx| {
+            let mut server = SrpcServer::new(vmmc, &iface);
+            server.register(
+                "inc",
+                Box::new(|ctx, ins, out| {
+                    let Val::U32(v) = ins[0] else { panic!("type") };
+                    out.set(ctx, "v", &Val::U32(v + 1)).unwrap();
+                }),
+            );
+            let mut conn = server.accept(ctx, &sdir, "inc").unwrap();
+            server.serve(ctx, &mut conn).unwrap();
+        });
+    }
+    {
+        let vmmc = system.endpoint(3, "srpc-client");
+        let sdir = Arc::clone(&sdir);
+        let done = Arc::clone(&done);
+        kernel.spawn("srpc-client", move |ctx| {
+            let mut c = SrpcClient::bind(vmmc, ctx, &sdir, "inc", &iface).unwrap();
+            let mut v = 0u32;
+            for _ in 0..25 {
+                let outs = c.call(ctx, "inc", &[Val::U32(v)]).unwrap();
+                let Val::U32(next) = outs[0] else { panic!("type") };
+                v = next;
+            }
+            assert_eq!(v, 25);
+            c.close(ctx).unwrap();
+            done.lock().push("srpc");
+        });
+    }
+
+    kernel.run_until_quiescent().expect("full-stack simulation failed");
+    assert!(system.violations().is_empty(), "protection violations");
+    let mut names = done.lock().clone();
+    names.sort();
+    assert_eq!(names, vec!["nx", "sockets", "srpc", "vrpc"]);
+}
+
+#[test]
+fn whole_system_runs_are_deterministic() {
+    fn run_once() -> (u64, Vec<u64>) {
+        let kernel = Kernel::new();
+        let system = shrimp::vmmc::ShrimpSystem::build(&kernel, SystemConfig::prototype());
+        let world = NxWorld::new(Arc::clone(&system), NxConfig::paper_default(), vec![0, 1, 2, 3]);
+        let stamps: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        for rank in 0..4 {
+            let world = Arc::clone(&world);
+            let stamps = Arc::clone(&stamps);
+            kernel.spawn(format!("rank{rank}"), move |ctx| {
+                let mut nx = world.join(ctx, rank);
+                let buf = nx.vmmc().proc_().alloc(8192, CacheMode::WriteBack);
+                let n = nx.numnodes();
+                for round in 0..5 {
+                    let dst = (rank + 1 + round as usize) % n;
+                    nx.csend(ctx, round, buf, 700 * (round as usize + 1), dst).unwrap();
+                    nx.crecv(ctx, round, buf, 8192).unwrap();
+                }
+                nx.gsync(ctx).unwrap();
+                nx.flush(ctx).unwrap();
+                stamps.lock().push(ctx.now().as_ps());
+            });
+        }
+        let end = kernel.run_until_quiescent().unwrap();
+        let mut v = stamps.lock().clone();
+        v.sort_unstable();
+        (end.as_ps(), v)
+    }
+    assert_eq!(run_once(), run_once());
+}

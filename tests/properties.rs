@@ -1,0 +1,214 @@
+#![allow(clippy::type_complexity)]
+
+//! Property-based tests across the whole stack: arbitrary workloads
+//! must preserve the invariants the paper's libraries promise.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use proptest::prelude::*;
+use shrimp::nx::{NxConfig, NxWorld, SendVariant};
+use shrimp::prelude::*;
+use shrimp::sockets::{connect, listen, SocketVariant};
+use shrimp::sunrpc::{XdrDecoder, XdrEncoder};
+
+// ----------------------------------------------------------------------
+// XDR: arbitrary value sequences round-trip
+// ----------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum XdrVal {
+    U32(u32),
+    I32(i32),
+    U64(u64),
+    Bool(bool),
+    F64(f64),
+    Opaque(Vec<u8>),
+    Text(String),
+}
+
+fn xdr_val() -> impl Strategy<Value = XdrVal> {
+    prop_oneof![
+        any::<u32>().prop_map(XdrVal::U32),
+        any::<i32>().prop_map(XdrVal::I32),
+        any::<u64>().prop_map(XdrVal::U64),
+        any::<bool>().prop_map(XdrVal::Bool),
+        // Finite doubles only: XDR round-trips NaN bit patterns but
+        // equality comparison would not.
+        (-1e15f64..1e15).prop_map(XdrVal::F64),
+        proptest::collection::vec(any::<u8>(), 0..200).prop_map(XdrVal::Opaque),
+        "[a-zA-Z0-9 _-]{0,60}".prop_map(XdrVal::Text),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn xdr_sequences_round_trip(vals in proptest::collection::vec(xdr_val(), 0..30)) {
+        let mut enc = XdrEncoder::new();
+        for v in &vals {
+            match v {
+                XdrVal::U32(x) => enc.put_u32(*x),
+                XdrVal::I32(x) => enc.put_i32(*x),
+                XdrVal::U64(x) => enc.put_u64(*x),
+                XdrVal::Bool(x) => enc.put_bool(*x),
+                XdrVal::F64(x) => enc.put_f64(*x),
+                XdrVal::Opaque(x) => enc.put_opaque(x),
+                XdrVal::Text(x) => enc.put_string(x),
+            }
+        }
+        // XDR output is always whole words.
+        prop_assert_eq!(enc.len() % 4, 0);
+        let bytes = enc.into_bytes();
+        let mut dec = XdrDecoder::new(&bytes);
+        for v in &vals {
+            match v {
+                XdrVal::U32(x) => prop_assert_eq!(dec.get_u32().unwrap(), *x),
+                XdrVal::I32(x) => prop_assert_eq!(dec.get_i32().unwrap(), *x),
+                XdrVal::U64(x) => prop_assert_eq!(dec.get_u64().unwrap(), *x),
+                XdrVal::Bool(x) => prop_assert_eq!(dec.get_bool().unwrap(), *x),
+                XdrVal::F64(x) => prop_assert_eq!(dec.get_f64().unwrap(), *x),
+                XdrVal::Opaque(x) => prop_assert_eq!(dec.get_opaque().unwrap(), x.as_slice()),
+                XdrVal::Text(x) => prop_assert_eq!(dec.get_string().unwrap(), x.as_str()),
+            }
+        }
+        prop_assert_eq!(dec.remaining(), 0);
+    }
+}
+
+// ----------------------------------------------------------------------
+// NX: arbitrary message schedules are delivered intact and in per-type
+// order
+// ----------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct NxMsg {
+    mtype: u8,
+    len: usize,
+    fill: u8,
+}
+
+fn nx_msgs() -> impl Strategy<Value = Vec<NxMsg>> {
+    proptest::collection::vec(
+        (0u8..4, 0usize..6000, any::<u8>()).prop_map(|(mtype, len, fill)| NxMsg { mtype, len, fill }),
+        1..12,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn nx_random_schedules_deliver_intact(
+        msgs in nx_msgs(),
+        variant_pick in 0usize..3,
+    ) {
+        let variant = [SendVariant::AutomaticUpdate, SendVariant::DuMarshal, SendVariant::DuFromUser][variant_pick];
+        let kernel = Kernel::new();
+        let system = shrimp::vmmc::ShrimpSystem::build(&kernel, SystemConfig::prototype());
+        let mut config = NxConfig::paper_default();
+        config.send_variant = variant;
+        let world = NxWorld::new(Arc::clone(&system), config, vec![0, 1]);
+        let received: Arc<Mutex<Vec<(i32, Vec<u8>)>>> = Arc::new(Mutex::new(Vec::new()));
+
+        {
+            let world = Arc::clone(&world);
+            let msgs = msgs.clone();
+            kernel.spawn("tx", move |ctx| {
+                let mut nx = world.join(ctx, 0);
+                let buf = nx.vmmc().proc_().alloc(8192, CacheMode::WriteBack);
+                for m in &msgs {
+                    nx.vmmc().proc_().poke(buf, &vec![m.fill; m.len.max(1)]).unwrap();
+                    nx.csend(ctx, m.mtype as i32, buf, m.len, 1).unwrap();
+                }
+                nx.flush(ctx).unwrap();
+            });
+        }
+        {
+            let world = Arc::clone(&world);
+            let count = msgs.len();
+            let received = Arc::clone(&received);
+            kernel.spawn("rx", move |ctx| {
+                let mut nx = world.join(ctx, 1);
+                let buf = nx.vmmc().proc_().alloc(8192, CacheMode::WriteBack);
+                for _ in 0..count {
+                    let n = nx.crecv(ctx, -1, buf, 8192).unwrap();
+                    let data = nx.vmmc().proc_().peek(buf, n).unwrap();
+                    received.lock().push((nx.infotype(), data));
+                }
+            });
+        }
+        kernel.run_until_quiescent().unwrap();
+        prop_assert!(system.violations().is_empty());
+
+        let got = received.lock().clone();
+        prop_assert_eq!(got.len(), msgs.len());
+        // Per-type FIFO: within each type, contents arrive in send order.
+        for t in 0u8..4 {
+            let sent: Vec<&NxMsg> = msgs.iter().filter(|m| m.mtype == t).collect();
+            let recv: Vec<&(i32, Vec<u8>)> = got.iter().filter(|(ty, _)| *ty == t as i32).collect();
+            prop_assert_eq!(sent.len(), recv.len());
+            for (m, (_, data)) in sent.iter().zip(&recv) {
+                prop_assert_eq!(data.len(), m.len);
+                prop_assert!(data.iter().all(|&b| b == m.fill));
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Sockets: arbitrary write sizes form one intact byte stream
+// ----------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn socket_streams_preserve_bytes(
+        chunk_sizes in proptest::collection::vec(1usize..9000, 1..10),
+        recv_size in 1usize..8192,
+        variant_pick in 0usize..3,
+    ) {
+        let variant = [SocketVariant::Au2Copy, SocketVariant::Du1Copy, SocketVariant::Du2Copy][variant_pick];
+        let total: usize = chunk_sizes.iter().sum();
+        let data: Vec<u8> = (0..total).map(|i| (i % 249) as u8).collect();
+        let kernel = Kernel::new();
+        let system = shrimp::vmmc::ShrimpSystem::build(&kernel, SystemConfig::prototype());
+        let received: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+
+        {
+            let vmmc = system.endpoint(1, "rx");
+            let eth = Arc::clone(system.ethernet());
+            let received = Arc::clone(&received);
+            kernel.spawn("rx", move |ctx| {
+                let listener = listen(vmmc, eth, 1000);
+                let mut s = listener.accept(ctx).unwrap();
+                loop {
+                    let chunk = s.recv(ctx, recv_size).unwrap();
+                    if chunk.is_empty() {
+                        break;
+                    }
+                    received.lock().extend(chunk);
+                }
+            });
+        }
+        {
+            let vmmc = system.endpoint(0, "tx");
+            let eth = Arc::clone(system.ethernet());
+            let data = data.clone();
+            kernel.spawn("tx", move |ctx| {
+                let mut s = connect(vmmc, ctx, &eth, NodeId(1), 1000, variant).unwrap();
+                let mut off = 0;
+                for &n in &chunk_sizes {
+                    s.send(ctx, &data[off..off + n]).unwrap();
+                    off += n;
+                }
+                s.close(ctx).unwrap();
+            });
+        }
+        kernel.run_until_quiescent().unwrap();
+        prop_assert!(system.violations().is_empty());
+        prop_assert_eq!(received.lock().clone(), data);
+    }
+}
