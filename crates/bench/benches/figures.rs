@@ -9,8 +9,8 @@ use shrimp_bench::rpc_compare::{compatible_roundtrip, specialized_roundtrip};
 use shrimp_bench::socket_bench::{one_way_pump, socket_pingpong};
 use shrimp_bench::vrpc_bench::{vrpc_roundtrip, VrpcVariant};
 use shrimp_node::CostModel;
-use shrimp_sockets::SocketVariant;
 use shrimp_sim::SimDur;
+use shrimp_sockets::SocketVariant;
 
 fn bench_figures(c: &mut Criterion) {
     let mut g = c.benchmark_group("figures");
@@ -20,7 +20,14 @@ fn bench_figures(c: &mut Criterion) {
         b.iter(|| vmmc_pingpong(Strategy::Du0Copy, 4, false, CostModel::shrimp_prototype()))
     });
     g.bench_function("fig3_vmmc_au1_10k", |b| {
-        b.iter(|| vmmc_pingpong(Strategy::Au1Copy, 10240, false, CostModel::shrimp_prototype()))
+        b.iter(|| {
+            vmmc_pingpong(
+                Strategy::Au1Copy,
+                10240,
+                false,
+                CostModel::shrimp_prototype(),
+            )
+        })
     });
     g.bench_function("fig4_nx_au1_1k", |b| {
         b.iter(|| nx_pingpong(NxVariant::Au1Copy, 1024, CostModel::shrimp_prototype()))
@@ -42,7 +49,13 @@ fn bench_figures(c: &mut Criterion) {
     });
     g.bench_function("ttcp_oneway_7k", |b| {
         b.iter(|| {
-            one_way_pump(SocketVariant::Du1Copy, 7168, 10, SimDur::ZERO, CostModel::shrimp_prototype())
+            one_way_pump(
+                SocketVariant::Du1Copy,
+                7168,
+                10,
+                SimDur::ZERO,
+                CostModel::shrimp_prototype(),
+            )
         })
     });
     g.finish();

@@ -41,7 +41,8 @@ pub fn combining_on_off() -> [(bool, f64, u64, f64); 2] {
         config.costs.au_combine_timeout = SimDur::from_us(3.0);
         let system = ShrimpSystem::build(&kernel, config);
         let names: SimChannel<BufferName> = SimChannel::new();
-        let t: Arc<Mutex<(SimTime, SimTime)>> = Arc::new(Mutex::new((SimTime::ZERO, SimTime::ZERO)));
+        let t: Arc<Mutex<(SimTime, SimTime)>> =
+            Arc::new(Mutex::new((SimTime::ZERO, SimTime::ZERO)));
         {
             let rx = system.endpoint(1, "rx");
             let names = names.clone();
@@ -50,7 +51,8 @@ pub fn combining_on_off() -> [(bool, f64, u64, f64); 2] {
                 let buf = rx.proc_().alloc(4096, CacheMode::WriteBack);
                 let name = rx.export(ctx, buf, 4096, ExportOpts::default()).unwrap();
                 names.send(&ctx.handle(), name);
-                rx.wait_u32(ctx, buf.add(60), 4096, |v| v == 0xF1A6).unwrap();
+                rx.wait_u32(ctx, buf.add(60), 4096, |v| v == 0xF1A6)
+                    .unwrap();
                 t.lock().1 = ctx.now();
             });
         }
@@ -65,7 +67,9 @@ pub fn combining_on_off() -> [(bool, f64, u64, f64); 2] {
                 t.lock().0 = ctx.now();
                 // Sixteen word stores, the last one the flag.
                 for w in 0..15u32 {
-                    tx.proc_().write_u32(ctx, au.add(w as usize * 4), w + 1).unwrap();
+                    tx.proc_()
+                        .write_u32(ctx, au.add(w as usize * 4), w + 1)
+                        .unwrap();
                 }
                 tx.proc_().write_u32(ctx, au.add(60), 0xF1A6).unwrap();
             });
@@ -73,7 +77,11 @@ pub fn combining_on_off() -> [(bool, f64, u64, f64); 2] {
         kernel.run_until_quiescent().unwrap();
         let (t0, t1) = *t.lock();
         let (busy, _txns, _bytes) = system.node(1).eisa().stats();
-        ((t1 - t0).as_us(), system.nic(0).stats().au_packets_out, busy.as_us())
+        (
+            (t1 - t0).as_us(),
+            system.nic(0).stats().au_packets_out,
+            busy.as_us(),
+        )
     }
     let on = run(true);
     let off = run(false);
@@ -97,7 +105,10 @@ pub fn alignment_fallback() -> (f64, f64) {
             let out = Arc::clone(&out);
             kernel.spawn("tx", move |ctx| {
                 let mut nx = world.join(ctx, 0);
-                let buf = nx.vmmc().proc_().alloc_at_offset(2048, offset, CacheMode::WriteBack);
+                let buf = nx
+                    .vmmc()
+                    .proc_()
+                    .alloc_at_offset(2048, offset, CacheMode::WriteBack);
                 let rbuf = nx.vmmc().proc_().alloc(2048, CacheMode::WriteBack);
                 for _ in 0..2 {
                     nx.csend(ctx, 1, buf, 1024, 1).unwrap();
@@ -185,7 +196,8 @@ pub fn optimistic_copy_on_off(len: usize) -> ((f64, f64), (f64, f64)) {
 /// (paper §6).
 pub fn interrupt_per_message() -> (f64, f64) {
     // Polling baseline: the raw AU ping-pong.
-    let polling = vmmc_pingpong(Strategy::Au1Copy, 16, false, CostModel::shrimp_prototype()).latency_us;
+    let polling =
+        vmmc_pingpong(Strategy::Au1Copy, 16, false, CostModel::shrimp_prototype()).latency_us;
 
     // Notification path: receiver blocks on wait_notification; sender
     // uses send_notify.
@@ -205,7 +217,10 @@ pub fn interrupt_per_message() -> (f64, f64) {
                     ctx,
                     buf,
                     4096,
-                    ExportOpts { perms: Default::default(), handler: Some(Box::new(|_, _| {})) },
+                    ExportOpts {
+                        perms: Default::default(),
+                        handler: Some(Box::new(|_, _| {})),
+                    },
                 )
                 .unwrap();
             names_rx.send(&ctx.handle(), name);
@@ -228,7 +243,10 @@ pub fn interrupt_per_message() -> (f64, f64) {
                     ctx,
                     buf,
                     4096,
-                    ExportOpts { perms: Default::default(), handler: Some(Box::new(|_, _| {})) },
+                    ExportOpts {
+                        perms: Default::default(),
+                        handler: Some(Box::new(|_, _| {})),
+                    },
                 )
                 .unwrap();
             let peer_name = names_rx.recv(ctx);
@@ -394,7 +412,10 @@ mod tests {
         );
         // End-to-end completion is similar either way.
         let ratio = opt_total / block_total;
-        assert!((0.5..1.5).contains(&ratio), "totals {opt_total:.0} vs {block_total:.0}");
+        assert!(
+            (0.5..1.5).contains(&ratio),
+            "totals {opt_total:.0} vs {block_total:.0}"
+        );
     }
 
     #[test]

@@ -31,11 +31,16 @@ fn main() {
     println!("\n== A5: an interrupt per message vs polling (16 B transfers) ==");
     let (polling, interrupts) = interrupt_per_message();
     println!("  polling protocol:        {polling:>7.2} us one-way");
-    println!("  notification per packet: {interrupts:>7.2} us one-way (signal delivery on the path)");
+    println!(
+        "  notification per packet: {interrupts:>7.2} us one-way (signal delivery on the path)"
+    );
 
     println!("\n== A6: zero-copy rendezvous vs chunked one-copy (3 KB NX message) ==");
     for (allowed, latency_us) in zero_copy_on_off() {
-        println!("  zero-copy {:<5}  ->  {latency_us:>7.2} us one-way", allowed);
+        println!(
+            "  zero-copy {:<5}  ->  {latency_us:>7.2} us one-way",
+            allowed
+        );
     }
 
     println!("\n== A7: credit-return batching (one-way 128 B stream) ==");

@@ -18,7 +18,12 @@ fn main() {
     for strategy in Strategy::all() {
         let mut s = Series::new(strategy.label());
         for &size in &sizes {
-            s.points.push(vmmc_pingpong(strategy, size, false, CostModel::shrimp_prototype()));
+            s.points.push(vmmc_pingpong(
+                strategy,
+                size,
+                false,
+                CostModel::shrimp_prototype(),
+            ));
         }
         all.push(s);
     }
@@ -33,7 +38,9 @@ fn main() {
 
     let word_au = all[0].latency_at(4).unwrap();
     let word_du = all[2].latency_at(4).unwrap();
-    println!("anchors: AU 1-word {word_au:.2} us (paper 4.75), DU 1-word {word_du:.2} us (paper 7.6)");
+    println!(
+        "anchors: AU 1-word {word_au:.2} us (paper 4.75), DU 1-word {word_du:.2} us (paper 7.6)"
+    );
     println!(
         "         DU-0copy peak {:.1} MB/s (paper ~23)",
         all[2].peak_bandwidth()
@@ -41,6 +48,9 @@ fn main() {
 
     if uncached {
         let p = vmmc_pingpong(Strategy::Au1Copy, 4, true, CostModel::shrimp_prototype());
-        println!("         AU 1-word, caching disabled: {:.2} us (paper 3.7)", p.latency_us);
+        println!(
+            "         AU 1-word, caching disabled: {:.2} us (paper 3.7)",
+            p.latency_us
+        );
     }
 }

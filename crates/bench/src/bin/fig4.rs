@@ -14,11 +14,15 @@ fn main() {
     for variant in NxVariant::all() {
         let mut s = Series::new(variant.label());
         for &size in &sizes {
-            s.points.push(nx_pingpong(variant, size, CostModel::shrimp_prototype()));
+            s.points
+                .push(nx_pingpong(variant, size, CostModel::shrimp_prototype()));
         }
         all.push(s);
     }
-    println!("{}", render_figure("Figure 4: NX latency and bandwidth", &all, LATENCY_CUTOFF));
+    println!(
+        "{}",
+        render_figure("Figure 4: NX latency and bandwidth", &all, LATENCY_CUTOFF)
+    );
 
     let hw = vmmc_pingpong(Strategy::Au1Copy, 8, false, CostModel::shrimp_prototype());
     let nx = all[0].latency_at(8).unwrap();
@@ -26,7 +30,12 @@ fn main() {
         "anchors: AU small-message overhead over hardware {:.2} us (paper: just over 6)",
         nx - hw.latency_us
     );
-    let hw_bw = vmmc_pingpong(Strategy::Du0Copy, 10240, false, CostModel::shrimp_prototype());
+    let hw_bw = vmmc_pingpong(
+        Strategy::Du0Copy,
+        10240,
+        false,
+        CostModel::shrimp_prototype(),
+    );
     println!(
         "         zero-copy 10 KB bandwidth {:.1} MB/s vs raw hardware {:.1} MB/s",
         all[2].bandwidth_at(10240).unwrap(),

@@ -13,7 +13,8 @@ fn main() {
     for variant in VrpcVariant::all() {
         let mut s = Series::new(variant.label());
         for &size in &sizes {
-            s.points.push(vrpc_roundtrip(variant, size, CostModel::shrimp_prototype()));
+            s.points
+                .push(vrpc_roundtrip(variant, size, CostModel::shrimp_prototype()));
         }
         all.push(s);
     }

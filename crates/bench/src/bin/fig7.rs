@@ -14,18 +14,34 @@ fn main() {
     for variant in socket_variants() {
         let mut s = Series::new(variant_label(variant));
         for &size in &sizes {
-            s.points.push(socket_pingpong(variant, size, CostModel::shrimp_prototype()));
+            s.points.push(socket_pingpong(
+                variant,
+                size,
+                CostModel::shrimp_prototype(),
+            ));
         }
         all.push(s);
     }
-    println!("{}", render_figure("Figure 7: socket latency and bandwidth", &all, LATENCY_CUTOFF));
+    println!(
+        "{}",
+        render_figure(
+            "Figure 7: socket latency and bandwidth",
+            &all,
+            LATENCY_CUTOFF
+        )
+    );
 
     let hw = vmmc_pingpong(Strategy::Au2Copy, 16, false, CostModel::shrimp_prototype());
     println!(
         "anchors: small-message overhead over hardware {:.1} us (paper: ~13, split evenly)",
         all[0].latency_at(16).unwrap() - hw.latency_us
     );
-    let hw1 = vmmc_pingpong(Strategy::Du1Copy, 10240, false, CostModel::shrimp_prototype());
+    let hw1 = vmmc_pingpong(
+        Strategy::Du1Copy,
+        10240,
+        false,
+        CostModel::shrimp_prototype(),
+    );
     println!(
         "         10 KB DU-1copy {:.1} MB/s vs raw one-copy limit {:.1} MB/s",
         all[1].bandwidth_at(10240).unwrap(),

@@ -18,14 +18,20 @@ fn main() {
     let sizes: Vec<usize> = vec![4, 50, 100, 200, 300, 400, 500, 600, 700, 800, 900, 1000];
 
     println!("== Figure 8: null RPC round-trip time, single INOUT argument ==\n");
-    println!("{:<12}{:>18}{:>18}{:>10}", "bytes", "compatible us", "non-compatible us", "ratio");
+    println!(
+        "{:<12}{:>18}{:>18}{:>10}",
+        "bytes", "compatible us", "non-compatible us", "ratio"
+    );
     let mut first = None;
     let mut last = None;
     for &size in &sizes {
         let c = compatible_roundtrip(size, CostModel::shrimp_prototype());
         let s = specialized_roundtrip(size, CostModel::shrimp_prototype());
         let ratio = c.latency_us / s.latency_us;
-        println!("{:<12}{:>18.2}{:>18.2}{:>10.2}", size, c.latency_us, s.latency_us, ratio);
+        println!(
+            "{:<12}{:>18.2}{:>18.2}{:>10.2}",
+            size, c.latency_us, s.latency_us, ratio
+        );
         if first.is_none() {
             first = Some((c.latency_us, s.latency_us));
         }

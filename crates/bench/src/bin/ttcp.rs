@@ -6,12 +6,15 @@
 
 use shrimp_bench::socket_bench::{one_way_pump, ttcp_write_overhead};
 use shrimp_node::CostModel;
-use shrimp_sockets::SocketVariant;
 use shrimp_sim::SimDur;
+use shrimp_sockets::SocketVariant;
 
 fn main() {
     println!("== ttcp one-way throughput (paper §4.3) ==\n");
-    println!("{:<14}{:>16}{:>20}", "msg bytes", "ttcp MB/s", "microbench MB/s");
+    println!(
+        "{:<14}{:>16}{:>20}",
+        "msg bytes", "ttcp MB/s", "microbench MB/s"
+    );
     for &size in &[70usize, 512, 1024, 4096, 7168, 8192] {
         let count = (200_000 / size).clamp(10, 300);
         let ttcp = one_way_pump(

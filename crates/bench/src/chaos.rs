@@ -1,0 +1,478 @@
+//! The chaos harness: the paper's workloads rerun under fault injection.
+//!
+//! Each cell of the matrix builds a fresh prototype system, arms one
+//! [`FaultPlan`], and drives one of the evaluation workloads through it:
+//!
+//! * **vmmc** — the Figure 3 deliberate-update ping-pong, with every
+//!   round's payload stamped so reordering or corruption is caught.
+//! * **nx** — the Figure 4 NX ping-pong over [`NxWorld::try_join`].
+//! * **socket** — the Figure 7 stream-socket echo.
+//!
+//! The harness asserts the recovery contract, not performance: no
+//! corruption, per-pair ordering, completion within a bounded delay
+//! budget, a clean (quiescent) shutdown, and — because both the kernel
+//! and the fault engine are deterministic — bit-identical reports for
+//! identical seeds. Injected IPT violations must traverse the paper's
+//! freeze-and-interrupt path and come back repaired.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use shrimp_core::{BufferName, ExportOpts, ShrimpSystem, SystemConfig, Vmmc, VmmcError};
+use shrimp_mesh::NodeId;
+use shrimp_node::{CacheMode, VAddr, PAGE_SIZE};
+use shrimp_nx::{NxConfig, NxError, NxWorld};
+use shrimp_sim::{
+    Ctx, FaultEvent, FaultKind, FaultPlan, FaultSpec, Kernel, RetryPolicy, SimDur, SimTime,
+};
+use shrimp_sockets::{connect, listen, SocketError, SocketVariant};
+
+/// Which evaluation workload a cell drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// Figure 3: raw VMMC deliberate-update ping-pong.
+    Vmmc,
+    /// Figure 4: NX library ping-pong.
+    Nx,
+    /// Figure 7: stream-socket echo.
+    Socket,
+}
+
+impl Workload {
+    /// Report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Workload::Vmmc => "vmmc",
+            Workload::Nx => "nx",
+            Workload::Socket => "socket",
+        }
+    }
+
+    /// All three, in report order.
+    pub fn all() -> [Workload; 3] {
+        [Workload::Vmmc, Workload::Nx, Workload::Socket]
+    }
+}
+
+/// Round count per workload — enough traffic that mid-run faults land
+/// between transfers, small enough for the full matrix to stay quick.
+const ROUNDS: u32 = 10;
+const POLL_BUDGET: usize = 10_000;
+
+/// One cell's measured outcome. Every field derives from virtual time
+/// and the deterministic fault log, so rendering it is replay-stable.
+#[derive(Debug, Clone)]
+pub struct CellOutcome {
+    /// Workload label.
+    pub workload: &'static str,
+    /// Matrix row name (e.g. `light-7`).
+    pub plan_name: String,
+    /// Number of fault events the plan injected.
+    pub events: usize,
+    /// Virtual time at which the driving process finished, in
+    /// picoseconds (integer, so reports compare byte-for-byte).
+    pub finished_ps: u64,
+    /// Protection violations the freeze path observed.
+    pub violations: usize,
+    /// The system's fault log, rendered.
+    pub log: String,
+}
+
+impl CellOutcome {
+    /// Deterministic one-cell rendering.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "cell workload={} plan={} events={} finished_ps={} violations={}\n",
+            self.workload, self.plan_name, self.events, self.finished_ps, self.violations
+        );
+        out.push_str(&self.log);
+        out
+    }
+}
+
+/// Upper bound on the extra virtual time a plan may cost a workload:
+/// the sum of every fault's worst-case delay contribution plus the
+/// retry budgets the libraries may burn riding out daemon outages.
+pub fn delay_budget(plan: &FaultPlan) -> SimDur {
+    let boot = RetryPolicy::bootstrap();
+    plan.events.iter().fold(SimDur::ZERO, |acc, ev| {
+        acc + match &ev.kind {
+            FaultKind::LinkStall { dur, .. } => *dur,
+            // Work inside a brownout dilates by at most `factor`.
+            FaultKind::Brownout { factor, dur } => {
+                SimDur::from_ps((dur.as_ps() as f64 * (factor - 1.0).max(0.0)) as u64 + 1)
+            }
+            FaultKind::DmaStall { dur, .. } => *dur,
+            // Freeze, interrupt, repair, retry of the frozen packet.
+            FaultKind::IptViolation { .. } => SimDur::from_us(100.0),
+            // The outage itself plus every bounded wait a retry loop
+            // may spend discovering the daemon is back.
+            FaultKind::DaemonCrash { downtime, .. } => *downtime + boot.total_budget(),
+        }
+    })
+}
+
+/// Export with bounded retry through daemon outages (exports have no
+/// built-in retry path; the chaos workloads must survive a crash landing
+/// mid-setup).
+fn export_retry(vmmc: &Vmmc, ctx: &Ctx, va: VAddr, len: usize, policy: RetryPolicy) -> BufferName {
+    for attempt in 0..policy.attempts {
+        match vmmc.export(ctx, va, len, ExportOpts::default()) {
+            Ok(name) => return name,
+            Err(VmmcError::DaemonUnavailable { .. }) if attempt + 1 < policy.attempts => {
+                ctx.advance(policy.timeout(attempt));
+            }
+            Err(e) => panic!("chaos export failed: {e}"),
+        }
+    }
+    panic!("chaos export exhausted its retry budget");
+}
+
+/// Run one cell: fresh prototype system, one plan, one workload.
+///
+/// # Panics
+///
+/// Panics on any contract breach: corrupted or reordered payloads, a
+/// failed shutdown, or an endpoint error the retry policies should have
+/// absorbed.
+pub fn run_cell(workload: Workload, plan_name: &str, plan: &FaultPlan) -> CellOutcome {
+    let kernel = Kernel::new();
+    let system = ShrimpSystem::build(&kernel, SystemConfig::prototype());
+    let log = system.apply_faults(plan);
+    let finished: Arc<Mutex<Option<SimTime>>> = Arc::new(Mutex::new(None));
+
+    match workload {
+        Workload::Vmmc => vmmc_workload(&kernel, &system, &finished),
+        Workload::Nx => nx_workload(&kernel, &system, &finished),
+        Workload::Socket => socket_workload(&kernel, &system, &finished),
+    }
+
+    kernel
+        .run_until_quiescent()
+        .expect("chaos cell must shut down cleanly");
+    assert!(system.quiescent(), "all injected traffic must drain");
+    let finished = finished.lock().expect("driver process never finished");
+    CellOutcome {
+        workload: workload.label(),
+        plan_name: plan_name.to_string(),
+        events: plan.events.len(),
+        finished_ps: (finished - SimTime::ZERO).as_ps(),
+        violations: system.violations().len(),
+        log: log.render(),
+    }
+}
+
+/// Figure 3 workload: deliberate-update ping-pong, one page per message.
+/// Round `r`'s payload is `r`-stamped and the flag word is the round's
+/// sequence number, so any reorder or corruption trips an assert.
+fn vmmc_workload(
+    kernel: &Kernel,
+    system: &Arc<ShrimpSystem>,
+    finished: &Arc<Mutex<Option<SimTime>>>,
+) {
+    let n = PAGE_SIZE;
+    let ping_names: shrimp_sim::SimChannel<BufferName> = shrimp_sim::SimChannel::new();
+    let pong_names: shrimp_sim::SimChannel<BufferName> = shrimp_sim::SimChannel::new();
+    let policy = RetryPolicy::bootstrap();
+    {
+        let ping = system.endpoint(0, "chaos-ping");
+        let (ping_names, pong_names) = (ping_names.clone(), pong_names.clone());
+        let finished = Arc::clone(finished);
+        kernel.spawn("chaos-ping", move |ctx| {
+            let recv = ping.proc_().alloc(n, CacheMode::WriteBack);
+            let user = ping.proc_().alloc(n, CacheMode::WriteBack);
+            let name = export_retry(&ping, ctx, recv, n, policy);
+            ping_names.send(&ctx.handle(), name);
+            let peer_name = pong_names.recv(ctx);
+            let peer = ping
+                .import_retry(ctx, NodeId(1), peer_name, policy)
+                .unwrap();
+            for r in 0..ROUNDS {
+                let seq = r * 2 + 1;
+                let fill = vec![seq as u8; n - 4];
+                ping.proc_().poke(user, &fill).unwrap();
+                ping.proc_().write_u32(ctx, user.add(n - 4), seq).unwrap();
+                ping.send(ctx, user, &peer, 0, n).unwrap();
+                ping.wait_u32(ctx, recv.add(n - 4), POLL_BUDGET, move |v| v == seq + 1)
+                    .unwrap();
+                let echo = ping.proc_().peek(recv, n - 4).unwrap();
+                assert!(
+                    echo.iter().all(|&b| b == (seq + 1) as u8),
+                    "round {r}: echo payload corrupted or out of order"
+                );
+            }
+            *finished.lock() = Some(ctx.now());
+        });
+    }
+    {
+        let pong = system.endpoint(1, "chaos-pong");
+        kernel.spawn("chaos-pong", move |ctx| {
+            let recv = pong.proc_().alloc(n, CacheMode::WriteBack);
+            let user = pong.proc_().alloc(n, CacheMode::WriteBack);
+            let name = export_retry(&pong, ctx, recv, n, policy);
+            pong_names.send(&ctx.handle(), name);
+            let peer_name = ping_names.recv(ctx);
+            let peer = pong
+                .import_retry(ctx, NodeId(0), peer_name, policy)
+                .unwrap();
+            for r in 0..ROUNDS {
+                let seq = r * 2 + 1;
+                pong.wait_u32(ctx, recv.add(n - 4), POLL_BUDGET, move |v| v == seq)
+                    .unwrap();
+                let got = pong.proc_().peek(recv, n - 4).unwrap();
+                assert!(
+                    got.iter().all(|&b| b == seq as u8),
+                    "round {r}: payload corrupted or out of order"
+                );
+                let fill = vec![(seq + 1) as u8; n - 4];
+                pong.proc_().poke(user, &fill).unwrap();
+                pong.proc_()
+                    .write_u32(ctx, user.add(n - 4), seq + 1)
+                    .unwrap();
+                pong.send(ctx, user, &peer, 0, n).unwrap();
+            }
+        });
+    }
+}
+
+/// Figure 4 workload: NX ping-pong through the fallible join path.
+fn nx_workload(
+    kernel: &Kernel,
+    system: &Arc<ShrimpSystem>,
+    finished: &Arc<Mutex<Option<SimTime>>>,
+) {
+    // One packet buffer per pair: every send lands on data-region page
+    // 0, so an injected IPT violation is guaranteed to meet traffic and
+    // traverse the freeze path (and flow control is maximally stressed).
+    let mut cfg = NxConfig::paper_default();
+    cfg.packet_buffers = 1;
+    let world = NxWorld::new(Arc::clone(system), cfg, vec![0, 1]);
+    let size = 1024usize;
+    for rank in 0..2usize {
+        let world = Arc::clone(&world);
+        let finished = Arc::clone(finished);
+        kernel.spawn(format!("chaos-rank{rank}"), move |ctx| {
+            // A daemon crash during the export phase surfaces as a typed
+            // error before the rendezvous; back off and rejoin.
+            let mut nx = loop {
+                match world.try_join(ctx, rank, RetryPolicy::bootstrap()) {
+                    Ok(p) => break p,
+                    Err(NxError::Vmmc(VmmcError::DaemonUnavailable { .. })) => {
+                        ctx.advance(SimDur::from_us(5_000.0));
+                    }
+                    Err(e) => panic!("chaos NX join failed: {e}"),
+                }
+            };
+            let sbuf = nx.vmmc().proc_().alloc(size, CacheMode::WriteBack);
+            let rbuf = nx.vmmc().proc_().alloc(size, CacheMode::WriteBack);
+            for r in 0..ROUNDS {
+                let stamp = (r as u8).wrapping_mul(7).wrapping_add(rank as u8);
+                let peer_stamp = (r as u8).wrapping_mul(7).wrapping_add(1 - rank as u8);
+                nx.vmmc().proc_().poke(sbuf, &vec![stamp; size]).unwrap();
+                if rank == 0 {
+                    nx.csend(ctx, r as i32 + 1, sbuf, size, 1).unwrap();
+                    nx.crecv(ctx, r as i32 + 1, rbuf, size).unwrap();
+                } else {
+                    nx.crecv(ctx, r as i32 + 1, rbuf, size).unwrap();
+                    nx.csend(ctx, r as i32 + 1, sbuf, size, 0).unwrap();
+                }
+                let got = nx.vmmc().proc_().peek(rbuf, size).unwrap();
+                assert!(
+                    got.iter().all(|&b| b == peer_stamp),
+                    "rank {rank} round {r}: NX payload corrupted or out of order"
+                );
+            }
+            nx.flush(ctx).unwrap();
+            if rank == 0 {
+                *finished.lock() = Some(ctx.now());
+            }
+        });
+    }
+}
+
+/// Figure 7 workload: stream-socket echo; the byte stream itself is the
+/// ordering check.
+fn socket_workload(
+    kernel: &Kernel,
+    system: &Arc<ShrimpSystem>,
+    finished: &Arc<Mutex<Option<SimTime>>>,
+) {
+    let size = 1536usize;
+    {
+        let vmmc = system.endpoint(1, "chaos-server");
+        let eth = Arc::clone(system.ethernet());
+        kernel.spawn("chaos-server", move |ctx| {
+            let listener = listen(vmmc, eth, 7700);
+            // A crash landing inside accept's export/import surfaces
+            // typed; the client's connect retries resend the request.
+            let mut sock = loop {
+                match listener.accept(ctx) {
+                    Ok(s) => break s,
+                    Err(SocketError::Vmmc(VmmcError::DaemonUnavailable { .. })) => {
+                        ctx.advance(SimDur::from_us(5_000.0));
+                    }
+                    Err(e) => panic!("chaos accept failed: {e}"),
+                }
+            };
+            for _ in 0..ROUNDS {
+                let msg = sock.recv_exact(ctx, size).unwrap();
+                sock.send(ctx, &msg).unwrap();
+            }
+        });
+    }
+    {
+        let vmmc = system.endpoint(0, "chaos-client");
+        let eth = Arc::clone(system.ethernet());
+        let finished = Arc::clone(finished);
+        kernel.spawn("chaos-client", move |ctx| {
+            let mut sock =
+                connect(vmmc, ctx, &eth, NodeId(1), 7700, SocketVariant::Du1Copy).unwrap();
+            for r in 0..ROUNDS {
+                let msg: Vec<u8> = (0..size).map(|i| (i as u8).wrapping_add(r as u8)).collect();
+                sock.send(ctx, &msg).unwrap();
+                let echo = sock.recv_exact(ctx, size).unwrap();
+                assert_eq!(
+                    echo, msg,
+                    "round {r}: socket stream corrupted or out of order"
+                );
+            }
+            sock.close(ctx).unwrap();
+            *finished.lock() = Some(ctx.now());
+        });
+    }
+}
+
+/// The default fault-plan matrix: a healthy baseline, a scripted IPT
+/// violation timed to land mid-traffic, and a light + heavy generated
+/// plan per seed.
+pub fn default_matrix(nodes: usize, seeds: &[u64]) -> Vec<(String, FaultPlan)> {
+    let horizon = SimDur::from_us(4_000.0);
+    let mut m = vec![
+        ("baseline".to_string(), FaultPlan::empty()),
+        (
+            "scripted-ipt".to_string(),
+            FaultPlan::scripted(vec![FaultEvent {
+                at: SimTime::ZERO + SimDur::from_us(900.0),
+                kind: FaultKind::IptViolation { node: 1 },
+            }]),
+        ),
+    ];
+    for &s in seeds {
+        m.push((
+            format!("light-{s}"),
+            FaultPlan::generate(s, &FaultSpec::light(nodes, horizon)),
+        ));
+        m.push((
+            format!("heavy-{s}"),
+            FaultPlan::generate(s, &FaultSpec::heavy(nodes, horizon)),
+        ));
+    }
+    m
+}
+
+/// Run the full matrix for one workload, asserting the recovery
+/// contract cell by cell, and return the outcomes (baseline first).
+///
+/// # Panics
+///
+/// Panics on any contract breach (see [`run_cell`]), on a cell
+/// exceeding the baseline by more than the plan's delay budget, or on
+/// a scripted IPT cell whose log lacks the freeze → repair traversal.
+pub fn run_matrix(workload: Workload, matrix: &[(String, FaultPlan)]) -> Vec<CellOutcome> {
+    let mut outcomes = Vec::with_capacity(matrix.len());
+    let mut baseline_ps: Option<u64> = None;
+    for (name, plan) in matrix {
+        let out = run_cell(workload, name, plan);
+        if name == "baseline" {
+            baseline_ps = Some(out.finished_ps);
+        } else if let Some(base) = baseline_ps {
+            let allowed = base + delay_budget(plan).as_ps();
+            assert!(
+                out.finished_ps <= allowed,
+                "{} {}: finished at {} ps, over the bounded-degradation limit {} ps",
+                workload.label(),
+                name,
+                out.finished_ps,
+                allowed
+            );
+            assert!(
+                out.finished_ps >= base,
+                "{} {}: faults must never speed a run up",
+                workload.label(),
+                name
+            );
+        }
+        if name == "scripted-ipt" {
+            assert!(
+                out.violations > 0,
+                "scripted IPT violation must trip the freeze path"
+            );
+            assert!(
+                out.log.contains("freeze node=1") && out.log.contains("repair node=1"),
+                "{} scripted-ipt: log lacks freeze/repair traversal:\n{}",
+                workload.label(),
+                out.log
+            );
+        }
+        outcomes.push(out);
+    }
+    outcomes
+}
+
+/// Deterministic full-report rendering (byte-identical across replays
+/// of the same matrix).
+pub fn render_report(outcomes: &[CellOutcome]) -> String {
+    let mut out = String::from("chaos report\n");
+    for cell in outcomes {
+        out.push_str(&cell.render());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vmmc_scripted_ipt_traverses_freeze_and_repair() {
+        let matrix = default_matrix(2, &[]);
+        let outcomes = run_matrix(Workload::Vmmc, &matrix);
+        assert_eq!(outcomes.len(), 2);
+        let ipt = &outcomes[1];
+        assert!(ipt.violations > 0);
+        assert!(ipt.log.contains("freeze node=1"));
+        assert!(ipt.log.contains("repair node=1"));
+        assert!(
+            ipt.finished_ps > outcomes[0].finished_ps,
+            "freeze must cost time"
+        );
+    }
+
+    #[test]
+    fn same_seed_reports_are_bit_identical() {
+        let matrix = default_matrix(2, &[11]);
+        let a = render_report(&run_matrix(Workload::Vmmc, &matrix));
+        let b = render_report(&run_matrix(Workload::Vmmc, &matrix));
+        assert_eq!(a, b, "same seed and plan must replay bit-identically");
+        let other = default_matrix(2, &[12]);
+        let c = render_report(&run_matrix(Workload::Vmmc, &other));
+        assert_ne!(a, c, "different seeds should differ somewhere");
+    }
+
+    #[test]
+    fn socket_workload_survives_light_faults() {
+        let matrix = default_matrix(2, &[3]);
+        let outcomes = run_matrix(Workload::Socket, &matrix);
+        assert_eq!(outcomes.len(), 4);
+    }
+
+    #[test]
+    fn nx_workload_survives_light_faults() {
+        let matrix: Vec<_> = default_matrix(2, &[5])
+            .into_iter()
+            .filter(|(name, _)| name != "heavy-5")
+            .collect();
+        let outcomes = run_matrix(Workload::Nx, &matrix);
+        assert_eq!(outcomes.len(), 3);
+    }
+}

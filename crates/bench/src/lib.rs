@@ -1,19 +1,20 @@
 //! # shrimp-bench — harnesses regenerating the paper's evaluation
 //!
 //! One binary per figure (`fig3`, `fig4`, `fig5`, `fig7`, `fig8`,
-//! `ttcp`, `ablations`); this library holds the shared workloads and
-//! reporting. See DESIGN.md §3 for the experiment index and
+//! `ttcp`, `ablations`) plus the fault-injection harness (`chaos`);
+//! this library holds the shared workloads and reporting. See DESIGN.md §3 for the experiment index and
 //! EXPERIMENTS.md for paper-vs-measured results.
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod ablations;
+pub mod chaos;
 pub mod nx_pingpong;
 pub mod pingpong;
 pub mod report;
-pub mod socket_bench;
 pub mod rpc_compare;
 pub mod scale;
+pub mod socket_bench;
 pub mod vrpc_bench;
 
 pub use report::{paper_sizes, render_figure, Point, Series, LATENCY_CUTOFF};

@@ -50,7 +50,13 @@ impl NxVariant {
 
     /// All five, in the paper's legend order.
     pub fn all() -> [NxVariant; 5] {
-        [NxVariant::Au1Copy, NxVariant::Au2Copy, NxVariant::Du0Copy, NxVariant::Du1Copy, NxVariant::Du2Copy]
+        [
+            NxVariant::Au1Copy,
+            NxVariant::Au2Copy,
+            NxVariant::Du0Copy,
+            NxVariant::Du1Copy,
+            NxVariant::Du2Copy,
+        ]
     }
 
     /// The library configuration realizing this curve.
@@ -157,7 +163,12 @@ mod tests {
 
     #[test]
     fn nx_large_bandwidth_approaches_hardware() {
-        let hw = vmmc_pingpong(Strategy::Du0Copy, 10240, false, CostModel::shrimp_prototype());
+        let hw = vmmc_pingpong(
+            Strategy::Du0Copy,
+            10240,
+            false,
+            CostModel::shrimp_prototype(),
+        );
         let nx = nx_pingpong(NxVariant::Du0Copy, 10240, CostModel::shrimp_prototype());
         assert!(
             nx.bandwidth_mbs > 0.8 * hw.bandwidth_mbs,

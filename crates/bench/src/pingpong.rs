@@ -51,7 +51,12 @@ impl Strategy {
 
     /// All four, in the paper's legend order.
     pub fn all() -> [Strategy; 4] {
-        [Strategy::Au1Copy, Strategy::Au2Copy, Strategy::Du0Copy, Strategy::Du1Copy]
+        [
+            Strategy::Au1Copy,
+            Strategy::Au2Copy,
+            Strategy::Du0Copy,
+            Strategy::Du1Copy,
+        ]
     }
 }
 
@@ -102,7 +107,10 @@ impl Side {
         match strategy {
             Strategy::Au2Copy | Strategy::Du1Copy => {
                 // Consume into user memory.
-                self.vmmc.proc_().copy(ctx, self.recv, self.user, n).unwrap();
+                self.vmmc
+                    .proc_()
+                    .copy(ctx, self.recv, self.user, n)
+                    .unwrap();
             }
             Strategy::Au1Copy | Strategy::Du0Copy => {}
         }
@@ -124,7 +132,9 @@ fn setup_side(
     let pages = n.div_ceil(shrimp_node::PAGE_SIZE).max(1) * shrimp_node::PAGE_SIZE;
     let recv = vmmc.proc_().alloc(pages, CacheMode::WriteBack);
     let user = vmmc.proc_().alloc(pages, CacheMode::WriteBack);
-    let name = vmmc.export(ctx, recv, pages, ExportOpts::default()).unwrap();
+    let name = vmmc
+        .export(ctx, recv, pages, ExportOpts::default())
+        .unwrap();
     my_names.send(&ctx.handle(), name);
     let peer_name = peer_names.recv(ctx);
     let peer = vmmc.import(ctx, peer_node, peer_name).unwrap();
@@ -132,14 +142,25 @@ fn setup_side(
         Strategy::Au1Copy | Strategy::Au2Copy => {
             let au = vmmc.proc_().alloc(pages, CacheMode::WriteBack);
             let b = vmmc
-                .bind_au(ctx, au, &peer, 0, pages / shrimp_node::PAGE_SIZE, true, false)
+                .bind_au(
+                    ctx,
+                    au,
+                    &peer,
+                    0,
+                    pages / shrimp_node::PAGE_SIZE,
+                    true,
+                    false,
+                )
                 .unwrap();
             if uncached {
                 // Caching disabled on the AU region (paper's 3.7 us case).
                 for i in 0..b.pages() {
                     vmmc.proc_()
                         .aspace()
-                        .set_cache_mode(au.add(i * shrimp_node::PAGE_SIZE).page(), CacheMode::Uncached)
+                        .set_cache_mode(
+                            au.add(i * shrimp_node::PAGE_SIZE).page(),
+                            CacheMode::Uncached,
+                        )
                         .unwrap();
                 }
             }
@@ -147,7 +168,14 @@ fn setup_side(
         }
         _ => None,
     };
-    Side { vmmc, recv, user, au_send, peer, size: n }
+    Side {
+        vmmc,
+        recv,
+        user,
+        au_send,
+        peer,
+        size: n,
+    }
 }
 
 /// Run one ping-pong experiment on a fresh prototype system; returns the
@@ -167,7 +195,16 @@ pub fn vmmc_pingpong(strategy: Strategy, size: usize, uncached: bool, costs: Cos
         let b_names = b_names.clone();
         let result = Arc::clone(&result);
         kernel.spawn("ping", move |ctx| {
-            let side = setup_side(vmmc, ctx, size, strategy, uncached, &a_names, &b_names, NodeId(1));
+            let side = setup_side(
+                vmmc,
+                ctx,
+                size,
+                strategy,
+                uncached,
+                &a_names,
+                &b_names,
+                NodeId(1),
+            );
             // Fill the payload once (applications send live buffers; the
             // per-round flag update is the only refresh, like the
             // original microbenchmark).
@@ -189,7 +226,16 @@ pub fn vmmc_pingpong(strategy: Strategy, size: usize, uncached: bool, costs: Cos
     {
         let vmmc = system.endpoint(1, "pong");
         kernel.spawn("pong", move |ctx| {
-            let side = setup_side(vmmc, ctx, size, strategy, uncached, &b_names, &a_names, NodeId(0));
+            let side = setup_side(
+                vmmc,
+                ctx,
+                size,
+                strategy,
+                uncached,
+                &b_names,
+                &a_names,
+                NodeId(0),
+            );
             let fill: Vec<u8> = (0..side.size).map(|i| (i % 239) as u8).collect();
             side.vmmc.proc_().poke(side.user, &fill).unwrap();
             for r in 0..(WARMUP + ROUNDS) {
@@ -199,8 +245,13 @@ pub fn vmmc_pingpong(strategy: Strategy, size: usize, uncached: bool, costs: Cos
         });
     }
 
-    kernel.run_until_quiescent().expect("ping-pong simulation failed");
-    assert!(system.violations().is_empty(), "protection violations during ping-pong");
+    kernel
+        .run_until_quiescent()
+        .expect("ping-pong simulation failed");
+    assert!(
+        system.violations().is_empty(),
+        "protection violations during ping-pong"
+    );
     let (t0, t1) = result.lock().expect("ping process never finished");
     let total_us = (t1 - t0).as_us();
     let one_way_us = total_us / (2.0 * ROUNDS as f64);
@@ -240,12 +291,22 @@ mod tests {
     fn uncached_au_is_faster_than_writethrough() {
         let wt = vmmc_pingpong(Strategy::Au1Copy, 4, false, CostModel::shrimp_prototype());
         let uc = vmmc_pingpong(Strategy::Au1Copy, 4, true, CostModel::shrimp_prototype());
-        assert!(uc.latency_us < wt.latency_us, "uncached {} !< wt {}", uc.latency_us, wt.latency_us);
+        assert!(
+            uc.latency_us < wt.latency_us,
+            "uncached {} !< wt {}",
+            uc.latency_us,
+            wt.latency_us
+        );
     }
 
     #[test]
     fn du0_peak_bandwidth_near_23mbs() {
-        let p = vmmc_pingpong(Strategy::Du0Copy, 10240, false, CostModel::shrimp_prototype());
+        let p = vmmc_pingpong(
+            Strategy::Du0Copy,
+            10240,
+            false,
+            CostModel::shrimp_prototype(),
+        );
         assert!(
             (p.bandwidth_mbs - 23.0).abs() < 3.0,
             "DU-0copy bandwidth {} vs paper ~23 MB/s",
@@ -260,10 +321,30 @@ mod tests {
         let du = vmmc_pingpong(Strategy::Du0Copy, 16, false, CostModel::shrimp_prototype());
         assert!(au.latency_us < du.latency_us);
         // Large messages: DU-0copy delivers the highest bandwidth.
-        let au_l = vmmc_pingpong(Strategy::Au1Copy, 10240, false, CostModel::shrimp_prototype());
-        let du_l = vmmc_pingpong(Strategy::Du0Copy, 10240, false, CostModel::shrimp_prototype());
-        let au2_l = vmmc_pingpong(Strategy::Au2Copy, 10240, false, CostModel::shrimp_prototype());
-        let du1_l = vmmc_pingpong(Strategy::Du1Copy, 10240, false, CostModel::shrimp_prototype());
+        let au_l = vmmc_pingpong(
+            Strategy::Au1Copy,
+            10240,
+            false,
+            CostModel::shrimp_prototype(),
+        );
+        let du_l = vmmc_pingpong(
+            Strategy::Du0Copy,
+            10240,
+            false,
+            CostModel::shrimp_prototype(),
+        );
+        let au2_l = vmmc_pingpong(
+            Strategy::Au2Copy,
+            10240,
+            false,
+            CostModel::shrimp_prototype(),
+        );
+        let du1_l = vmmc_pingpong(
+            Strategy::Du1Copy,
+            10240,
+            false,
+            CostModel::shrimp_prototype(),
+        );
         assert!(du_l.bandwidth_mbs > au_l.bandwidth_mbs);
         assert!(au_l.bandwidth_mbs > au2_l.bandwidth_mbs);
         assert!(du1_l.bandwidth_mbs > au2_l.bandwidth_mbs);

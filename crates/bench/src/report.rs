@@ -24,22 +24,34 @@ pub struct Series {
 impl Series {
     /// Create an empty series.
     pub fn new(label: impl Into<String>) -> Series {
-        Series { label: label.into(), points: Vec::new() }
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
     }
 
     /// Latency at a given size, if measured.
     pub fn latency_at(&self, size: usize) -> Option<f64> {
-        self.points.iter().find(|p| p.size == size).map(|p| p.latency_us)
+        self.points
+            .iter()
+            .find(|p| p.size == size)
+            .map(|p| p.latency_us)
     }
 
     /// Bandwidth at a given size, if measured.
     pub fn bandwidth_at(&self, size: usize) -> Option<f64> {
-        self.points.iter().find(|p| p.size == size).map(|p| p.bandwidth_mbs)
+        self.points
+            .iter()
+            .find(|p| p.size == size)
+            .map(|p| p.bandwidth_mbs)
     }
 
     /// The maximum bandwidth across the sweep.
     pub fn peak_bandwidth(&self) -> f64 {
-        self.points.iter().map(|p| p.bandwidth_mbs).fold(0.0, f64::max)
+        self.points
+            .iter()
+            .map(|p| p.bandwidth_mbs)
+            .fold(0.0, f64::max)
     }
 }
 
@@ -96,7 +108,9 @@ pub fn render_figure(title: &str, series: &[Series], latency_cutoff: usize) -> S
 /// latency graphs, up to 10 KB for bandwidth.
 pub fn paper_sizes() -> Vec<usize> {
     let mut v: Vec<usize> = vec![4, 8, 16, 24, 32, 40, 48, 56, 64];
-    v.extend([128, 256, 512, 1024, 2048, 3072, 4096, 5120, 6144, 7168, 8192, 9216, 10240]);
+    v.extend([
+        128, 256, 512, 1024, 2048, 3072, 4096, 5120, 6144, 7168, 8192, 9216, 10240,
+    ]);
     v
 }
 
@@ -111,8 +125,16 @@ mod tests {
         Series {
             label: "DU-0copy".into(),
             points: vec![
-                Point { size: 4, latency_us: 7.6, bandwidth_mbs: 0.5 },
-                Point { size: 10240, latency_us: 440.0, bandwidth_mbs: 23.1 },
+                Point {
+                    size: 4,
+                    latency_us: 7.6,
+                    bandwidth_mbs: 0.5,
+                },
+                Point {
+                    size: 10240,
+                    latency_us: 440.0,
+                    bandwidth_mbs: 23.1,
+                },
             ],
         }
     }

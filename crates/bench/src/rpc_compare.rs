@@ -8,8 +8,8 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use shrimp_core::{ShrimpSystem, SystemConfig};
 use shrimp_node::CostModel;
-use shrimp_srpc::{parse_interface, SrpcClient, SrpcDirectory, SrpcServer, Val};
 use shrimp_sim::{Kernel, SimTime};
+use shrimp_srpc::{parse_interface, SrpcClient, SrpcDirectory, SrpcServer, Val};
 
 use crate::report::Point;
 use crate::vrpc_bench::{vrpc_roundtrip, VrpcVariant};
@@ -63,21 +63,31 @@ pub fn specialized_roundtrip(size: usize, costs: CostModel) -> Point {
             let mut client = SrpcClient::bind(vmmc, ctx, &dir, "null", &iface).unwrap();
             let arg = Val::Bytes(vec![0x55; size]);
             for _ in 0..WARMUP {
-                client.call(ctx, "ping", std::slice::from_ref(&arg)).unwrap();
+                client
+                    .call(ctx, "ping", std::slice::from_ref(&arg))
+                    .unwrap();
             }
             let t0 = ctx.now();
             for _ in 0..ROUNDS {
-                client.call(ctx, "ping", std::slice::from_ref(&arg)).unwrap();
+                client
+                    .call(ctx, "ping", std::slice::from_ref(&arg))
+                    .unwrap();
             }
             *result.lock() = Some((t0, ctx.now()));
             client.close(ctx).unwrap();
         });
     }
-    kernel.run_until_quiescent().expect("specialized RPC bench failed");
+    kernel
+        .run_until_quiescent()
+        .expect("specialized RPC bench failed");
     assert!(system.violations().is_empty());
     let (t0, t1) = result.lock().expect("client never finished");
     let rtt_us = (t1 - t0).as_us() / ROUNDS as f64;
-    Point { size, latency_us: rtt_us, bandwidth_mbs: (2 * size) as f64 / rtt_us }
+    Point {
+        size,
+        latency_us: rtt_us,
+        bandwidth_mbs: (2 * size) as f64 / rtt_us,
+    }
 }
 
 /// §5's software-overhead claim: re-run the null call with every
@@ -143,6 +153,9 @@ mod tests {
     #[test]
     fn software_overhead_is_small() {
         let us = specialized_software_overhead();
-        assert!(us < 3.0, "software-only round trip {us:.2} us (paper: <1 us per call)");
+        assert!(
+            us < 3.0,
+            "software-only round trip {us:.2} us (paper: <1 us per call)"
+        );
     }
 }

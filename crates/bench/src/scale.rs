@@ -5,15 +5,19 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use shrimp_core::{ShrimpSystem, SystemConfig};
-use shrimp_nx::{NxConfig, NxWorld};
 use shrimp_node::CacheMode;
+use shrimp_nx::{NxConfig, NxWorld};
 use shrimp_sim::Kernel;
 
 fn build(width: usize, height: usize) -> (Kernel, Arc<ShrimpSystem>, Arc<NxWorld>) {
     let kernel = Kernel::new();
     let system = ShrimpSystem::build(&kernel, SystemConfig::with_mesh(width, height));
     let n = system.len();
-    let world = NxWorld::new(Arc::clone(&system), NxConfig::paper_default(), (0..n).collect());
+    let world = NxWorld::new(
+        Arc::clone(&system),
+        NxConfig::paper_default(),
+        (0..n).collect(),
+    );
     (kernel, system, world)
 }
 
@@ -131,7 +135,10 @@ mod tests {
         // 4 -> 16 ranks: dissemination rounds go 2 -> 4; the cost should
         // roughly double, nowhere near the 4x of a linear barrier.
         let ratio = b16 / b4;
-        assert!((1.3..3.2).contains(&ratio), "barrier 4n {b4:.1} us -> 16n {b16:.1} us (x{ratio:.2})");
+        assert!(
+            (1.3..3.2).contains(&ratio),
+            "barrier 4n {b4:.1} us -> 16n {b16:.1} us (x{ratio:.2})"
+        );
     }
 
     #[test]

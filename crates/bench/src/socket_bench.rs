@@ -7,8 +7,8 @@ use parking_lot::Mutex;
 use shrimp_core::{ShrimpSystem, SystemConfig};
 use shrimp_mesh::NodeId;
 use shrimp_node::CostModel;
-use shrimp_sockets::{connect, listen, SocketVariant};
 use shrimp_sim::{Kernel, SimDur, SimTime};
+use shrimp_sockets::{connect, listen, SocketVariant};
 
 use crate::report::Point;
 
@@ -17,7 +17,11 @@ const ROUNDS: u32 = 8;
 
 /// The three socket curves of Figure 7.
 pub fn socket_variants() -> [SocketVariant; 3] {
-    [SocketVariant::Au2Copy, SocketVariant::Du1Copy, SocketVariant::Du2Copy]
+    [
+        SocketVariant::Au2Copy,
+        SocketVariant::Du1Copy,
+        SocketVariant::Du2Copy,
+    ]
 }
 
 /// The paper's legend label for a variant.
@@ -70,11 +74,17 @@ pub fn socket_pingpong(variant: SocketVariant, size: usize, costs: CostModel) ->
             sock.close(ctx).unwrap();
         });
     }
-    kernel.run_until_quiescent().expect("socket ping-pong failed");
+    kernel
+        .run_until_quiescent()
+        .expect("socket ping-pong failed");
     assert!(system.violations().is_empty());
     let (t0, t1) = result.lock().expect("client never finished");
     let one_way_us = (t1 - t0).as_us() / (2.0 * ROUNDS as f64);
-    Point { size, latency_us: one_way_us, bandwidth_mbs: size as f64 / one_way_us }
+    Point {
+        size,
+        latency_us: one_way_us,
+        bandwidth_mbs: size as f64 / one_way_us,
+    }
 }
 
 /// One-way continuous pump, ttcp-style: the sender streams `count`
@@ -164,7 +174,12 @@ mod tests {
 
     #[test]
     fn large_messages_approach_one_copy_limit() {
-        let hw = vmmc_pingpong(Strategy::Du1Copy, 10240, false, CostModel::shrimp_prototype());
+        let hw = vmmc_pingpong(
+            Strategy::Du1Copy,
+            10240,
+            false,
+            CostModel::shrimp_prototype(),
+        );
         let s = socket_pingpong(SocketVariant::Du1Copy, 10240, CostModel::shrimp_prototype());
         assert!(
             s.bandwidth_mbs > 0.75 * hw.bandwidth_mbs,
@@ -184,7 +199,11 @@ mod tests {
             SimDur::ZERO,
             CostModel::shrimp_prototype(),
         );
-        assert!(ow > pp.bandwidth_mbs, "one-way {ow:.1} vs ping-pong {:.1}", pp.bandwidth_mbs);
+        assert!(
+            ow > pp.bandwidth_mbs,
+            "one-way {ow:.1} vs ping-pong {:.1}",
+            pp.bandwidth_mbs
+        );
     }
 
     #[test]
@@ -203,8 +222,14 @@ mod tests {
             ttcp_write_overhead(7168),
             CostModel::shrimp_prototype(),
         );
-        assert!(ttcp < lib, "ttcp {ttcp:.1} should trail the library's {lib:.1}");
+        assert!(
+            ttcp < lib,
+            "ttcp {ttcp:.1} should trail the library's {lib:.1}"
+        );
         let ratio = ttcp / lib;
-        assert!((0.7..1.0).contains(&ratio), "ratio {ratio:.2} (paper: 8.6 vs 9.8 = 0.88)");
+        assert!(
+            (0.7..1.0).contains(&ratio),
+            "ratio {ratio:.2} (paper: 8.6 vs 9.8 = 0.88)"
+        );
     }
 }

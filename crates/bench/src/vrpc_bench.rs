@@ -6,8 +6,8 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use shrimp_core::{ShrimpSystem, SystemConfig};
 use shrimp_node::CostModel;
-use shrimp_sunrpc::{AcceptStat, RpcDirectory, StreamVariant, VrpcClient, VrpcServer};
 use shrimp_sim::{Kernel, SimTime};
+use shrimp_sunrpc::{AcceptStat, RpcDirectory, StreamVariant, VrpcClient, VrpcServer};
 
 use crate::report::Point;
 
@@ -67,7 +67,9 @@ pub fn vrpc_roundtrip(variant: VrpcVariant, size: usize, costs: CostModel) -> Po
             server.register(
                 1, // null procedure with one INOUT opaque argument
                 Box::new(|_ctx, args, out| {
-                    let Ok(data) = args.get_opaque() else { return AcceptStat::GarbageArgs };
+                    let Ok(data) = args.get_opaque() else {
+                        return AcceptStat::GarbageArgs;
+                    };
                     out.put_opaque(data);
                     AcceptStat::Success
                 }),
@@ -87,7 +89,12 @@ pub fn vrpc_roundtrip(variant: VrpcVariant, size: usize, costs: CostModel) -> Po
             for _ in 0..WARMUP {
                 let a = arg.clone();
                 let r = client
-                    .call(ctx, 1, move |e| e.put_opaque(&a), |d| Ok(d.get_opaque()?.to_vec()))
+                    .call(
+                        ctx,
+                        1,
+                        move |e| e.put_opaque(&a),
+                        |d| Ok(d.get_opaque()?.to_vec()),
+                    )
                     .unwrap();
                 assert_eq!(r.len(), size);
             }
@@ -95,7 +102,12 @@ pub fn vrpc_roundtrip(variant: VrpcVariant, size: usize, costs: CostModel) -> Po
             for _ in 0..ROUNDS {
                 let a = arg.clone();
                 client
-                    .call(ctx, 1, move |e| e.put_opaque(&a), |d| Ok(d.get_opaque()?.to_vec()))
+                    .call(
+                        ctx,
+                        1,
+                        move |e| e.put_opaque(&a),
+                        |d| Ok(d.get_opaque()?.to_vec()),
+                    )
                     .unwrap();
             }
             *result.lock() = Some((t0, ctx.now()));

@@ -7,7 +7,7 @@
 //! tables directly — the protection half of VMMC (paper §2.1, §3.3).
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -80,11 +80,18 @@ pub struct Daemon {
     nic: Arc<Nic>,
     exports: Mutex<HashMap<BufferName, ExportRecord>>,
     next_name: AtomicU64,
+    /// Crashed and not yet restarted (fault injection). While down,
+    /// mapping requests fail with [`VmmcError::DaemonUnavailable`].
+    down: AtomicBool,
+    /// Crash/restart cycles completed, for diagnostics.
+    restarts: AtomicU64,
 }
 
 impl std::fmt::Debug for Daemon {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Daemon").field("node", &self.node_id).finish_non_exhaustive()
+        f.debug_struct("Daemon")
+            .field("node", &self.node_id)
+            .finish_non_exhaustive()
     }
 }
 
@@ -96,6 +103,8 @@ impl Daemon {
             nic,
             exports: Mutex::new(HashMap::new()),
             next_name: AtomicU64::new(1),
+            down: AtomicBool::new(false),
+            restarts: AtomicU64::new(0),
         })
     }
 
@@ -106,13 +115,26 @@ impl Daemon {
 
     /// Register an export: records it and enables the pages in the NIC's
     /// incoming page table so the hardware will accept data for them.
-    pub fn register_export(&self, record: ExportRecord) -> BufferName {
+    ///
+    /// # Errors
+    ///
+    /// [`VmmcError::DaemonUnavailable`] while the daemon is crashed.
+    pub fn register_export(&self, record: ExportRecord) -> Result<BufferName, VmmcError> {
+        if self.down.load(Ordering::SeqCst) {
+            return Err(VmmcError::DaemonUnavailable { node: self.node_id });
+        }
         let name = BufferName(self.next_name.fetch_add(1, Ordering::SeqCst));
         for &p in record.ppages.iter() {
-            self.nic.ipt().set(p, IptEntry { enabled: true, interrupt: false });
+            self.nic.ipt().set(
+                p,
+                IptEntry {
+                    enabled: true,
+                    interrupt: false,
+                },
+            );
         }
         self.exports.lock().insert(name, record);
-        name
+        Ok(name)
     }
 
     /// Remove an export and disable its pages in the incoming page
@@ -121,7 +143,13 @@ impl Daemon {
     pub fn unregister_export(&self, name: BufferName) -> Option<ExportRecord> {
         let record = self.exports.lock().remove(&name)?;
         for &p in record.ppages.iter() {
-            self.nic.ipt().set(p, IptEntry { enabled: false, interrupt: false });
+            self.nic.ipt().set(
+                p,
+                IptEntry {
+                    enabled: false,
+                    interrupt: false,
+                },
+            );
         }
         Some(record)
     }
@@ -130,16 +158,28 @@ impl Daemon {
     ///
     /// # Errors
     ///
+    /// [`VmmcError::DaemonUnavailable`] while the daemon is crashed;
     /// [`VmmcError::UnknownBuffer`] if the name is not exported here;
     /// [`VmmcError::PermissionDenied`] if the export's permissions
     /// exclude the importer.
-    pub fn resolve_import(&self, importer: NodeId, name: BufferName) -> Result<MappingInfo, VmmcError> {
+    pub fn resolve_import(
+        &self,
+        importer: NodeId,
+        name: BufferName,
+    ) -> Result<MappingInfo, VmmcError> {
+        if self.down.load(Ordering::SeqCst) {
+            return Err(VmmcError::DaemonUnavailable { node: self.node_id });
+        }
         let exports = self.exports.lock();
-        let record = exports
-            .get(&name)
-            .ok_or(VmmcError::UnknownBuffer { node: self.node_id, name: name.0 })?;
+        let record = exports.get(&name).ok_or(VmmcError::UnknownBuffer {
+            node: self.node_id,
+            name: name.0,
+        })?;
         if !record.perms.allows(importer) {
-            return Err(VmmcError::PermissionDenied { node: self.node_id, name: name.0 });
+            return Err(VmmcError::PermissionDenied {
+                node: self.node_id,
+                name: name.0,
+            });
         }
         Ok(MappingInfo {
             node: self.node_id,
@@ -152,11 +192,20 @@ impl Daemon {
 
     /// Set the receiver-specified notification-interrupt flag on every
     /// page of an export (used when a handler is attached).
+    ///
+    /// # Errors
+    ///
+    /// [`VmmcError::DaemonUnavailable`] while the daemon is crashed;
+    /// [`VmmcError::UnknownBuffer`] for an unknown export.
     pub fn set_export_interrupt(&self, name: BufferName, on: bool) -> Result<(), VmmcError> {
+        if self.down.load(Ordering::SeqCst) {
+            return Err(VmmcError::DaemonUnavailable { node: self.node_id });
+        }
         let exports = self.exports.lock();
-        let record = exports
-            .get(&name)
-            .ok_or(VmmcError::UnknownBuffer { node: self.node_id, name: name.0 })?;
+        let record = exports.get(&name).ok_or(VmmcError::UnknownBuffer {
+            node: self.node_id,
+            name: name.0,
+        })?;
         for &p in record.ppages.iter() {
             self.nic.ipt().set_interrupt(p, on);
         }
@@ -166,6 +215,60 @@ impl Daemon {
     /// Number of live exports.
     pub fn export_count(&self) -> usize {
         self.exports.lock().len()
+    }
+
+    // ------------------------------------------------------------------
+    // Crash / restart (fault injection)
+    // ------------------------------------------------------------------
+
+    /// Whether the daemon is currently crashed.
+    pub fn is_down(&self) -> bool {
+        self.down.load(Ordering::SeqCst)
+    }
+
+    /// Completed crash/restart cycles.
+    pub fn restarts(&self) -> u64 {
+        self.restarts.load(Ordering::SeqCst)
+    }
+
+    /// Fault hook: crash the daemon. Mapping requests now fail with
+    /// [`VmmcError::DaemonUnavailable`] and every exported page is
+    /// disabled in the incoming page table (the crashed daemon's kernel
+    /// agent revokes its hardware programming), so in-flight traffic to
+    /// an export takes the freeze-and-interrupt path instead of landing
+    /// unsupervised. Interrupt flags are preserved for the restart.
+    pub fn crash(&self) {
+        if self.down.swap(true, Ordering::SeqCst) {
+            return; // already down
+        }
+        let exports = self.exports.lock();
+        for record in exports.values() {
+            for &p in record.ppages.iter() {
+                self.nic.ipt().disable(p);
+            }
+        }
+    }
+
+    /// Fault hook: restart a crashed daemon. The export table (durable
+    /// state) is re-validated: every recorded export's pages are
+    /// re-enabled in the incoming page table, then the daemon resumes
+    /// serving mapping requests. If the receive datapath froze during
+    /// the outage the caller (OS recovery, see
+    /// `ShrimpSystem::apply_faults`) unfreezes it afterwards.
+    pub fn restart(&self) {
+        if !self.down.load(Ordering::SeqCst) {
+            return;
+        }
+        {
+            let exports = self.exports.lock();
+            for record in exports.values() {
+                for &p in record.ppages.iter() {
+                    self.nic.ipt().enable(p);
+                }
+            }
+        }
+        self.restarts.fetch_add(1, Ordering::SeqCst);
+        self.down.store(false, Ordering::SeqCst);
     }
 }
 
@@ -178,9 +281,17 @@ mod tests {
 
     fn daemon() -> (Kernel, Arc<Daemon>, Arc<Nic>) {
         let kernel = Kernel::new();
-        let net: Arc<Backplane<shrimp_nic::NicPacket>> =
-            Backplane::new(kernel.handle(), Topology::shrimp_prototype(), LinkParams::paragon());
-        let node = Node::new(kernel.handle(), NodeId(0), 64, CostModel::shrimp_prototype());
+        let net: Arc<Backplane<shrimp_nic::NicPacket>> = Backplane::new(
+            kernel.handle(),
+            Topology::shrimp_prototype(),
+            LinkParams::paragon(),
+        );
+        let node = Node::new(
+            kernel.handle(),
+            NodeId(0),
+            64,
+            CostModel::shrimp_prototype(),
+        );
         let nic = Nic::install(node, net);
         let d = Daemon::new(NodeId(0), Arc::clone(&nic));
         (kernel, d, nic)
@@ -188,13 +299,20 @@ mod tests {
 
     fn record(pages: Vec<u64>, perms: ExportPerms) -> ExportRecord {
         let len = pages.len() * shrimp_node::PAGE_SIZE;
-        ExportRecord { ppages: Arc::new(pages), first_offset: 0, len, perms }
+        ExportRecord {
+            ppages: Arc::new(pages),
+            first_offset: 0,
+            len,
+            perms,
+        }
     }
 
     #[test]
     fn export_enables_ipt_pages_and_unregister_disables() {
         let (_k, d, nic) = daemon();
-        let name = d.register_export(record(vec![4, 5], ExportPerms::Any));
+        let name = d
+            .register_export(record(vec![4, 5], ExportPerms::Any))
+            .unwrap();
         assert!(nic.ipt().get(4).enabled);
         assert!(nic.ipt().get(5).enabled);
         assert_eq!(d.export_count(), 1);
@@ -207,8 +325,12 @@ mod tests {
     #[test]
     fn import_respects_permissions() {
         let (_k, d, _nic) = daemon();
-        let open = d.register_export(record(vec![1], ExportPerms::Any));
-        let closed = d.register_export(record(vec![2], ExportPerms::Nodes(vec![NodeId(3)])));
+        let open = d
+            .register_export(record(vec![1], ExportPerms::Any))
+            .unwrap();
+        let closed = d
+            .register_export(record(vec![2], ExportPerms::Nodes(vec![NodeId(3)])))
+            .unwrap();
         assert!(d.resolve_import(NodeId(2), open).is_ok());
         let err = d.resolve_import(NodeId(2), closed).unwrap_err();
         assert!(matches!(err, VmmcError::PermissionDenied { .. }));
@@ -219,18 +341,63 @@ mod tests {
     fn import_of_unknown_buffer_fails() {
         let (_k, d, _nic) = daemon();
         let err = d.resolve_import(NodeId(1), BufferName(99)).unwrap_err();
-        assert_eq!(err, VmmcError::UnknownBuffer { node: NodeId(0), name: 99 });
+        assert_eq!(
+            err,
+            VmmcError::UnknownBuffer {
+                node: NodeId(0),
+                name: 99
+            }
+        );
     }
 
     #[test]
     fn export_interrupt_flag_programs_ipt() {
         let (_k, d, nic) = daemon();
-        let name = d.register_export(record(vec![7], ExportPerms::Any));
+        let name = d
+            .register_export(record(vec![7], ExportPerms::Any))
+            .unwrap();
         d.set_export_interrupt(name, true).unwrap();
         assert!(nic.ipt().get(7).interrupt);
         d.set_export_interrupt(name, false).unwrap();
         assert!(!nic.ipt().get(7).interrupt);
         assert!(d.set_export_interrupt(BufferName(55), true).is_err());
+    }
+
+    #[test]
+    fn crash_rejects_requests_and_restart_revalidates() {
+        let (_k, d, nic) = daemon();
+        let name = d
+            .register_export(record(vec![4, 5], ExportPerms::Any))
+            .unwrap();
+        d.set_export_interrupt(name, true).unwrap();
+        assert!(!d.is_down());
+
+        d.crash();
+        assert!(d.is_down());
+        // Mapping requests fail typed while down.
+        assert_eq!(
+            d.resolve_import(NodeId(1), name).unwrap_err(),
+            VmmcError::DaemonUnavailable { node: NodeId(0) }
+        );
+        assert!(matches!(
+            d.register_export(record(vec![9], ExportPerms::Any))
+                .unwrap_err(),
+            VmmcError::DaemonUnavailable { .. }
+        ));
+        // The crash revoked the hardware enables but kept interrupt flags.
+        assert!(!nic.ipt().get(4).enabled);
+        assert!(nic.ipt().get(4).interrupt);
+        d.crash(); // idempotent
+
+        d.restart();
+        assert!(!d.is_down());
+        assert_eq!(d.restarts(), 1);
+        // Re-validation restored the export's pages, flags intact.
+        assert!(nic.ipt().get(4).enabled && nic.ipt().get(5).enabled);
+        assert!(nic.ipt().get(4).interrupt);
+        assert!(d.resolve_import(NodeId(1), name).is_ok());
+        d.restart(); // idempotent: not down, no extra cycle counted
+        assert_eq!(d.restarts(), 1);
     }
 
     #[test]

@@ -177,7 +177,9 @@ impl EndpointShared {
     pub(crate) fn on_notification(&self, ppage: u64) {
         let to_wake: Vec<ProcessId> = {
             let mut st = self.state.lock();
-            let Some(&buffer) = st.ppage_to_buffer.get(&ppage) else { return };
+            let Some(&buffer) = st.ppage_to_buffer.get(&ppage) else {
+                return;
+            };
             // Notifications only take effect when a handler is attached
             // (paper §2.3).
             if !st.handlers.contains_key(&buffer) {
@@ -229,7 +231,12 @@ impl Vmmc {
                 ppage_to_buffer: HashMap::new(),
             }),
         });
-        Vmmc { system, node_index, proc_, shared }
+        Vmmc {
+            system,
+            node_index,
+            proc_,
+            shared,
+        }
     }
 
     /// The user process this endpoint belongs to (for memory operations).
@@ -263,7 +270,13 @@ impl Vmmc {
     /// # Errors
     ///
     /// Fails if the range is not mapped writable in this process.
-    pub fn export(&self, ctx: &Ctx, va: VAddr, len: usize, opts: ExportOpts) -> Result<BufferName, VmmcError> {
+    pub fn export(
+        &self,
+        ctx: &Ctx,
+        va: VAddr,
+        len: usize,
+        opts: ExportOpts,
+    ) -> Result<BufferName, VmmcError> {
         ctx.advance(self.proc_.node().costs().os_export);
         let chunks = self.proc_.aspace().translate_range(va, len, true)?;
         let ppages: Vec<u64> = chunks.iter().map(|(pa, _, _)| pa.page()).collect();
@@ -273,8 +286,13 @@ impl Vmmc {
             len,
             perms: opts.perms,
         };
-        let name = self.system.daemon(self.node_index).register_export(record);
-        self.system.registry.register_pages(self.node_index, &ppages, &self.shared);
+        let name = self
+            .system
+            .daemon(self.node_index)
+            .register_export(record)?;
+        self.system
+            .registry
+            .register_pages(self.node_index, &ppages, &self.shared);
         {
             let mut st = self.shared.state.lock();
             st.exports.insert(name, (va, len, ppages.clone()));
@@ -305,10 +323,10 @@ impl Vmmc {
         ctx.advance(self.proc_.node().costs().os_export);
         let pages = {
             let mut st = self.shared.state.lock();
-            let (_va, _len, pages) = st
-                .exports
-                .remove(&name)
-                .ok_or(VmmcError::UnknownBuffer { node: self.node_id(), name: name.0 })?;
+            let (_va, _len, pages) = st.exports.remove(&name).ok_or(VmmcError::UnknownBuffer {
+                node: self.node_id(),
+                name: name.0,
+            })?;
             for p in &pages {
                 st.ppage_to_buffer.remove(p);
             }
@@ -316,7 +334,9 @@ impl Vmmc {
             pages
         };
         self.system.daemon(self.node_index).unregister_export(name);
-        self.system.registry.unregister_pages(self.node_index, &pages);
+        self.system
+            .registry
+            .unregister_pages(self.node_index, &pages);
         Ok(())
     }
 
@@ -324,12 +344,54 @@ impl Vmmc {
     ///
     /// # Errors
     ///
-    /// Fails if the buffer does not exist or permissions exclude this
-    /// node.
-    pub fn import(&self, ctx: &Ctx, node: NodeId, name: BufferName) -> Result<ImportHandle, VmmcError> {
+    /// Fails if the buffer does not exist, permissions exclude this
+    /// node, or the remote daemon is down
+    /// ([`VmmcError::DaemonUnavailable`] — see [`Vmmc::import_retry`]).
+    pub fn import(
+        &self,
+        ctx: &Ctx,
+        node: NodeId,
+        name: BufferName,
+    ) -> Result<ImportHandle, VmmcError> {
         ctx.advance(self.proc_.node().costs().os_import);
-        let info = self.system.daemon(node.0).resolve_import(self.node_id(), name)?;
-        Ok(ImportHandle { info: Arc::new(info), alive: Arc::new(AtomicBool::new(true)) })
+        let info = self
+            .system
+            .daemon(node.0)
+            .resolve_import(self.node_id(), name)?;
+        Ok(ImportHandle {
+            info: Arc::new(info),
+            alive: Arc::new(AtomicBool::new(true)),
+        })
+    }
+
+    /// Like [`Vmmc::import`], but rides out daemon outages: on
+    /// [`VmmcError::DaemonUnavailable`] the call backs off (exponentially,
+    /// per `policy`) and retries until the daemon answers or the policy's
+    /// attempts are exhausted. Other errors surface immediately.
+    ///
+    /// # Errors
+    ///
+    /// [`VmmcError::Timeout`] once every attempt found the daemon down;
+    /// otherwise as for [`Vmmc::import`].
+    pub fn import_retry(
+        &self,
+        ctx: &Ctx,
+        node: NodeId,
+        name: BufferName,
+        policy: shrimp_sim::RetryPolicy,
+    ) -> Result<ImportHandle, VmmcError> {
+        for attempt in 0..policy.attempts {
+            match self.import(ctx, node, name) {
+                Err(VmmcError::DaemonUnavailable { .. }) => {
+                    ctx.advance(policy.timeout(attempt));
+                }
+                other => return other,
+            }
+        }
+        Err(VmmcError::Timeout {
+            op: "import",
+            waited: policy.total_budget(),
+        })
     }
 
     /// Destroy an import mapping. Blocks until pending messages are
@@ -356,7 +418,14 @@ impl Vmmc {
     /// * [`VmmcError::OutOfRange`] if the transfer exceeds the buffer;
     /// * [`VmmcError::StaleImport`] after unimport;
     /// * [`VmmcError::Fault`] if the source range is not readable.
-    pub fn send(&self, ctx: &Ctx, src: VAddr, dst: &ImportHandle, dst_off: usize, len: usize) -> Result<(), VmmcError> {
+    pub fn send(
+        &self,
+        ctx: &Ctx,
+        src: VAddr,
+        dst: &ImportHandle,
+        dst_off: usize,
+        len: usize,
+    ) -> Result<(), VmmcError> {
         self.send_inner(ctx, src, dst, dst_off, len, false)
     }
 
@@ -366,7 +435,14 @@ impl Vmmc {
     /// # Errors
     ///
     /// As for [`Vmmc::send`].
-    pub fn send_notify(&self, ctx: &Ctx, src: VAddr, dst: &ImportHandle, dst_off: usize, len: usize) -> Result<(), VmmcError> {
+    pub fn send_notify(
+        &self,
+        ctx: &Ctx,
+        src: VAddr,
+        dst: &ImportHandle,
+        dst_off: usize,
+        len: usize,
+    ) -> Result<(), VmmcError> {
         self.send_inner(ctx, src, dst, dst_off, len, true)
     }
 
@@ -399,12 +475,21 @@ impl Vmmc {
             return Err(VmmcError::StaleImport);
         }
         if dst_off + len > dst.len() {
-            return Err(VmmcError::OutOfRange { offset: dst_off, len, buffer_len: dst.len() });
+            return Err(VmmcError::OutOfRange {
+                offset: dst_off,
+                len,
+                buffer_len: dst.len(),
+            });
         }
         if len == 0 {
-            return Ok(SendHandle { outstanding: Arc::new(std::sync::atomic::AtomicUsize::new(0)) });
+            return Ok(SendHandle {
+                outstanding: Arc::new(std::sync::atomic::AtomicUsize::new(0)),
+            });
         }
-        if !src.0.is_multiple_of(4) || !(dst.info().first_offset + dst_off).is_multiple_of(4) || !len.is_multiple_of(4) {
+        if !src.0.is_multiple_of(4)
+            || !(dst.info().first_offset + dst_off).is_multiple_of(4)
+            || !len.is_multiple_of(4)
+        {
             return Err(VmmcError::Misaligned);
         }
         self.proc_.aspace().translate_range(src, len, false)?;
@@ -465,12 +550,19 @@ impl Vmmc {
             return Err(VmmcError::StaleImport);
         }
         if dst_off + len > dst.len() {
-            return Err(VmmcError::OutOfRange { offset: dst_off, len, buffer_len: dst.len() });
+            return Err(VmmcError::OutOfRange {
+                offset: dst_off,
+                len,
+                buffer_len: dst.len(),
+            });
         }
         if len == 0 {
             return Ok(());
         }
-        if !src.0.is_multiple_of(4) || !(dst.info().first_offset + dst_off).is_multiple_of(4) || !len.is_multiple_of(4) {
+        if !src.0.is_multiple_of(4)
+            || !(dst.info().first_offset + dst_off).is_multiple_of(4)
+            || !len.is_multiple_of(4)
+        {
             return Err(VmmcError::Misaligned);
         }
         // Validate the whole source range up front (MMU protection).
@@ -540,7 +632,8 @@ impl Vmmc {
         if !dst.alive.load(Ordering::SeqCst) {
             return Err(VmmcError::StaleImport);
         }
-        if local_va.offset() != 0 || !(dst.info().first_offset + dst_off).is_multiple_of(PAGE_SIZE) {
+        if local_va.offset() != 0 || !(dst.info().first_offset + dst_off).is_multiple_of(PAGE_SIZE)
+        {
             return Err(VmmcError::UnalignedBinding);
         }
         if dst_off + pages * PAGE_SIZE > dst.len() + (PAGE_SIZE - 1) {
@@ -562,12 +655,22 @@ impl Vmmc {
             let dst_ppage = dst.info().ppages[dst_abs / PAGE_SIZE];
             nic.opt().bind(
                 pa.page(),
-                OptEntry { dst_node: dst.node(), dst_ppage, combine, dst_interrupt },
+                OptEntry {
+                    dst_node: dst.node(),
+                    dst_ppage,
+                    combine,
+                    dst_interrupt,
+                },
             );
             local_ppages.push(pa.page());
             local_vpages.push(va.page());
         }
-        Ok(AuBinding { local_va, pages, local_ppages, local_vpages })
+        Ok(AuBinding {
+            local_va,
+            pages,
+            local_ppages,
+            local_vpages,
+        })
     }
 
     /// Destroy an automatic-update binding: flushes any held combining
@@ -580,7 +683,10 @@ impl Vmmc {
         ctx.advance(self.proc_.node().costs().os_export);
         for (&ppage, &vpage) in binding.local_ppages.iter().zip(&binding.local_vpages) {
             nic.opt().unbind(ppage);
-            let _ = self.proc_.aspace().set_cache_mode(vpage, CacheMode::WriteBack);
+            let _ = self
+                .proc_
+                .aspace()
+                .set_cache_mode(vpage, CacheMode::WriteBack);
         }
     }
 

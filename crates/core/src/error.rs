@@ -2,6 +2,7 @@
 
 use shrimp_mesh::NodeId;
 use shrimp_node::MemFault;
+use shrimp_sim::SimDur;
 
 /// Errors returned by the VMMC layer.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,6 +40,28 @@ pub enum VmmcError {
     Fault(MemFault),
     /// The import handle was already unimported.
     StaleImport,
+    /// A bounded wait elapsed before the operation completed (only
+    /// surfaced by calls that take a deadline or retry policy).
+    Timeout {
+        /// The operation that timed out.
+        op: &'static str,
+        /// How long the caller was prepared to wait in total.
+        waited: SimDur,
+    },
+    /// The mapping daemon on the target node has crashed and not yet
+    /// restarted; retry after its recovery.
+    DaemonUnavailable {
+        /// Node whose daemon is down.
+        node: NodeId,
+    },
+    /// The node's receive datapath is frozen on a protection violation
+    /// and awaits OS repair.
+    Frozen {
+        /// The frozen node.
+        node: NodeId,
+        /// The physical page whose disabled IPT entry caused the freeze.
+        ppage: u64,
+    },
 }
 
 impl std::fmt::Display for VmmcError {
@@ -51,9 +74,16 @@ impl std::fmt::Display for VmmcError {
                 write!(f, "import of buffer {name} on {node} denied")
             }
             VmmcError::Misaligned => {
-                write!(f, "deliberate update requires word-aligned source, destination, and length")
+                write!(
+                    f,
+                    "deliberate update requires word-aligned source, destination, and length"
+                )
             }
-            VmmcError::OutOfRange { offset, len, buffer_len } => {
+            VmmcError::OutOfRange {
+                offset,
+                len,
+                buffer_len,
+            } => {
                 write!(f, "transfer of {len} bytes at offset {offset} exceeds buffer of {buffer_len} bytes")
             }
             VmmcError::UnalignedBinding => {
@@ -61,6 +91,15 @@ impl std::fmt::Display for VmmcError {
             }
             VmmcError::Fault(e) => write!(f, "memory fault: {e}"),
             VmmcError::StaleImport => write!(f, "import handle was unimported"),
+            VmmcError::Timeout { op, waited } => {
+                write!(f, "{op} timed out after {waited}")
+            }
+            VmmcError::DaemonUnavailable { node } => {
+                write!(f, "mapping daemon on {node} is down")
+            }
+            VmmcError::Frozen { node, ppage } => {
+                write!(f, "receive datapath on {node} frozen at page {ppage}")
+            }
         }
     }
 }
@@ -86,9 +125,16 @@ mod tests {
 
     #[test]
     fn display_messages_are_lowercase_and_informative() {
-        let e = VmmcError::UnknownBuffer { node: NodeId(2), name: 77 };
+        let e = VmmcError::UnknownBuffer {
+            node: NodeId(2),
+            name: 77,
+        };
         assert_eq!(e.to_string(), "no exported buffer 77 on node2");
-        let e = VmmcError::OutOfRange { offset: 10, len: 20, buffer_len: 16 };
+        let e = VmmcError::OutOfRange {
+            offset: 10,
+            len: 20,
+            buffer_len: 16,
+        };
         assert!(e.to_string().contains("exceeds"));
     }
 

@@ -62,6 +62,8 @@ mod error;
 mod system;
 
 pub use daemon::{BufferName, Daemon, ExportPerms, ExportRecord, MappingInfo};
-pub use endpoint::{AuBinding, ExportOpts, ImportHandle, NotifyEvent, NotifyHandler, SendHandle, Vmmc};
+pub use endpoint::{
+    AuBinding, ExportOpts, ImportHandle, NotifyEvent, NotifyHandler, SendHandle, Vmmc,
+};
 pub use error::VmmcError;
 pub use system::{ShrimpSystem, SystemConfig, SystemReport};

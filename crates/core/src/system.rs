@@ -1,13 +1,14 @@
 //! Whole-system assembly: nodes, NICs, daemons, backplane, Ethernet.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Weak};
 
 use parking_lot::Mutex;
 use shrimp_mesh::{Backplane, LinkParams, NodeId, Topology};
 use shrimp_nic::{Nic, NicPacket, IRQ_NOTIFICATION, IRQ_RECV_FREEZE};
 use shrimp_node::{CostModel, Ethernet, Node, UserProc};
-use shrimp_sim::{Kernel, SimHandle};
+use shrimp_sim::{FaultKind, FaultLog, FaultPlan, Kernel, SimHandle};
 
 use crate::daemon::Daemon;
 use crate::endpoint::{EndpointShared, Vmmc};
@@ -41,13 +42,19 @@ impl SystemConfig {
     /// the system to 16 nodes"): a 4×4 mesh with otherwise identical
     /// per-node hardware.
     pub fn expanded_16() -> SystemConfig {
-        SystemConfig { topology: Topology::new(4, 4), ..SystemConfig::prototype() }
+        SystemConfig {
+            topology: Topology::new(4, 4),
+            ..SystemConfig::prototype()
+        }
     }
 
     /// An arbitrary `width × height` machine with prototype nodes, for
     /// scaling studies.
     pub fn with_mesh(width: usize, height: usize) -> SystemConfig {
-        SystemConfig { topology: Topology::new(width, height), ..SystemConfig::prototype() }
+        SystemConfig {
+            topology: Topology::new(width, height),
+            ..SystemConfig::prototype()
+        }
     }
 }
 
@@ -108,6 +115,11 @@ pub struct ShrimpSystem {
     daemons: Vec<Arc<Daemon>>,
     pub(crate) registry: Arc<Registry>,
     violations: Mutex<Vec<(NodeId, u64)>>,
+    /// When set (by [`ShrimpSystem::apply_faults`]), a freeze interrupt
+    /// triggers the OS recovery path automatically after the interrupt
+    /// latency, instead of only being recorded.
+    auto_repair: AtomicBool,
+    fault_log: Mutex<Option<Arc<FaultLog>>>,
 }
 
 impl std::fmt::Debug for ShrimpSystem {
@@ -131,7 +143,12 @@ impl ShrimpSystem {
         let mut nics = Vec::new();
         let mut daemons = Vec::new();
         for id in config.topology.nodes() {
-            let node = Node::new(handle.clone(), id, config.mem_pages_per_node, config.costs.clone());
+            let node = Node::new(
+                handle.clone(),
+                id,
+                config.mem_pages_per_node,
+                config.costs.clone(),
+            );
             let nic = Nic::install(Arc::clone(&node), Arc::clone(&net));
             let daemon = Daemon::new(id, Arc::clone(&nic));
             nodes.push(node);
@@ -149,6 +166,8 @@ impl ShrimpSystem {
             daemons,
             registry,
             violations: Mutex::new(Vec::new()),
+            auto_repair: AtomicBool::new(false),
+            fault_log: Mutex::new(None),
         });
 
         // Wire per-node delivery and interrupt routing.
@@ -172,6 +191,25 @@ impl ShrimpSystem {
                     }
                     IRQ_RECV_FREEZE => {
                         sys.violations.lock().push((NodeId(i), irq.info));
+                        if sys.auto_repair.load(Ordering::SeqCst) {
+                            sys.log_fault(format!("freeze node={i} page={}", irq.info));
+                            // The OS freeze handler runs after the
+                            // interrupt latency and repairs the page —
+                            // unless the daemon is down, in which case
+                            // its restart path owns the unfreeze.
+                            let latency = sys.nodes[i].costs().interrupt_latency;
+                            let page = irq.info;
+                            let sys2 = Arc::downgrade(&sys);
+                            sys.handle.schedule_in(latency, move || {
+                                let Some(sys) = sys2.upgrade() else { return };
+                                if sys.daemons[i].is_down() {
+                                    return;
+                                }
+                                if sys.repair_and_unfreeze(i, page) {
+                                    sys.log_fault(format!("repair node={i} page={page}"));
+                                }
+                            });
+                        }
                     }
                     _ => {}
                 }
@@ -262,9 +300,81 @@ impl ShrimpSystem {
     pub fn repair_and_unfreeze(&self, node: usize, ppage: u64) -> bool {
         let nic = &self.nics[node];
         let was = nic.is_frozen();
-        nic.ipt().set(ppage, shrimp_nic::IptEntry { enabled: true, interrupt: false });
+        nic.ipt().set(
+            ppage,
+            shrimp_nic::IptEntry {
+                enabled: true,
+                interrupt: false,
+            },
+        );
         nic.unfreeze();
         was
+    }
+
+    /// Arm a fault plan (see `shrimp_sim::faults`): every event is
+    /// scheduled on the kernel and dispatched into the owning layer —
+    /// mesh link stalls and brownouts, NIC incoming-DMA stalls, IPT
+    /// protection violations, daemon crash/restart cycles. Also enables
+    /// the automatic OS recovery path: a freeze interrupt now schedules
+    /// [`ShrimpSystem::repair_and_unfreeze`] after the interrupt
+    /// latency (or defers to the daemon's restart when it is down).
+    ///
+    /// Returns the fault log; with a fixed seed and workload the log's
+    /// rendering is bit-identical across runs.
+    pub fn apply_faults(self: &Arc<Self>, plan: &FaultPlan) -> Arc<FaultLog> {
+        let log = Arc::new(FaultLog::new());
+        *self.fault_log.lock() = Some(Arc::clone(&log));
+        self.auto_repair.store(true, Ordering::SeqCst);
+        let sys = Arc::downgrade(self);
+        plan.schedule(&self.handle, move |ev| {
+            let Some(sys) = sys.upgrade() else { return };
+            let now = sys.handle.now();
+            sys.log_fault(format!("inject {}", ev.kind));
+            match ev.kind {
+                FaultKind::LinkStall { node, dur } => {
+                    sys.net.stall_node_links(NodeId(node), now, dur);
+                }
+                FaultKind::Brownout { factor, dur } => {
+                    sys.net.brownout(now, dur, factor);
+                }
+                FaultKind::DmaStall { node, dur } => {
+                    sys.nics[node].stall_incoming_dma(now, dur);
+                }
+                FaultKind::IptViolation { node } => match sys.nics[node].inject_ipt_violation() {
+                    Some(victim) => {
+                        sys.log_fault(format!("ipt-disabled node={node} page={victim}"))
+                    }
+                    None => sys.log_fault(format!("ipt-no-victim node={node}")),
+                },
+                FaultKind::DaemonCrash { node, downtime } => {
+                    sys.daemons[node].crash();
+                    let sys2 = Arc::downgrade(&sys);
+                    sys.handle.schedule_in(downtime, move || {
+                        let Some(sys) = sys2.upgrade() else { return };
+                        sys.daemons[node].restart();
+                        sys.log_fault(format!("daemon-restart node={node}"));
+                        // Restart re-validated the export table; clear
+                        // any freeze the outage caused.
+                        if sys.nics[node].is_frozen() {
+                            sys.nics[node].unfreeze();
+                            sys.log_fault(format!("unfreeze node={node}"));
+                        }
+                    });
+                }
+            }
+        });
+        log
+    }
+
+    /// The log installed by the last [`ShrimpSystem::apply_faults`].
+    pub fn fault_log(&self) -> Option<Arc<FaultLog>> {
+        self.fault_log.lock().clone()
+    }
+
+    fn log_fault(&self, line: String) {
+        if let Some(log) = self.fault_log.lock().as_ref() {
+            log.record(self.handle.now(), line);
+        }
     }
 
     /// True when no packet is in flight anywhere: mesh delivered

@@ -24,7 +24,8 @@ fn nonblocking_send_overlaps_computation() {
             let buf = rx.proc_().alloc(LEN, CacheMode::WriteBack);
             let name = rx.export(ctx, buf, LEN, ExportOpts::default()).unwrap();
             names.send(&ctx.handle(), name);
-            rx.wait_u32(ctx, buf.add(LEN - 4), 100_000, |v| v == 0xD0E).unwrap();
+            rx.wait_u32(ctx, buf.add(LEN - 4), 100_000, |v| v == 0xD0E)
+                .unwrap();
             assert_eq!(rx.proc_().peek(buf, 64).unwrap(), vec![0x42; 64]);
         });
     }
@@ -36,7 +37,9 @@ fn nonblocking_send_overlaps_computation() {
             let dst = tx.import(ctx, NodeId(1), name).unwrap();
             let src = tx.proc_().alloc(LEN, CacheMode::WriteBack);
             tx.proc_().poke(src, &vec![0x42; LEN - 4]).unwrap();
-            tx.proc_().poke(src.add(LEN - 4), &0xD0Eu32.to_le_bytes()).unwrap();
+            tx.proc_()
+                .poke(src.add(LEN - 4), &0xD0Eu32.to_le_bytes())
+                .unwrap();
 
             // Blocking send: the application waits out the whole DMA.
             let t0 = ctx.now();
@@ -76,7 +79,9 @@ fn nonblocking_send_validates_like_blocking() {
         let names = names.clone();
         kernel.spawn("rx", move |ctx| {
             let buf = rx.proc_().alloc(PAGE_SIZE, CacheMode::WriteBack);
-            let name = rx.export(ctx, buf, PAGE_SIZE, ExportOpts::default()).unwrap();
+            let name = rx
+                .export(ctx, buf, PAGE_SIZE, ExportOpts::default())
+                .unwrap();
             names.send(&ctx.handle(), name);
         });
     }
@@ -115,7 +120,9 @@ fn os_repairs_frozen_receive_path() {
         let names = names.clone();
         kernel.spawn("rx", move |ctx| {
             let buf = rx.proc_().alloc(PAGE_SIZE, CacheMode::WriteBack);
-            let name = rx.export(ctx, buf, PAGE_SIZE, ExportOpts::default()).unwrap();
+            let name = rx
+                .export(ctx, buf, PAGE_SIZE, ExportOpts::default())
+                .unwrap();
             names.send(&ctx.handle(), name);
             ctx.advance(SimDur::from_us(60_000.0));
         });

@@ -25,17 +25,27 @@ fn each_buffer_gets_its_own_handler() {
             let buf_b = rx.proc_().alloc(PAGE_SIZE, CacheMode::WriteBack);
             let la = Arc::clone(&log);
             let name_a = rx
-                .export(ctx, buf_a, PAGE_SIZE, ExportOpts {
-                    perms: ExportPerms::Any,
-                    handler: Some(Box::new(move |_ctx, _ev| la.lock().push("a"))),
-                })
+                .export(
+                    ctx,
+                    buf_a,
+                    PAGE_SIZE,
+                    ExportOpts {
+                        perms: ExportPerms::Any,
+                        handler: Some(Box::new(move |_ctx, _ev| la.lock().push("a"))),
+                    },
+                )
                 .unwrap();
             let lb = Arc::clone(&log);
             let name_b = rx
-                .export(ctx, buf_b, PAGE_SIZE, ExportOpts {
-                    perms: ExportPerms::Any,
-                    handler: Some(Box::new(move |_ctx, _ev| lb.lock().push("b"))),
-                })
+                .export(
+                    ctx,
+                    buf_b,
+                    PAGE_SIZE,
+                    ExportOpts {
+                        perms: ExportPerms::Any,
+                        handler: Some(Box::new(move |_ctx, _ev| lb.lock().push("b"))),
+                    },
+                )
                 .unwrap();
             names.send(&ctx.handle(), (name_a, name_b));
             // Consume three notifications; handlers dispatch per buffer.
@@ -74,7 +84,9 @@ fn notifications_without_a_handler_are_discarded() {
         let names = names.clone();
         kernel.spawn("rx", move |ctx| {
             let buf = rx.proc_().alloc(PAGE_SIZE, CacheMode::WriteBack);
-            let name = rx.export(ctx, buf, PAGE_SIZE, ExportOpts::default()).unwrap();
+            let name = rx
+                .export(ctx, buf, PAGE_SIZE, ExportOpts::default())
+                .unwrap();
             names.send(&ctx.handle(), name);
             // Wait for the data itself; no notification must be queued.
             rx.wait_u32(ctx, buf, 1024, |v| v == 7).unwrap();
@@ -110,10 +122,15 @@ fn blocked_notifications_queue_in_arrival_order() {
         kernel.spawn("rx", move |ctx| {
             let buf = rx.proc_().alloc(PAGE_SIZE, CacheMode::WriteBack);
             let name = rx
-                .export(ctx, buf, PAGE_SIZE, ExportOpts {
-                    perms: ExportPerms::Any,
-                    handler: Some(Box::new(|_ctx, _ev| {})),
-                })
+                .export(
+                    ctx,
+                    buf,
+                    PAGE_SIZE,
+                    ExportOpts {
+                        perms: ExportPerms::Any,
+                        handler: Some(Box::new(|_ctx, _ev| {})),
+                    },
+                )
                 .unwrap();
             names.send(&ctx.handle(), name);
             rx.set_notifications_blocked(ctx, true);

@@ -5,7 +5,9 @@
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use shrimp_core::{BufferName, ExportOpts, ExportPerms, ShrimpSystem, SystemConfig, Vmmc, VmmcError};
+use shrimp_core::{
+    BufferName, ExportOpts, ExportPerms, ShrimpSystem, SystemConfig, Vmmc, VmmcError,
+};
 use shrimp_mesh::NodeId;
 use shrimp_node::{CacheMode, VAddr, PAGE_SIZE};
 use shrimp_sim::{Ctx, Kernel, SimChannel, SimDur};
@@ -17,12 +19,7 @@ fn prototype() -> (Kernel, Arc<ShrimpSystem>) {
 }
 
 /// Receiver exports one buffer and publishes its name; sender imports.
-fn export_one(
-    rx: &Vmmc,
-    ctx: &Ctx,
-    bytes: usize,
-    names: &SimChannel<BufferName>,
-) -> VAddr {
+fn export_one(rx: &Vmmc, ctx: &Ctx, bytes: usize, names: &SimChannel<BufferName>) -> VAddr {
     let buf = rx.proc_().alloc(bytes, CacheMode::WriteBack);
     let name = rx.export(ctx, buf, bytes, ExportOpts::default()).unwrap();
     names.send(&ctx.handle(), name);
@@ -41,7 +38,8 @@ fn deliberate_update_transfers_across_pages() {
         let names = names.clone();
         kernel.spawn("rx", move |ctx| {
             let buf = export_one(&rx, ctx, n, &names);
-            rx.wait_u32(ctx, buf.add(n - 4), 64, |v| v == 0xFEED).unwrap();
+            rx.wait_u32(ctx, buf.add(n - 4), 64, |v| v == 0xFEED)
+                .unwrap();
             let got = rx.proc_().peek(buf, n - 4).unwrap();
             let want: Vec<u8> = (0..n - 4).map(|i| (i % 241) as u8).collect();
             assert_eq!(got, want);
@@ -79,9 +77,18 @@ fn send_rejects_misalignment_out_of_range_and_stale() {
         let dst = tx.import(ctx, NodeId(1), name).unwrap();
         let src = tx.proc_().alloc(2 * PAGE_SIZE, CacheMode::WriteBack);
 
-        assert!(matches!(tx.send(ctx, src.add(2), &dst, 0, 8), Err(VmmcError::Misaligned)));
-        assert!(matches!(tx.send(ctx, src, &dst, 2, 8), Err(VmmcError::Misaligned)));
-        assert!(matches!(tx.send(ctx, src, &dst, 0, 6), Err(VmmcError::Misaligned)));
+        assert!(matches!(
+            tx.send(ctx, src.add(2), &dst, 0, 8),
+            Err(VmmcError::Misaligned)
+        ));
+        assert!(matches!(
+            tx.send(ctx, src, &dst, 2, 8),
+            Err(VmmcError::Misaligned)
+        ));
+        assert!(matches!(
+            tx.send(ctx, src, &dst, 0, 6),
+            Err(VmmcError::Misaligned)
+        ));
         assert!(matches!(
             tx.send(ctx, src, &dst, PAGE_SIZE - 4, 8),
             Err(VmmcError::OutOfRange { .. })
@@ -90,7 +97,10 @@ fn send_rejects_misalignment_out_of_range_and_stale() {
         tx.send(ctx, src, &dst, 0, 0).unwrap();
 
         tx.unimport(ctx, &dst);
-        assert!(matches!(tx.send(ctx, src, &dst, 0, 8), Err(VmmcError::StaleImport)));
+        assert!(matches!(
+            tx.send(ctx, src, &dst, 0, 8),
+            Err(VmmcError::StaleImport)
+        ));
     });
     kernel.run_until_quiescent().unwrap();
 }
@@ -110,7 +120,10 @@ fn import_permission_denied_for_excluded_node() {
                     ctx,
                     buf,
                     PAGE_SIZE,
-                    ExportOpts { perms: ExportPerms::Nodes(vec![NodeId(2)]), handler: None },
+                    ExportOpts {
+                        perms: ExportPerms::Nodes(vec![NodeId(2)]),
+                        handler: None,
+                    },
                 )
                 .unwrap();
             names.send(&ctx.handle(), name);
@@ -136,7 +149,8 @@ fn automatic_update_binding_propagates_stores() {
         let names = names.clone();
         kernel.spawn("rx", move |ctx| {
             let buf = export_one(&rx, ctx, 2 * PAGE_SIZE, &names);
-            rx.wait_u32(ctx, buf.add(128 + 60), 64, |v| v == 77).unwrap();
+            rx.wait_u32(ctx, buf.add(128 + 60), 64, |v| v == 77)
+                .unwrap();
             assert_eq!(rx.proc_().peek(buf.add(128), 60).unwrap(), vec![9u8; 60]);
         });
     }
@@ -146,8 +160,12 @@ fn automatic_update_binding_propagates_stores() {
         let send_buf = tx.proc_().alloc(2 * PAGE_SIZE, CacheMode::WriteBack);
         let binding = tx.bind_au(ctx, send_buf, &dst, 0, 2, true, false).unwrap();
         // Ordinary stores now propagate: no explicit send operation.
-        tx.proc_().write(ctx, send_buf.add(128), &[9u8; 60]).unwrap();
-        tx.proc_().write_u32(ctx, send_buf.add(128 + 60), 77).unwrap();
+        tx.proc_()
+            .write(ctx, send_buf.add(128), &[9u8; 60])
+            .unwrap();
+        tx.proc_()
+            .write_u32(ctx, send_buf.add(128 + 60), 77)
+            .unwrap();
         tx.unbind_au(ctx, binding);
         // After unbind, stores stay local.
         tx.proc_().write_u32(ctx, send_buf, 0xDEAD).unwrap();
@@ -170,7 +188,8 @@ fn au_then_du_control_after_data_ordering() {
         kernel.spawn("rx", move |ctx| {
             let buf = export_one(&rx, ctx, PAGE_SIZE, &names);
             for round in 1..=20u32 {
-                rx.wait_u32(ctx, buf.add(PAGE_SIZE - 4), 64, |v| v == round).unwrap();
+                rx.wait_u32(ctx, buf.add(PAGE_SIZE - 4), 64, |v| v == round)
+                    .unwrap();
                 // Flag arrived: the 256 bytes of data must be complete.
                 let got = rx.proc_().peek(buf, 256).unwrap();
                 assert_eq!(got, vec![round as u8; 256], "round {round}");
@@ -300,7 +319,9 @@ fn explicit_unexport_waits_for_pending_traffic() {
         let names = names.clone();
         kernel.spawn("rx", move |ctx| {
             let buf = rx.proc_().alloc(PAGE_SIZE, CacheMode::WriteBack);
-            let name = rx.export(ctx, buf, PAGE_SIZE, ExportOpts::default()).unwrap();
+            let name = rx
+                .export(ctx, buf, PAGE_SIZE, ExportOpts::default())
+                .unwrap();
             names.send(&ctx.handle(), name);
             rx.wait_u32(ctx, buf, 64, |v| v == 42).unwrap();
             // Unexport drains in-flight traffic before disabling pages.
@@ -334,7 +355,9 @@ fn bidirectional_au_ping_pong() {
         let names_b = names_b.clone();
         kernel.spawn("a", move |ctx| {
             let recv = a.proc_().alloc(PAGE_SIZE, CacheMode::WriteBack);
-            let name = a.export(ctx, recv, PAGE_SIZE, ExportOpts::default()).unwrap();
+            let name = a
+                .export(ctx, recv, PAGE_SIZE, ExportOpts::default())
+                .unwrap();
             names_a.send(&ctx.handle(), name);
             let peer = names_b.recv(ctx);
             let dst = a.import(ctx, NodeId(3), peer).unwrap();
@@ -348,7 +371,9 @@ fn bidirectional_au_ping_pong() {
     }
     kernel.spawn("b", move |ctx| {
         let recv = b.proc_().alloc(PAGE_SIZE, CacheMode::WriteBack);
-        let name = b.export(ctx, recv, PAGE_SIZE, ExportOpts::default()).unwrap();
+        let name = b
+            .export(ctx, recv, PAGE_SIZE, ExportOpts::default())
+            .unwrap();
         names_b.send(&ctx.handle(), name);
         let peer = names_a.recv(ctx);
         let dst = b.import(ctx, NodeId(0), peer).unwrap();

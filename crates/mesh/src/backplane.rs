@@ -25,7 +25,7 @@
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use shrimp_sim::{SimDur, SimHandle, SimTime};
+use shrimp_sim::{SimDur, SimHandle, SimTime, StallWindows};
 
 use crate::topology::{NodeId, Topology};
 
@@ -97,6 +97,23 @@ struct Channel {
     next_free: SimTime,
 }
 
+/// Injected link faults (see `shrimp_sim::faults`). Faults only delay
+/// channel reservations, never drop or reorder them, so the hardware's
+/// in-order delivery contract survives every fault plan.
+#[derive(Default)]
+struct MeshFaults {
+    /// Stall/slowdown windows applying to one node's six channels.
+    per_node: std::collections::HashMap<usize, StallWindows>,
+    /// Windows applying to every channel (bandwidth brownouts).
+    global: StallWindows,
+}
+
+impl MeshFaults {
+    fn is_empty(&self) -> bool {
+        self.per_node.is_empty() && self.global.is_empty()
+    }
+}
+
 struct PairSeq {
     next_inject: u64,
     next_deliver: u64,
@@ -134,6 +151,7 @@ pub struct Backplane<P> {
     sinks: Mutex<Vec<Option<Sink<P>>>>,
     pair_seq: Mutex<std::collections::HashMap<(NodeId, NodeId), PairSeq>>,
     stats: Mutex<MeshStats>,
+    faults: Mutex<MeshFaults>,
 }
 
 const CH_PER_NODE: usize = 6;
@@ -148,10 +166,13 @@ impl<P: Send + 'static> Backplane<P> {
             topo,
             params,
             handle,
-            channels: (0..n * CH_PER_NODE).map(|_| Mutex::new(Channel::default())).collect(),
+            channels: (0..n * CH_PER_NODE)
+                .map(|_| Mutex::new(Channel::default()))
+                .collect(),
             sinks: Mutex::new(vec![None; n]),
             pair_seq: Mutex::new(std::collections::HashMap::new()),
             stats: Mutex::new(MeshStats::default()),
+            faults: Mutex::new(MeshFaults::default()),
         })
     }
 
@@ -189,16 +210,23 @@ impl<P: Send + 'static> Backplane<P> {
     ///
     /// Panics if either node is out of range, or (at delivery time) if no
     /// sink is attached to `dst`.
-    pub fn inject(self: &Arc<Self>, src: NodeId, dst: NodeId, payload_bytes: usize, payload: P) -> SimTime {
+    pub fn inject(
+        self: &Arc<Self>,
+        src: NodeId,
+        dst: NodeId,
+        payload_bytes: usize,
+        payload: P,
+    ) -> SimTime {
         let now = self.handle.now();
         let wire_bytes = payload_bytes + self.params.header_bytes;
         let ser = SimDur::per_bytes(wire_bytes, self.params.link_bytes_per_sec);
 
         let seq = {
             let mut seqs = self.pair_seq.lock();
-            let entry = seqs
-                .entry((src, dst))
-                .or_insert(PairSeq { next_inject: 0, next_deliver: 0 });
+            let entry = seqs.entry((src, dst)).or_insert(PairSeq {
+                next_inject: 0,
+                next_deliver: 0,
+            });
             let s = entry.next_inject;
             entry.next_inject += 1;
             s
@@ -209,17 +237,18 @@ impl<P: Send + 'static> Backplane<P> {
         let mut head = now + self.params.injection_overhead;
         {
             // Injection channel: NIC -> local router.
-            let start = self.reserve(self.channel_index(src, CH_INJECT), head, ser);
+            let (start, _) = self.reserve(self.channel_index(src, CH_INJECT), head, ser);
             head = start + self.params.router_delay + self.params.wire_latency;
         }
         for (router, dir) in self.topo.route(src, dst) {
             let idx = self.channel_index(router, 2 + dir.index());
-            let start = self.reserve(idx, head, ser);
+            let (start, _) = self.reserve(idx, head, ser);
             head = start + self.params.router_delay + self.params.wire_latency;
         }
-        // Ejection channel: router -> destination NIC.
-        let eject_start = self.reserve(self.channel_index(dst, CH_EJECT), head, ser);
-        let tail_arrival = eject_start + ser;
+        // Ejection channel: router -> destination NIC. The tail arrives
+        // when the ejection channel finishes serializing the packet, which
+        // under a brownout takes longer than the healthy `ser`.
+        let (_, tail_arrival) = self.reserve(self.channel_index(dst, CH_EJECT), head, ser);
 
         {
             let mut st = self.stats.lock();
@@ -228,7 +257,14 @@ impl<P: Send + 'static> Backplane<P> {
 
         let me = Arc::clone(self);
         self.handle.schedule_at(tail_arrival, move || {
-            me.deliver(Delivery { src, dst, seq, at: tail_arrival, payload_bytes, payload });
+            me.deliver(Delivery {
+                src,
+                dst,
+                seq,
+                at: tail_arrival,
+                payload_bytes,
+                payload,
+            });
         });
         tail_arrival
     }
@@ -236,7 +272,9 @@ impl<P: Send + 'static> Backplane<P> {
     fn deliver(&self, d: Delivery<P>) {
         {
             let mut seqs = self.pair_seq.lock();
-            let entry = seqs.get_mut(&(d.src, d.dst)).expect("delivery without injection");
+            let entry = seqs
+                .get_mut(&(d.src, d.dst))
+                .expect("delivery without injection");
             assert_eq!(
                 entry.next_deliver, d.seq,
                 "mesh ordering violated for {} -> {}",
@@ -261,11 +299,52 @@ impl<P: Send + 'static> Backplane<P> {
         node.0 * CH_PER_NODE + ch
     }
 
-    fn reserve(&self, idx: usize, at: SimTime, ser: SimDur) -> SimTime {
+    fn reserve(&self, idx: usize, at: SimTime, ser: SimDur) -> (SimTime, SimTime) {
+        let (at, ser) = self.apply_faults(idx, at, ser);
         let mut ch = self.channels[idx].lock();
         let start = at.max(ch.next_free);
         ch.next_free = start + ser;
-        start
+        (start, ch.next_free)
+    }
+
+    /// Delay `at` past any active stall window on channel `idx` and
+    /// dilate `ser` by any active brownout. Channel timelines remain
+    /// FIFO because both effects only move reservations later.
+    fn apply_faults(&self, idx: usize, at: SimTime, ser: SimDur) -> (SimTime, SimDur) {
+        let f = self.faults.lock();
+        if f.is_empty() {
+            return (at, ser);
+        }
+        let node = idx / CH_PER_NODE;
+        let mut t = f.global.release(at);
+        let mut factor = f.global.factor_at(t);
+        if let Some(w) = f.per_node.get(&node) {
+            t = w.release(t);
+            factor = factor.max(w.factor_at(t));
+        }
+        let ser = if factor > 1.0 {
+            SimDur::from_ps((ser.as_ps() as f64 * factor).ceil() as u64)
+        } else {
+            ser
+        };
+        (t, ser)
+    }
+
+    /// Fault hook: stall all six channels of `node` (injection,
+    /// ejection, and routing) for `dur` starting at `start`.
+    pub fn stall_node_links(&self, node: NodeId, start: SimTime, dur: SimDur) {
+        self.faults
+            .lock()
+            .per_node
+            .entry(node.0)
+            .or_default()
+            .add_stall(start, dur);
+    }
+
+    /// Fault hook: slow every channel's serialization by `factor` for
+    /// `dur` starting at `start` (a mesh-wide bandwidth brownout).
+    pub fn brownout(&self, start: SimTime, dur: SimDur, factor: f64) {
+        self.faults.lock().global.add_slowdown(start, dur, factor);
     }
 
     /// Snapshot of traffic statistics.
@@ -276,7 +355,10 @@ impl<P: Send + 'static> Backplane<P> {
     /// Unloaded tail-arrival latency for a packet of `payload_bytes` from
     /// `src` to `dst` — the analytic lower bound used by tests.
     pub fn unloaded_latency(&self, src: NodeId, dst: NodeId, payload_bytes: usize) -> SimDur {
-        let ser = SimDur::per_bytes(payload_bytes + self.params.header_bytes, self.params.link_bytes_per_sec);
+        let ser = SimDur::per_bytes(
+            payload_bytes + self.params.header_bytes,
+            self.params.link_bytes_per_sec,
+        );
         let hops = self.topo.distance(src, dst) as u64 + 1; // + injection hop
         self.params.injection_overhead
             + (self.params.router_delay + self.params.wire_latency) * hops
@@ -290,7 +372,11 @@ mod tests {
     use shrimp_sim::Kernel;
 
     fn net(kernel: &Kernel) -> Arc<Backplane<u64>> {
-        Backplane::new(kernel.handle(), Topology::shrimp_prototype(), LinkParams::paragon())
+        Backplane::new(
+            kernel.handle(),
+            Topology::shrimp_prototype(),
+            LinkParams::paragon(),
+        )
     }
 
     #[test]
@@ -341,7 +427,7 @@ mod tests {
         net.attach(NodeId(2), |_| {});
         let a = net.inject(NodeId(0), NodeId(1), 500, 1); // east
         let b = net.inject(NodeId(3), NodeId(2), 500, 2); // west, bottom row
-        // Same unloaded latency; identical because paths share no channel.
+                                                          // Same unloaded latency; identical because paths share no channel.
         assert_eq!(a, b);
         kernel.run_until_quiescent().unwrap();
     }
@@ -357,6 +443,57 @@ mod tests {
     }
 
     #[test]
+    fn stalled_links_delay_but_preserve_order() {
+        let kernel = Kernel::new();
+        let net = net(&kernel);
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let g = Arc::clone(&got);
+        net.attach(NodeId(1), move |d| g.lock().push((d.payload, d.at)));
+        // Node 0's links stall for 30 us right from t=0.
+        net.stall_node_links(NodeId(0), SimTime::ZERO, SimDur::from_us(30.0));
+        let healthy = net.unloaded_latency(NodeId(0), NodeId(1), 64);
+        for i in 0..5 {
+            net.inject(NodeId(0), NodeId(1), 64, i);
+        }
+        kernel.run_until_quiescent().unwrap();
+        let v = got.lock().clone();
+        assert_eq!(
+            v.iter().map(|(p, _)| *p).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4]
+        );
+        assert!(
+            v[0].1 >= SimTime::ZERO + SimDur::from_us(30.0),
+            "first delivery {} must wait out the stall",
+            v[0].1
+        );
+        assert!(v[0].1 < SimTime::ZERO + SimDur::from_us(31.0) + healthy);
+        assert!(
+            v.windows(2).all(|w| w[0].1 <= w[1].1),
+            "deliveries stay time-ordered"
+        );
+    }
+
+    #[test]
+    fn brownout_dilates_serialization() {
+        let kernel = Kernel::new();
+        let slow = net(&kernel);
+        slow.attach(NodeId(1), |_| {});
+        slow.brownout(SimTime::ZERO, SimDur::from_us(1_000.0), 4.0);
+        let t_slow = slow.inject(NodeId(0), NodeId(1), 4096, 1);
+        kernel.run_until_quiescent().unwrap();
+
+        let kernel2 = Kernel::new();
+        let fast = net(&kernel2);
+        fast.attach(NodeId(1), |_| {});
+        let t_fast = fast.inject(NodeId(0), NodeId(1), 4096, 1);
+        kernel2.run_until_quiescent().unwrap();
+        assert!(
+            t_slow > t_fast + (t_fast - SimTime::ZERO),
+            "4x brownout should more than double the 4 KB latency: {t_slow} vs {t_fast}"
+        );
+    }
+
+    #[test]
     fn self_send_uses_injection_and_ejection_only() {
         let kernel = Kernel::new();
         let net = net(&kernel);
@@ -364,7 +501,10 @@ mod tests {
         let g = Arc::clone(&got);
         net.attach(NodeId(2), move |d| *g.lock() = d.payload);
         let at = net.inject(NodeId(2), NodeId(2), 64, 42);
-        assert_eq!(at, SimTime::ZERO + net.unloaded_latency(NodeId(2), NodeId(2), 64));
+        assert_eq!(
+            at,
+            SimTime::ZERO + net.unloaded_latency(NodeId(2), NodeId(2), 64)
+        );
         kernel.run_until_quiescent().unwrap();
         assert_eq!(*got.lock(), 42);
     }

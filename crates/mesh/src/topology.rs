@@ -124,7 +124,10 @@ impl Topology {
     /// Panics if `node` is out of range.
     pub fn coord(&self, node: NodeId) -> Coord {
         assert!(node.0 < self.len(), "node {node} out of range for {self:?}");
-        Coord { x: node.0 % self.width, y: node.0 / self.width }
+        Coord {
+            x: node.0 % self.width,
+            y: node.0 / self.width,
+        }
     }
 
     /// Node at a grid coordinate.
@@ -133,7 +136,10 @@ impl Topology {
     ///
     /// Panics if the coordinate is outside the mesh.
     pub fn node_at(&self, c: Coord) -> NodeId {
-        assert!(c.x < self.width && c.y < self.height, "coordinate out of range");
+        assert!(
+            c.x < self.width && c.y < self.height,
+            "coordinate out of range"
+        );
         NodeId(c.y * self.width + c.x)
     }
 
@@ -162,12 +168,20 @@ impl Topology {
         let mut hops = Vec::with_capacity(s.x.abs_diff(d.x) + s.y.abs_diff(d.y));
         let mut cur = s;
         while cur.x != d.x {
-            let dir = if cur.x < d.x { Direction::East } else { Direction::West };
+            let dir = if cur.x < d.x {
+                Direction::East
+            } else {
+                Direction::West
+            };
             hops.push((self.node_at(cur), dir));
             cur.x = if cur.x < d.x { cur.x + 1 } else { cur.x - 1 };
         }
         while cur.y != d.y {
-            let dir = if cur.y < d.y { Direction::South } else { Direction::North };
+            let dir = if cur.y < d.y {
+                Direction::South
+            } else {
+                Direction::North
+            };
             hops.push((self.node_at(cur), dir));
             cur.y = if cur.y < d.y { cur.y + 1 } else { cur.y - 1 };
         }

@@ -20,7 +20,12 @@ struct Injection {
 
 fn injection_strategy(nodes: usize) -> impl Strategy<Value = Injection> {
     (0..nodes, 0..nodes, 1usize..4096, 0u64..5_000).prop_map(|(src, dst, bytes, delay_ns)| {
-        Injection { src, dst, bytes, delay_ns }
+        Injection {
+            src,
+            dst,
+            bytes,
+            delay_ns,
+        }
     })
 }
 
@@ -30,11 +35,13 @@ fn run_workload(
 ) -> Vec<(usize, usize, u64, SimTime, usize)> {
     let kernel = Kernel::new();
     let net: Arc<Backplane<u64>> = Backplane::new(kernel.handle(), topo, LinkParams::paragon());
-    let log: Arc<Mutex<Vec<(usize, usize, u64, SimTime, usize)>>> = Arc::new(Mutex::new(Vec::new()));
+    let log: Arc<Mutex<Vec<(usize, usize, u64, SimTime, usize)>>> =
+        Arc::new(Mutex::new(Vec::new()));
     for node in topo.nodes() {
         let log = Arc::clone(&log);
         net.attach(node, move |d| {
-            log.lock().push((d.src.0, d.dst.0, d.seq, d.at, d.payload_bytes));
+            log.lock()
+                .push((d.src.0, d.dst.0, d.seq, d.at, d.payload_bytes));
         });
     }
     // Stagger injections through time via scheduled events.
@@ -49,8 +56,16 @@ fn run_workload(
     }
     kernel.run_until_quiescent().unwrap();
     let stats = net.stats();
-    assert_eq!(stats.injected, injections.len() as u64, "conservation: all injected");
-    assert_eq!(stats.delivered, injections.len() as u64, "conservation: all delivered");
+    assert_eq!(
+        stats.injected,
+        injections.len() as u64,
+        "conservation: all injected"
+    );
+    assert_eq!(
+        stats.delivered,
+        injections.len() as u64,
+        "conservation: all delivered"
+    );
     let v = log.lock().clone();
     v
 }

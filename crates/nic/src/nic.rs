@@ -20,7 +20,7 @@ use std::sync::{Arc, Weak};
 use parking_lot::Mutex;
 use shrimp_mesh::{Backplane, Delivery, NodeId};
 use shrimp_node::{Interrupt, Node, PAddr, SnoopWrite, PAGE_SIZE};
-use shrimp_sim::{SimDur, SimTime};
+use shrimp_sim::{SimDur, SimTime, StallWindows};
 
 use crate::packetizer::{OutPacket, OutWrite, Packetizer};
 use crate::tables::{IncomingPageTable, OutgoingPageTable};
@@ -100,11 +100,16 @@ pub struct Nic {
     /// Outgoing-FIFO sequencer: no packet may be injected earlier than a
     /// previously enqueued one, whatever its datapath's processing lead.
     out_tail: Mutex<SimTime>,
+    /// Injected incoming-DMA stall windows (see `shrimp_sim::faults`):
+    /// the DMA engine holds accepted packets until the window passes.
+    recv_stall: Mutex<StallWindows>,
 }
 
 impl std::fmt::Debug for Nic {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Nic").field("node", &self.node.id()).finish_non_exhaustive()
+        f.debug_struct("Nic")
+            .field("node", &self.node.id())
+            .finish_non_exhaustive()
     }
 }
 
@@ -112,18 +117,25 @@ impl Nic {
     /// Build the NIC for `node`, register its snoop logic on the memory
     /// bus and its incoming DMA engine on the backplane, and return it.
     pub fn install(node: Arc<Node>, net: Arc<Backplane<NicPacket>>) -> Arc<Nic> {
-        let max_payload = node.costs().au_combine_limit.min(node.costs().max_packet_payload);
+        let max_payload = node
+            .costs()
+            .au_combine_limit
+            .min(node.costs().max_packet_payload);
         let nic = Arc::new(Nic {
             node: Arc::clone(&node),
             net: Arc::clone(&net),
             opt: OutgoingPageTable::new(),
             ipt: IncomingPageTable::new(),
             pktz: Mutex::new(Packetizer::new(max_payload, PAGE_SIZE as u64)),
-            freeze: Mutex::new(FreezeState { frozen: false, pending: VecDeque::new() }),
+            freeze: Mutex::new(FreezeState {
+                frozen: false,
+                pending: VecDeque::new(),
+            }),
             delivery_hook: Mutex::new(None),
             stats: Mutex::new(NicStats::default()),
             pending_recv_dma: AtomicU64::new(0),
             out_tail: Mutex::new(SimTime::ZERO),
+            recv_stall: Mutex::new(StallWindows::new()),
         });
 
         let weak: Weak<Nic> = Arc::downgrade(&nic);
@@ -179,8 +191,7 @@ impl Nic {
             Some(e) => e,
             None => return, // write to an unbound page: not our traffic
         };
-        let dst_paddr =
-            entry.dst_ppage * PAGE_SIZE as u64 + w.paddr.offset() as u64;
+        let dst_paddr = entry.dst_ppage * PAGE_SIZE as u64 + w.paddr.offset() as u64;
         let mut data = vec![0u8; w.len];
         self.node.mem().read(w.paddr, &mut data);
 
@@ -263,7 +274,11 @@ impl Nic {
                 me.node.id(),
                 pkt.dst_node,
                 bytes,
-                NicPacket { dst_paddr: pkt.dst_paddr, data: pkt.data, interrupt: pkt.interrupt },
+                NicPacket {
+                    dst_paddr: pkt.dst_paddr,
+                    data: pkt.data,
+                    interrupt: pkt.interrupt,
+                },
             );
         });
     }
@@ -289,7 +304,9 @@ impl Nic {
     ) {
         assert!(req.len > 0, "deliberate update of zero bytes");
         assert!(
-            req.src.0.is_multiple_of(4) && req.dst_paddr.is_multiple_of(4) && req.len.is_multiple_of(4),
+            req.src.0.is_multiple_of(4)
+                && req.dst_paddr.is_multiple_of(4)
+                && req.len.is_multiple_of(4),
             "deliberate update requires word-aligned source, destination, and length"
         );
         // FIFO ordering with any held automatic-update packet.
@@ -301,30 +318,36 @@ impl Nic {
         });
     }
 
-    fn du_chunk(self: &Arc<Self>, req: DuRequest, off: usize, done: Box<dyn FnOnce(SimTime) + Send>) {
+    fn du_chunk(
+        self: &Arc<Self>,
+        req: DuRequest,
+        off: usize,
+        done: Box<dyn FnOnce(SimTime) + Send>,
+    ) {
         let addr = req.dst_paddr + off as u64;
         let to_page_end = (PAGE_SIZE as u64 - addr % PAGE_SIZE as u64) as usize;
         let n = (req.len - off)
             .min(self.node.costs().max_packet_payload)
             .min(to_page_end);
         let me = Arc::clone(self);
-        self.node.dma_read(PAddr(req.src.0 + off as u64), n, move |_t, data| {
-            let is_last = off + n == req.len;
-            let pkt = OutPacket {
-                dst_node: req.dst_node,
-                dst_paddr: addr,
-                data,
-                // The destination interrupt rides on the final packet so
-                // the notification fires after all data has landed.
-                interrupt: req.interrupt && is_last,
-            };
-            me.schedule_inject(me.node.costs().nic_packetize, pkt, false);
-            if is_last {
-                done(me.node.sim().now());
-            } else {
-                me.du_chunk(req, off + n, done);
-            }
-        });
+        self.node
+            .dma_read(PAddr(req.src.0 + off as u64), n, move |_t, data| {
+                let is_last = off + n == req.len;
+                let pkt = OutPacket {
+                    dst_node: req.dst_node,
+                    dst_paddr: addr,
+                    data,
+                    // The destination interrupt rides on the final packet so
+                    // the notification fires after all data has landed.
+                    interrupt: req.interrupt && is_last,
+                };
+                me.schedule_inject(me.node.costs().nic_packetize, pkt, false);
+                if is_last {
+                    done(me.node.sim().now());
+                } else {
+                    me.du_chunk(req, off + n, done);
+                }
+            });
     }
 
     // ------------------------------------------------------------------
@@ -357,13 +380,23 @@ impl Nic {
                 fz.pending.push_back(pkt);
                 self.stats.lock().freezes += 1;
             }
-            self.node.raise_interrupt(Interrupt { vector: IRQ_RECV_FREEZE, info: ppage });
+            self.node.raise_interrupt(Interrupt {
+                vector: IRQ_RECV_FREEZE,
+                info: ppage,
+            });
             return;
         }
         self.pending_recv_dma.fetch_add(1, Ordering::SeqCst);
         let me = Arc::clone(self);
         let check = self.node.costs().nic_ipt_check;
-        self.node.sim().schedule_in(check, move || {
+        // An injected DMA stall holds the packet (post-IPT-check) until
+        // the window passes; order is preserved since later packets pass
+        // through the same windows.
+        let at = {
+            let w = self.recv_stall.lock();
+            w.release(self.node.sim().now() + check)
+        };
+        self.node.sim().schedule_at(at, move || {
             let dst = PAddr(pkt.dst_paddr);
             let want_irq = pkt.interrupt;
             let bytes = pkt.data.len();
@@ -376,7 +409,10 @@ impl Nic {
                 }
                 let entry_now = me2.ipt.get(ppage);
                 if want_irq && entry_now.interrupt {
-                    me2.node.raise_interrupt(Interrupt { vector: IRQ_NOTIFICATION, info: ppage });
+                    me2.node.raise_interrupt(Interrupt {
+                        vector: IRQ_NOTIFICATION,
+                        info: ppage,
+                    });
                 }
                 me2.pending_recv_dma.fetch_sub(1, Ordering::SeqCst);
                 let hook = me2.delivery_hook.lock().clone();
@@ -401,6 +437,29 @@ impl Nic {
         self.freeze.lock().frozen
     }
 
+    // ------------------------------------------------------------------
+    // Fault-injection hooks (see `shrimp_sim::faults`)
+    // ------------------------------------------------------------------
+
+    /// Fault hook: stall the incoming DMA engine for `dur` starting at
+    /// `start`. Accepted packets are held (in order) until the window
+    /// passes; nothing is dropped.
+    pub fn stall_incoming_dma(&self, start: SimTime, dur: SimDur) {
+        self.recv_stall.lock().add_stall(start, dur);
+    }
+
+    /// Fault hook: force an incoming-page-table protection violation by
+    /// disabling the lowest-numbered enabled page. The next packet for
+    /// that page freezes the receive datapath and raises
+    /// [`IRQ_RECV_FREEZE`], exercising the paper's freeze-and-interrupt
+    /// recovery path end-to-end. Returns the victim page, or `None` if
+    /// no page is enabled.
+    pub fn inject_ipt_violation(&self) -> Option<u64> {
+        let victim = self.ipt.enabled_pages().into_iter().next()?;
+        self.ipt.disable(victim);
+        Some(victim)
+    }
+
     /// Unfreeze the receive datapath (the OS does this after repairing
     /// the incoming page table) and reprocess the queued packets. If a
     /// queued packet still targets a disabled page the datapath refreezes
@@ -421,7 +480,10 @@ impl Nic {
                 fz.frozen = true;
                 fz.pending.push_front(pkt);
                 self.stats.lock().freezes += 1;
-                self.node.raise_interrupt(Interrupt { vector: IRQ_RECV_FREEZE, info: ppage });
+                self.node.raise_interrupt(Interrupt {
+                    vector: IRQ_RECV_FREEZE,
+                    info: ppage,
+                });
                 return;
             }
             self.receive(pkt);
@@ -448,7 +510,11 @@ mod tests {
 
     fn rig_with(n_nodes: usize, costs: CostModel) -> Rig {
         let kernel = Kernel::new();
-        let topo = if n_nodes <= 4 { Topology::shrimp_prototype() } else { Topology::new(4, 4) };
+        let topo = if n_nodes <= 4 {
+            Topology::shrimp_prototype()
+        } else {
+            Topology::new(4, 4)
+        };
         let net: Arc<Backplane<NicPacket>> =
             Backplane::new(kernel.handle(), topo, LinkParams::paragon());
         let mut nics = Vec::new();
@@ -459,17 +525,32 @@ mod tests {
             nics.push(Nic::install(Arc::clone(&node), Arc::clone(&net)));
             procs.push(UserProc::new(node, format!("p{i}")));
         }
-        Rig { kernel, nics, procs }
+        Rig {
+            kernel,
+            nics,
+            procs,
+        }
     }
 
     /// Map one page on the receiver, enable it in the IPT, bind one page
     /// on the sender's OPT to it; returns (send_va, recv_va).
-    fn bind_one_page(r: &Rig, sender: usize, receiver: usize, combine: bool) -> (shrimp_node::VAddr, shrimp_node::VAddr) {
+    fn bind_one_page(
+        r: &Rig,
+        sender: usize,
+        receiver: usize,
+        combine: bool,
+    ) -> (shrimp_node::VAddr, shrimp_node::VAddr) {
         let send_va = r.procs[sender].alloc(PAGE_SIZE, CacheMode::WriteThrough);
         let recv_va = r.procs[receiver].alloc(PAGE_SIZE, CacheMode::WriteBack);
         let (send_pa, _) = r.procs[sender].aspace().translate(send_va, true).unwrap();
         let (recv_pa, _) = r.procs[receiver].aspace().translate(recv_va, true).unwrap();
-        r.nics[receiver].ipt().set(recv_pa.page(), IptEntry { enabled: true, interrupt: false });
+        r.nics[receiver].ipt().set(
+            recv_pa.page(),
+            IptEntry {
+                enabled: true,
+                interrupt: false,
+            },
+        );
         r.nics[sender].opt().bind(
             send_pa.page(),
             OptEntry {
@@ -489,7 +570,8 @@ mod tests {
         let p0 = r.procs[0].clone();
         let p1 = r.procs[1].clone();
         r.kernel.spawn("writer", move |ctx| {
-            p0.write(ctx, send_va.add(16), b"automatic update!").unwrap();
+            p0.write(ctx, send_va.add(16), b"automatic update!")
+                .unwrap();
         });
         r.kernel.run_until_quiescent().unwrap();
         assert_eq!(p1.peek(recv_va.add(16), 17).unwrap(), b"automatic update!");
@@ -558,12 +640,24 @@ mod tests {
         let dst_va = r.procs[1].alloc(PAGE_SIZE, CacheMode::WriteBack);
         let (src_pa, _) = r.procs[0].aspace().translate(src_va, false).unwrap();
         let (dst_pa, _) = r.procs[1].aspace().translate(dst_va, true).unwrap();
-        r.nics[1].ipt().set(dst_pa.page(), IptEntry { enabled: true, interrupt: false });
+        r.nics[1].ipt().set(
+            dst_pa.page(),
+            IptEntry {
+                enabled: true,
+                interrupt: false,
+            },
+        );
         r.procs[0].poke(src_va, &vec![0x5A; 2048]).unwrap();
         let done = Arc::new(Mutex::new(None));
         let d = Arc::clone(&done);
         r.nics[0].du_transfer(
-            DuRequest { src: src_pa, dst_node: NodeId(1), dst_paddr: dst_pa.0, len: 2048, interrupt: false },
+            DuRequest {
+                src: src_pa,
+                dst_node: NodeId(1),
+                dst_paddr: dst_pa.0,
+                len: 2048,
+                interrupt: false,
+            },
             move |t| *d.lock() = Some(t),
         );
         r.kernel.run_until_quiescent().unwrap();
@@ -580,12 +674,24 @@ mod tests {
         let (src_pa, _) = r.procs[0].aspace().translate(src_va, false).unwrap();
         let (dst_pa, _) = r.procs[1].aspace().translate(dst_va, true).unwrap();
         for p in 0..3 {
-            r.nics[1].ipt().set(dst_pa.page() + p, IptEntry { enabled: true, interrupt: false });
+            r.nics[1].ipt().set(
+                dst_pa.page() + p,
+                IptEntry {
+                    enabled: true,
+                    interrupt: false,
+                },
+            );
         }
         let data: Vec<u8> = (0..3 * PAGE_SIZE).map(|i| (i % 253) as u8).collect();
         r.procs[0].poke(src_va, &data).unwrap();
         r.nics[0].du_transfer(
-            DuRequest { src: src_pa, dst_node: NodeId(1), dst_paddr: dst_pa.0, len: 3 * PAGE_SIZE, interrupt: false },
+            DuRequest {
+                src: src_pa,
+                dst_node: NodeId(1),
+                dst_paddr: dst_pa.0,
+                len: 3 * PAGE_SIZE,
+                interrupt: false,
+            },
             |_| {},
         );
         r.kernel.run_until_quiescent().unwrap();
@@ -599,7 +705,13 @@ mod tests {
     fn unaligned_du_is_rejected_by_hardware() {
         let r = rig(2);
         r.nics[0].du_transfer(
-            DuRequest { src: PAddr(2), dst_node: NodeId(1), dst_paddr: 0, len: 4, interrupt: false },
+            DuRequest {
+                src: PAddr(2),
+                dst_node: NodeId(1),
+                dst_paddr: 0,
+                len: 4,
+                interrupt: false,
+            },
             |_| {},
         );
     }
@@ -609,12 +721,20 @@ mod tests {
         let r = rig(2);
         let seen = Arc::new(Mutex::new(Vec::new()));
         let s = Arc::clone(&seen);
-        r.nics[1].node().set_interrupt_hook(move |irq| s.lock().push(irq.vector));
+        r.nics[1]
+            .node()
+            .set_interrupt_hook(move |irq| s.lock().push(irq.vector));
         let src_va = r.procs[0].alloc(PAGE_SIZE, CacheMode::WriteBack);
         let (src_pa, _) = r.procs[0].aspace().translate(src_va, false).unwrap();
         // Destination page 10 on node 1 was never enabled.
         r.nics[0].du_transfer(
-            DuRequest { src: src_pa, dst_node: NodeId(1), dst_paddr: 10 * PAGE_SIZE as u64, len: 64, interrupt: false },
+            DuRequest {
+                src: src_pa,
+                dst_node: NodeId(1),
+                dst_paddr: 10 * PAGE_SIZE as u64,
+                len: 64,
+                interrupt: false,
+            },
             |_| {},
         );
         r.kernel.run_until_quiescent().unwrap();
@@ -632,13 +752,25 @@ mod tests {
         r.procs[0].poke(src_va, &[7u8; 64]).unwrap();
         let dst = 10 * PAGE_SIZE as u64;
         r.nics[0].du_transfer(
-            DuRequest { src: src_pa, dst_node: NodeId(1), dst_paddr: dst, len: 64, interrupt: false },
+            DuRequest {
+                src: src_pa,
+                dst_node: NodeId(1),
+                dst_paddr: dst,
+                len: 64,
+                interrupt: false,
+            },
             |_| {},
         );
         r.kernel.run_until_quiescent().unwrap();
         assert!(r.nics[1].is_frozen());
         // OS repairs the IPT and unfreezes.
-        r.nics[1].ipt().set(10, IptEntry { enabled: true, interrupt: false });
+        r.nics[1].ipt().set(
+            10,
+            IptEntry {
+                enabled: true,
+                interrupt: false,
+            },
+        );
         r.nics[1].unfreeze();
         r.kernel.run_until_quiescent().unwrap();
         let mut out = vec![0u8; 64];
@@ -652,16 +784,30 @@ mod tests {
         let r = rig(2);
         let seen = Arc::new(Mutex::new(Vec::new()));
         let s = Arc::clone(&seen);
-        r.nics[1].node().set_interrupt_hook(move |irq| s.lock().push((irq.vector, irq.info)));
+        r.nics[1]
+            .node()
+            .set_interrupt_hook(move |irq| s.lock().push((irq.vector, irq.info)));
         let src_va = r.procs[0].alloc(PAGE_SIZE, CacheMode::WriteBack);
         let (src_pa, _) = r.procs[0].aspace().translate(src_va, false).unwrap();
         let dst_va = r.procs[1].alloc(PAGE_SIZE, CacheMode::WriteBack);
         let (dst_pa, _) = r.procs[1].aspace().translate(dst_va, true).unwrap();
 
         // Case 1: sender flag set, receiver flag clear -> no interrupt.
-        r.nics[1].ipt().set(dst_pa.page(), IptEntry { enabled: true, interrupt: false });
+        r.nics[1].ipt().set(
+            dst_pa.page(),
+            IptEntry {
+                enabled: true,
+                interrupt: false,
+            },
+        );
         r.nics[0].du_transfer(
-            DuRequest { src: src_pa, dst_node: NodeId(1), dst_paddr: dst_pa.0, len: 4, interrupt: true },
+            DuRequest {
+                src: src_pa,
+                dst_node: NodeId(1),
+                dst_paddr: dst_pa.0,
+                len: 4,
+                interrupt: true,
+            },
             |_| {},
         );
         r.kernel.run_until_quiescent().unwrap();
@@ -670,7 +816,13 @@ mod tests {
         // Case 2: both flags set -> notification interrupt with the page.
         r.nics[1].ipt().set_interrupt(dst_pa.page(), true);
         r.nics[0].du_transfer(
-            DuRequest { src: src_pa, dst_node: NodeId(1), dst_paddr: dst_pa.0, len: 4, interrupt: true },
+            DuRequest {
+                src: src_pa,
+                dst_node: NodeId(1),
+                dst_paddr: dst_pa.0,
+                len: 4,
+                interrupt: true,
+            },
             |_| {},
         );
         r.kernel.run_until_quiescent().unwrap();
@@ -715,6 +867,70 @@ mod tests {
     }
 
     #[test]
+    fn incoming_dma_stall_delays_delivery_in_order() {
+        let r = rig(2);
+        let (send_va, recv_va) = bind_one_page(&r, 0, 1, false);
+        // Incoming DMA on node 1 stalls for 200 us from t=0.
+        r.nics[1].stall_incoming_dma(SimTime::ZERO, SimDur::from_us(200.0));
+        let times = Arc::new(Mutex::new(Vec::new()));
+        let t = Arc::clone(&times);
+        r.nics[1].set_delivery_hook(move |_p, at| t.lock().push(at));
+        let p0 = r.procs[0].clone();
+        r.kernel.spawn("writer", move |ctx| {
+            p0.write(ctx, send_va, &[1u8; 8]).unwrap();
+            p0.write(ctx, send_va.add(8), &[2u8; 8]).unwrap();
+        });
+        r.kernel.run_until_quiescent().unwrap();
+        let v = times.lock().clone();
+        assert_eq!(v.len(), 2, "both packets eventually land");
+        assert!(
+            v[0] >= SimTime::ZERO + SimDur::from_us(200.0),
+            "first DMA completes only after the stall: {}",
+            v[0]
+        );
+        assert!(v[0] <= v[1], "held packets stay ordered");
+        let p1 = r.procs[1].clone();
+        assert_eq!(p1.peek(recv_va, 16).unwrap(), [[1u8; 8], [2u8; 8]].concat());
+    }
+
+    #[test]
+    fn injected_ipt_violation_freezes_then_recovers() {
+        let r = rig(2);
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let s = Arc::clone(&seen);
+        r.nics[1]
+            .node()
+            .set_interrupt_hook(move |irq| s.lock().push(irq.vector));
+        let (send_va, recv_va) = bind_one_page(&r, 0, 1, false);
+        // Deterministic victim: the only enabled page.
+        let victim = r.nics[1].inject_ipt_violation().expect("one page enabled");
+        assert_eq!(
+            r.nics[1].inject_ipt_violation(),
+            None,
+            "no enabled page left"
+        );
+        let p0 = r.procs[0].clone();
+        r.kernel.spawn("writer", move |ctx| {
+            p0.write(ctx, send_va, b"recoverme").unwrap();
+        });
+        r.kernel.run_until_quiescent().unwrap();
+        assert!(r.nics[1].is_frozen());
+        assert_eq!(*seen.lock(), vec![IRQ_RECV_FREEZE]);
+        // OS repairs and unfreezes: the held packet lands intact.
+        r.nics[1].ipt().set(
+            victim,
+            IptEntry {
+                enabled: true,
+                interrupt: false,
+            },
+        );
+        r.nics[1].unfreeze();
+        r.kernel.run_until_quiescent().unwrap();
+        assert_eq!(r.procs[1].peek(recv_va, 9).unwrap(), b"recoverme");
+        assert_eq!(r.nics[1].stats().packets_in, 1);
+    }
+
+    #[test]
     fn du_after_au_write_is_not_reordered() {
         // An AU write held open by the combine timer must be flushed
         // ahead of a subsequent deliberate update (FIFO outgoing order).
@@ -724,7 +940,13 @@ mod tests {
         let dst_va = r.procs[1].alloc(PAGE_SIZE, CacheMode::WriteBack);
         let (src_pa, _) = r.procs[0].aspace().translate(src_va, false).unwrap();
         let (dst_pa, _) = r.procs[1].aspace().translate(dst_va, true).unwrap();
-        r.nics[1].ipt().set(dst_pa.page(), IptEntry { enabled: true, interrupt: false });
+        r.nics[1].ipt().set(
+            dst_pa.page(),
+            IptEntry {
+                enabled: true,
+                interrupt: false,
+            },
+        );
         let order = Arc::new(Mutex::new(Vec::new()));
         {
             let order = Arc::clone(&order);
@@ -748,7 +970,13 @@ mod tests {
             p0.write_u32(ctx, send_va, 99).unwrap();
             // ...then immediately a DU transfer (before the combine timer).
             nic0.du_transfer(
-                DuRequest { src: src_pa, dst_node: NodeId(1), dst_paddr: dst_pa.0, len: 4, interrupt: false },
+                DuRequest {
+                    src: src_pa,
+                    dst_node: NodeId(1),
+                    dst_paddr: dst_pa.0,
+                    len: 4,
+                    interrupt: false,
+                },
                 |_| {},
             );
         });

@@ -81,8 +81,16 @@ impl Packetizer {
     /// Panics if `max_payload` is zero or exceeds `page_size`.
     pub fn new(max_payload: usize, page_size: u64) -> Packetizer {
         assert!(max_payload > 0, "max payload must be positive");
-        assert!(max_payload as u64 <= page_size, "packets must fit in one page");
-        Packetizer { max_payload, page_size, open: None, generation: 0 }
+        assert!(
+            max_payload as u64 <= page_size,
+            "packets must fit in one page"
+        );
+        Packetizer {
+            max_payload,
+            page_size,
+            open: None,
+            generation: 0,
+        }
     }
 
     /// Current generation counter (for timer validation).
@@ -130,7 +138,11 @@ impl Packetizer {
             off += n;
             let is_last = off == w.data.len();
             if is_last && w.combine {
-                self.open = Some(Open { pkt: piece, last_write_at: w.at, page_size: self.page_size });
+                self.open = Some(Open {
+                    pkt: piece,
+                    last_write_at: w.at,
+                    page_size: self.page_size,
+                });
             } else {
                 out.push(piece);
             }
@@ -201,7 +213,10 @@ mod tests {
     fn oversized_run_splits_at_max_payload() {
         let mut p = Packetizer::new(100, PAGE);
         let out = p.push(w(0, 250, false));
-        assert_eq!(out.iter().map(|o| o.data.len()).collect::<Vec<_>>(), vec![100, 100, 50]);
+        assert_eq!(
+            out.iter().map(|o| o.data.len()).collect::<Vec<_>>(),
+            vec![100, 100, 50]
+        );
         assert_eq!(out[1].dst_paddr, 100);
         assert_eq!(out[2].dst_paddr, 200);
     }

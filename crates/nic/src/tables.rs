@@ -106,6 +106,33 @@ impl IncomingPageTable {
         let mut g = self.entries.lock();
         g.entry(ppage).or_default().interrupt = interrupt;
     }
+
+    /// All currently enabled pages, sorted ascending. Fault injection
+    /// uses this to make a deterministic victim pick.
+    pub fn enabled_pages(&self) -> Vec<u64> {
+        let g = self.entries.lock();
+        let mut v: Vec<u64> = g
+            .iter()
+            .filter(|(_, e)| e.enabled)
+            .map(|(p, _)| *p)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Clear the receive-enable flag for a page, preserving the
+    /// interrupt flag. Returns the previous enablement.
+    pub fn disable(&self, ppage: u64) -> bool {
+        let mut g = self.entries.lock();
+        let e = g.entry(ppage).or_default();
+        std::mem::replace(&mut e.enabled, false)
+    }
+
+    /// Set the receive-enable flag for a page, preserving the interrupt
+    /// flag (daemon restart re-validation uses this).
+    pub fn enable(&self, ppage: u64) {
+        self.entries.lock().entry(ppage).or_default().enabled = true;
+    }
 }
 
 #[cfg(test)]
@@ -116,7 +143,12 @@ mod tests {
     fn opt_bind_lookup_unbind() {
         let opt = OutgoingPageTable::new();
         assert!(opt.is_empty());
-        let e = OptEntry { dst_node: NodeId(2), dst_ppage: 9, combine: true, dst_interrupt: false };
+        let e = OptEntry {
+            dst_node: NodeId(2),
+            dst_ppage: 9,
+            combine: true,
+            dst_interrupt: false,
+        };
         opt.bind(5, e);
         assert_eq!(opt.lookup(5), Some(e));
         assert_eq!(opt.lookup(6), None);
@@ -128,13 +160,37 @@ mod tests {
     #[test]
     fn ipt_defaults_to_disabled() {
         let ipt = IncomingPageTable::new();
-        assert_eq!(ipt.get(3), IptEntry { enabled: false, interrupt: false });
-        ipt.set(3, IptEntry { enabled: true, interrupt: false });
+        assert_eq!(
+            ipt.get(3),
+            IptEntry {
+                enabled: false,
+                interrupt: false
+            }
+        );
+        ipt.set(
+            3,
+            IptEntry {
+                enabled: true,
+                interrupt: false,
+            },
+        );
         assert!(ipt.get(3).enabled);
         ipt.set_interrupt(3, true);
-        assert_eq!(ipt.get(3), IptEntry { enabled: true, interrupt: true });
+        assert_eq!(
+            ipt.get(3),
+            IptEntry {
+                enabled: true,
+                interrupt: true
+            }
+        );
         // set_interrupt on an unseen page creates a disabled entry.
         ipt.set_interrupt(7, true);
-        assert_eq!(ipt.get(7), IptEntry { enabled: false, interrupt: true });
+        assert_eq!(
+            ipt.get(7),
+            IptEntry {
+                enabled: false,
+                interrupt: true
+            }
+        );
     }
 }

@@ -19,13 +19,17 @@ struct W {
 
 fn writes() -> impl Strategy<Value = Vec<W>> {
     proptest::collection::vec(
-        (0u64..(MEM as u64 - 600), 1usize..600, any::<bool>(), any::<u8>()).prop_map(
-            |(addr, len, combine, fill)| W {
+        (
+            0u64..(MEM as u64 - 600),
+            1usize..600,
+            any::<bool>(),
+            any::<u8>(),
+        )
+            .prop_map(|(addr, len, combine, fill)| W {
                 addr,
                 data: (0..len).map(|i| fill.wrapping_add(i as u8)).collect(),
                 combine,
-            },
-        ),
+            }),
         1..40,
     )
 }

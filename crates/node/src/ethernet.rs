@@ -75,7 +75,9 @@ impl Ethernet {
     /// The destination mailbox is created on demand, so a send can
     /// precede the matching bind.
     pub fn send(self: &Arc<Self>, from: NodeId, to: EthAddr, data: Vec<u8>) {
-        let grant = self.wire.reserve(self.handle.now() + self.frame_overhead, data.len());
+        let grant = self
+            .wire
+            .reserve(self.handle.now() + self.frame_overhead, data.len());
         let me = Arc::clone(self);
         let frame = EthFrame { from, data };
         self.handle.schedule_at(grant.end, move || {
@@ -89,6 +91,19 @@ impl Ethernet {
     pub fn recv(&self, ctx: &Ctx, addr: EthAddr) -> EthFrame {
         let ch = self.bind(addr);
         ch.recv(ctx)
+    }
+
+    /// Like [`Ethernet::recv`] but gives up at `deadline`, returning
+    /// `None`. Bounded control-plane waits (connection handshakes, RPC
+    /// binds) build their retry loops on this.
+    pub fn recv_deadline(
+        &self,
+        ctx: &Ctx,
+        addr: EthAddr,
+        deadline: shrimp_sim::SimTime,
+    ) -> Option<EthFrame> {
+        let ch = self.bind(addr);
+        ch.recv_deadline(ctx, deadline)
     }
 }
 
@@ -107,7 +122,13 @@ mod tests {
             let got = Arc::clone(&got);
             kernel.spawn("rx", move |ctx| {
                 for _ in 0..2 {
-                    let f = eth.recv(ctx, EthAddr { node: NodeId(1), port: 9 });
+                    let f = eth.recv(
+                        ctx,
+                        EthAddr {
+                            node: NodeId(1),
+                            port: 9,
+                        },
+                    );
                     got.lock().push((f.from, f.data, ctx.now()));
                 }
             });
@@ -115,9 +136,23 @@ mod tests {
         {
             let eth = Arc::clone(&eth);
             kernel.spawn("tx", move |ctx| {
-                eth.send(NodeId(0), EthAddr { node: NodeId(1), port: 9 }, vec![1, 2, 3]);
+                eth.send(
+                    NodeId(0),
+                    EthAddr {
+                        node: NodeId(1),
+                        port: 9,
+                    },
+                    vec![1, 2, 3],
+                );
                 ctx.advance(SimDur::from_us(1.0));
-                eth.send(NodeId(2), EthAddr { node: NodeId(1), port: 9 }, vec![4]);
+                eth.send(
+                    NodeId(2),
+                    EthAddr {
+                        node: NodeId(1),
+                        port: 9,
+                    },
+                    vec![4],
+                );
             });
         }
         kernel.run_until_quiescent().unwrap();
@@ -135,14 +170,30 @@ mod tests {
     fn send_before_bind_is_not_lost() {
         let kernel = Kernel::new();
         let eth = Ethernet::new(kernel.handle());
-        eth.send(NodeId(0), EthAddr { node: NodeId(3), port: 1 }, vec![9]);
+        eth.send(
+            NodeId(0),
+            EthAddr {
+                node: NodeId(3),
+                port: 1,
+            },
+            vec![9],
+        );
         let got = Arc::new(Mutex::new(None));
         {
             let eth = Arc::clone(&eth);
             let got = Arc::clone(&got);
             kernel.spawn("late-rx", move |ctx| {
                 ctx.advance(SimDur::from_us(10_000.0));
-                *got.lock() = Some(eth.recv(ctx, EthAddr { node: NodeId(3), port: 1 }).data);
+                *got.lock() = Some(
+                    eth.recv(
+                        ctx,
+                        EthAddr {
+                            node: NodeId(3),
+                            port: 1,
+                        },
+                    )
+                    .data,
+                );
             });
         }
         kernel.run_until_quiescent().unwrap();
@@ -153,9 +204,22 @@ mod tests {
     fn distinct_ports_are_independent() {
         let kernel = Kernel::new();
         let eth = Ethernet::new(kernel.handle());
-        let a = eth.bind(EthAddr { node: NodeId(0), port: 1 });
-        let b = eth.bind(EthAddr { node: NodeId(0), port: 2 });
-        eth.send(NodeId(1), EthAddr { node: NodeId(0), port: 2 }, vec![5]);
+        let a = eth.bind(EthAddr {
+            node: NodeId(0),
+            port: 1,
+        });
+        let b = eth.bind(EthAddr {
+            node: NodeId(0),
+            port: 2,
+        });
+        eth.send(
+            NodeId(1),
+            EthAddr {
+                node: NodeId(0),
+                port: 2,
+            },
+            vec![5],
+        );
         kernel.run_until_quiescent().unwrap();
         assert!(a.is_empty());
         assert_eq!(b.try_recv().map(|f| f.data), Some(vec![5]));

@@ -62,7 +62,9 @@ pub struct PhysMem {
 impl PhysMem {
     /// Allocate `pages` page frames of zeroed memory.
     pub fn new(pages: usize) -> PhysMem {
-        PhysMem { data: Mutex::new(vec![0; pages * PAGE_SIZE]) }
+        PhysMem {
+            data: Mutex::new(vec![0; pages * PAGE_SIZE]),
+        }
     }
 
     /// Total size in bytes.
@@ -126,7 +128,11 @@ pub struct PageAllocator {
 impl PageAllocator {
     /// Manage frames `[first, first + count)`.
     pub fn new(first: u64, count: u64) -> PageAllocator {
-        PageAllocator { next: first, limit: first + count, free: Vec::new() }
+        PageAllocator {
+            next: first,
+            limit: first + count,
+            free: Vec::new(),
+        }
     }
 
     /// Allocate `n` *contiguous* page frames; returns the first frame

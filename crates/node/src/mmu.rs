@@ -88,7 +88,12 @@ impl AddressSpace {
     /// (keeping low addresses unmapped catches null-ish pointer bugs in
     /// protocol code).
     pub fn new() -> AddressSpace {
-        AddressSpace { inner: Mutex::new(AspaceInner { ptes: HashMap::new(), next_vpage: 16 }) }
+        AddressSpace {
+            inner: Mutex::new(AspaceInner {
+                ptes: HashMap::new(),
+                next_vpage: 16,
+            }),
+        }
     }
 
     /// Reserve `n` fresh consecutive virtual pages (no physical backing
@@ -145,7 +150,10 @@ impl AddressSpace {
                 if write && !pte.writable {
                     return Err(MemFault::ReadOnly { vpage });
                 }
-                Ok((PAddr(pte.ppage * PAGE_SIZE as u64 + va.offset() as u64), pte.cache))
+                Ok((
+                    PAddr(pte.ppage * PAGE_SIZE as u64 + va.offset() as u64),
+                    pte.cache,
+                ))
             }
         }
     }
@@ -184,7 +192,14 @@ mod tests {
 
     fn aspace_with(vpage: u64, ppage: u64, writable: bool) -> AddressSpace {
         let a = AddressSpace::new();
-        a.map(vpage, Pte { ppage, writable, cache: CacheMode::WriteBack });
+        a.map(
+            vpage,
+            Pte {
+                ppage,
+                writable,
+                cache: CacheMode::WriteBack,
+            },
+        );
         a
     }
 
@@ -209,19 +224,46 @@ mod tests {
         let a = aspace_with(20, 3, false);
         let va = VAddr(20 * PAGE_SIZE as u64);
         assert!(a.translate(va, false).is_ok());
-        assert_eq!(a.translate(va, true).unwrap_err(), MemFault::ReadOnly { vpage: 20 });
+        assert_eq!(
+            a.translate(va, true).unwrap_err(),
+            MemFault::ReadOnly { vpage: 20 }
+        );
     }
 
     #[test]
     fn translate_range_splits_on_page_boundaries() {
         let a = AddressSpace::new();
-        a.map(20, Pte { ppage: 7, writable: true, cache: CacheMode::WriteThrough });
-        a.map(21, Pte { ppage: 3, writable: true, cache: CacheMode::WriteBack });
+        a.map(
+            20,
+            Pte {
+                ppage: 7,
+                writable: true,
+                cache: CacheMode::WriteThrough,
+            },
+        );
+        a.map(
+            21,
+            Pte {
+                ppage: 3,
+                writable: true,
+                cache: CacheMode::WriteBack,
+            },
+        );
         let va = VAddr(20 * PAGE_SIZE as u64 + PAGE_SIZE as u64 - 10);
         let chunks = a.translate_range(va, 30, true).unwrap();
         assert_eq!(chunks.len(), 2);
-        assert_eq!(chunks[0], (PAddr(7 * PAGE_SIZE as u64 + PAGE_SIZE as u64 - 10), 10, CacheMode::WriteThrough));
-        assert_eq!(chunks[1], (PAddr(3 * PAGE_SIZE as u64), 20, CacheMode::WriteBack));
+        assert_eq!(
+            chunks[0],
+            (
+                PAddr(7 * PAGE_SIZE as u64 + PAGE_SIZE as u64 - 10),
+                10,
+                CacheMode::WriteThrough
+            )
+        );
+        assert_eq!(
+            chunks[1],
+            (PAddr(3 * PAGE_SIZE as u64), 20, CacheMode::WriteBack)
+        );
     }
 
     #[test]

@@ -56,7 +56,9 @@ pub struct Node {
 
 impl std::fmt::Debug for Node {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Node").field("id", &self.id).finish_non_exhaustive()
+        f.debug_struct("Node")
+            .field("id", &self.id)
+            .finish_non_exhaustive()
     }
 }
 
@@ -161,14 +163,15 @@ impl Node {
     /// Panics (at dispatch time) if no interrupt hook is installed.
     pub fn raise_interrupt(self: &Arc<Self>, irq: Interrupt) {
         let me = Arc::clone(self);
-        self.handle.schedule_in(self.costs.interrupt_latency, move || {
-            let hook = me
-                .interrupt_hook
-                .lock()
-                .clone()
-                .unwrap_or_else(|| panic!("node {}: interrupt with no handler", me.id));
-            hook(irq);
-        });
+        self.handle
+            .schedule_in(self.costs.interrupt_latency, move || {
+                let hook = me
+                    .interrupt_hook
+                    .lock()
+                    .clone()
+                    .unwrap_or_else(|| panic!("node {}: interrupt with no handler", me.id));
+                hook(irq);
+            });
     }
 
     /// Start a DMA transfer **into** DRAM (the NIC's incoming DMA engine):
@@ -179,7 +182,12 @@ impl Node {
     /// # Panics
     ///
     /// Panics if the destination range is out of bounds.
-    pub fn dma_write(self: &Arc<Self>, paddr: PAddr, data: Vec<u8>, on_done: impl FnOnce(SimTime) + Send + 'static) {
+    pub fn dma_write(
+        self: &Arc<Self>,
+        paddr: PAddr,
+        data: Vec<u8>,
+        on_done: impl FnOnce(SimTime) + Send + 'static,
+    ) {
         let now = self.handle.now();
         let bytes = data.len();
         let setup = self.costs.dma_setup;
@@ -245,7 +253,12 @@ mod tests {
     use std::sync::atomic::{AtomicU64, Ordering};
 
     fn test_node(kernel: &Kernel) -> Arc<Node> {
-        Node::new(kernel.handle(), NodeId(0), 64, CostModel::shrimp_prototype())
+        Node::new(
+            kernel.handle(),
+            NodeId(0),
+            64,
+            CostModel::shrimp_prototype(),
+        )
     }
 
     #[test]
@@ -304,12 +317,18 @@ mod tests {
         let s = Arc::clone(&seen);
         let h = kernel.handle();
         node.set_interrupt_hook(move |irq| s.lock().push((irq.vector, irq.info, h.now())));
-        node.raise_interrupt(Interrupt { vector: 7, info: 42 });
+        node.raise_interrupt(Interrupt {
+            vector: 7,
+            info: 42,
+        });
         kernel.run_until_quiescent().unwrap();
         let seen = seen.lock();
         assert_eq!(seen.len(), 1);
         assert_eq!((seen[0].0, seen[0].1), (7, 42));
-        assert_eq!(seen[0].2 - SimTime::ZERO, CostModel::shrimp_prototype().interrupt_latency);
+        assert_eq!(
+            seen[0].2 - SimTime::ZERO,
+            CostModel::shrimp_prototype().interrupt_latency
+        );
     }
 
     #[test]
@@ -319,7 +338,11 @@ mod tests {
         let seen = Arc::new(Mutex::new(Vec::new()));
         let s = Arc::clone(&seen);
         node.set_snoop_hook(move |w| s.lock().push((w.paddr, w.len)));
-        node.snoop(SnoopWrite { paddr: PAddr(512), len: 16, at: SimTime::ZERO });
+        node.snoop(SnoopWrite {
+            paddr: PAddr(512),
+            len: 16,
+            at: SimTime::ZERO,
+        });
         assert_eq!(*seen.lock(), vec![(PAddr(512), 16)]);
     }
 

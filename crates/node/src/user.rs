@@ -41,7 +41,11 @@ impl std::fmt::Debug for UserProc {
 impl UserProc {
     /// Create a process with an empty address space on `node`.
     pub fn new(node: Arc<Node>, name: impl Into<String>) -> UserProc {
-        UserProc { name: Arc::new(name.into()), node, aspace: Arc::new(AddressSpace::new()) }
+        UserProc {
+            name: Arc::new(name.into()),
+            node,
+            aspace: Arc::new(AddressSpace::new()),
+        }
     }
 
     /// Process name (diagnostics).
@@ -79,7 +83,14 @@ impl UserProc {
         let vfirst = self.aspace.reserve_vpages(pages);
         let pfirst = self.node.alloc_frames(pages);
         for i in 0..pages {
-            self.aspace.map(vfirst + i, Pte { ppage: pfirst + i, writable: true, cache });
+            self.aspace.map(
+                vfirst + i,
+                Pte {
+                    ppage: pfirst + i,
+                    writable: true,
+                    cache,
+                },
+            );
         }
         VAddr(vfirst * PAGE_SIZE as u64 + offset as u64)
     }
@@ -119,9 +130,15 @@ impl UserProc {
                 }
                 ctx.sleep_until(end);
                 let pa_sub = PAddr(pa.0 + sub as u64);
-                self.node.mem().write(pa_sub, &data[off + sub..off + sub + n]);
+                self.node
+                    .mem()
+                    .write(pa_sub, &data[off + sub..off + sub + n]);
                 if !matches!(cache, CacheMode::WriteBack) {
-                    self.node.snoop(SnoopWrite { paddr: pa_sub, len: n, at: ctx.now() });
+                    self.node.snoop(SnoopWrite {
+                        paddr: pa_sub,
+                        len: n,
+                        at: ctx.now(),
+                    });
                 }
                 sub += n;
             }
@@ -193,7 +210,11 @@ impl UserProc {
                 let dpa_sub = PAddr(dpa.0 + sub as u64);
                 self.node.mem().write(dpa_sub, &data);
                 if !matches!(dcache, CacheMode::WriteBack) {
-                    self.node.snoop(SnoopWrite { paddr: dpa_sub, len: n, at: ctx.now() });
+                    self.node.snoop(SnoopWrite {
+                        paddr: dpa_sub,
+                        len: n,
+                        at: ctx.now(),
+                    });
                 }
                 sub += n;
             }

@@ -9,7 +9,12 @@ use shrimp_node::{CacheMode, CostModel, Node, PAddr, UserProc};
 use shrimp_sim::{Kernel, SimDur, SimTime};
 
 fn node_on(kernel: &Kernel) -> Arc<Node> {
-    Node::new(kernel.handle(), NodeId(0), 1024, CostModel::shrimp_prototype())
+    Node::new(
+        kernel.handle(),
+        NodeId(0),
+        1024,
+        CostModel::shrimp_prototype(),
+    )
 }
 
 #[test]
@@ -68,14 +73,19 @@ fn back_to_back_dma_reads_and_writes_share_eisa() {
     }
     {
         let t = Arc::clone(&times);
-        node.dma_write(PAddr(65_536), vec![2u8; 16_384], move |at| t.lock().push(at));
+        node.dma_write(PAddr(65_536), vec![2u8; 16_384], move |at| {
+            t.lock().push(at)
+        });
     }
     kernel.run_until_quiescent().unwrap();
     let times = times.lock();
     // 16 KB at 30 MB/s = 546 us each; the second transfer must queue
     // behind the first on the EISA bus.
     let gap = times[1] - times[0];
-    assert!(gap >= SimDur::from_us(500.0), "EISA serialization gap {gap}");
+    assert!(
+        gap >= SimDur::from_us(500.0),
+        "EISA serialization gap {gap}"
+    );
 }
 
 #[test]

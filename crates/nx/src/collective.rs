@@ -24,7 +24,10 @@ impl NxProc {
         // marker export-free allocation (cheap: two words stored in the
         // struct would be nicer, but keeps NxProc lean).
         if let Some(s) = self.collective_scratch {
-            return Scratch { send: s.0, recv: s.1 };
+            return Scratch {
+                send: s.0,
+                recv: s.1,
+            };
         }
         let send = self.vmmc().proc_().alloc(64, CacheMode::WriteBack);
         let recv = self.vmmc().proc_().alloc(64, CacheMode::WriteBack);
@@ -102,7 +105,13 @@ impl NxProc {
     /// # Errors
     ///
     /// Propagates point-to-point errors.
-    pub fn gbcast(&mut self, ctx: &Ctx, root: usize, buf: VAddr, len: usize) -> Result<(), NxError> {
+    pub fn gbcast(
+        &mut self,
+        ctx: &Ctx,
+        root: usize,
+        buf: VAddr,
+        len: usize,
+    ) -> Result<(), NxError> {
         let n = self.numnodes();
         if n == 1 {
             return Ok(());
@@ -140,7 +149,13 @@ impl NxProc {
     /// # Errors
     ///
     /// Propagates point-to-point errors.
-    pub fn gbcast_naive(&mut self, ctx: &Ctx, root: usize, buf: VAddr, len: usize) -> Result<(), NxError> {
+    pub fn gbcast_naive(
+        &mut self,
+        ctx: &Ctx,
+        root: usize,
+        buf: VAddr,
+        len: usize,
+    ) -> Result<(), NxError> {
         let n = self.numnodes();
         let me = self.mynode();
         let epoch = self.barrier_epoch;
@@ -186,7 +201,8 @@ impl NxProc {
                 debug_assert_eq!(got, len);
                 let src = self.infonode();
                 let data = p.peek(scratch, len).map_err(shrimp_core::VmmcError::from)?;
-                p.poke(all.add(src * len), &data).map_err(shrimp_core::VmmcError::from)?;
+                p.poke(all.add(src * len), &data)
+                    .map_err(shrimp_core::VmmcError::from)?;
             }
         } else {
             self.csend(ctx, tag, buf, len, 0)?;
@@ -216,33 +232,43 @@ impl NxProc {
         // ranks fold into their partner first and receive the result at
         // the end.
         let pow2 = n.next_power_of_two() / if n.is_power_of_two() { 1 } else { 2 };
-        let tag = |round: u32| INTERNAL_TYPE_BASE + 0x1000 + ((epoch as i32 & 0xFFF) << 8) + round as i32;
+        let tag =
+            |round: u32| INTERNAL_TYPE_BASE + 0x1000 + ((epoch as i32 & 0xFFF) << 8) + round as i32;
         if me >= pow2 {
             // Fold in, then wait for the broadcast result.
-            p.write(ctx, s.send, &acc).map_err(shrimp_core::VmmcError::from)?;
+            p.write(ctx, s.send, &acc)
+                .map_err(shrimp_core::VmmcError::from)?;
             self.csend(ctx, tag(30), s.send, acc.len(), me - pow2)?;
             let n_bytes = self.crecv(ctx, tag(31), s.recv, 64)?;
-            return Ok(p.read(ctx, s.recv, n_bytes).map_err(shrimp_core::VmmcError::from)?);
+            return Ok(p
+                .read(ctx, s.recv, n_bytes)
+                .map_err(shrimp_core::VmmcError::from)?);
         }
         if me + pow2 < n {
             let got = self.crecvx(ctx, tag(30), s.recv, 64, Some(me + pow2))?;
-            let other = p.read(ctx, s.recv, got).map_err(shrimp_core::VmmcError::from)?;
+            let other = p
+                .read(ctx, s.recv, got)
+                .map_err(shrimp_core::VmmcError::from)?;
             acc = combine(&acc, &other);
         }
         let mut dist = 1usize;
         let mut round = 0u32;
         while dist < pow2 {
             let partner = me ^ dist;
-            p.write(ctx, s.send, &acc).map_err(shrimp_core::VmmcError::from)?;
+            p.write(ctx, s.send, &acc)
+                .map_err(shrimp_core::VmmcError::from)?;
             self.csend(ctx, tag(round), s.send, acc.len(), partner)?;
             let got = self.crecvx(ctx, tag(round), s.recv, 64, Some(partner))?;
-            let other = p.read(ctx, s.recv, got).map_err(shrimp_core::VmmcError::from)?;
+            let other = p
+                .read(ctx, s.recv, got)
+                .map_err(shrimp_core::VmmcError::from)?;
             acc = combine(&acc, &other);
             dist *= 2;
             round += 1;
         }
         if me + pow2 < n {
-            p.write(ctx, s.send, &acc).map_err(shrimp_core::VmmcError::from)?;
+            p.write(ctx, s.send, &acc)
+                .map_err(shrimp_core::VmmcError::from)?;
             self.csend(ctx, tag(31), s.send, acc.len(), me + pow2)?;
         }
         Ok(acc)

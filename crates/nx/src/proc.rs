@@ -85,16 +85,27 @@ pub enum NxError {
     InvalidRank(usize),
     /// An underlying VMMC operation failed.
     Vmmc(VmmcError),
+    /// A bounded setup wait (the join rendezvous) gave up.
+    Timeout {
+        /// The operation that timed out.
+        op: &'static str,
+        /// Total virtual time spent waiting.
+        waited: shrimp_sim::SimDur,
+    },
 }
 
 impl std::fmt::Display for NxError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             NxError::Truncated { len, max } => {
-                write!(f, "message of {len} bytes exceeds posted buffer of {max} bytes")
+                write!(
+                    f,
+                    "message of {len} bytes exceeds posted buffer of {max} bytes"
+                )
             }
             NxError::InvalidRank(r) => write!(f, "rank {r} out of range"),
             NxError::Vmmc(e) => write!(f, "vmmc: {e}"),
+            NxError::Timeout { op, waited } => write!(f, "{op} timed out after {waited}"),
         }
     }
 }
@@ -175,7 +186,10 @@ pub struct NxProc {
 
 impl std::fmt::Debug for NxProc {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("NxProc").field("rank", &self.rank).field("nranks", &self.nranks).finish()
+        f.debug_struct("NxProc")
+            .field("rank", &self.rank)
+            .field("nranks", &self.nranks)
+            .finish()
     }
 }
 
@@ -254,14 +268,25 @@ impl NxProc {
     /// # Errors
     ///
     /// [`NxError::InvalidRank`]; [`NxError::Vmmc`] on memory faults.
-    pub fn csend(&mut self, ctx: &Ctx, mtype: i32, buf: VAddr, len: usize, dst: usize) -> Result<(), NxError> {
+    pub fn csend(
+        &mut self,
+        ctx: &Ctx,
+        mtype: i32,
+        buf: VAddr,
+        len: usize,
+        dst: usize,
+    ) -> Result<(), NxError> {
         self.vmmc.proc_().charge_call(ctx);
         self.progress(ctx)?;
         if dst >= self.nranks {
             return Err(NxError::InvalidRank(dst));
         }
         if dst == self.rank {
-            let data = self.vmmc.proc_().read(ctx, buf, len).map_err(VmmcError::from)?;
+            let data = self
+                .vmmc
+                .proc_()
+                .read(ctx, buf, len)
+                .map_err(VmmcError::from)?;
             self.local_q.push_back((mtype, data));
             return Ok(());
         }
@@ -280,7 +305,14 @@ impl NxProc {
     /// # Errors
     ///
     /// As for [`NxProc::csend`].
-    pub fn isend(&mut self, ctx: &Ctx, mtype: i32, buf: VAddr, len: usize, dst: usize) -> Result<MsgHandle, NxError> {
+    pub fn isend(
+        &mut self,
+        ctx: &Ctx,
+        mtype: i32,
+        buf: VAddr,
+        len: usize,
+        dst: usize,
+    ) -> Result<MsgHandle, NxError> {
         self.vmmc.proc_().charge_call(ctx);
         self.progress(ctx)?;
         let handle = self.fresh_handle();
@@ -290,12 +322,23 @@ impl NxProc {
         if dst == self.rank || len <= self.config.large_threshold.min(self.config.packet_payload) {
             // Small (or local) sends complete inline.
             if dst == self.rank {
-                let data = self.vmmc.proc_().read(ctx, buf, len).map_err(VmmcError::from)?;
+                let data = self
+                    .vmmc
+                    .proc_()
+                    .read(ctx, buf, len)
+                    .map_err(VmmcError::from)?;
                 self.local_q.push_back((mtype, data));
             } else {
                 self.send_small(ctx, dst, mtype, Some(buf), len, MsgKind::Small, 0, 0)?;
             }
-            self.completed.insert(handle, NxInfo { count: len, mtype, src: self.rank });
+            self.completed.insert(
+                handle,
+                NxInfo {
+                    count: len,
+                    mtype,
+                    src: self.rank,
+                },
+            );
         } else {
             // Large: scout now, data when the receiver replies. No
             // optimistic copy — the user buffer is pledged until msgwait.
@@ -331,10 +374,19 @@ impl NxProc {
         let conn = self.out[dst].as_mut().expect("connection exists");
         let seq = conn.next_seq;
         conn.next_seq += 1;
-        let desc = Desc { size: len as u32, mtype, seq, kind: Some(kind), msgid, chunk_off };
+        let desc = Desc {
+            size: len as u32,
+            mtype,
+            seq,
+            kind: Some(kind),
+            msgid,
+            chunk_off,
+        };
         p.charge_descriptor(ctx);
 
-        let variant = if kind == MsgKind::Small { self.config.send_variant } else {
+        let variant = if kind == MsgKind::Small {
+            self.config.send_variant
+        } else {
             // Control traffic (scouts, chunks' descriptors) always rides
             // the configured small path; chunk payloads follow it too.
             self.config.send_variant
@@ -352,20 +404,15 @@ impl NxProc {
                 }
                 p.write(ctx, conn.au_send.add(self.layout.pkt(idx) + 4), &bytes)
                     .map_err(VmmcError::from)?;
-                p.write(
-                    ctx,
-                    conn.au_send.add(self.layout.pkt(idx)),
-                    &enc[..4],
-                )
-                .map_err(VmmcError::from)?;
+                p.write(ctx, conn.au_send.add(self.layout.pkt(idx)), &enc[..4])
+                    .map_err(VmmcError::from)?;
             }
             SendVariant::DuMarshal => {
                 self.du_marshal_send(ctx, dst, idx, desc, payload, len)?;
             }
             SendVariant::DuFromUser => {
                 let aligned = payload.is_none_or(|v| v.is_word_aligned());
-                let padded_ok = payload
-                    .is_none_or(|v| p.peek(v, pad4(len)).is_ok());
+                let padded_ok = payload.is_none_or(|v| p.peek(v, pad4(len)).is_ok());
                 if !aligned || !padded_ok {
                     // §4 "Reducing Copying": unaligned buffers take the
                     // copying path.
@@ -374,12 +421,18 @@ impl NxProc {
                     let conn = self.out[dst].as_mut().expect("connection exists");
                     if let Some(src) = payload {
                         if len > 0 {
-                            self.vmmc
-                                .send(ctx, src, &conn.data, self.layout.payload(idx), pad4(len))?;
+                            self.vmmc.send(
+                                ctx,
+                                src,
+                                &conn.data,
+                                self.layout.payload(idx),
+                                pad4(len),
+                            )?;
                         }
                     }
                     let conn = self.out[dst].as_mut().expect("connection exists");
-                    p.poke(conn.staging, &desc.encode()).map_err(VmmcError::from)?;
+                    p.poke(conn.staging, &desc.encode())
+                        .map_err(VmmcError::from)?;
                     p.charge_bookkeeping(ctx);
                     self.vmmc.send(
                         ctx,
@@ -416,8 +469,13 @@ impl NxProc {
             }
         }
         let conn = self.out[dst].as_ref().expect("connection exists");
-        self.vmmc
-            .send(ctx, staging, &conn.data, self.layout.pkt(idx), pad4(crate::wire::DESC_BYTES + len))?;
+        self.vmmc.send(
+            ctx,
+            staging,
+            &conn.data,
+            self.layout.pkt(idx),
+            pad4(crate::wire::DESC_BYTES + len),
+        )?;
         Ok(())
     }
 
@@ -435,7 +493,8 @@ impl NxProc {
         let (slot_va, c, urgent_va) = {
             let conn = self.out[dst].as_ref().expect("connection exists");
             (
-                conn.ctrl_local.add(CtrlLayout::credit_slot(conn.credits_taken)),
+                conn.ctrl_local
+                    .add(CtrlLayout::credit_slot(conn.credits_taken)),
                 conn.credits_taken,
                 conn.urgent,
             )
@@ -443,7 +502,9 @@ impl NxProc {
         self.stats.credit_stalls += 1;
         // Brief poll, then interrupt the receiver (paper §6: the NX
         // library generates an interrupt to request more buffers).
-        let quick = p.poll_u32(ctx, slot_va, 64, |v| CtrlLayout::decode_credit(v, c).is_some());
+        let quick = p.poll_u32(ctx, slot_va, 64, |v| {
+            CtrlLayout::decode_credit(v, c).is_some()
+        });
         let word = match quick.map_err(VmmcError::from)? {
             Some(v) => v,
             None => {
@@ -526,7 +587,14 @@ impl NxProc {
         } else if handle.is_some() {
             // isend: the user buffer is pledged; transfer on reply.
             let conn = self.out[dst].as_mut().expect("connection exists");
-            conn.pending_large.push(PendingLarge { msgid, source: buf, len, mtype, handle, bounce: None });
+            conn.pending_large.push(PendingLarge {
+                msgid,
+                source: buf,
+                len,
+                mtype,
+                handle,
+                bounce: None,
+            });
             Ok(())
         } else {
             // Ablation: no optimistic copy — block for the reply.
@@ -545,13 +613,21 @@ impl NxProc {
     fn acquire_bounce(&mut self, dst: usize, len: usize) -> VAddr {
         let p = self.vmmc.proc_().clone();
         let conn = self.out[dst].as_mut().expect("connection exists");
-        if let Some(b) = conn.bounce_pool.iter_mut().find(|b| !b.in_use && b.cap >= len) {
+        if let Some(b) = conn
+            .bounce_pool
+            .iter_mut()
+            .find(|b| !b.in_use && b.cap >= len)
+        {
             b.in_use = true;
             return b.va;
         }
         let cap = len.next_power_of_two().max(8192);
         let va = p.alloc(cap, shrimp_node::CacheMode::WriteBack);
-        conn.bounce_pool.push(crate::world::BounceBuf { va, cap, in_use: true });
+        conn.bounce_pool.push(crate::world::BounceBuf {
+            va,
+            cap,
+            in_use: true,
+        });
         va
     }
 
@@ -619,13 +695,15 @@ impl NxProc {
                     let conn = self.out[dst].as_ref().expect("connection exists");
                     conn.staging.add(crate::wire::PKT_BUF)
                 };
-                p.write_u32(ctx, staging_done, msgid).map_err(VmmcError::from)?;
+                p.write_u32(ctx, staging_done, msgid)
+                    .map_err(VmmcError::from)?;
                 let conn = self.out[dst].as_ref().expect("connection exists");
                 self.vmmc.send(
                     ctx,
                     staging_done,
                     &conn.data,
-                    self.layout.done_slot(msgid as usize % crate::wire::DONE_SLOTS),
+                    self.layout
+                        .done_slot(msgid as usize % crate::wire::DONE_SLOTS),
                     4,
                 )?;
             }
@@ -665,7 +743,14 @@ impl NxProc {
             self.release_bounce(dst, b);
         }
         if let Some(h) = handle {
-            self.completed.insert(h, NxInfo { count: len, mtype, src: self.rank });
+            self.completed.insert(
+                h,
+                NxInfo {
+                    count: len,
+                    mtype,
+                    src: self.rank,
+                },
+            );
         }
         Ok(())
     }
@@ -681,7 +766,13 @@ impl NxProc {
     ///
     /// [`NxError::Truncated`] if the arriving message exceeds `maxlen`
     /// (the message is consumed and dropped).
-    pub fn crecv(&mut self, ctx: &Ctx, typesel: i32, buf: VAddr, maxlen: usize) -> Result<usize, NxError> {
+    pub fn crecv(
+        &mut self,
+        ctx: &Ctx,
+        typesel: i32,
+        buf: VAddr,
+        maxlen: usize,
+    ) -> Result<usize, NxError> {
         self.crecvx(ctx, typesel, buf, maxlen, None)
     }
 
@@ -702,26 +793,41 @@ impl NxProc {
         loop {
             self.progress(ctx)?;
             if srcsel.is_none_or(|s| s == self.rank) {
-                if let Some(pos) =
-                    self.local_q.iter().position(|(t, _)| type_matches(*t, typesel))
+                if let Some(pos) = self
+                    .local_q
+                    .iter()
+                    .position(|(t, _)| type_matches(*t, typesel))
                 {
                     let (mtype, data) = self.local_q.remove(pos).expect("position valid");
                     if data.len() > maxlen {
-                        return Err(NxError::Truncated { len: data.len(), max: maxlen });
+                        return Err(NxError::Truncated {
+                            len: data.len(),
+                            max: maxlen,
+                        });
                     }
-                    self.vmmc.proc_().write(ctx, buf, &data).map_err(VmmcError::from)?;
-                    self.info = NxInfo { count: data.len(), mtype, src: self.rank };
+                    self.vmmc
+                        .proc_()
+                        .write(ctx, buf, &data)
+                        .map_err(VmmcError::from)?;
+                    self.info = NxInfo {
+                        count: data.len(),
+                        mtype,
+                        src: self.rank,
+                    };
                     return Ok(data.len());
                 }
             }
             if let Some((q, idx, desc)) = self.try_find(ctx, typesel, srcsel) {
                 match desc.kind {
-                    Some(MsgKind::Small) => return self.consume_small(ctx, q, idx, desc, buf, maxlen),
+                    Some(MsgKind::Small) => {
+                        return self.consume_small(ctx, q, idx, desc, buf, maxlen)
+                    }
                     Some(MsgKind::Scout) => return self.recv_large(ctx, q, idx, desc, buf, maxlen),
                     _ => unreachable!("try_find only yields Small/Scout"),
                 }
             }
-            self.vmmc.wait_activity(ctx, || self.arrival_visible(typesel, srcsel));
+            self.vmmc
+                .wait_activity(ctx, || self.arrival_visible(typesel, srcsel));
         }
     }
 
@@ -730,7 +836,13 @@ impl NxProc {
     pub fn irecv(&mut self, ctx: &Ctx, typesel: i32, buf: VAddr, maxlen: usize) -> MsgHandle {
         self.vmmc.proc_().charge_call(ctx);
         let handle = self.fresh_handle();
-        self.posted.push(Posted { handle, typesel, buf, maxlen, handler: None });
+        self.posted.push(Posted {
+            handle,
+            typesel,
+            buf,
+            maxlen,
+            handler: None,
+        });
         handle
     }
 
@@ -749,7 +861,13 @@ impl NxProc {
     ) -> MsgHandle {
         self.vmmc.proc_().charge_call(ctx);
         let handle = self.fresh_handle();
-        self.posted.push(Posted { handle, typesel, buf, maxlen, handler: Some(handler) });
+        self.posted.push(Posted {
+            handle,
+            typesel,
+            buf,
+            maxlen,
+            handler: Some(handler),
+        });
         handle
     }
 
@@ -777,7 +895,8 @@ impl NxProc {
             if self.completed.contains_key(&handle) {
                 continue;
             }
-            self.vmmc.wait_activity(ctx, || self.arrival_visible(-1, None));
+            self.vmmc
+                .wait_activity(ctx, || self.arrival_visible(-1, None));
         }
     }
 
@@ -805,17 +924,23 @@ impl NxProc {
         self.vmmc.proc_().charge_call(ctx);
         self.progress(ctx)?;
         if let Some((t, data)) = self.local_q.iter().find(|(t, _)| type_matches(*t, typesel)) {
-            return Ok(Some(NxInfo { count: data.len(), mtype: *t, src: self.rank }));
+            return Ok(Some(NxInfo {
+                count: data.len(),
+                mtype: *t,
+                src: self.rank,
+            }));
         }
-        Ok(self.try_find(ctx, typesel, None).map(|(q, _idx, desc)| NxInfo {
-            count: if desc.kind == Some(MsgKind::Scout) {
-                desc.chunk_off as usize
-            } else {
-                desc.size as usize
-            },
-            mtype: desc.mtype,
-            src: q,
-        }))
+        Ok(self
+            .try_find(ctx, typesel, None)
+            .map(|(q, _idx, desc)| NxInfo {
+                count: if desc.kind == Some(MsgKind::Scout) {
+                    desc.chunk_off as usize
+                } else {
+                    desc.size as usize
+                },
+                mtype: desc.mtype,
+                src: q,
+            }))
     }
 
     /// Blocking probe (NX `cprobe`).
@@ -828,7 +953,8 @@ impl NxProc {
             if let Some(info) = self.iprobe(ctx, typesel)? {
                 return Ok(info);
             }
-            self.vmmc.wait_activity(ctx, || self.arrival_visible(typesel, None));
+            self.vmmc
+                .wait_activity(ctx, || self.arrival_visible(typesel, None));
         }
     }
 
@@ -845,7 +971,10 @@ impl NxProc {
         self.out.iter().flatten().any(|conn| {
             conn.pending_large.iter().any(|pl| {
                 let slot = p
-                    .peek(conn.ctrl_local.add(CtrlLayout::reply_slot(pl.msgid)), Reply::BYTES)
+                    .peek(
+                        conn.ctrl_local.add(CtrlLayout::reply_slot(pl.msgid)),
+                        Reply::BYTES,
+                    )
                     .expect("control region is mapped");
                 Reply::decode(&slot, pl.msgid).is_some()
             })
@@ -857,7 +986,12 @@ impl NxProc {
     }
 
     /// Timed arrival scan.
-    fn try_find(&self, ctx: &Ctx, typesel: i32, srcsel: Option<usize>) -> Option<(usize, usize, Desc)> {
+    fn try_find(
+        &self,
+        ctx: &Ctx,
+        typesel: i32,
+        srcsel: Option<usize>,
+    ) -> Option<(usize, usize, Desc)> {
         let p = self.vmmc.proc_();
         p.charge_bookkeeping(ctx);
         self.try_find_inner(typesel, srcsel)
@@ -868,13 +1002,18 @@ impl NxProc {
             if srcsel.is_some_and(|s| s != q) {
                 continue;
             }
-            let Some(conn) = self.inc[q].as_ref() else { continue };
+            let Some(conn) = self.inc[q].as_ref() else {
+                continue;
+            };
             let mut best: Option<(usize, Desc)> = None;
             for idx in 0..self.layout.npkt {
                 let bytes = self
                     .vmmc
                     .proc_()
-                    .peek(conn.data_local.add(self.layout.desc(idx)), crate::wire::DESC_BYTES)
+                    .peek(
+                        conn.data_local.add(self.layout.desc(idx)),
+                        crate::wire::DESC_BYTES,
+                    )
                     .expect("data region is mapped");
                 let desc = Desc::decode(&bytes);
                 match desc.kind {
@@ -918,9 +1057,16 @@ impl NxProc {
         }
         self.release_buffer(ctx, q, idx)?;
         if truncated {
-            return Err(NxError::Truncated { len: n, max: maxlen });
+            return Err(NxError::Truncated {
+                len: n,
+                max: maxlen,
+            });
         }
-        self.info = NxInfo { count: n, mtype: desc.mtype, src: q };
+        self.info = NxInfo {
+            count: n,
+            mtype: desc.mtype,
+            src: q,
+        };
         self.stats.received += 1;
         Ok(n)
     }
@@ -953,14 +1099,22 @@ impl NxProc {
             let name = {
                 let peer_node = NodeId(self.node_of_peer(q));
                 let key = (buf.0, total);
-                match self.inc[q].as_ref().expect("connection exists").user_exports.get(&key) {
+                match self.inc[q]
+                    .as_ref()
+                    .expect("connection exists")
+                    .user_exports
+                    .get(&key)
+                {
                     Some(n) => *n,
                     None => {
                         let n = self.vmmc.export(
                             ctx,
                             buf,
                             total,
-                            ExportOpts { perms: ExportPerms::Nodes(vec![peer_node]), handler: None },
+                            ExportOpts {
+                                perms: ExportPerms::Nodes(vec![peer_node]),
+                                handler: None,
+                            },
                         )?;
                         self.inc[q]
                             .as_mut()
@@ -971,26 +1125,44 @@ impl NxProc {
                     }
                 }
             };
-            Reply { name: name.0, mode: ReplyMode::ZeroCopy, ack: msgid }
+            Reply {
+                name: name.0,
+                mode: ReplyMode::ZeroCopy,
+                ack: msgid,
+            }
         } else {
-            Reply { name: 0, mode: ReplyMode::Chunked, ack: msgid }
+            Reply {
+                name: 0,
+                mode: ReplyMode::Chunked,
+                ack: msgid,
+            }
         };
         {
             let conn = self.inc[q].as_ref().expect("connection exists");
-            p.write(ctx, conn.ctrl_au.add(CtrlLayout::reply_slot(msgid)), &reply.encode())
-                .map_err(VmmcError::from)?;
+            p.write(
+                ctx,
+                conn.ctrl_au.add(CtrlLayout::reply_slot(msgid)),
+                &reply.encode(),
+            )
+            .map_err(VmmcError::from)?;
         }
 
         if zero_copy {
             // Wait for the sender's done flag, then clear it.
             let done_va = {
                 let conn = self.inc[q].as_ref().expect("connection exists");
-                conn.data_local
-                    .add(self.layout.done_slot(msgid as usize % crate::wire::DONE_SLOTS))
+                conn.data_local.add(
+                    self.layout
+                        .done_slot(msgid as usize % crate::wire::DONE_SLOTS),
+                )
             };
             self.vmmc.wait_u32(ctx, done_va, 1024, |v| v == msgid)?;
             p.write_u32(ctx, done_va, 0).map_err(VmmcError::from)?;
-            self.info = NxInfo { count: total, mtype: desc.mtype, src: q };
+            self.info = NxInfo {
+                count: total,
+                mtype: desc.mtype,
+                src: q,
+            };
             self.stats.received += 1;
             Ok(total)
         } else {
@@ -1012,14 +1184,22 @@ impl NxProc {
                         received += n;
                     }
                     None => {
-                        self.vmmc.wait_activity(ctx, || self.find_chunk(q, msgid).is_some());
+                        self.vmmc
+                            .wait_activity(ctx, || self.find_chunk(q, msgid).is_some());
                     }
                 }
             }
             if truncated {
-                return Err(NxError::Truncated { len: total, max: maxlen });
+                return Err(NxError::Truncated {
+                    len: total,
+                    max: maxlen,
+                });
             }
-            self.info = NxInfo { count: total, mtype: desc.mtype, src: q };
+            self.info = NxInfo {
+                count: total,
+                mtype: desc.mtype,
+                src: q,
+            };
             self.stats.received += 1;
             Ok(total)
         }
@@ -1032,20 +1212,30 @@ impl NxProc {
             let bytes = self
                 .vmmc
                 .proc_()
-                .peek(conn.data_local.add(self.layout.desc(idx)), crate::wire::DESC_BYTES)
+                .peek(
+                    conn.data_local.add(self.layout.desc(idx)),
+                    crate::wire::DESC_BYTES,
+                )
                 .expect("data region is mapped");
             let desc = Desc::decode(&bytes);
-            if desc.kind == Some(MsgKind::Chunk) && desc.msgid == msgid
-                && best.as_ref().is_none_or(|(_, b)| desc.seq < b.seq) {
-                    best = Some((idx, desc));
-                }
+            if desc.kind == Some(MsgKind::Chunk)
+                && desc.msgid == msgid
+                && best.as_ref().is_none_or(|(_, b)| desc.seq < b.seq)
+            {
+                best = Some((idx, desc));
+            }
         }
         best
     }
 
     fn node_of_peer(&self, q: usize) -> usize {
         // The peer's node index is recoverable from its data import.
-        self.out[q].as_ref().expect("connection exists").data.node().0
+        self.out[q]
+            .as_ref()
+            .expect("connection exists")
+            .data
+            .node()
+            .0
     }
 
     fn release_buffer(&mut self, ctx: &Ctx, q: usize, idx: usize) -> Result<(), NxError> {
@@ -1056,7 +1246,9 @@ impl NxProc {
             (
                 conn.data_local.add(self.layout.desc_kind_word(idx)),
                 conn.pending_credits.len() >= self.config.credit_batch
-                    || conn.flush_requested.load(std::sync::atomic::Ordering::SeqCst),
+                    || conn
+                        .flush_requested
+                        .load(std::sync::atomic::Ordering::SeqCst),
             )
         };
         // Mark the buffer free locally (cheap write-back store) and
@@ -1075,7 +1267,8 @@ impl NxProc {
             let (idx, c, slot_va) = {
                 let conn = self.inc[q].as_mut().expect("connection exists");
                 if conn.pending_credits.is_empty() {
-                    conn.flush_requested.store(false, std::sync::atomic::Ordering::SeqCst);
+                    conn.flush_requested
+                        .store(false, std::sync::atomic::Ordering::SeqCst);
                     return Ok(());
                 }
                 let idx = conn.pending_credits.remove(0);
@@ -1103,10 +1296,16 @@ impl NxProc {
         self.vmmc.proc_().charge_call(ctx);
         loop {
             self.progress(ctx)?;
-            if self.out.iter().flatten().all(|c| c.pending_large.is_empty()) {
+            if self
+                .out
+                .iter()
+                .flatten()
+                .all(|c| c.pending_large.is_empty())
+            {
                 return Ok(());
             }
-            self.vmmc.wait_activity(ctx, || self.pending_reply_visible());
+            self.vmmc
+                .wait_activity(ctx, || self.pending_reply_visible());
         }
     }
 
@@ -1120,7 +1319,10 @@ impl NxProc {
         }
         let Some(pos) = self.posted.iter().position(|p| {
             self.try_find_peek(p.typesel).is_some()
-                || self.local_q.iter().any(|(t, _)| type_matches(*t, p.typesel))
+                || self
+                    .local_q
+                    .iter()
+                    .any(|(t, _)| type_matches(*t, p.typesel))
         }) else {
             return Ok(false);
         };
@@ -1167,11 +1369,16 @@ impl NxProc {
         for q in 0..self.nranks {
             loop {
                 let found = {
-                    let Some(conn) = self.out[q].as_ref() else { break };
+                    let Some(conn) = self.out[q].as_ref() else {
+                        break;
+                    };
                     let p = self.vmmc.proc_();
                     conn.pending_large.iter().find_map(|pl| {
                         let slot = p
-                            .peek(conn.ctrl_local.add(CtrlLayout::reply_slot(pl.msgid)), Reply::BYTES)
+                            .peek(
+                                conn.ctrl_local.add(CtrlLayout::reply_slot(pl.msgid)),
+                                Reply::BYTES,
+                            )
                             .expect("control region is mapped");
                         Reply::decode(&slot, pl.msgid)
                             .map(|r| (pl.msgid, pl.source, pl.len, pl.mtype, pl.handle, r))

@@ -150,7 +150,11 @@ impl Reply {
             2 => ReplyMode::Chunked,
             _ => return None,
         };
-        Some(Reply { name: u64::from_le_bytes(b[0..8].try_into().expect("8 bytes")), mode, ack })
+        Some(Reply {
+            name: u64::from_le_bytes(b[0..8].try_into().expect("8 bytes")),
+            mode,
+            ack,
+        })
     }
 }
 
@@ -268,7 +272,11 @@ mod tests {
 
     #[test]
     fn reply_round_trips_and_gates_on_ack() {
-        let r = Reply { name: 0xDEAD_BEEF_CAFE, mode: ReplyMode::ZeroCopy, ack: 5 };
+        let r = Reply {
+            name: 0xDEAD_BEEF_CAFE,
+            mode: ReplyMode::ZeroCopy,
+            ack: 5,
+        };
         let b = r.encode();
         assert_eq!(Reply::decode(&b, 5), Some(r));
         assert_eq!(Reply::decode(&b, 6), None);

@@ -16,10 +16,10 @@ use parking_lot::Mutex;
 use shrimp_core::{BufferName, ExportOpts, ExportPerms, ImportHandle, ShrimpSystem};
 use shrimp_mesh::NodeId;
 use shrimp_node::{CacheMode, VAddr, PAGE_SIZE};
-use shrimp_sim::{Ctx, Gate};
+use shrimp_sim::{Ctx, Gate, RetryPolicy};
 
 use crate::config::NxConfig;
-use crate::proc::NxProc;
+use crate::proc::{NxError, NxProc};
 use crate::wire::{CtrlLayout, DataLayout};
 
 /// Which region of an ordered pair a published name refers to.
@@ -51,7 +51,9 @@ pub struct NxWorld {
 
 impl std::fmt::Debug for NxWorld {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("NxWorld").field("ranks", &self.nodes.len()).finish_non_exhaustive()
+        f.debug_struct("NxWorld")
+            .field("ranks", &self.nodes.len())
+            .finish_non_exhaustive()
     }
 }
 
@@ -159,12 +161,40 @@ impl NxWorld {
     ///
     /// # Panics
     ///
-    /// Panics if called twice for the same rank or with an out-of-range
-    /// rank.
+    /// Panics if called twice for the same rank, with an out-of-range
+    /// rank, or on mapping-establishment failure; use
+    /// [`NxWorld::try_join`] where setup faults must surface as errors.
     pub fn join(self: &Arc<Self>, ctx: &Ctx, rank: usize) -> NxProc {
+        self.try_join(ctx, rank, RetryPolicy::bootstrap())
+            .expect("NX job setup")
+    }
+
+    /// Fallible [`NxWorld::join`]: bounds the rendezvous wait by the
+    /// policy's total budget and retries imports through daemon outages
+    /// with the policy's backoff schedule.
+    ///
+    /// # Errors
+    ///
+    /// [`NxError::Timeout`] if some rank never arrives within the
+    /// budget; mapping-establishment failures otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice for the same rank or with an out-of-range
+    /// rank (caller bugs, not runtime faults).
+    pub fn try_join(
+        self: &Arc<Self>,
+        ctx: &Ctx,
+        rank: usize,
+        policy: RetryPolicy,
+    ) -> Result<NxProc, NxError> {
         assert!(rank < self.len(), "rank {rank} out of range");
-        let vmmc = self.system.endpoint(self.node_of(rank), format!("nx-rank{rank}"));
-        let layout = DataLayout { npkt: self.config.packet_buffers };
+        let vmmc = self
+            .system
+            .endpoint(self.node_of(rank), format!("nx-rank{rank}"));
+        let layout = DataLayout {
+            npkt: self.config.packet_buffers,
+        };
         let n = self.len();
 
         // Phase 1: export receive-side regions and publish their names.
@@ -176,45 +206,52 @@ impl NxWorld {
             }
             // Data region (peer sends to me).
             let data_local = vmmc.proc_().alloc(layout.total(), CacheMode::WriteBack);
-            let data_name = vmmc
-                .export(ctx, data_local, layout.total(), ExportOpts::default())
-                .expect("exporting NX data region");
+            let data_name = vmmc.export(ctx, data_local, layout.total(), ExportOpts::default())?;
             // Urgent page with a handler that requests a credit flush.
             let urgent_local = vmmc.proc_().alloc(PAGE_SIZE, CacheMode::WriteBack);
             let flush_requested = Arc::new(AtomicBool::new(false));
             let fr = Arc::clone(&flush_requested);
-            let urgent_name = vmmc
-                .export(
-                    ctx,
-                    urgent_local,
-                    PAGE_SIZE,
-                    ExportOpts {
-                        perms: ExportPerms::Any,
-                        handler: Some(Box::new(move |_ctx, _ev| {
-                            fr.store(true, Ordering::SeqCst);
-                        })),
-                    },
-                )
-                .expect("exporting NX urgent page");
+            let urgent_name = vmmc.export(
+                ctx,
+                urgent_local,
+                PAGE_SIZE,
+                ExportOpts {
+                    perms: ExportPerms::Any,
+                    handler: Some(Box::new(move |_ctx, _ev| {
+                        fr.store(true, Ordering::SeqCst);
+                    })),
+                },
+            )?;
             // Control region (I send to peer; peer writes credits back).
-            let ctrl_local = vmmc.proc_().alloc(CtrlLayout::total(), CacheMode::WriteBack);
-            let ctrl_name = vmmc
-                .export(ctx, ctrl_local, CtrlLayout::total(), ExportOpts::default())
-                .expect("exporting NX control region");
+            let ctrl_local = vmmc
+                .proc_()
+                .alloc(CtrlLayout::total(), CacheMode::WriteBack);
+            let ctrl_name =
+                vmmc.export(ctx, ctrl_local, CtrlLayout::total(), ExportOpts::default())?;
 
             let mut pubs = self.published.lock();
             pubs.names.insert((RegionKind::Data, peer, rank), data_name);
-            pubs.names.insert((RegionKind::Urgent, peer, rank), urgent_name);
+            pubs.names
+                .insert((RegionKind::Urgent, peer, rank), urgent_name);
             pubs.names.insert((RegionKind::Ctrl, rank, peer), ctrl_name);
             in_parts[peer] = Some((data_local, flush_requested));
             ctrl_parts[peer] = Some(ctrl_local);
         }
 
-        // Rendezvous.
+        // Rendezvous, bounded: a rank that never shows up (crashed node,
+        // wedged loader) must not hang the job forever.
         if self.joined.fetch_add(1, Ordering::SeqCst) + 1 == n {
             self.ready.open(&ctx.handle());
         }
-        self.ready.wait(ctx);
+        if !self
+            .ready
+            .wait_deadline(ctx, ctx.now() + policy.total_budget())
+        {
+            return Err(NxError::Timeout {
+                op: "join rendezvous",
+                waited: policy.total_budget(),
+            });
+        }
 
         // Phase 2: import peers' regions and create AU bindings.
         let mut out = Vec::with_capacity(n);
@@ -236,16 +273,23 @@ impl NxWorld {
             let peer_node = NodeId(self.node_of(peer));
 
             // Outgoing: peer's data region + urgent page.
-            let data = vmmc.import(ctx, peer_node, data_name).expect("importing NX data region");
+            let data = vmmc.import_retry(ctx, peer_node, data_name, policy)?;
             let au_send = vmmc.proc_().alloc(layout.total(), CacheMode::WriteBack);
-            vmmc.bind_au(ctx, au_send, &data, 0, layout.total() / PAGE_SIZE, true, false)
-                .expect("binding NX AU send region");
-            let urgent_import =
-                vmmc.import(ctx, peer_node, urgent_name).expect("importing NX urgent page");
+            vmmc.bind_au(
+                ctx,
+                au_send,
+                &data,
+                0,
+                layout.total() / PAGE_SIZE,
+                true,
+                false,
+            )?;
+            let urgent_import = vmmc.import_retry(ctx, peer_node, urgent_name, policy)?;
             let urgent = vmmc.proc_().alloc(PAGE_SIZE, CacheMode::WriteBack);
-            vmmc.bind_au(ctx, urgent, &urgent_import, 0, 1, true, true)
-                .expect("binding NX urgent page");
-            let staging = vmmc.proc_().alloc(crate::wire::PKT_BUF + 64, CacheMode::WriteBack);
+            vmmc.bind_au(ctx, urgent, &urgent_import, 0, 1, true, true)?;
+            let staging = vmmc
+                .proc_()
+                .alloc(crate::wire::PKT_BUF + 64, CacheMode::WriteBack);
             let (data_local, flush_requested) =
                 in_parts[peer].take().expect("phase 1 created this");
             let ctrl_local = ctrl_parts[peer].take().expect("phase 1 created this");
@@ -265,11 +309,19 @@ impl NxWorld {
             }));
 
             // Incoming: bind to the peer's control region for credits.
-            let ctrl_import =
-                vmmc.import(ctx, peer_node, ctrl_name).expect("importing NX control region");
-            let ctrl_au = vmmc.proc_().alloc(CtrlLayout::total(), CacheMode::WriteBack);
-            vmmc.bind_au(ctx, ctrl_au, &ctrl_import, 0, CtrlLayout::total() / PAGE_SIZE, true, false)
-                .expect("binding NX control region");
+            let ctrl_import = vmmc.import_retry(ctx, peer_node, ctrl_name, policy)?;
+            let ctrl_au = vmmc
+                .proc_()
+                .alloc(CtrlLayout::total(), CacheMode::WriteBack);
+            vmmc.bind_au(
+                ctx,
+                ctrl_au,
+                &ctrl_import,
+                0,
+                CtrlLayout::total() / PAGE_SIZE,
+                true,
+                false,
+            )?;
             inc.push(Some(InConn {
                 data_local,
                 ctrl_au,
@@ -280,7 +332,15 @@ impl NxWorld {
             }));
         }
 
-        NxProc::new(vmmc, rank, self.len(), self.config.clone(), layout, out, inc)
+        Ok(NxProc::new(
+            vmmc,
+            rank,
+            self.len(),
+            self.config.clone(),
+            layout,
+            out,
+            inc,
+        ))
     }
 }
 

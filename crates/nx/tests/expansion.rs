@@ -1,8 +1,8 @@
 //! The 16-node expansion (paper §8 future work), software multicast
 //! (paper §6 co-design), and handler receives.
 
-use std::sync::Arc;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 use shrimp_core::{ShrimpSystem, SystemConfig};
@@ -13,8 +13,11 @@ use shrimp_sim::Kernel;
 fn build_16() -> (Kernel, Arc<ShrimpSystem>, Arc<NxWorld>) {
     let kernel = Kernel::new();
     let system = ShrimpSystem::build(&kernel, SystemConfig::expanded_16());
-    let world =
-        NxWorld::new(Arc::clone(&system), NxConfig::paper_default(), (0..16).collect());
+    let world = NxWorld::new(
+        Arc::clone(&system),
+        NxConfig::paper_default(),
+        (0..16).collect(),
+    );
     (kernel, system, world)
 }
 
@@ -184,7 +187,10 @@ fn sixteen_node_all_to_all_personalized_exchange() {
             // validate contents.
             for step in 1..n {
                 let dst = (rank + step) % n;
-                nx.vmmc().proc_().poke(sbuf, &[(rank * 16 + dst) as u8; 640]).unwrap();
+                nx.vmmc()
+                    .proc_()
+                    .poke(sbuf, &[(rank * 16 + dst) as u8; 640])
+                    .unwrap();
                 nx.csend(ctx, rank as i32, sbuf, 640, dst).unwrap();
             }
             let mut seen = [false; 16];

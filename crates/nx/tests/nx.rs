@@ -10,7 +10,7 @@ use shrimp_sim::{Ctx, Kernel};
 
 fn run_world<F>(nranks: usize, config: NxConfig, bodies: F) -> Arc<ShrimpSystem>
 where
-    F: Fn(usize) -> Box<dyn FnOnce(&Ctx, NxProc) + Send> ,
+    F: Fn(usize) -> Box<dyn FnOnce(&Ctx, NxProc) + Send>,
 {
     let kernel = Kernel::new();
     let system = ShrimpSystem::build(&kernel, SystemConfig::prototype());
@@ -24,7 +24,9 @@ where
             body(ctx, nx);
         });
     }
-    kernel.run_until_quiescent().expect("NX world simulation failed");
+    kernel
+        .run_until_quiescent()
+        .expect("NX world simulation failed");
     assert!(system.violations().is_empty(), "protection violations");
     system
 }
@@ -37,7 +39,11 @@ fn alloc_filled(nx: &NxProc, pattern: u8, len: usize) -> VAddr {
 
 #[test]
 fn small_message_round_trip_all_variants() {
-    for variant in [SendVariant::AutomaticUpdate, SendVariant::DuMarshal, SendVariant::DuFromUser] {
+    for variant in [
+        SendVariant::AutomaticUpdate,
+        SendVariant::DuMarshal,
+        SendVariant::DuFromUser,
+    ] {
         let mut config = NxConfig::paper_default();
         config.send_variant = variant;
         run_world(2, config, |rank| {
@@ -99,7 +105,10 @@ fn large_message_unaligned_falls_back_to_chunks() {
                 let _ = nx.crecv(ctx, 10, scratch, 16).unwrap();
             } else {
                 // Unaligned user receive buffer: zero-copy is forbidden.
-                let buf = nx.vmmc().proc_().alloc_at_offset(n + 8, 2, CacheMode::WriteBack);
+                let buf = nx
+                    .vmmc()
+                    .proc_()
+                    .alloc_at_offset(n + 8, 2, CacheMode::WriteBack);
                 let got = nx.crecv(ctx, 9, buf, n + 4).unwrap();
                 assert_eq!(got, n);
                 assert_eq!(nx.vmmc().proc_().peek(buf, n).unwrap(), vec![0x3C; n]);
@@ -254,7 +263,10 @@ fn self_send_loops_back() {
             nx.csend(ctx, 1, src, 100, 0).unwrap();
             assert_eq!(nx.crecv(ctx, 1, dst, 100).unwrap(), 100);
             assert_eq!(nx.vmmc().proc_().peek(dst, 100).unwrap(), vec![0xEE; 100]);
-            assert!(matches!(nx.csend(ctx, 1, src, 4, 9), Err(NxError::InvalidRank(9))));
+            assert!(matches!(
+                nx.csend(ctx, 1, src, 4, 9),
+                Err(NxError::InvalidRank(9))
+            ));
         })
     });
 }
@@ -272,7 +284,10 @@ fn four_rank_ring_exchange() {
                 nx.csend(ctx, round, buf, 1024, next).unwrap();
                 nx.crecv(ctx, round, recv, 1024).unwrap();
                 assert_eq!(nx.infonode(), prev);
-                assert_eq!(nx.vmmc().proc_().peek(recv, 1024).unwrap(), vec![prev as u8; 1024]);
+                assert_eq!(
+                    nx.vmmc().proc_().peek(recv, 1024).unwrap(),
+                    vec![prev as u8; 1024]
+                );
             }
         })
     });
@@ -325,7 +340,16 @@ fn chunked_threshold_zero_forces_rendezvous_everywhere() {
 #[test]
 fn boundary_sizes_round_trip() {
     // Exactly at and around the one-copy/zero-copy protocol switch.
-    for n in [0usize, 1, 3, 4, PKT_PAYLOAD - 1, PKT_PAYLOAD, PKT_PAYLOAD + 1, 2 * PKT_PAYLOAD] {
+    for n in [
+        0usize,
+        1,
+        3,
+        4,
+        PKT_PAYLOAD - 1,
+        PKT_PAYLOAD,
+        PKT_PAYLOAD + 1,
+        2 * PKT_PAYLOAD,
+    ] {
         run_world(2, NxConfig::paper_default(), move |rank| {
             Box::new(move |ctx, mut nx| {
                 if rank == 0 {
@@ -334,7 +358,10 @@ fn boundary_sizes_round_trip() {
                     let scratch = nx.vmmc().proc_().alloc(16, CacheMode::WriteBack);
                     let _ = nx.crecv(ctx, 2, scratch, 16).unwrap();
                 } else {
-                    let buf = nx.vmmc().proc_().alloc((n + 8).max(8), CacheMode::WriteBack);
+                    let buf = nx
+                        .vmmc()
+                        .proc_()
+                        .alloc((n + 8).max(8), CacheMode::WriteBack);
                     assert_eq!(nx.crecv(ctx, 1, buf, n + 4).unwrap(), n, "size {n}");
                     if n > 0 {
                         assert_eq!(nx.vmmc().proc_().peek(buf, n).unwrap(), vec![0x5F; n]);
@@ -359,7 +386,7 @@ fn stats_classify_protocol_paths() {
                 let large = alloc_filled(&nx, 2, 8192);
                 nx.csend(ctx, 1, small, 100, 1).unwrap(); // small path
                 nx.csend(ctx, 2, large, 8192, 1).unwrap(); // zero-copy
-                // Unalignable length -> chunked fallback.
+                                                           // Unalignable length -> chunked fallback.
                 nx.csend(ctx, 3, large, 8190, 1).unwrap();
                 let scratch = nx.vmmc().proc_().alloc(16, CacheMode::WriteBack);
                 nx.crecv(ctx, 9, scratch, 16).unwrap();

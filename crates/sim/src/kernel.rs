@@ -130,7 +130,10 @@ struct Hand {
 
 impl ProcSync {
     fn new() -> Self {
-        ProcSync { m: Mutex::new(Hand::default()), cv: Condvar::new() }
+        ProcSync {
+            m: Mutex::new(Hand::default()),
+            cv: Condvar::new(),
+        }
     }
 
     /// Kernel side: give the process the token and wait for it to yield.
@@ -492,13 +495,18 @@ impl Kernel {
             }
             if let Some(f) = action {
                 if let Some(t) = self.tracer.lock().as_ref() {
-                    t(&TraceEvent::Event { at: self.shared.now() });
+                    t(&TraceEvent::Event {
+                        at: self.shared.now(),
+                    });
                 }
                 f();
             } else if let Some((pid, sync)) = pid_sync {
                 if let Some(t) = self.tracer.lock().as_ref() {
                     let name = self.shared.state.lock().procs[pid.0].name.clone();
-                    t(&TraceEvent::Resume { at: self.shared.now(), process: name });
+                    t(&TraceEvent::Resume {
+                        at: self.shared.now(),
+                        process: name,
+                    });
                 }
                 match sync.resume_and_wait(ToProc::Run) {
                     ToKernel::Yielded => {}

@@ -11,7 +11,10 @@
 //!   blocking style the original SHRIMP libraries were;
 //! * [`BandwidthResource`] — FIFO-arbitrated buses and links;
 //! * [`WaitQueue`], [`Gate`], [`SimChannel`] — blocking synchronization;
-//! * [`SplitMix64`] — a deterministic PRNG for workload generators.
+//! * [`SplitMix64`] — a deterministic PRNG for workload generators;
+//! * [`faults`] — deterministic fault injection ([`FaultPlan`],
+//!   [`StallWindows`], [`RetryPolicy`]) shared by every layer's chaos
+//!   hooks.
 //!
 //! ## Determinism
 //!
@@ -49,6 +52,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod faults;
 mod kernel;
 mod process;
 mod resource;
@@ -56,6 +60,9 @@ mod rng;
 mod sync;
 mod time;
 
+pub use faults::{
+    FaultEvent, FaultKind, FaultLog, FaultPlan, FaultSpec, RetryPolicy, StallWindows,
+};
 pub use kernel::{Kernel, ProcessId, SimError, TraceEvent, Tracer};
 pub use process::{Ctx, SimHandle};
 pub use resource::{BandwidthResource, Grant};

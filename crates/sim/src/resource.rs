@@ -10,6 +10,7 @@
 
 use parking_lot::Mutex;
 
+use crate::faults::StallWindows;
 use crate::time::{SimDur, SimTime};
 
 /// A granted service window on a [`BandwidthResource`].
@@ -57,6 +58,7 @@ struct ResourceInner {
     busy_total: SimDur,
     transactions: u64,
     bytes: u64,
+    faults: StallWindows,
 }
 
 impl BandwidthResource {
@@ -90,9 +92,19 @@ impl BandwidthResource {
     /// Returns the granted window; the caller is expected to advance its
     /// own clock to `grant.end` (or chain further events from it).
     pub fn reserve(&self, at: SimTime, bytes: usize) -> Grant {
-        let service = self.per_txn + SimDur::per_bytes(bytes, self.bytes_per_sec);
+        let mut service = self.per_txn + SimDur::per_bytes(bytes, self.bytes_per_sec);
         let mut inner = self.inner.lock();
-        let start = at.max(inner.next_free);
+        let mut start = at.max(inner.next_free);
+        // Injected faults (see `shrimp_sim::faults`): a full stall
+        // postpones the start, a brownout dilates the service time.
+        // Both only delay, so the timeline stays FIFO.
+        if !inner.faults.is_empty() {
+            start = inner.faults.release(start);
+            let factor = inner.faults.factor_at(start);
+            if factor > 1.0 {
+                service = SimDur::from_ps((service.as_ps() as f64 * factor).ceil() as u64);
+            }
+        }
         let end = start + service;
         inner.next_free = end;
         inner.busy_total += service;
@@ -104,6 +116,12 @@ impl BandwidthResource {
     /// Time at which the resource next becomes idle.
     pub fn next_free(&self) -> SimTime {
         self.inner.lock().next_free
+    }
+
+    /// Merge injected fault windows into this resource's timeline
+    /// (the `resource.rs` injection hook of the fault engine).
+    pub fn inject_faults(&self, windows: &StallWindows) {
+        self.inner.lock().faults.merge(windows);
     }
 
     /// Cumulative utilization statistics: (busy time, transactions, bytes).
@@ -180,5 +198,33 @@ mod tests {
     #[should_panic(expected = "bandwidth must be positive")]
     fn zero_bandwidth_rejected() {
         let _ = BandwidthResource::new("bad", 0.0, SimDur::ZERO);
+    }
+
+    #[test]
+    fn injected_stall_postpones_service() {
+        let r = BandwidthResource::new("r", 1e6, SimDur::ZERO);
+        let mut w = StallWindows::new();
+        w.add_stall(SimTime::ZERO, SimDur::from_us(40.0));
+        r.inject_faults(&w);
+        let g = r.reserve(SimTime::ZERO, 100);
+        assert_eq!(g.start.as_us(), 40.0, "reservation waits out the stall");
+        assert_eq!(g.end.as_us(), 140.0);
+        // After the window, service is unaffected.
+        let late = r.reserve(SimTime::ZERO + SimDur::from_us(500.0), 100);
+        assert_eq!(late.start.as_us(), 500.0);
+        assert_eq!(late.end.as_us(), 600.0);
+    }
+
+    #[test]
+    fn injected_brownout_dilates_service() {
+        let r = BandwidthResource::new("r", 1e6, SimDur::ZERO);
+        let mut w = StallWindows::new();
+        w.add_slowdown(SimTime::ZERO, SimDur::from_us(1_000.0), 3.0);
+        r.inject_faults(&w);
+        let g = r.reserve(SimTime::ZERO, 100);
+        assert_eq!(g.end.as_us(), 300.0, "service takes 3x during the brownout");
+        // FIFO is preserved under faults.
+        let g2 = r.reserve(SimTime::ZERO, 100);
+        assert_eq!(g2.start, g.end);
     }
 }

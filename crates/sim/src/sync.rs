@@ -13,6 +13,7 @@ use parking_lot::Mutex;
 
 use crate::kernel::ProcessId;
 use crate::process::{Ctx, SimHandle};
+use crate::time::SimTime;
 
 /// A FIFO wait queue: processes [`wait`](WaitQueue::wait) on it and are
 /// released in order by [`notify_one`](WaitQueue::notify_one) /
@@ -62,6 +63,29 @@ impl WaitQueue {
             // release the park early; re-check membership.
             if !self.waiters.lock().contains(&pid) {
                 return;
+            }
+        }
+    }
+
+    /// Like [`wait`](WaitQueue::wait), but give up at `deadline`.
+    /// Returns `true` if notified, `false` on timeout (the process is
+    /// removed from the queue, so a later notify goes to someone else).
+    pub fn wait_deadline(&self, ctx: &Ctx, deadline: SimTime) -> bool {
+        let pid = ctx.pid();
+        if ctx.now() >= deadline {
+            return false;
+        }
+        self.waiters.lock().push_back(pid);
+        let h = ctx.handle();
+        ctx.schedule_at(deadline, move || h.unpark(pid));
+        loop {
+            ctx.park();
+            if !self.waiters.lock().contains(&pid) {
+                return true; // a notify popped us
+            }
+            if ctx.now() >= deadline {
+                self.waiters.lock().retain(|p| *p != pid);
+                return false;
             }
         }
     }
@@ -171,6 +195,35 @@ impl Gate {
             }
         }
     }
+
+    /// Like [`wait`](Gate::wait), but give up at `deadline`. Returns
+    /// whether the gate opened.
+    pub fn wait_deadline(&self, ctx: &Ctx, deadline: SimTime) -> bool {
+        let pid = ctx.pid();
+        {
+            let mut g = self.inner.lock();
+            if g.open {
+                return true;
+            }
+            if ctx.now() >= deadline {
+                return false;
+            }
+            g.waiters.push(pid);
+        }
+        let h = ctx.handle();
+        ctx.schedule_at(deadline, move || h.unpark(pid));
+        loop {
+            ctx.park();
+            let mut g = self.inner.lock();
+            if g.open {
+                return true;
+            }
+            if ctx.now() >= deadline {
+                g.waiters.retain(|p| *p != pid);
+                return false;
+            }
+        }
+    }
 }
 
 /// An unbounded, FIFO, inter-process channel carrying values of type `T`
@@ -192,7 +245,9 @@ struct ChannelInner<T> {
 
 impl<T> Clone for SimChannel<T> {
     fn clone(&self) -> Self {
-        SimChannel { inner: Arc::clone(&self.inner) }
+        SimChannel {
+            inner: Arc::clone(&self.inner),
+        }
     }
 }
 
@@ -227,6 +282,21 @@ impl<T: Send + 'static> SimChannel<T> {
                 return v;
             }
             self.inner.waiters.wait(ctx);
+        }
+    }
+
+    /// Like [`recv`](SimChannel::recv), but give up at `deadline` and
+    /// return `None` if no value arrived by then. The timed-out receiver
+    /// leaves the queue untouched for other receivers.
+    pub fn recv_deadline(&self, ctx: &Ctx, deadline: SimTime) -> Option<T> {
+        loop {
+            if let Some(v) = self.inner.queue.lock().pop_front() {
+                return Some(v);
+            }
+            if ctx.now() >= deadline || !self.inner.waiters.wait_deadline(ctx, deadline) {
+                // One last poll: a send may land exactly at the deadline.
+                return self.inner.queue.lock().pop_front();
+            }
         }
     }
 
@@ -345,6 +415,57 @@ mod tests {
         k.run_until_quiescent().unwrap();
         assert_eq!(*got.lock(), vec![7, 8, 9]);
         assert!(ch.is_empty());
+    }
+
+    #[test]
+    fn recv_deadline_times_out_then_delivers() {
+        let k = Kernel::new();
+        let ch: SimChannel<u32> = SimChannel::new();
+        let got = Arc::new(Mutex::new(Vec::new()));
+        {
+            let ch = ch.clone();
+            let got = Arc::clone(&got);
+            k.spawn("rx", move |ctx| {
+                // Nothing arrives before 5 us: timeout.
+                let miss = ch.recv_deadline(ctx, ctx.now() + SimDur::from_us(5.0));
+                got.lock().push((miss, ctx.now().as_us()));
+                // A value arrives at 10 us, well before the 50 us deadline.
+                let hit = ch.recv_deadline(ctx, ctx.now() + SimDur::from_us(45.0));
+                got.lock().push((hit, ctx.now().as_us()));
+            });
+        }
+        let h = k.handle();
+        let tx = ch.clone();
+        k.schedule_in(SimDur::from_us(10.0), move || tx.send(&h, 9));
+        k.run_until_quiescent().unwrap();
+        let v = got.lock().clone();
+        assert_eq!(v[0], (None, 5.0), "timed out exactly at the deadline");
+        assert_eq!(v[1], (Some(9), 10.0), "woken as soon as the value arrived");
+        assert!(ch.is_empty());
+    }
+
+    #[test]
+    fn gate_wait_deadline_reports_timeout_and_open() {
+        let k = Kernel::new();
+        let gate = Arc::new(Gate::new());
+        let results = Arc::new(Mutex::new(Vec::new()));
+        {
+            let g = Arc::clone(&gate);
+            let r = Arc::clone(&results);
+            k.spawn("w", move |ctx| {
+                let early = g.wait_deadline(ctx, ctx.now() + SimDur::from_us(2.0));
+                r.lock().push((early, ctx.now().as_us()));
+                let late = g.wait_deadline(ctx, ctx.now() + SimDur::from_us(20.0));
+                r.lock().push((late, ctx.now().as_us()));
+            });
+        }
+        let g = Arc::clone(&gate);
+        let h = k.handle();
+        k.schedule_in(SimDur::from_us(8.0), move || g.open(&h));
+        k.run_until_quiescent().unwrap();
+        let v = results.lock().clone();
+        assert_eq!(v[0], (false, 2.0));
+        assert_eq!(v[1], (true, 8.0));
     }
 
     #[test]

@@ -317,6 +317,9 @@ mod tests {
         assert_eq!(SimDur::from_secs(1.0).as_ps(), 1_000_000_000_000);
         assert!((SimDur::from_us(2.0).as_secs() - 2e-6).abs() < 1e-18);
         assert_eq!(format!("{}", SimDur::from_us(1.5)), "1.500us");
-        assert_eq!(format!("{}", SimTime::ZERO + SimDur::from_us(2.0)), "2.000us");
+        assert_eq!(
+            format!("{}", SimTime::ZERO + SimDur::from_us(2.0)),
+            "2.000us"
+        );
     }
 }

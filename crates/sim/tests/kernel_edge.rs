@@ -133,7 +133,9 @@ fn run_until_can_be_resumed_repeatedly() {
         });
     }
     for stop in [2.5, 5.5, 20.0] {
-        kernel.run_until(SimTime::ZERO + SimDur::from_us(stop)).unwrap();
+        kernel
+            .run_until(SimTime::ZERO + SimDur::from_us(stop))
+            .unwrap();
     }
     assert_eq!(count.load(Ordering::SeqCst), 10);
 }
@@ -158,6 +160,10 @@ fn tracer_observes_events_and_resumes() {
     let log = log.lock();
     assert_eq!(
         *log,
-        vec!["worker@0".to_string(), "event@1".to_string(), "worker@2".to_string()]
+        vec![
+            "worker@0".to_string(),
+            "event@1".to_string(),
+            "worker@2".to_string()
+        ]
     );
 }

@@ -13,7 +13,7 @@ use std::sync::Arc;
 
 use shrimp_core::{BufferName, ExportOpts, ImportHandle, Vmmc, VmmcError};
 use shrimp_node::{CacheMode, EthAddr, Ethernet, MemFault, VAddr, PAGE_SIZE};
-use shrimp_sim::{Ctx, SimDur};
+use shrimp_sim::{Ctx, RetryPolicy, SimDur};
 
 use crate::wire::{ctrl, SetupFrame, SocketVariant, REGION_BYTES, RING_BYTES};
 
@@ -25,6 +25,13 @@ pub enum SocketError {
     Closed,
     /// Malformed connection-setup exchange.
     BadHandshake,
+    /// A bounded control-plane wait (connection handshake) elapsed.
+    Timeout {
+        /// The operation that timed out.
+        op: &'static str,
+        /// Total time the retry policy was prepared to wait.
+        waited: SimDur,
+    },
     /// Transport failure.
     Vmmc(VmmcError),
 }
@@ -34,6 +41,7 @@ impl std::fmt::Display for SocketError {
         match self {
             SocketError::Closed => write!(f, "socket closed by peer"),
             SocketError::BadHandshake => write!(f, "malformed connection handshake"),
+            SocketError::Timeout { op, waited } => write!(f, "{op} timed out after {waited}"),
             SocketError::Vmmc(e) => write!(f, "transport: {e}"),
         }
     }
@@ -84,7 +92,9 @@ pub struct ShrimpSocket {
 
 impl std::fmt::Debug for ShrimpSocket {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ShrimpSocket").field("variant", &self.variant).finish_non_exhaustive()
+        f.debug_struct("ShrimpSocket")
+            .field("variant", &self.variant)
+            .finish_non_exhaustive()
     }
 }
 
@@ -97,15 +107,24 @@ pub struct Listener {
 
 impl std::fmt::Debug for Listener {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Listener").field("port", &self.port).finish_non_exhaustive()
+        f.debug_struct("Listener")
+            .field("port", &self.port)
+            .finish_non_exhaustive()
     }
 }
 
 /// Bind a listening socket on this endpoint's node at `port`.
 pub fn listen(vmmc: Vmmc, eth: Arc<Ethernet>, port: u16) -> Listener {
-    let addr = EthAddr { node: vmmc.node_id(), port };
+    let addr = EthAddr {
+        node: vmmc.node_id(),
+        port,
+    };
     eth.bind(addr);
-    Listener { vmmc: Arc::new(vmmc), eth, port }
+    Listener {
+        vmmc: Arc::new(vmmc),
+        eth,
+        port,
+    }
 }
 
 impl Listener {
@@ -118,18 +137,35 @@ impl Listener {
     /// [`SocketError::BadHandshake`] on a malformed frame; transport
     /// errors otherwise.
     pub fn accept(&self, ctx: &Ctx) -> Result<ShrimpSocket, SocketError> {
-        let me = EthAddr { node: self.vmmc.node_id(), port: self.port };
+        let me = EthAddr {
+            node: self.vmmc.node_id(),
+            port: self.port,
+        };
         loop {
             let frame = self.eth.recv(ctx, me);
-            let Some(SetupFrame::Connect { node, region, variant, reply_port }) =
-                SetupFrame::decode(&frame.data)
+            let Some(SetupFrame::Connect {
+                node,
+                region,
+                variant,
+                reply_port,
+            }) = SetupFrame::decode(&frame.data)
             else {
                 // Stray traffic on the port: ignore, keep listening.
                 continue;
             };
             let (local, my_name) = export_region(&self.vmmc, ctx)?;
-            let reply = SetupFrame::Accept { node: self.vmmc.node_id(), region: my_name.0 };
-            self.eth.send(self.vmmc.node_id(), EthAddr { node, port: reply_port }, reply.encode());
+            let reply = SetupFrame::Accept {
+                node: self.vmmc.node_id(),
+                region: my_name.0,
+            };
+            self.eth.send(
+                self.vmmc.node_id(),
+                EthAddr {
+                    node,
+                    port: reply_port,
+                },
+                reply.encode(),
+            );
             let peer = self.vmmc.import(ctx, node, BufferName(region))?;
             return ShrimpSocket::assemble(Arc::clone(&self.vmmc), ctx, variant, local, peer);
         }
@@ -137,12 +173,14 @@ impl Listener {
 }
 
 /// Connect to a listening socket at `(server, port)` with the given
-/// data-transfer variant.
+/// data-transfer variant. Uses the bootstrap retry policy: the connect
+/// frame is re-sent with exponential backoff until the server answers.
 ///
 /// # Errors
 ///
-/// [`SocketError::BadHandshake`] on a malformed accept frame; transport
-/// errors otherwise.
+/// [`SocketError::BadHandshake`] on a malformed accept frame;
+/// [`SocketError::Timeout`] if the server never answers within the
+/// policy's budget; transport errors otherwise.
 pub fn connect(
     vmmc: Vmmc,
     ctx: &Ctx,
@@ -151,12 +189,41 @@ pub fn connect(
     port: u16,
     variant: SocketVariant,
 ) -> Result<ShrimpSocket, SocketError> {
+    connect_with(
+        vmmc,
+        ctx,
+        eth,
+        server,
+        port,
+        variant,
+        RetryPolicy::bootstrap(),
+    )
+}
+
+/// [`connect`] with an explicit retry policy for the handshake and the
+/// mapping import (chaos tests shrink the policy to observe timeouts).
+///
+/// # Errors
+///
+/// As for [`connect`].
+pub fn connect_with(
+    vmmc: Vmmc,
+    ctx: &Ctx,
+    eth: &Arc<Ethernet>,
+    server: shrimp_mesh::NodeId,
+    port: u16,
+    variant: SocketVariant,
+    policy: RetryPolicy,
+) -> Result<ShrimpSocket, SocketError> {
     let vmmc = Arc::new(vmmc);
     let (local, my_name) = export_region(&vmmc, ctx)?;
     // An ephemeral port for the accept reply, derived from the exported
     // buffer name (unique per node).
     let reply_port = 40_000u16.wrapping_add(my_name.0 as u16);
-    let me = EthAddr { node: vmmc.node_id(), port: reply_port };
+    let me = EthAddr {
+        node: vmmc.node_id(),
+        port: reply_port,
+    };
     eth.bind(me);
     let frame = SetupFrame::Connect {
         node: vmmc.node_id(),
@@ -164,12 +231,29 @@ pub fn connect(
         variant,
         reply_port,
     };
-    eth.send(vmmc.node_id(), EthAddr { node: server, port }, frame.encode());
-    let reply = eth.recv(ctx, me);
+    let mut reply = None;
+    for attempt in 0..policy.attempts {
+        eth.send(
+            vmmc.node_id(),
+            EthAddr { node: server, port },
+            frame.encode(),
+        );
+        let deadline = ctx.now() + policy.timeout(attempt);
+        if let Some(f) = eth.recv_deadline(ctx, me, deadline) {
+            reply = Some(f);
+            break;
+        }
+    }
+    let Some(reply) = reply else {
+        return Err(SocketError::Timeout {
+            op: "connect",
+            waited: policy.total_budget(),
+        });
+    };
     let Some(SetupFrame::Accept { node, region }) = SetupFrame::decode(&reply.data) else {
         return Err(SocketError::BadHandshake);
     };
-    let peer = vmmc.import(ctx, node, BufferName(region))?;
+    let peer = vmmc.import_retry(ctx, node, BufferName(region), policy)?;
     ShrimpSocket::assemble(vmmc, ctx, variant, local, peer)
 }
 
@@ -215,9 +299,18 @@ impl ShrimpSocket {
         &self.vmmc
     }
 
-    fn ctrl_word(&self, off: usize) -> u32 {
-        let b = self.vmmc.proc_().peek(self.local.add(off), 4).expect("control page mapped");
-        u32::from_le_bytes(b.try_into().expect("4 bytes"))
+    /// Read one control word from the local (peer-written) region.
+    ///
+    /// # Errors
+    ///
+    /// Propagates a fault on the local mapping (a protocol-path error:
+    /// callers surface it as [`SocketError::Vmmc`] instead of
+    /// panicking).
+    fn ctrl_word(&self, off: usize) -> Result<u32, SocketError> {
+        let b = self.vmmc.proc_().peek(self.local.add(off), 4)?;
+        Ok(u32::from_le_bytes(
+            b.try_into().expect("peek returned 4 bytes"),
+        ))
     }
 
     /// Send the whole of `data`, blocking on flow control as needed.
@@ -237,13 +330,14 @@ impl ShrimpSocket {
         while off < data.len() {
             // Flow control.
             let sent32 = self.sent as u32;
-            let ack = self.ctrl_word(ctrl::ACK);
+            let ack = self.ctrl_word(ctrl::ACK)?;
             let space = RING_BYTES - sent32.wrapping_sub(ack) as usize;
             if space == 0 {
                 let needed = sent32.wrapping_add(1).wrapping_sub(RING_BYTES as u32);
-                self.vmmc.wait_u32(ctx, self.local.add(ctrl::ACK), 256, move |v| {
-                    v.wrapping_sub(needed) as i32 >= 0
-                })?;
+                self.vmmc
+                    .wait_u32(ctx, self.local.add(ctrl::ACK), 256, move |v| {
+                        v.wrapping_sub(needed) as i32 >= 0
+                    })?;
                 continue;
             }
             let pos = (self.sent % RING_BYTES as u64) as usize;
@@ -291,7 +385,13 @@ impl ShrimpSocket {
                     // alignment fallback of §4.3.
                     p.poke(self.shadow.add(pos), chunk)?;
                 }
-                self.vmmc.send(ctx, self.shadow.add(start), &self.peer, PAGE_SIZE + start, end - start)?;
+                self.vmmc.send(
+                    ctx,
+                    self.shadow.add(start),
+                    &self.peer,
+                    PAGE_SIZE + start,
+                    end - start,
+                )?;
             }
         }
         Ok(())
@@ -311,25 +411,29 @@ impl ShrimpSocket {
         // Wait for data or FIN.
         let consumed32 = self.consumed as u32;
         loop {
-            let written = self.ctrl_word(ctrl::WRITTEN);
+            let written = self.ctrl_word(ctrl::WRITTEN)?;
             if written.wrapping_sub(consumed32) > 0 {
                 break;
             }
-            if self.ctrl_word(ctrl::FIN) != 0 {
+            if self.ctrl_word(ctrl::FIN)? != 0 {
                 return Ok(Vec::new()); // clean EOF
             }
             let c2 = consumed32;
             let me = &*self;
             self.vmmc.wait_activity(ctx, || {
-                let w = me.ctrl_word(ctrl::WRITTEN);
-                w.wrapping_sub(c2) > 0 || me.ctrl_word(ctrl::FIN) != 0
+                // On a fault, skip the sleep; the loop's next ctrl_word
+                // surfaces the error.
+                me.ctrl_word(ctrl::WRITTEN)
+                    .map(|w| w.wrapping_sub(c2) > 0)
+                    .unwrap_or(true)
+                    || me.ctrl_word(ctrl::FIN).map(|v| v != 0).unwrap_or(true)
             });
         }
         // Receive-side processing: error checks and socket data-structure
         // access, charged once data is present (it is on the critical
         // path of every message).
         ctx.advance(sock_overhead());
-        let written = self.ctrl_word(ctrl::WRITTEN);
+        let written = self.ctrl_word(ctrl::WRITTEN)?;
         let avail = written.wrapping_sub(consumed32) as usize;
         let pos = (self.consumed % RING_BYTES as u64) as usize;
         let n = avail.min(maxlen).min(RING_BYTES - pos);
@@ -367,7 +471,9 @@ impl ShrimpSocket {
     /// Propagates transport faults.
     pub fn close(&mut self, ctx: &Ctx) -> Result<(), SocketError> {
         if !self.sent_fin {
-            self.vmmc.proc_().write_u32(ctx, self.mirror.add(ctrl::FIN), 1)?;
+            self.vmmc
+                .proc_()
+                .write_u32(ctx, self.mirror.add(ctrl::FIN), 1)?;
             self.sent_fin = true;
         }
         Ok(())

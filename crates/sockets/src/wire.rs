@@ -91,7 +91,12 @@ impl SetupFrame {
     /// Serialize for the Ethernet.
     pub fn encode(&self) -> Vec<u8> {
         match self {
-            SetupFrame::Connect { node, region, variant, reply_port } => {
+            SetupFrame::Connect {
+                node,
+                region,
+                variant,
+                reply_port,
+            } => {
                 let mut b = vec![1u8];
                 b.extend((node.0 as u64).to_le_bytes());
                 b.extend(region.to_le_bytes());
@@ -111,11 +116,12 @@ impl SetupFrame {
     /// Deserialize; `None` for malformed frames.
     pub fn decode(b: &[u8]) -> Option<SetupFrame> {
         let node = |b: &[u8]| -> Option<NodeId> {
-            Some(NodeId(u64::from_le_bytes(b.get(1..9)?.try_into().ok()?) as usize))
+            Some(NodeId(
+                u64::from_le_bytes(b.get(1..9)?.try_into().ok()?) as usize
+            ))
         };
-        let region = |b: &[u8]| -> Option<u64> {
-            Some(u64::from_le_bytes(b.get(9..17)?.try_into().ok()?))
-        };
+        let region =
+            |b: &[u8]| -> Option<u64> { Some(u64::from_le_bytes(b.get(9..17)?.try_into().ok()?)) };
         match b.first()? {
             1 => Some(SetupFrame::Connect {
                 node: node(b)?,
@@ -123,7 +129,10 @@ impl SetupFrame {
                 variant: SocketVariant::from_u8(*b.get(17)?)?,
                 reply_port: u16::from_le_bytes(b.get(18..20)?.try_into().ok()?),
             }),
-            2 => Some(SetupFrame::Accept { node: node(b)?, region: region(b)? }),
+            2 => Some(SetupFrame::Accept {
+                node: node(b)?,
+                region: region(b)?,
+            }),
             _ => None,
         }
     }
@@ -142,7 +151,10 @@ mod tests {
             reply_port: 4321,
         };
         assert_eq!(SetupFrame::decode(&f.encode()), Some(f));
-        let f = SetupFrame::Accept { node: NodeId(1), region: 7 };
+        let f = SetupFrame::Accept {
+            node: NodeId(1),
+            region: 7,
+        };
         assert_eq!(SetupFrame::decode(&f.encode()), Some(f));
     }
 
@@ -164,7 +176,11 @@ mod tests {
 
     #[test]
     fn variants_round_trip() {
-        for v in [SocketVariant::Au2Copy, SocketVariant::Du1Copy, SocketVariant::Du2Copy] {
+        for v in [
+            SocketVariant::Au2Copy,
+            SocketVariant::Du1Copy,
+            SocketVariant::Du2Copy,
+        ] {
             assert_eq!(SocketVariant::from_u8(v.to_u8()), Some(v));
         }
         assert_eq!(SocketVariant::from_u8(3), None);

@@ -6,8 +6,8 @@ use std::sync::Arc;
 use shrimp_core::{ShrimpSystem, SystemConfig};
 use shrimp_mesh::NodeId;
 use shrimp_node::EthAddr;
-use shrimp_sockets::{connect, listen, SetupFrame, SocketVariant};
 use shrimp_sim::{Kernel, SimDur};
+use shrimp_sockets::{connect, listen, SetupFrame, SocketVariant};
 
 #[test]
 fn listener_ignores_stray_frames_and_still_accepts() {
@@ -27,11 +27,25 @@ fn listener_ignores_stray_frames_and_still_accepts() {
         // A confused host sprays garbage at the listening port first.
         let eth = Arc::clone(system.ethernet());
         kernel.schedule_in(SimDur::from_us(1.0), move || {
-            eth.send(NodeId(3), EthAddr { node: NodeId(1), port: 6000 }, vec![0xFF, 0x00, 0x01]);
+            eth.send(
+                NodeId(3),
+                EthAddr {
+                    node: NodeId(1),
+                    port: 6000,
+                },
+                vec![0xFF, 0x00, 0x01],
+            );
         });
         let eth = Arc::clone(system.ethernet());
         kernel.schedule_in(SimDur::from_us(2.0), move || {
-            eth.send(NodeId(2), EthAddr { node: NodeId(1), port: 6000 }, Vec::new());
+            eth.send(
+                NodeId(2),
+                EthAddr {
+                    node: NodeId(1),
+                    port: 6000,
+                },
+                Vec::new(),
+            );
         });
     }
     {
@@ -40,7 +54,8 @@ fn listener_ignores_stray_frames_and_still_accepts() {
         kernel.spawn("client", move |ctx| {
             // Arrive after the garbage.
             ctx.advance(SimDur::from_us(5_000.0));
-            let mut sock = connect(vmmc, ctx, &eth, NodeId(1), 6000, SocketVariant::Au2Copy).unwrap();
+            let mut sock =
+                connect(vmmc, ctx, &eth, NodeId(1), 6000, SocketVariant::Au2Copy).unwrap();
             sock.send(ctx, b"hello").unwrap();
             sock.close(ctx).unwrap();
         });
@@ -60,7 +75,10 @@ fn setup_frames_survive_the_ethernet_byte_for_byte() {
             variant: SocketVariant::Du2Copy,
             reply_port: 0,
         },
-        SetupFrame::Accept { node: NodeId(0), region: 1 },
+        SetupFrame::Accept {
+            node: NodeId(0),
+            region: 1,
+        },
     ];
     for f in frames {
         assert_eq!(SetupFrame::decode(&f.encode()), Some(f));

@@ -5,8 +5,8 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use shrimp_core::{ShrimpSystem, SystemConfig};
 use shrimp_mesh::NodeId;
-use shrimp_sockets::{connect, listen, ShrimpSocket, SocketError, SocketVariant};
 use shrimp_sim::{Ctx, Kernel, SimDur};
+use shrimp_sockets::{connect, listen, ShrimpSocket, SocketError, SocketVariant};
 
 fn run_pair(
     variant: SocketVariant,
@@ -43,7 +43,11 @@ fn pattern(n: usize) -> Vec<u8> {
 
 #[test]
 fn echo_round_trip_all_variants() {
-    for variant in [SocketVariant::Au2Copy, SocketVariant::Du1Copy, SocketVariant::Du2Copy] {
+    for variant in [
+        SocketVariant::Au2Copy,
+        SocketVariant::Du1Copy,
+        SocketVariant::Du2Copy,
+    ] {
         run_pair(
             variant,
             |ctx, sock| {
@@ -90,14 +94,12 @@ fn large_transfer_wraps_ring_many_times() {
         let r = Arc::clone(&received);
         run_pair(
             variant,
-            move |ctx, sock| {
-                loop {
-                    let chunk = sock.recv(ctx, 8192).unwrap();
-                    if chunk.is_empty() {
-                        break;
-                    }
-                    r.lock().extend(chunk);
+            move |ctx, sock| loop {
+                let chunk = sock.recv(ctx, 8192).unwrap();
+                if chunk.is_empty() {
+                    break;
                 }
+                r.lock().extend(chunk);
             },
             move |ctx, sock| {
                 let data = pattern(total);
@@ -231,7 +233,8 @@ fn two_connections_on_one_listener() {
         let eth = Arc::clone(system.ethernet());
         kernel.spawn(format!("client{i}"), move |ctx| {
             ctx.advance(SimDur::from_us(i as f64 * 10_000.0));
-            let mut sock = connect(vmmc, ctx, &eth, NodeId(1), 9000, SocketVariant::Au2Copy).unwrap();
+            let mut sock =
+                connect(vmmc, ctx, &eth, NodeId(1), 9000, SocketVariant::Au2Copy).unwrap();
             sock.send(ctx, &[i; 4]).unwrap();
             assert_eq!(sock.recv_exact(ctx, 4).unwrap(), vec![i; 4]);
             sock.close(ctx).unwrap();

@@ -163,14 +163,19 @@ impl<'a> Lexer<'a> {
     }
 
     fn err(&self, message: impl Into<String>) -> ParseError {
-        ParseError { message: message.into(), at: self.pos }
+        ParseError {
+            message: message.into(),
+            at: self.pos,
+        }
     }
 
     fn next(&mut self) -> Result<Tok, ParseError> {
         self.skip_ws();
         let rest = &self.src[self.pos..];
         let mut chars = rest.chars();
-        let Some(c) = chars.next() else { return Ok(Tok::Eof) };
+        let Some(c) = chars.next() else {
+            return Ok(Tok::Eof);
+        };
         if c.is_ascii_alphabetic() || c == '_' {
             let end = rest
                 .find(|ch: char| !(ch.is_ascii_alphanumeric() || ch == '_'))
@@ -179,7 +184,9 @@ impl<'a> Lexer<'a> {
             self.pos += end;
             Ok(Tok::Ident(ident))
         } else if c.is_ascii_digit() {
-            let end = rest.find(|ch: char| !ch.is_ascii_digit()).unwrap_or(rest.len());
+            let end = rest
+                .find(|ch: char| !ch.is_ascii_digit())
+                .unwrap_or(rest.len());
             let n = rest[..end]
                 .parse::<usize>()
                 .map_err(|_| self.err("number out of range"))?;
@@ -361,7 +368,14 @@ mod tests {
         assert_eq!(iface.proc_index("scale"), Some(1));
         let add = &iface.procs[0];
         assert_eq!(add.params.len(), 3);
-        assert_eq!(add.params[2], Param { name: "sum".into(), dir: Dir::Out, ty: Ty::I32 });
+        assert_eq!(
+            add.params[2],
+            Param {
+                name: "sum".into(),
+                dir: Dir::Out,
+                ty: Ty::I32
+            }
+        );
         let scale = &iface.procs[1];
         assert_eq!(scale.params[1].ty, Ty::F64Array(16));
         assert_eq!(iface.procs[3].params.len(), 0);

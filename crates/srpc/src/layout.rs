@@ -64,12 +64,19 @@ impl InterfacePlan {
                     .params
                     .iter()
                     .map(|param| {
-                        let slot = ParamSlot { param: param.clone(), offset: off };
+                        let slot = ParamSlot {
+                            param: param.clone(),
+                            offset: off,
+                        };
                         off += param.ty.wire_bytes();
                         slot
                     })
                     .collect();
-                ProcPlan { def: def.clone(), slots, args_bytes }
+                ProcPlan {
+                    def: def.clone(),
+                    slots,
+                    args_bytes,
+                }
             })
             .collect();
         InterfacePlan {
@@ -149,7 +156,10 @@ mod tests {
                 let f = InterfacePlan::call_flag(seq, idx);
                 assert_eq!(InterfacePlan::decode_call_flag(f), Some((seq, idx)));
             }
-            assert_eq!(InterfacePlan::decode_call_flag(InterfacePlan::reply_flag(seq)), None);
+            assert_eq!(
+                InterfacePlan::decode_call_flag(InterfacePlan::reply_flag(seq)),
+                None
+            );
         }
     }
 }

@@ -187,7 +187,11 @@ impl SrpcDirectory {
 
     /// The listen/connect queue for a service name.
     pub fn queue(&self, service: &str) -> SimChannel<SrpcConnect> {
-        self.services.lock().entry(service.to_string()).or_default().clone()
+        self.services
+            .lock()
+            .entry(service.to_string())
+            .or_default()
+            .clone()
     }
 }
 
@@ -206,7 +210,11 @@ fn establish(
     Ok(peer)
 }
 
-fn alloc_region(vmmc: &Vmmc, ctx: &Ctx, plan: &InterfacePlan) -> Result<(VAddr, BufferName), SrpcError> {
+fn alloc_region(
+    vmmc: &Vmmc,
+    ctx: &Ctx,
+    plan: &InterfacePlan,
+) -> Result<(VAddr, BufferName), SrpcError> {
     let bytes = plan.buffer_bytes.div_ceil(PAGE_SIZE) * PAGE_SIZE;
     let va = vmmc.proc_().alloc(bytes, CacheMode::WriteBack);
     let name = vmmc.export(ctx, va, bytes, ExportOpts::default())?;
@@ -224,7 +232,9 @@ pub struct SrpcClient {
 
 impl std::fmt::Debug for SrpcClient {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SrpcClient").field("interface", &self.plan.name).finish_non_exhaustive()
+        f.debug_struct("SrpcClient")
+            .field("interface", &self.plan.name)
+            .finish_non_exhaustive()
     }
 }
 
@@ -248,12 +258,22 @@ impl SrpcClient {
         let reply: SimChannel<(NodeId, BufferName)> = SimChannel::new();
         directory.queue(service).send(
             &ctx.handle(),
-            SrpcConnect { client_node: vmmc.node_id(), client_region: my_name, reply: reply.clone() },
+            SrpcConnect {
+                client_node: vmmc.node_id(),
+                client_region: my_name,
+                reply: reply.clone(),
+            },
         );
         ctx.advance(SimDur::from_us(400.0)); // out-of-band binder exchange
         let (peer_node, peer_region) = reply.recv(ctx);
         let peer = establish(&vmmc, ctx, &plan, peer_node, peer_region, buf)?;
-        Ok(SrpcClient { vmmc, plan, buf, _peer: peer, seq: 1 })
+        Ok(SrpcClient {
+            vmmc,
+            plan,
+            buf,
+            _peer: peer,
+            seq: 1,
+        })
     }
 
     /// The VMMC endpoint.
@@ -272,7 +292,12 @@ impl SrpcClient {
     /// # Errors
     ///
     /// Argument-validation and transport errors.
-    pub fn call(&mut self, ctx: &Ctx, proc_name: &str, args: &[Val]) -> Result<Vec<Val>, SrpcError> {
+    pub fn call(
+        &mut self,
+        ctx: &Ctx,
+        proc_name: &str,
+        args: &[Val],
+    ) -> Result<Vec<Val>, SrpcError> {
         self.vmmc.proc_().charge_call(ctx);
         let idx = self
             .plan
@@ -283,7 +308,10 @@ impl SrpcClient {
         let slots: Vec<ParamSlot> = self.plan.procs[idx].slots.clone();
         let expected = slots.iter().filter(|s| s.param.dir.is_in()).count();
         if args.len() != expected {
-            return Err(SrpcError::ArgCount { expected, got: args.len() });
+            return Err(SrpcError::ArgCount {
+                expected,
+                got: args.len(),
+            });
         }
 
         // Marshal consecutively upward: IN/INOUT values, zeros into
@@ -297,13 +325,19 @@ impl SrpcClient {
                 next_in += 1;
                 v.encode(slot.param.ty)?
             } else {
-                Val::zero(slot.param.ty).encode(slot.param.ty).expect("zero matches")
+                Val::zero(slot.param.ty)
+                    .encode(slot.param.ty)
+                    .expect("zero matches")
             };
             p.write(ctx, self.buf.add(slot.offset), &bytes)?;
         }
         let seq = self.seq;
         self.seq += 1;
-        p.write_u32(ctx, self.buf.add(self.plan.flag_offset), InterfacePlan::call_flag(seq, idx))?;
+        p.write_u32(
+            ctx,
+            self.buf.add(self.plan.flag_offset),
+            InterfacePlan::call_flag(seq, idx),
+        )?;
 
         // Wait for the reply flag (the server's final store, propagated
         // back into this very buffer).
@@ -362,7 +396,9 @@ impl OutWriter<'_> {
             .find(|(_, s)| s.param.name == name && s.param.dir.is_out())
             .ok_or_else(|| SrpcError::UnknownProc(format!("out parameter '{name}'")))?;
         let bytes = v.encode(slot.param.ty)?;
-        self.vmmc.proc_().write(ctx, self.buf.add(slot.offset), &bytes)?;
+        self.vmmc
+            .proc_()
+            .write(ctx, self.buf.add(slot.offset), &bytes)?;
         self.written[i] = true;
         Ok(())
     }
@@ -381,7 +417,9 @@ pub struct SrpcServer {
 
 impl std::fmt::Debug for SrpcServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SrpcServer").field("interface", &self.plan.name).finish_non_exhaustive()
+        f.debug_struct("SrpcServer")
+            .field("interface", &self.plan.name)
+            .finish_non_exhaustive()
     }
 }
 
@@ -403,7 +441,11 @@ impl SrpcServer {
     pub fn new(vmmc: Vmmc, iface: &Interface) -> SrpcServer {
         let plan = InterfacePlan::new(iface);
         let handlers = (0..plan.procs.len()).map(|_| None).collect();
-        SrpcServer { vmmc, plan, handlers }
+        SrpcServer {
+            vmmc,
+            plan,
+            handlers,
+        }
     }
 
     /// Install the handler for a procedure.
@@ -439,9 +481,21 @@ impl SrpcServer {
     ) -> Result<SrpcConn, SrpcError> {
         let req = directory.queue(service).recv(ctx);
         let (buf, my_name) = alloc_region(&self.vmmc, ctx, &self.plan)?;
-        req.reply.send(&ctx.handle(), (self.vmmc.node_id(), my_name));
-        let peer = establish(&self.vmmc, ctx, &self.plan, req.client_node, req.client_region, buf)?;
-        Ok(SrpcConn { buf, _peer: peer, seq: 1 })
+        req.reply
+            .send(&ctx.handle(), (self.vmmc.node_id(), my_name));
+        let peer = establish(
+            &self.vmmc,
+            ctx,
+            &self.plan,
+            req.client_node,
+            req.client_region,
+            buf,
+        )?;
+        Ok(SrpcConn {
+            buf,
+            _peer: peer,
+            seq: 1,
+        })
     }
 
     /// Serve calls until the client closes the binding; returns the
@@ -461,9 +515,9 @@ impl SrpcServer {
         loop {
             let flag_va = conn.buf.add(self.plan.flag_offset);
             let seq = conn.seq;
-            let v = self
-                .vmmc
-                .wait_u32(ctx, flag_va, 1024, move |v| (v >> 8) == seq && (v & 0xFF) != 0)?;
+            let v = self.vmmc.wait_u32(ctx, flag_va, 1024, move |v| {
+                (v >> 8) == seq && (v & 0xFF) != 0
+            })?;
             if v & 0xFF == CLOSE_MARK {
                 return Ok(served);
             }
@@ -487,9 +541,12 @@ impl SrpcServer {
                 slots: &slots,
                 written: vec![false; slots.len()],
             };
-            let handler = self.handlers[idx]
-                .as_mut()
-                .unwrap_or_else(|| panic!("no handler for procedure '{}'", self.plan.procs[idx].def.name));
+            let handler = self.handlers[idx].as_mut().unwrap_or_else(|| {
+                panic!(
+                    "no handler for procedure '{}'",
+                    self.plan.procs[idx].def.name
+                )
+            });
             handler(ctx, &ins, &mut writer);
 
             // When the procedure finishes, the server simply writes the

@@ -4,8 +4,8 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use shrimp_core::{ShrimpSystem, SystemConfig};
-use shrimp_srpc::{parse_interface, SrpcClient, SrpcDirectory, SrpcError, SrpcServer, Val};
 use shrimp_sim::{Kernel, SimDur};
+use shrimp_srpc::{parse_interface, SrpcClient, SrpcDirectory, SrpcError, SrpcServer, Val};
 
 const CALC_IDL: &str = r"
     interface Calc {
@@ -33,14 +33,18 @@ fn run_pair(
             server.register(
                 "add",
                 Box::new(|ctx, ins, out| {
-                    let (Val::I32(a), Val::I32(b)) = (&ins[0], &ins[1]) else { panic!("types") };
+                    let (Val::I32(a), Val::I32(b)) = (&ins[0], &ins[1]) else {
+                        panic!("types")
+                    };
                     out.set(ctx, "sum", &Val::I32(a + b)).unwrap();
                 }),
             );
             server.register(
                 "scale",
                 Box::new(|ctx, ins, out| {
-                    let (Val::F64(f), Val::F64Array(v)) = (&ins[0], &ins[1]) else { panic!("types") };
+                    let (Val::F64(f), Val::F64Array(v)) = (&ins[0], &ins[1]) else {
+                        panic!("types")
+                    };
                     let scaled: Vec<f64> = v.iter().map(|x| x * f).collect();
                     out.set(ctx, "v", &Val::F64Array(scaled)).unwrap();
                 }),
@@ -48,10 +52,13 @@ fn run_pair(
             server.register(
                 "fill",
                 Box::new(|ctx, ins, out| {
-                    let Val::U32(p) = &ins[0] else { panic!("types") };
+                    let Val::U32(p) = &ins[0] else {
+                        panic!("types")
+                    };
                     // Model a long-running procedure: the OUT write
                     // propagates while the server keeps computing.
-                    out.set(ctx, "block", &Val::Bytes(vec![*p as u8; 64])).unwrap();
+                    out.set(ctx, "block", &Val::Bytes(vec![*p as u8; 64]))
+                        .unwrap();
                     ctx.advance(SimDur::from_us(50.0));
                 }),
             );
@@ -82,7 +89,9 @@ fn run_pair(
 #[test]
 fn scalar_in_out_call() {
     run_pair(|ctx, client| {
-        let outs = client.call(ctx, "add", &[Val::I32(40), Val::I32(2)]).unwrap();
+        let outs = client
+            .call(ctx, "add", &[Val::I32(40), Val::I32(2)])
+            .unwrap();
         assert_eq!(outs, vec![Val::I32(42)]);
     });
 }
@@ -91,8 +100,12 @@ fn scalar_in_out_call() {
 fn inout_array_by_reference() {
     run_pair(|ctx, client| {
         let v: Vec<f64> = (0..8).map(|i| i as f64).collect();
-        let outs = client.call(ctx, "scale", &[Val::F64(2.5), Val::F64Array(v)]).unwrap();
-        let Val::F64Array(scaled) = &outs[0] else { panic!("type") };
+        let outs = client
+            .call(ctx, "scale", &[Val::F64(2.5), Val::F64Array(v)])
+            .unwrap();
+        let Val::F64Array(scaled) = &outs[0] else {
+            panic!("type")
+        };
         assert_eq!(scaled, &(0..8).map(|i| i as f64 * 2.5).collect::<Vec<_>>());
     });
 }
@@ -105,7 +118,9 @@ fn out_block_and_repeat_calls() {
             assert_eq!(outs, vec![Val::Bytes(vec![p as u8; 64])]);
         }
         // Mixed procedure sequence on the same binding.
-        let outs = client.call(ctx, "add", &[Val::I32(-1), Val::I32(1)]).unwrap();
+        let outs = client
+            .call(ctx, "add", &[Val::I32(-1), Val::I32(1)])
+            .unwrap();
         assert_eq!(outs, vec![Val::I32(0)]);
     });
 }
@@ -119,14 +134,19 @@ fn argument_validation() {
         ));
         assert!(matches!(
             client.call(ctx, "add", &[Val::I32(1)]),
-            Err(SrpcError::ArgCount { expected: 2, got: 1 })
+            Err(SrpcError::ArgCount {
+                expected: 2,
+                got: 1
+            })
         ));
         assert!(matches!(
             client.call(ctx, "add", &[Val::I32(1), Val::F64(2.0)]),
             Err(SrpcError::TypeMismatch { .. })
         ));
         // The binding still works after rejected calls.
-        let outs = client.call(ctx, "add", &[Val::I32(2), Val::I32(3)]).unwrap();
+        let outs = client
+            .call(ctx, "add", &[Val::I32(2), Val::I32(3)])
+            .unwrap();
         assert_eq!(outs, vec![Val::I32(5)]);
     });
 }
@@ -140,12 +160,16 @@ fn null_rpc_round_trip_near_9_5us() {
     run_pair(move |ctx, client| {
         // Warm up.
         for _ in 0..2 {
-            client.call(ctx, "ping", &[Val::Bytes(vec![1, 2, 3, 4])]).unwrap();
+            client
+                .call(ctx, "ping", &[Val::Bytes(vec![1, 2, 3, 4])])
+                .unwrap();
         }
         let t0 = ctx.now();
         const N: u32 = 8;
         for _ in 0..N {
-            client.call(ctx, "ping", &[Val::Bytes(vec![1, 2, 3, 4])]).unwrap();
+            client
+                .call(ctx, "ping", &[Val::Bytes(vec![1, 2, 3, 4])])
+                .unwrap();
         }
         *r.lock() = (ctx.now() - t0).as_us() / N as f64;
     });
@@ -160,7 +184,9 @@ fn null_rpc_round_trip_near_9_5us() {
 fn many_sequential_calls_keep_flag_discipline() {
     run_pair(|ctx, client| {
         for i in 0..300i32 {
-            let outs = client.call(ctx, "add", &[Val::I32(i), Val::I32(i)]).unwrap();
+            let outs = client
+                .call(ctx, "add", &[Val::I32(i), Val::I32(i)])
+                .unwrap();
             assert_eq!(outs, vec![Val::I32(2 * i)]);
         }
     });

@@ -3,7 +3,7 @@
 use std::sync::Arc;
 
 use shrimp_core::{Vmmc, VmmcError};
-use shrimp_sim::{Ctx, SimChannel, SimDur};
+use shrimp_sim::{Ctx, RetryPolicy, SimChannel, SimDur};
 
 use crate::connect::{ConnectRequest, RpcDirectory};
 use crate::msg::{AcceptStat, CallHeader, ReplyHeader};
@@ -63,6 +63,13 @@ pub enum RpcError {
         /// Received transaction id.
         got: u32,
     },
+    /// A bounded control-plane wait (binding, connection setup) gave up.
+    Timeout {
+        /// The operation that timed out.
+        op: &'static str,
+        /// Total virtual time spent waiting across every retry.
+        waited: SimDur,
+    },
 }
 
 impl std::fmt::Display for RpcError {
@@ -71,7 +78,10 @@ impl std::fmt::Display for RpcError {
             RpcError::Rejected(s) => write!(f, "call rejected: {s:?}"),
             RpcError::Xdr(e) => write!(f, "xdr: {e}"),
             RpcError::Vmmc(e) => write!(f, "transport: {e}"),
-            RpcError::BadXid { want, got } => write!(f, "reply xid {got} does not match call {want}"),
+            RpcError::BadXid { want, got } => {
+                write!(f, "reply xid {got} does not match call {want}")
+            }
+            RpcError::Timeout { op, waited } => write!(f, "{op} timed out after {waited}"),
         }
     }
 }
@@ -102,18 +112,23 @@ pub struct VrpcClient {
 
 impl std::fmt::Debug for VrpcClient {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("VrpcClient").field("prog", &self.prog).field("vers", &self.vers).finish()
+        f.debug_struct("VrpcClient")
+            .field("prog", &self.prog)
+            .field("vers", &self.vers)
+            .finish()
     }
 }
 
 impl VrpcClient {
     /// Bind to `prog`/`vers` (the `clnt_create` step): exchanges region
     /// names with the server through the directory, establishes the
-    /// mapping pair, and assembles the stream.
+    /// mapping pair, and assembles the stream. Waits are bounded by
+    /// [`RetryPolicy::bootstrap`]; use [`VrpcClient::bind_with`] to tune.
     ///
     /// # Errors
     ///
-    /// Propagates mapping-establishment failures.
+    /// [`RpcError::Timeout`] when no server answers within the policy's
+    /// budget; mapping-establishment failures otherwise.
     pub fn bind(
         vmmc: Vmmc,
         ctx: &Ctx,
@@ -121,6 +136,33 @@ impl VrpcClient {
         prog: u32,
         vers: u32,
         variant: StreamVariant,
+    ) -> Result<VrpcClient, RpcError> {
+        Self::bind_with(
+            vmmc,
+            ctx,
+            directory,
+            prog,
+            vers,
+            variant,
+            RetryPolicy::bootstrap(),
+        )
+    }
+
+    /// [`VrpcClient::bind`] with an explicit retry policy bounding the
+    /// wait for the server's answer and the import of its region.
+    ///
+    /// # Errors
+    ///
+    /// [`RpcError::Timeout`] when the server never answers within the
+    /// policy's budget; mapping-establishment failures otherwise.
+    pub fn bind_with(
+        vmmc: Vmmc,
+        ctx: &Ctx,
+        directory: &Arc<RpcDirectory>,
+        prog: u32,
+        vers: u32,
+        variant: StreamVariant,
+        policy: RetryPolicy,
     ) -> Result<VrpcClient, RpcError> {
         let (local, my_name) = SblStream::export_region(&vmmc, ctx)?;
         let reply: SimChannel<(shrimp_mesh::NodeId, shrimp_core::BufferName)> = SimChannel::new();
@@ -135,10 +177,31 @@ impl VrpcClient {
         );
         // Binding-time latency of the out-of-band exchange.
         ctx.advance(SimDur::from_us(400.0));
-        let (server_node, server_region) = reply.recv(ctx);
-        let peer = vmmc.import(ctx, server_node, server_region)?;
+        // The request is queued; wait for the server's answer with
+        // exponentially growing patience rather than forever.
+        let mut answer = None;
+        for attempt in 0..policy.attempts {
+            if let Some(got) = reply.recv_deadline(ctx, ctx.now() + policy.timeout(attempt)) {
+                answer = Some(got);
+                break;
+            }
+        }
+        let Some((server_node, server_region)) = answer else {
+            return Err(RpcError::Timeout {
+                op: "bind",
+                waited: policy.total_budget(),
+            });
+        };
+        let peer = vmmc.import_retry(ctx, server_node, server_region, policy)?;
         let stream = SblStream::assemble(&vmmc, ctx, local, peer, variant)?;
-        Ok(VrpcClient { vmmc, stream, prog, vers, next_xid: 1, in_place: false })
+        Ok(VrpcClient {
+            vmmc,
+            stream,
+            prog,
+            vers,
+            next_xid: 1,
+            in_place: false,
+        })
     }
 
     /// The VMMC endpoint (for allocating argument buffers in examples).
@@ -172,7 +235,13 @@ impl VrpcClient {
         let xid = self.next_xid;
         self.next_xid += 1;
         let mut enc = XdrEncoder::new();
-        CallHeader { xid, prog: self.prog, vers: self.vers, proc_ }.encode(&mut enc);
+        CallHeader {
+            xid,
+            prog: self.prog,
+            vers: self.vers,
+            proc_,
+        }
+        .encode(&mut enc);
         args(&mut enc);
         self.stream.send_record(&self.vmmc, ctx, enc.as_bytes())?;
 
@@ -186,7 +255,10 @@ impl VrpcClient {
         let mut dec = XdrDecoder::new(&reply);
         let header = ReplyHeader::decode(&mut dec)?;
         if header.xid != xid {
-            return Err(RpcError::BadXid { want: xid, got: header.xid });
+            return Err(RpcError::BadXid {
+                want: xid,
+                got: header.xid,
+            });
         }
         if header.stat != AcceptStat::Success {
             return Err(RpcError::Rejected(header.stat));

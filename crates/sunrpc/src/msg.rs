@@ -81,7 +81,12 @@ impl CallHeader {
         let proc_ = d.get_u32()?;
         OpaqueAuth::decode(d)?;
         OpaqueAuth::decode(d)?;
-        Ok(CallHeader { xid, prog, vers, proc_ })
+        Ok(CallHeader {
+            xid,
+            prog,
+            vers,
+            proc_,
+        })
     }
 }
 
@@ -168,7 +173,12 @@ mod tests {
 
     #[test]
     fn call_header_round_trips_and_is_nontrivial() {
-        let h = CallHeader { xid: 99, prog: 0x2000_0001, vers: 1, proc_: 7 };
+        let h = CallHeader {
+            xid: 99,
+            prog: 0x2000_0001,
+            vers: 1,
+            proc_: 7,
+        };
         let mut e = XdrEncoder::new();
         h.encode(&mut e);
         // The "nontrivial header" of §5: 40 bytes before any argument.
@@ -196,7 +206,12 @@ mod tests {
 
     #[test]
     fn wrong_discriminants_rejected() {
-        let h = CallHeader { xid: 1, prog: 2, vers: 3, proc_: 4 };
+        let h = CallHeader {
+            xid: 1,
+            prog: 2,
+            vers: 3,
+            proc_: 4,
+        };
         let mut e = XdrEncoder::new();
         h.encode(&mut e);
         // A call header is not a reply header.

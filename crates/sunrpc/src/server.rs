@@ -50,7 +50,13 @@ impl std::fmt::Debug for ServerConn {
 impl VrpcServer {
     /// Create a server for `prog`/`vers` on the given endpoint.
     pub fn new(vmmc: Vmmc, prog: u32, vers: u32) -> VrpcServer {
-        VrpcServer { vmmc, prog, vers, procs: HashMap::new(), in_place: false }
+        VrpcServer {
+            vmmc,
+            prog,
+            vers,
+            procs: HashMap::new(),
+            in_place: false,
+        }
     }
 
     /// Register the handler for procedure `proc_` (procedure 0, the null
@@ -78,11 +84,16 @@ impl VrpcServer {
     /// # Errors
     ///
     /// Propagates mapping-establishment failures.
-    pub fn accept(&mut self, ctx: &Ctx, directory: &Arc<RpcDirectory>) -> Result<ServerConn, RpcError> {
+    pub fn accept(
+        &mut self,
+        ctx: &Ctx,
+        directory: &Arc<RpcDirectory>,
+    ) -> Result<ServerConn, RpcError> {
         let req = directory.listen(self.prog).recv(ctx);
         let (local, my_name) = SblStream::export_region(&self.vmmc, ctx)?;
         let peer = self.vmmc.import(ctx, req.client_node, req.client_region)?;
-        req.reply.send(&ctx.handle(), (self.vmmc.node_id(), my_name));
+        req.reply
+            .send(&ctx.handle(), (self.vmmc.node_id(), my_name));
         let stream = SblStream::assemble(&self.vmmc, ctx, local, peer, req.variant)?;
         Ok(ServerConn { stream })
     }
@@ -113,7 +124,11 @@ impl VrpcServer {
                 Err(_) => {
                     // Unparseable header: nothing sensible to echo;
                     // answer with a garbage-args reply on xid 0.
-                    ReplyHeader { xid: 0, stat: AcceptStat::GarbageArgs }.encode(&mut enc);
+                    ReplyHeader {
+                        xid: 0,
+                        stat: AcceptStat::GarbageArgs,
+                    }
+                    .encode(&mut enc);
                 }
                 Ok(call) => {
                     let stat = if call.prog != self.prog {
@@ -131,7 +146,11 @@ impl VrpcServer {
                                 // buffer, then assemble.
                                 let mut results = XdrEncoder::new();
                                 let stat = h(ctx, &mut dec, &mut results);
-                                ReplyHeader { xid: call.xid, stat }.encode(&mut enc);
+                                ReplyHeader {
+                                    xid: call.xid,
+                                    stat,
+                                }
+                                .encode(&mut enc);
                                 if stat == AcceptStat::Success {
                                     enc.append_encoded(results.as_bytes());
                                 }
@@ -141,7 +160,11 @@ impl VrpcServer {
                             }
                         }
                     };
-                    ReplyHeader { xid: call.xid, stat }.encode(&mut enc);
+                    ReplyHeader {
+                        xid: call.xid,
+                        stat,
+                    }
+                    .encode(&mut enc);
                 }
             }
             conn.stream.send_record(&self.vmmc, ctx, enc.as_bytes())?;

@@ -105,16 +105,23 @@ impl SblStream {
     /// # Errors
     ///
     /// Fails if the export is rejected.
-    pub fn export_region(vmmc: &Vmmc, ctx: &Ctx) -> Result<(VAddr, shrimp_core::BufferName), VmmcError> {
+    pub fn export_region(
+        vmmc: &Vmmc,
+        ctx: &Ctx,
+    ) -> Result<(VAddr, shrimp_core::BufferName), VmmcError> {
         let va = vmmc.proc_().alloc(REGION_BYTES, CacheMode::WriteBack);
         let name = vmmc.export(ctx, va, REGION_BYTES, shrimp_core::ExportOpts::default())?;
         Ok((va, name))
     }
 
     /// Bytes the peer has acknowledged consuming from our outgoing ring.
-    fn peer_ack(&self, vmmc: &Vmmc) -> u32 {
-        let b = vmmc.proc_().peek(self.local.add(4), 4).expect("control page mapped");
-        u32::from_le_bytes(b.try_into().expect("4 bytes"))
+    ///
+    /// # Errors
+    ///
+    /// Fails if the control page is no longer mapped.
+    fn peer_ack(&self, vmmc: &Vmmc) -> Result<u32, VmmcError> {
+        let b = vmmc.proc_().peek(self.local.add(4), 4)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
     }
 
     /// Send one message (a length-delimited record). Blocks for ring
@@ -133,9 +140,11 @@ impl SblStream {
         // modulo 2^32; differences stay correct across wrap because the
         // ring is far smaller than 2^31).
         let sent32 = self.sent_total as u32;
-        let ack = self.peer_ack(vmmc);
+        let ack = self.peer_ack(vmmc)?;
         if sent32.wrapping_sub(ack) as usize + padded > RING_BYTES {
-            let needed_ack = sent32.wrapping_add(padded as u32).wrapping_sub(RING_BYTES as u32);
+            let needed_ack = sent32
+                .wrapping_add(padded as u32)
+                .wrapping_sub(RING_BYTES as u32);
             vmmc.wait_u32(ctx, self.local.add(4), 256, move |v| {
                 v.wrapping_sub(needed_ack) as i32 >= 0
             })?;
@@ -155,11 +164,16 @@ impl SblStream {
                 StreamVariant::AutomaticUpdate => {
                     // XDR output written straight into the AU-bound ring:
                     // the marshaling stores are the send.
-                    vmmc.proc_().write(ctx, self.mirror.add(PAGE_SIZE + pos), &framed[off..off + n])?;
+                    vmmc.proc_().write(
+                        ctx,
+                        self.mirror.add(PAGE_SIZE + pos),
+                        &framed[off..off + n],
+                    )?;
                 }
                 StreamVariant::DeliberateUpdate => {
                     // Marshal into the staging ring (write-back cost)...
-                    vmmc.proc_().write(ctx, self.staging.add(pos), &framed[off..off + n])?;
+                    vmmc.proc_()
+                        .write(ctx, self.staging.add(pos), &framed[off..off + n])?;
                     // ...then one deliberate update into the peer's ring.
                     vmmc.send(ctx, self.staging.add(pos), &self.peer, PAGE_SIZE + pos, n)?;
                 }
@@ -168,30 +182,35 @@ impl SblStream {
         }
         self.sent_total += padded as u64;
         // Control word after the data (automatic update).
-        vmmc.proc_().write_u32(ctx, self.mirror, self.sent_total as u32)?;
+        vmmc.proc_()
+            .write_u32(ctx, self.mirror, self.sent_total as u32)?;
         Ok(())
     }
 
     /// True if a complete record is already available (untimed check).
-    pub fn record_available(&self, vmmc: &Vmmc) -> bool {
-        let b = vmmc.proc_().peek(self.local, 4).expect("control page mapped");
+    ///
+    /// # Errors
+    ///
+    /// Fails if the stream's local region is no longer mapped.
+    pub fn record_available(&self, vmmc: &Vmmc) -> Result<bool, VmmcError> {
+        let b = vmmc.proc_().peek(self.local, 4)?;
         let written = u32::from_le_bytes(b.try_into().expect("4 bytes"));
         let avail = written.wrapping_sub(self.consumed_total as u32);
         if avail < 4 {
-            return false;
+            return Ok(false);
         }
-        let len = self.peek_ring_u32(vmmc, self.consumed_total) as usize;
-        avail as usize >= (4 + len).div_ceil(4) * 4
+        let len = self.peek_ring_u32(vmmc, self.consumed_total)? as usize;
+        Ok(avail as usize >= (4 + len).div_ceil(4) * 4)
     }
 
-    fn peek_ring_u32(&self, vmmc: &Vmmc, at: u64) -> u32 {
+    fn peek_ring_u32(&self, vmmc: &Vmmc, at: u64) -> Result<u32, VmmcError> {
         let pos = (at % RING_BYTES as u64) as usize;
-        debug_assert!(pos + 4 <= RING_BYTES, "records are 4-aligned so a length never wraps");
-        let b = vmmc
-            .proc_()
-            .peek(self.local.add(PAGE_SIZE + pos), 4)
-            .expect("ring mapped");
-        u32::from_le_bytes(b.try_into().expect("4 bytes"))
+        debug_assert!(
+            pos + 4 <= RING_BYTES,
+            "records are 4-aligned so a length never wraps"
+        );
+        let b = vmmc.proc_().peek(self.local.add(PAGE_SIZE + pos), 4)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
     }
 
     /// Receive one message, blocking until it has fully arrived. The
@@ -222,15 +241,24 @@ impl SblStream {
         self.recv_record_impl(vmmc, ctx, false)
     }
 
-    fn recv_record_impl(&mut self, vmmc: &Vmmc, ctx: &Ctx, copy: bool) -> Result<Vec<u8>, VmmcError> {
+    fn recv_record_impl(
+        &mut self,
+        vmmc: &Vmmc,
+        ctx: &Ctx,
+        copy: bool,
+    ) -> Result<Vec<u8>, VmmcError> {
         // Wait for the length word.
         let need_len = (self.consumed_total + 4) as u32;
-        vmmc.wait_u32(ctx, self.local, 256, move |v| v.wrapping_sub(need_len) as i32 >= 0)?;
-        let len = self.peek_ring_u32(vmmc, self.consumed_total) as usize;
+        vmmc.wait_u32(ctx, self.local, 256, move |v| {
+            v.wrapping_sub(need_len) as i32 >= 0
+        })?;
+        let len = self.peek_ring_u32(vmmc, self.consumed_total)? as usize;
         let padded = (4 + len).div_ceil(4) * 4;
         // Wait for the full record.
         let need_all = (self.consumed_total + padded as u64) as u32;
-        vmmc.wait_u32(ctx, self.local, 256, move |v| v.wrapping_sub(need_all) as i32 >= 0)?;
+        vmmc.wait_u32(ctx, self.local, 256, move |v| {
+            v.wrapping_sub(need_all) as i32 >= 0
+        })?;
 
         let mut out = vec![0u8; len];
         let mut off = 0usize;
@@ -240,7 +268,12 @@ impl SblStream {
             let n = (len - off).min(RING_BYTES - pos);
             if copy {
                 // The 1-copy protocol's receiver copy.
-                vmmc.proc_().copy(ctx, self.local.add(PAGE_SIZE + pos), self.scratch.add(off), n)?;
+                vmmc.proc_().copy(
+                    ctx,
+                    self.local.add(PAGE_SIZE + pos),
+                    self.scratch.add(off),
+                    n,
+                )?;
                 let bytes = vmmc.proc_().peek(self.scratch.add(off), n)?;
                 out[off..off + n].copy_from_slice(&bytes);
             } else {
@@ -252,7 +285,8 @@ impl SblStream {
         }
         self.consumed_total += padded as u64;
         // Acknowledge through the peer's control page.
-        vmmc.proc_().write_u32(ctx, self.mirror.add(4), self.consumed_total as u32)?;
+        vmmc.proc_()
+            .write_u32(ctx, self.mirror.add(4), self.consumed_total as u32)?;
         Ok(out)
     }
 }
@@ -263,7 +297,6 @@ mod tests {
     use shrimp_core::{BufferName, ShrimpSystem, SystemConfig};
     use shrimp_mesh::NodeId;
     use shrimp_sim::{Kernel, SimChannel};
-    
 
     fn pair_test(variant: StreamVariant, records: Vec<Vec<u8>>) {
         let kernel = Kernel::new();

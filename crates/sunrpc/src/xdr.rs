@@ -164,7 +164,10 @@ impl<'a> XdrDecoder<'a> {
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], XdrError> {
         if self.remaining() < n {
-            return Err(XdrError::Short { needed: n, have: self.remaining() });
+            return Err(XdrError::Short {
+                needed: n,
+                have: self.remaining(),
+            });
         }
         let s = &self.buf[self.pos..self.pos + n];
         self.pos += n;
@@ -322,7 +325,10 @@ mod tests {
     #[test]
     fn short_input_is_an_error() {
         let mut d = XdrDecoder::new(&[0, 0]);
-        assert_eq!(d.get_u32().unwrap_err(), XdrError::Short { needed: 4, have: 2 });
+        assert_eq!(
+            d.get_u32().unwrap_err(),
+            XdrError::Short { needed: 4, have: 2 }
+        );
     }
 
     #[test]
@@ -335,7 +341,10 @@ mod tests {
         let mut e = XdrEncoder::new();
         e.put_u32(u32::MAX);
         let mut d = XdrDecoder::new(e.as_bytes());
-        assert_eq!(d.get_array(|d| d.get_u32()).unwrap_err(), XdrError::Invalid("array length"));
+        assert_eq!(
+            d.get_array(|d| d.get_u32()).unwrap_err(),
+            XdrError::Invalid("array length")
+        );
     }
 
     #[test]

@@ -5,17 +5,22 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use shrimp_core::{ShrimpSystem, SystemConfig};
+use shrimp_sim::Kernel;
 use shrimp_sunrpc::{
     AcceptStat, RpcDirectory, RpcError, StreamVariant, VrpcClient, VrpcServer, XdrError,
 };
-use shrimp_sim::Kernel;
 
 const PROG: u32 = 0x2000_0099;
 const VERS: u32 = 1;
 
 /// Spawn a server with an `add`, an `echo`, and a `reverse` procedure,
 /// serving exactly one connection.
-fn spawn_calc_server(kernel: &Kernel, system: &Arc<ShrimpSystem>, dir: &Arc<RpcDirectory>, node: usize) {
+fn spawn_calc_server(
+    kernel: &Kernel,
+    system: &Arc<ShrimpSystem>,
+    dir: &Arc<RpcDirectory>,
+    node: usize,
+) {
     let vmmc = system.endpoint(node, "calc-server");
     let dir = Arc::clone(dir);
     kernel.spawn("calc-server", move |ctx| {
@@ -33,7 +38,9 @@ fn spawn_calc_server(kernel: &Kernel, system: &Arc<ShrimpSystem>, dir: &Arc<RpcD
         server.register(
             2, // echo(opaque) -> opaque
             Box::new(|_ctx, args, out| {
-                let Ok(data) = args.get_opaque() else { return AcceptStat::GarbageArgs };
+                let Ok(data) = args.get_opaque() else {
+                    return AcceptStat::GarbageArgs;
+                };
                 out.put_opaque(data);
                 AcceptStat::Success
             }),
@@ -41,7 +48,9 @@ fn spawn_calc_server(kernel: &Kernel, system: &Arc<ShrimpSystem>, dir: &Arc<RpcD
         server.register(
             3, // reverse(string) -> string
             Box::new(|_ctx, args, out| {
-                let Ok(s) = args.get_string() else { return AcceptStat::GarbageArgs };
+                let Ok(s) = args.get_string() else {
+                    return AcceptStat::GarbageArgs;
+                };
                 let rev: String = s.chars().rev().collect();
                 out.put_string(&rev);
                 AcceptStat::Success
@@ -52,7 +61,10 @@ fn spawn_calc_server(kernel: &Kernel, system: &Arc<ShrimpSystem>, dir: &Arc<RpcD
     });
 }
 
-fn run_client_server(variant: StreamVariant, body: impl FnOnce(&shrimp_sim::Ctx, &mut VrpcClient) + Send + 'static) {
+fn run_client_server(
+    variant: StreamVariant,
+    body: impl FnOnce(&shrimp_sim::Ctx, &mut VrpcClient) + Send + 'static,
+) {
     let kernel = Kernel::new();
     let system = ShrimpSystem::build(&kernel, SystemConfig::prototype());
     let dir = RpcDirectory::new();
@@ -72,22 +84,37 @@ fn run_client_server(variant: StreamVariant, body: impl FnOnce(&shrimp_sim::Ctx,
 fn add_echo_reverse_over_au() {
     run_client_server(StreamVariant::AutomaticUpdate, |ctx, client| {
         let sum = client
-            .call(ctx, 1, |e| {
-                e.put_i32(40);
-                e.put_i32(2);
-            }, |d| d.get_i32())
+            .call(
+                ctx,
+                1,
+                |e| {
+                    e.put_i32(40);
+                    e.put_i32(2);
+                },
+                |d| d.get_i32(),
+            )
             .unwrap();
         assert_eq!(sum, 42);
 
         let payload: Vec<u8> = (0..5000).map(|i| (i % 256) as u8).collect();
         let p2 = payload.clone();
         let echoed = client
-            .call(ctx, 2, move |e| e.put_opaque(&p2), |d| Ok(d.get_opaque()?.to_vec()))
+            .call(
+                ctx,
+                2,
+                move |e| e.put_opaque(&p2),
+                |d| Ok(d.get_opaque()?.to_vec()),
+            )
             .unwrap();
         assert_eq!(echoed, payload);
 
         let rev = client
-            .call(ctx, 3, |e| e.put_string("shrimp"), |d| Ok(d.get_string()?.to_string()))
+            .call(
+                ctx,
+                3,
+                |e| e.put_string("shrimp"),
+                |d| Ok(d.get_string()?.to_string()),
+            )
             .unwrap();
         assert_eq!(rev, "pmirhs");
     });
@@ -98,10 +125,15 @@ fn add_over_du() {
     run_client_server(StreamVariant::DeliberateUpdate, |ctx, client| {
         for i in 0..20 {
             let sum = client
-                .call(ctx, 1, move |e| {
-                    e.put_i32(i);
-                    e.put_i32(i * 2);
-                }, |d| d.get_i32())
+                .call(
+                    ctx,
+                    1,
+                    move |e| {
+                        e.put_i32(i);
+                        e.put_i32(i * 2);
+                    },
+                    |d| d.get_i32(),
+                )
                 .unwrap();
             assert_eq!(sum, i * 3);
         }
@@ -121,10 +153,15 @@ fn null_procedure_and_dispatch_errors() {
         assert_eq!(err, RpcError::Rejected(AcceptStat::GarbageArgs));
         // The connection still works afterwards.
         let sum = client
-            .call(ctx, 1, |e| {
-                e.put_i32(1);
-                e.put_i32(2);
-            }, |d| d.get_i32())
+            .call(
+                ctx,
+                1,
+                |e| {
+                    e.put_i32(1);
+                    e.put_i32(2);
+                },
+                |d| d.get_i32(),
+            )
             .unwrap();
         assert_eq!(sum, 3);
     });
@@ -141,8 +178,19 @@ fn wrong_program_and_version_rejected() {
     let dir2 = Arc::clone(&dir);
     kernel.spawn("client", move |ctx| {
         // ...client binds the same program number but asks for version 9.
-        let mut client = VrpcClient::bind(vmmc, ctx, &dir2, PROG, 9, StreamVariant::AutomaticUpdate).unwrap();
-        let err = client.call(ctx, 1, |e| { e.put_i32(1); e.put_i32(1); }, |d| d.get_i32()).unwrap_err();
+        let mut client =
+            VrpcClient::bind(vmmc, ctx, &dir2, PROG, 9, StreamVariant::AutomaticUpdate).unwrap();
+        let err = client
+            .call(
+                ctx,
+                1,
+                |e| {
+                    e.put_i32(1);
+                    e.put_i32(1);
+                },
+                |d| d.get_i32(),
+            )
+            .unwrap_err();
         assert_eq!(err, RpcError::Rejected(AcceptStat::ProgMismatch));
         client.close(ctx).unwrap();
     });
@@ -154,13 +202,18 @@ fn result_decode_errors_surface() {
     run_client_server(StreamVariant::AutomaticUpdate, |ctx, client| {
         // add returns one i32; try to decode two.
         let err = client
-            .call(ctx, 1, |e| {
-                e.put_i32(1);
-                e.put_i32(2);
-            }, |d| {
-                d.get_i32()?;
-                d.get_i32() // not there
-            })
+            .call(
+                ctx,
+                1,
+                |e| {
+                    e.put_i32(1);
+                    e.put_i32(2);
+                },
+                |d| {
+                    d.get_i32()?;
+                    d.get_i32() // not there
+                },
+            )
             .unwrap_err();
         assert!(matches!(err, RpcError::Xdr(XdrError::Short { .. })));
     });
@@ -174,7 +227,12 @@ fn many_calls_pipeline_through_ring_wrap() {
         for _ in 0..200 {
             let p2 = payload.clone();
             let echoed = client
-                .call(ctx, 2, move |e| e.put_opaque(&p2), |d| Ok(d.get_opaque()?.to_vec()))
+                .call(
+                    ctx,
+                    2,
+                    move |e| e.put_opaque(&p2),
+                    |d| Ok(d.get_opaque()?.to_vec()),
+                )
                 .unwrap();
             assert_eq!(echoed.len(), 2048);
         }
@@ -194,7 +252,9 @@ fn two_clients_served_sequentially() {
             server.register(
                 1,
                 Box::new(|_ctx, args, out| {
-                    let Ok(v) = args.get_i32() else { return AcceptStat::GarbageArgs };
+                    let Ok(v) = args.get_i32() else {
+                        return AcceptStat::GarbageArgs;
+                    };
                     out.put_i32(v * 10);
                     AcceptStat::Success
                 }),
@@ -213,8 +273,12 @@ fn two_clients_served_sequentially() {
         kernel.spawn(format!("client{i}"), move |ctx| {
             // Stagger so connection order is deterministic.
             ctx.advance(shrimp_sim::SimDur::from_us(i as f64 * 5000.0));
-            let mut client = VrpcClient::bind(vmmc, ctx, &dir, PROG, VERS, StreamVariant::AutomaticUpdate).unwrap();
-            let v = client.call(ctx, 1, move |e| e.put_i32(i as i32), |d| d.get_i32()).unwrap();
+            let mut client =
+                VrpcClient::bind(vmmc, ctx, &dir, PROG, VERS, StreamVariant::AutomaticUpdate)
+                    .unwrap();
+            let v = client
+                .call(ctx, 1, move |e| e.put_i32(i as i32), |d| d.get_i32())
+                .unwrap();
             assert_eq!(v, i as i32 * 10);
             client.close(ctx).unwrap();
             order.lock().push(i);
@@ -241,7 +305,9 @@ fn in_place_decode_is_faster_and_correct() {
                 server.register(
                     2,
                     Box::new(|_ctx, args, out| {
-                        let Ok(data) = args.get_opaque() else { return AcceptStat::GarbageArgs };
+                        let Ok(data) = args.get_opaque() else {
+                            return AcceptStat::GarbageArgs;
+                        };
                         out.put_opaque(data);
                         AcceptStat::Success
                     }),
@@ -264,11 +330,23 @@ fn in_place_decode_is_faster_and_correct() {
                 let payload = vec![0x6Bu8; 8000];
                 // Warmup.
                 let p2 = payload.clone();
-                client.call(ctx, 2, move |e| e.put_opaque(&p2), |d| Ok(d.get_opaque()?.to_vec())).unwrap();
+                client
+                    .call(
+                        ctx,
+                        2,
+                        move |e| e.put_opaque(&p2),
+                        |d| Ok(d.get_opaque()?.to_vec()),
+                    )
+                    .unwrap();
                 let t0 = ctx.now();
                 let p2 = payload.clone();
                 let echoed = client
-                    .call(ctx, 2, move |e| e.put_opaque(&p2), |d| Ok(d.get_opaque()?.to_vec()))
+                    .call(
+                        ctx,
+                        2,
+                        move |e| e.put_opaque(&p2),
+                        |d| Ok(d.get_opaque()?.to_vec()),
+                    )
                     .unwrap();
                 *out.lock() = ((ctx.now() - t0).as_us(), echoed);
                 client.close(ctx).unwrap();

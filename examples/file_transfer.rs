@@ -15,7 +15,9 @@ const FILE_BYTES: usize = 200_000;
 const PORT: u16 = 8080;
 
 fn checksum(acc: u64, bytes: &[u8]) -> u64 {
-    bytes.iter().fold(acc, |a, &b| a.wrapping_mul(31).wrapping_add(b as u64))
+    bytes
+        .iter()
+        .fold(acc, |a, &b| a.wrapping_mul(31).wrapping_add(b as u64))
 }
 
 fn main() {

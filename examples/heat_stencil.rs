@@ -22,7 +22,11 @@ fn main() {
     let kernel = Kernel::new();
     let system = shrimp::vmmc::ShrimpSystem::build(&kernel, SystemConfig::prototype());
     let nranks = system.len();
-    let world = NxWorld::new(Arc::clone(&system), NxConfig::paper_default(), (0..nranks).collect());
+    let world = NxWorld::new(
+        Arc::clone(&system),
+        NxConfig::paper_default(),
+        (0..nranks).collect(),
+    );
     let result: Arc<Mutex<Vec<(u32, f64, f64)>>> = Arc::new(Mutex::new(Vec::new()));
 
     for rank in 0..nranks {
@@ -53,12 +57,14 @@ fn main() {
                 for &sending in &phases {
                     if sending {
                         if me + 1 < n {
-                            p.poke(send_buf, &grid[POINTS_PER_RANK].to_le_bytes()).unwrap();
+                            p.poke(send_buf, &grid[POINTS_PER_RANK].to_le_bytes())
+                                .unwrap();
                             nx.csend(ctx, tag, send_buf, 8, me + 1).unwrap();
                         }
                         if me > 0 {
                             p.poke(send_buf.add(8), &grid[1].to_le_bytes()).unwrap();
-                            nx.csend(ctx, tag + 1_000_000, send_buf.add(8), 8, me - 1).unwrap();
+                            nx.csend(ctx, tag + 1_000_000, send_buf.add(8), 8, me - 1)
+                                .unwrap();
                         }
                     } else {
                         if me > 0 {
@@ -96,16 +102,23 @@ fn main() {
             nx.gsync(ctx).unwrap();
             nx.flush(ctx).unwrap();
             if me == 0 {
-                result.lock().push((iters, residual, grid[POINTS_PER_RANK / 2]));
+                result
+                    .lock()
+                    .push((iters, residual, grid[POINTS_PER_RANK / 2]));
             }
         });
     }
 
-    kernel.run_until_quiescent().expect("stencil simulation failed");
+    kernel
+        .run_until_quiescent()
+        .expect("stencil simulation failed");
     assert!(system.violations().is_empty());
     let r = result.lock();
     let (iters, residual, midpoint) = r[0];
-    println!("converged={} iterations={iters} residual={residual:.3e}", residual <= TOLERANCE);
+    println!(
+        "converged={} iterations={iters} residual={residual:.3e}",
+        residual <= TOLERANCE
+    );
     println!("temperature at rank-0 midpoint: {midpoint:.2}");
     println!("simulated wall time: {}", kernel.now());
 }

@@ -8,9 +8,7 @@
 use std::sync::Arc;
 
 use shrimp::prelude::*;
-use shrimp::srpc::{
-    emit_client_stub, parse_interface, SrpcClient, SrpcDirectory, SrpcServer, Val,
-};
+use shrimp::srpc::{emit_client_stub, parse_interface, SrpcClient, SrpcDirectory, SrpcServer, Val};
 use shrimp::sunrpc::{AcceptStat, RpcDirectory, StreamVariant, VrpcClient, VrpcServer};
 
 const IDL: &str = r"
@@ -87,7 +85,9 @@ fn main() {
             server.register(
                 1,
                 Box::new(|_ctx, args, out| {
-                    let Ok(v) = args.get_u32() else { return AcceptStat::GarbageArgs };
+                    let Ok(v) = args.get_u32() else {
+                        return AcceptStat::GarbageArgs;
+                    };
                     out.put_u32(v.wrapping_add(1));
                     AcceptStat::Success
                 }),

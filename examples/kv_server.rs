@@ -48,7 +48,9 @@ fn main() {
                 server.register(
                     PROC_GET,
                     Box::new(move |_ctx, args, out| {
-                        let Ok(key) = args.get_string() else { return AcceptStat::GarbageArgs };
+                        let Ok(key) = args.get_string() else {
+                            return AcceptStat::GarbageArgs;
+                        };
                         match store.lock().get(key) {
                             Some(v) => {
                                 out.put_bool(true);
@@ -65,7 +67,9 @@ fn main() {
                 server.register(
                     PROC_DELETE,
                     Box::new(move |_ctx, args, out| {
-                        let Ok(key) = args.get_string() else { return AcceptStat::GarbageArgs };
+                        let Ok(key) = args.get_string() else {
+                            return AcceptStat::GarbageArgs;
+                        };
                         out.put_bool(store.lock().remove(key).is_some());
                         AcceptStat::Success
                     }),
@@ -75,7 +79,10 @@ fn main() {
             for _ in 0..2 {
                 let mut conn = server.accept(ctx, &dir).unwrap();
                 let calls = server.serve(ctx, &mut conn).unwrap();
-                println!("[{}] kv-server: connection closed after {calls} calls", ctx.now());
+                println!(
+                    "[{}] kv-server: connection closed after {calls} calls",
+                    ctx.now()
+                );
             }
         });
     }
@@ -85,17 +92,28 @@ fn main() {
         let vmmc = system.endpoint(0, "writer");
         let dir = Arc::clone(&dir);
         kernel.spawn("writer", move |ctx| {
-            let mut c =
-                VrpcClient::bind(vmmc, ctx, &dir, KV_PROG, KV_VERS, StreamVariant::AutomaticUpdate)
-                    .unwrap();
+            let mut c = VrpcClient::bind(
+                vmmc,
+                ctx,
+                &dir,
+                KV_PROG,
+                KV_VERS,
+                StreamVariant::AutomaticUpdate,
+            )
+            .unwrap();
             for i in 0..10u32 {
                 let key = format!("sensor/{i}");
                 let val = vec![i as u8; 100 + i as usize];
                 let existed = c
-                    .call(ctx, PROC_PUT, |e| {
-                        e.put_string(&key);
-                        e.put_opaque(&val);
-                    }, |d| d.get_bool())
+                    .call(
+                        ctx,
+                        PROC_PUT,
+                        |e| {
+                            e.put_string(&key);
+                            e.put_opaque(&val);
+                        },
+                        |d| d.get_bool(),
+                    )
                     .unwrap();
                 assert!(!existed);
             }
@@ -111,22 +129,33 @@ fn main() {
         kernel.spawn("reader", move |ctx| {
             // Crude coordination: let the writer finish first.
             ctx.advance(SimDur::from_us(50_000.0));
-            let mut c =
-                VrpcClient::bind(vmmc, ctx, &dir, KV_PROG, KV_VERS, StreamVariant::DeliberateUpdate)
-                    .unwrap();
+            let mut c = VrpcClient::bind(
+                vmmc,
+                ctx,
+                &dir,
+                KV_PROG,
+                KV_VERS,
+                StreamVariant::DeliberateUpdate,
+            )
+            .unwrap();
             let mut found = 0;
             for i in 0..12u32 {
                 let key = format!("sensor/{i}");
                 let hit = c
-                    .call(ctx, PROC_GET, |e| e.put_string(&key), |d| {
-                        let present = d.get_bool()?;
-                        if present {
-                            let v = d.get_opaque()?;
-                            Ok(Some(v.len()))
-                        } else {
-                            Ok(None)
-                        }
-                    })
+                    .call(
+                        ctx,
+                        PROC_GET,
+                        |e| e.put_string(&key),
+                        |d| {
+                            let present = d.get_bool()?;
+                            if present {
+                                let v = d.get_opaque()?;
+                                Ok(Some(v.len()))
+                            } else {
+                                Ok(None)
+                            }
+                        },
+                    )
                     .unwrap();
                 if let Some(len) = hit {
                     assert_eq!(len, 100 + i as usize);
@@ -134,9 +163,17 @@ fn main() {
                 }
             }
             let deleted = c
-                .call(ctx, PROC_DELETE, |e| e.put_string("sensor/0"), |d| d.get_bool())
+                .call(
+                    ctx,
+                    PROC_DELETE,
+                    |e| e.put_string("sensor/0"),
+                    |d| d.get_bool(),
+                )
                 .unwrap();
-            println!("[{}] reader: found {found}/12 keys, delete(sensor/0)={deleted}", ctx.now());
+            println!(
+                "[{}] reader: found {found}/12 keys, delete(sensor/0)={deleted}",
+                ctx.now()
+            );
             c.close(ctx).unwrap();
         });
     }

@@ -3,7 +3,6 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-
 use shrimp::prelude::*;
 use shrimp::vmmc::BufferName;
 
@@ -61,15 +60,24 @@ fn main() {
         tx.proc_().write_u32(ctx, src.add(4092), 1).unwrap();
         let t0 = ctx.now();
         tx.send(ctx, src, &dst, 0, 4096).unwrap();
-        println!("[{}] sender: deliberate update issued (blocking send took {})", ctx.now(), ctx.now() - t0);
+        println!(
+            "[{}] sender: deliberate update issued (blocking send took {})",
+            ctx.now(),
+            ctx.now() - t0
+        );
 
         // 2) Automatic update: bind a local page to the remote buffer;
         //    ordinary stores are the communication.
         let au = tx.proc_().alloc(4096, CacheMode::WriteBack);
         let binding = tx.bind_au(ctx, au, &dst, 0, 1, true, false).unwrap();
-        tx.proc_().write(ctx, au.add(64), b"just plain state").unwrap();
+        tx.proc_()
+            .write(ctx, au.add(64), b"just plain state")
+            .unwrap();
         tx.proc_().write_u32(ctx, au.add(4092), 2).unwrap();
-        println!("[{}] sender: automatic update written (no send call at all)", ctx.now());
+        println!(
+            "[{}] sender: automatic update written (no send call at all)",
+            ctx.now()
+        );
         tx.unbind_au(ctx, binding);
     });
 

@@ -32,7 +32,10 @@ fn all_four_libraries_coexist() {
                 } else {
                     let n = nx.crecv(ctx, round, buf, 4096).unwrap();
                     assert_eq!(n, 512);
-                    assert_eq!(nx.vmmc().proc_().peek(buf, 512).unwrap(), vec![round as u8; 512]);
+                    assert_eq!(
+                        nx.vmmc().proc_().peek(buf, 512).unwrap(),
+                        vec![round as u8; 512]
+                    );
                 }
             }
             nx.flush(ctx).unwrap();
@@ -52,7 +55,9 @@ fn all_four_libraries_coexist() {
             server.register(
                 1,
                 Box::new(|_ctx, args, out| {
-                    let Ok(v) = args.get_i32() else { return AcceptStat::GarbageArgs };
+                    let Ok(v) = args.get_i32() else {
+                        return AcceptStat::GarbageArgs;
+                    };
                     out.put_i32(v * 2);
                     AcceptStat::Success
                 }),
@@ -66,9 +71,14 @@ fn all_four_libraries_coexist() {
         let rdir = Arc::clone(&rdir);
         let done = Arc::clone(&done);
         kernel.spawn("vrpc-client", move |ctx| {
-            let mut c = VrpcClient::bind(vmmc, ctx, &rdir, 77, 1, StreamVariant::AutomaticUpdate).unwrap();
+            let mut c =
+                VrpcClient::bind(vmmc, ctx, &rdir, 77, 1, StreamVariant::AutomaticUpdate).unwrap();
             for i in 0..15 {
-                assert_eq!(c.call(ctx, 1, move |e| e.put_i32(i), |d| d.get_i32()).unwrap(), 2 * i);
+                assert_eq!(
+                    c.call(ctx, 1, move |e| e.put_i32(i), |d| d.get_i32())
+                        .unwrap(),
+                    2 * i
+                );
             }
             c.close(ctx).unwrap();
             done.lock().push("vrpc");
@@ -130,7 +140,9 @@ fn all_four_libraries_coexist() {
             let mut v = 0u32;
             for _ in 0..25 {
                 let outs = c.call(ctx, "inc", &[Val::U32(v)]).unwrap();
-                let Val::U32(next) = outs[0] else { panic!("type") };
+                let Val::U32(next) = outs[0] else {
+                    panic!("type")
+                };
                 v = next;
             }
             assert_eq!(v, 25);
@@ -139,7 +151,9 @@ fn all_four_libraries_coexist() {
         });
     }
 
-    kernel.run_until_quiescent().expect("full-stack simulation failed");
+    kernel
+        .run_until_quiescent()
+        .expect("full-stack simulation failed");
     assert!(system.violations().is_empty(), "protection violations");
     let mut names = done.lock().clone();
     names.sort();
@@ -151,7 +165,11 @@ fn whole_system_runs_are_deterministic() {
     fn run_once() -> (u64, Vec<u64>) {
         let kernel = Kernel::new();
         let system = shrimp::vmmc::ShrimpSystem::build(&kernel, SystemConfig::prototype());
-        let world = NxWorld::new(Arc::clone(&system), NxConfig::paper_default(), vec![0, 1, 2, 3]);
+        let world = NxWorld::new(
+            Arc::clone(&system),
+            NxConfig::paper_default(),
+            vec![0, 1, 2, 3],
+        );
         let stamps: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
         for rank in 0..4 {
             let world = Arc::clone(&world);
@@ -162,7 +180,8 @@ fn whole_system_runs_are_deterministic() {
                 let n = nx.numnodes();
                 for round in 0..5 {
                     let dst = (rank + 1 + round as usize) % n;
-                    nx.csend(ctx, round, buf, 700 * (round as usize + 1), dst).unwrap();
+                    nx.csend(ctx, round, buf, 700 * (round as usize + 1), dst)
+                        .unwrap();
                     nx.crecv(ctx, round, buf, 8192).unwrap();
                 }
                 nx.gsync(ctx).unwrap();

@@ -91,7 +91,11 @@ struct NxMsg {
 
 fn nx_msgs() -> impl Strategy<Value = Vec<NxMsg>> {
     proptest::collection::vec(
-        (0u8..4, 0usize..6000, any::<u8>()).prop_map(|(mtype, len, fill)| NxMsg { mtype, len, fill }),
+        (0u8..4, 0usize..6000, any::<u8>()).prop_map(|(mtype, len, fill)| NxMsg {
+            mtype,
+            len,
+            fill,
+        }),
         1..12,
     )
 }
