@@ -1,7 +1,8 @@
-//! The chaos harness: reruns the Figure 3/4/7 workloads under a matrix
-//! of deterministic fault plans and asserts the recovery contract — no
-//! corruption, per-pair ordering, bounded latency degradation, clean
-//! shutdown, and bit-identical reports for identical seeds.
+//! The chaos harness: reruns the Figure 3/4/7 workloads plus the
+//! shrimp-coll collective rounds under a matrix of deterministic fault
+//! plans and asserts the recovery contract — no corruption, per-pair
+//! ordering, bounded latency degradation, clean shutdown, and
+//! bit-identical reports for identical seeds.
 //!
 //! Usage: `cargo run -p shrimp-bench --bin chaos [-- --seeds N] [-- --smoke]`
 //!

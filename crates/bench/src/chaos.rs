@@ -6,6 +6,9 @@
 //! * **vmmc** — the Figure 3 deliberate-update ping-pong, with every
 //!   round's payload stamped so reordering or corruption is caught.
 //! * **nx** — the Figure 4 NX ping-pong over [`NxWorld::try_join`].
+//! * **coll** — barrier + verified allreduce rounds over the
+//!   `shrimp-coll` persistent channel geometry, joined through its
+//!   fallible [`CollWorld::try_join`] path.
 //! * **socket** — the Figure 7 stream-socket echo.
 //!
 //! The harness asserts the recovery contract, not performance: no
@@ -18,6 +21,7 @@
 use std::sync::Arc;
 
 use parking_lot::Mutex;
+use shrimp_coll::{CollConfig, CollError, CollWorld};
 use shrimp_core::{BufferName, ExportOpts, ShrimpSystem, SystemConfig, Vmmc, VmmcError};
 use shrimp_mesh::NodeId;
 use shrimp_node::{CacheMode, VAddr, PAGE_SIZE};
@@ -34,6 +38,8 @@ pub enum Workload {
     Vmmc,
     /// Figure 4: NX library ping-pong.
     Nx,
+    /// Collective rounds (barrier + verified allreduce) on shrimp-coll.
+    Coll,
     /// Figure 7: stream-socket echo.
     Socket,
 }
@@ -44,13 +50,19 @@ impl Workload {
         match self {
             Workload::Vmmc => "vmmc",
             Workload::Nx => "nx",
+            Workload::Coll => "coll",
             Workload::Socket => "socket",
         }
     }
 
-    /// All three, in report order.
-    pub fn all() -> [Workload; 3] {
-        [Workload::Vmmc, Workload::Nx, Workload::Socket]
+    /// All four, in report order.
+    pub fn all() -> [Workload; 4] {
+        [
+            Workload::Vmmc,
+            Workload::Nx,
+            Workload::Coll,
+            Workload::Socket,
+        ]
     }
 }
 
@@ -144,6 +156,7 @@ pub fn run_cell(workload: Workload, plan_name: &str, plan: &FaultPlan) -> CellOu
     match workload {
         Workload::Vmmc => vmmc_workload(&kernel, &system, &finished),
         Workload::Nx => nx_workload(&kernel, &system, &finished),
+        Workload::Coll => coll_workload(&kernel, &system, &finished),
         Workload::Socket => socket_workload(&kernel, &system, &finished),
     }
 
@@ -283,6 +296,60 @@ fn nx_workload(
                 );
             }
             nx.flush(ctx).unwrap();
+            if rank == 0 {
+                *finished.lock() = Some(ctx.now());
+            }
+        });
+    }
+}
+
+/// Collective workload: ROUNDS of barrier + allreduce over the
+/// persistent shrimp-coll channel geometry between nodes 0 and 1.
+/// Setup rides out daemon outages through [`CollWorld::try_join`]'s
+/// retrying export/import path; every round's sums are checked, so any
+/// corruption, reorder, or lost flag under brownouts, link stalls, or
+/// IPT freezes trips an assert.
+fn coll_workload(
+    kernel: &Kernel,
+    system: &Arc<ShrimpSystem>,
+    finished: &Arc<Mutex<Option<SimTime>>>,
+) {
+    let world = CollWorld::new(Arc::clone(system), CollConfig::default(), vec![0, 1]);
+    let n = 2usize;
+    for rank in 0..n {
+        let world = Arc::clone(&world);
+        let finished = Arc::clone(finished);
+        kernel.spawn(format!("chaos-coll{rank}"), move |ctx| {
+            // A daemon crash landing inside the export/import phases
+            // surfaces typed before the rendezvous; back off and rejoin.
+            let mut comm = loop {
+                match world.try_join(ctx, rank, RetryPolicy::bootstrap(), None) {
+                    Ok(c) => break c,
+                    Err(CollError::Vmmc(VmmcError::DaemonUnavailable { .. })) => {
+                        ctx.advance(SimDur::from_us(5_000.0));
+                    }
+                    Err(e) => panic!("chaos coll join failed: {e}"),
+                }
+            };
+            // Enough rounds, at a full chunk per reduction, that the
+            // traffic spans every plan's fault horizon (the scripted
+            // IPT shot lands at 900 us; generated plans run to 4 ms).
+            let lanes = 256usize;
+            for r in 0..ROUNDS * 3 {
+                comm.barrier(ctx).unwrap();
+                let mine: Vec<f64> = (0..lanes)
+                    .map(|j| ((j + rank + 1) % 97) as f64 + r as f64)
+                    .collect();
+                let sums = comm.allreduce_f64(ctx, &mine).unwrap();
+                for (j, &got) in sums.iter().enumerate() {
+                    let want = ((j + 1) % 97) as f64 + ((j + 2) % 97) as f64 + 2.0 * r as f64;
+                    assert_eq!(
+                        got, want,
+                        "rank {rank} round {r} lane {j}: allreduce sum corrupted"
+                    );
+                }
+            }
+            comm.barrier(ctx).unwrap();
             if rank == 0 {
                 *finished.lock() = Some(ctx.now());
             }
@@ -463,6 +530,51 @@ mod tests {
     fn socket_workload_survives_light_faults() {
         let matrix = default_matrix(2, &[3]);
         let outcomes = run_matrix(Workload::Socket, &matrix);
+        assert_eq!(outcomes.len(), 4);
+    }
+
+    #[test]
+    fn coll_workload_survives_brownout_and_daemon_restart() {
+        // The two plans the collective layer must specifically ride
+        // out: a mesh-wide bandwidth brownout landing mid-traffic, and
+        // a daemon restart landing in the export/import setup phase.
+        let mut matrix = default_matrix(2, &[]);
+        matrix.push((
+            "scripted-brownout".to_string(),
+            FaultPlan::scripted(vec![FaultEvent {
+                at: SimTime::ZERO + SimDur::from_us(300.0),
+                kind: FaultKind::Brownout {
+                    factor: 4.0,
+                    dur: SimDur::from_us(2_000.0),
+                },
+            }]),
+        ));
+        matrix.push((
+            "scripted-daemon-restart".to_string(),
+            FaultPlan::scripted(vec![FaultEvent {
+                at: SimTime::ZERO + SimDur::from_us(40.0),
+                kind: FaultKind::DaemonCrash {
+                    node: 1,
+                    downtime: SimDur::from_us(800.0),
+                },
+            }]),
+        ));
+        let outcomes = run_matrix(Workload::Coll, &matrix);
+        assert_eq!(outcomes.len(), 4);
+        let base = outcomes[0].finished_ps;
+        for cell in &outcomes[1..] {
+            assert!(
+                cell.finished_ps >= base,
+                "{}: faults sped a run up",
+                cell.plan_name
+            );
+        }
+    }
+
+    #[test]
+    fn coll_workload_survives_light_faults() {
+        let matrix = default_matrix(2, &[9]);
+        let outcomes = run_matrix(Workload::Coll, &matrix);
         assert_eq!(outcomes.len(), 4);
     }
 

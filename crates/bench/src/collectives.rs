@@ -1,0 +1,333 @@
+//! Collective-communication scaling study, built directly on the
+//! `shrimp-coll` communicator (no NX layer in between): barrier
+//! latency and allreduce latency/bandwidth at 2x2, 4x4, and 8x8
+//! meshes, plus the allreduce algorithm-crossover sweep that
+//! calibrates the size selector ([`shrimp_coll::RD_CUTOFF_BYTES`]).
+//!
+//! Every number derives from virtual time, so the rendered report is
+//! byte-identical across reruns with the same seed. Each sweep also
+//! verifies the reduced values against a host-side reference, so the
+//! bench doubles as an end-to-end correctness check at 64 ranks —
+//! a scale the test suite's proptest cases do not reach.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use shrimp_coll::{AllreduceAlg, CollConfig, CollWorld, ReduceOp};
+use shrimp_core::{ShrimpSystem, SystemConfig};
+use shrimp_node::CacheMode;
+use shrimp_sim::{Kernel, SplitMix64};
+
+/// One measured allreduce point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// Payload size in bytes (8-byte lanes).
+    pub bytes: usize,
+    /// Time per allreduce in microseconds (slowest rank, averaged over
+    /// rounds).
+    pub us_per_op: f64,
+    /// Aggregate delivered rate across all ranks, `n * bytes / time`,
+    /// in MB/s.
+    pub aggregate_mbs: f64,
+}
+
+fn build(width: usize, height: usize) -> (Kernel, Arc<ShrimpSystem>, Arc<CollWorld>) {
+    let kernel = Kernel::new();
+    let system = ShrimpSystem::build(&kernel, SystemConfig::with_mesh(width, height));
+    let n = system.len();
+    let world = CollWorld::new(Arc::clone(&system), CollConfig::default(), (0..n).collect());
+    (kernel, system, world)
+}
+
+/// Deterministic small-integer lanes (exact under `SumI64` regardless
+/// of combining order).
+fn input_lanes(seed: u64, rank: usize, count: usize) -> Vec<u8> {
+    let mut rng = SplitMix64::new(seed ^ (rank as u64).wrapping_mul(0x9E37_79B9));
+    let mut out = Vec::with_capacity(count * 8);
+    for _ in 0..count {
+        let v = (rng.next_u64() % 201) as i64 - 100;
+        out.extend(v.to_le_bytes());
+    }
+    out
+}
+
+fn expected_sum(n: usize, seed: u64, count: usize) -> Vec<u8> {
+    let mut acc = input_lanes(seed, 0, count);
+    for r in 1..n {
+        ReduceOp::SumI64.fold(&mut acc, &input_lanes(seed, r, count));
+    }
+    acc
+}
+
+/// Barrier latency averaged over `rounds`, in microseconds, through
+/// the collective layer directly.
+pub fn barrier_latency(width: usize, height: usize, rounds: u32) -> f64 {
+    let (kernel, system, world) = build(width, height);
+    let n = system.len();
+    let out: Arc<Mutex<f64>> = Arc::new(Mutex::new(0.0));
+    for rank in 0..n {
+        let world = Arc::clone(&world);
+        let out = Arc::clone(&out);
+        kernel.spawn(format!("rank{rank}"), move |ctx| {
+            let mut comm = world.join(ctx, rank);
+            comm.barrier(ctx).unwrap(); // warm-up
+            let t0 = ctx.now();
+            for _ in 0..rounds {
+                comm.barrier(ctx).unwrap();
+            }
+            if rank == 0 {
+                *out.lock() = (ctx.now() - t0).as_us() / rounds as f64;
+            }
+        });
+    }
+    kernel.run_until_quiescent().expect("barrier bench failed");
+    assert!(system.violations().is_empty());
+    let v = *out.lock();
+    v
+}
+
+/// Sweep allreduce over `sizes` on one `width x height` mesh with one
+/// algorithm (`None` = let the size selector choose per size). Each
+/// size runs `rounds` timed operations; every rank checks the final
+/// result against a host-side reference.
+pub fn allreduce_sweep(
+    width: usize,
+    height: usize,
+    sizes: &[usize],
+    alg: Option<AllreduceAlg>,
+    rounds: u32,
+    seed: u64,
+) -> Vec<SweepPoint> {
+    let (kernel, system, world) = build(width, height);
+    let n = system.len();
+    let starts: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(vec![0; sizes.len()]));
+    let finishes: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(vec![0; sizes.len()]));
+    let sizes_own: Vec<usize> = sizes.to_vec();
+    for rank in 0..n {
+        let world = Arc::clone(&world);
+        let starts = Arc::clone(&starts);
+        let finishes = Arc::clone(&finishes);
+        let sizes = sizes_own.clone();
+        kernel.spawn(format!("rank{rank}"), move |ctx| {
+            let mut comm = world.join(ctx, rank);
+            let p = comm.vmmc().proc_().clone();
+            let maxb = sizes.iter().copied().max().unwrap_or(8).max(8);
+            let buf = p.alloc(maxb, CacheMode::WriteBack);
+            for (i, &bytes) in sizes.iter().enumerate() {
+                let count = bytes / 8;
+                let input = input_lanes(seed, rank, count);
+                comm.barrier(ctx).unwrap();
+                if rank == 0 {
+                    starts.lock()[i] = ctx.now().as_ps();
+                }
+                for _ in 0..rounds {
+                    // The result overwrites the operand; refill so every
+                    // round reduces the same inputs. Host-side fill costs
+                    // no virtual time.
+                    p.poke(buf, &input).unwrap();
+                    match alg {
+                        Some(a) => comm
+                            .allreduce_with(ctx, buf, count, ReduceOp::SumI64, a)
+                            .unwrap(),
+                        None => comm.allreduce(ctx, buf, count, ReduceOp::SumI64).unwrap(),
+                    }
+                }
+                let f = ctx.now().as_ps();
+                {
+                    let mut fin = finishes.lock();
+                    fin[i] = fin[i].max(f);
+                }
+                let got = p.peek(buf, bytes).unwrap();
+                assert_eq!(
+                    got,
+                    expected_sum(comm.len(), seed, count),
+                    "rank {rank}: allreduce result mismatch at {bytes} bytes"
+                );
+                comm.barrier(ctx).unwrap();
+            }
+        });
+    }
+    kernel
+        .run_until_quiescent()
+        .expect("allreduce sweep failed");
+    assert!(system.violations().is_empty());
+    let starts = starts.lock();
+    let finishes = finishes.lock();
+    sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &bytes)| {
+            let us = (finishes[i] - starts[i]) as f64 / 1e6 / rounds as f64;
+            SweepPoint {
+                bytes,
+                us_per_op: us,
+                aggregate_mbs: (n * bytes) as f64 / us,
+            }
+        })
+        .collect()
+}
+
+/// Report label for an algorithm choice.
+pub fn alg_label(alg: Option<AllreduceAlg>) -> &'static str {
+    match alg {
+        Some(AllreduceAlg::RingRsAg) => "ring-rs-ag",
+        Some(AllreduceAlg::RecursiveDoubling) => "recursive-doubling",
+        None => "selected",
+    }
+}
+
+/// The meshes the study covers: the 4-node prototype, the 16-node
+/// machine of paper §8, and one step beyond.
+pub fn meshes(smoke: bool) -> Vec<(usize, usize)> {
+    if smoke {
+        vec![(2, 2), (4, 4)]
+    } else {
+        vec![(2, 2), (4, 4), (8, 8)]
+    }
+}
+
+/// Payload sizes for the per-mesh scaling series.
+pub fn scaling_sizes(smoke: bool) -> Vec<usize> {
+    if smoke {
+        vec![64, 1024, 8192]
+    } else {
+        vec![64, 1024, 8192, 65536]
+    }
+}
+
+/// Payload sizes for the 4x4 algorithm-crossover sweep.
+pub fn crossover_sizes(smoke: bool) -> Vec<usize> {
+    if smoke {
+        vec![64, 1024, 16384]
+    } else {
+        vec![64, 256, 1024, 4096, 16384, 65536]
+    }
+}
+
+const BARRIER_ROUNDS: u32 = 4;
+const SWEEP_ROUNDS: u32 = 2;
+
+/// Run the full study and render the deterministic report: barrier
+/// latency per mesh, a ring allreduce series per mesh, and the
+/// ring-vs-recursive-doubling crossover at 4x4 with the selector's
+/// choice alongside.
+pub fn render_report(seed: u64, smoke: bool) -> String {
+    let mut out = format!("collectives report seed={seed}\n");
+    for (w, h) in meshes(smoke) {
+        let us = barrier_latency(w, h, BARRIER_ROUNDS);
+        out.push_str(&format!(
+            "barrier mesh={w}x{h} ranks={} us={us:.2}\n",
+            w * h
+        ));
+    }
+    let sizes = scaling_sizes(smoke);
+    for (w, h) in meshes(smoke) {
+        out.push_str(&format!("series allreduce mesh={w}x{h} alg=ring-rs-ag\n"));
+        let pts = allreduce_sweep(
+            w,
+            h,
+            &sizes,
+            Some(AllreduceAlg::RingRsAg),
+            SWEEP_ROUNDS,
+            seed,
+        );
+        for p in pts {
+            out.push_str(&format!(
+                "point mesh={w}x{h} alg=ring-rs-ag bytes={} us={:.2} agg_mbs={:.2}\n",
+                p.bytes, p.us_per_op, p.aggregate_mbs
+            ));
+        }
+    }
+    let cs = crossover_sizes(smoke);
+    out.push_str("series crossover mesh=4x4\n");
+    let mut crossover_at: Option<usize> = None;
+    let ring = allreduce_sweep(4, 4, &cs, Some(AllreduceAlg::RingRsAg), SWEEP_ROUNDS, seed);
+    let rd = allreduce_sweep(
+        4,
+        4,
+        &cs,
+        Some(AllreduceAlg::RecursiveDoubling),
+        SWEEP_ROUNDS,
+        seed,
+    );
+    let sel = allreduce_sweep(4, 4, &cs, None, SWEEP_ROUNDS, seed);
+    for i in 0..cs.len() {
+        let winner = if rd[i].us_per_op <= ring[i].us_per_op {
+            "recursive-doubling"
+        } else {
+            "ring-rs-ag"
+        };
+        if winner == "ring-rs-ag" && crossover_at.is_none() {
+            crossover_at = Some(cs[i]);
+        }
+        out.push_str(&format!(
+            "point mesh=4x4 bytes={} ring_us={:.2} rd_us={:.2} selected_us={:.2} winner={winner}\n",
+            cs[i], ring[i].us_per_op, rd[i].us_per_op, sel[i].us_per_op
+        ));
+    }
+    match crossover_at {
+        Some(b) => out.push_str(&format!(
+            "crossover first_ring_win_bytes={b} selector_cutoff_bytes={}\n",
+            shrimp_coll::RD_CUTOFF_BYTES
+        )),
+        None => out.push_str("crossover none-observed\n"),
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn barrier_grows_logarithmically_4_to_16() {
+        let b4 = barrier_latency(2, 2, 4);
+        let b16 = barrier_latency(4, 4, 4);
+        let ratio = b16 / b4;
+        assert!(
+            (1.3..3.2).contains(&ratio),
+            "barrier 4n {b4:.1} us -> 16n {b16:.1} us (x{ratio:.2})"
+        );
+    }
+
+    #[test]
+    fn ring_allreduce_aggregate_bandwidth_scales_4_to_16() {
+        let sizes = [32768usize];
+        let p4 = allreduce_sweep(2, 2, &sizes, Some(AllreduceAlg::RingRsAg), 2, 7);
+        let p16 = allreduce_sweep(4, 4, &sizes, Some(AllreduceAlg::RingRsAg), 2, 7);
+        assert!(
+            p16[0].aggregate_mbs > 2.0 * p4[0].aggregate_mbs,
+            "ring allreduce aggregate bandwidth should scale: 4n {:.0} MB/s vs 16n {:.0} MB/s",
+            p4[0].aggregate_mbs,
+            p16[0].aggregate_mbs
+        );
+    }
+
+    #[test]
+    fn allreduce_algorithms_cross_over_with_size() {
+        let sizes = [64usize, 65536];
+        let ring = allreduce_sweep(4, 4, &sizes, Some(AllreduceAlg::RingRsAg), 2, 7);
+        let rd = allreduce_sweep(4, 4, &sizes, Some(AllreduceAlg::RecursiveDoubling), 2, 7);
+        assert!(
+            rd[0].us_per_op < ring[0].us_per_op,
+            "recursive doubling should win at 64 B: rd {:.1} us vs ring {:.1} us",
+            rd[0].us_per_op,
+            ring[0].us_per_op
+        );
+        assert!(
+            ring[1].us_per_op < rd[1].us_per_op,
+            "ring should win at 64 KiB: ring {:.1} us vs rd {:.1} us",
+            ring[1].us_per_op,
+            rd[1].us_per_op
+        );
+    }
+
+    #[test]
+    fn smoke_report_is_bit_identical_for_same_seed() {
+        let a = render_report(5, true);
+        let b = render_report(5, true);
+        assert_eq!(a, b, "same seed must render bit-identically");
+        assert!(a.contains("series allreduce mesh=4x4 alg=ring-rs-ag"));
+        assert!(a.contains("series crossover mesh=4x4"));
+    }
+}

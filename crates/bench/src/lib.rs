@@ -1,7 +1,8 @@
 //! # shrimp-bench — harnesses regenerating the paper's evaluation
 //!
 //! One binary per figure (`fig3`, `fig4`, `fig5`, `fig7`, `fig8`,
-//! `ttcp`, `ablations`) plus the fault-injection harness (`chaos`);
+//! `ttcp`, `ablations`) plus the fault-injection harness (`chaos`) and
+//! the collective-communication scaling study (`collectives`);
 //! this library holds the shared workloads and reporting. See DESIGN.md §3 for the experiment index and
 //! EXPERIMENTS.md for paper-vs-measured results.
 #![warn(missing_docs)]
@@ -9,6 +10,7 @@
 
 pub mod ablations;
 pub mod chaos;
+pub mod collectives;
 pub mod nx_pingpong;
 pub mod pingpong;
 pub mod report;

@@ -1,0 +1,40 @@
+//! # shrimp-coll — topology-aware collectives directly on VMMC
+//!
+//! The paper's libraries (NX, RPC, sockets) layer message passing over
+//! virtual memory-mapped communication; this crate does the same for
+//! *collective* operations, the way mapped-memory machines earn their
+//! scaling: all export/import geometry is established **once**, when
+//! the communicator is created, and every collective afterwards is
+//! nothing but deliberate-update sends into persistently mapped
+//! buffers with flag-after-data completion (paper §2.2's in-order
+//! delivery is the completion mechanism — the flag word is sent after
+//! the payload, so its arrival proves the data landed).
+//!
+//! * [`CollWorld`] — the job-wide factory; each rank calls
+//!   [`CollWorld::join`]/[`CollWorld::try_join`] to build its
+//!   [`CollComm`].
+//! * [`CollComm`] — persistent channels to the ring neighbors (mesh
+//!   snake order: every ring hop is one mesh link), the `±2^k` partners
+//!   (recursive doubling, dissemination, binomial trees for any root),
+//!   and — on small communicators — every rank.
+//! * [`ops`](CollComm::barrier) — `barrier`, `broadcast`, `reduce`,
+//!   `allgather`, `reduce_scatter`, `allreduce`; at least two
+//!   algorithms each, chosen by a size/node-count selector or pinned
+//!   explicitly via the `*_with` forms.
+//!
+//! Chunked pipelining: vectors move in [`CollConfig::chunk_bytes`]
+//! pieces through double-buffered slots, so the transfer of chunk `k+1`
+//! overlaps the local copy/reduction of chunk `k`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod comm;
+pub mod geometry;
+mod ops;
+
+pub use comm::{CollComm, CollConfig, CollError, CollWorld};
+pub use ops::{
+    block_range, AllgatherAlg, AllreduceAlg, BarrierAlg, BcastAlg, ReduceAlg, ReduceOp,
+    ReduceScatterAlg, GATHER_BCAST_CUTOFF_BYTES, RD_CUTOFF_BYTES,
+};

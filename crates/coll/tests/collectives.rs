@@ -1,0 +1,370 @@
+//! End-to-end tests for the collective subsystem: every operation and
+//! algorithm compared against a sequential host-side reference, over
+//! rank counts 2–16 (power-of-two and not), mesh shapes, chunk sizes,
+//! and payload sizes — plus determinism and misuse checks.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use proptest::prelude::*;
+use shrimp_coll::{
+    block_range, AllgatherAlg, AllreduceAlg, BarrierAlg, BcastAlg, CollConfig, CollError,
+    CollWorld, ReduceAlg, ReduceOp, ReduceScatterAlg,
+};
+use shrimp_core::{ShrimpSystem, SystemConfig};
+use shrimp_node::CacheMode;
+use shrimp_sim::{Kernel, SplitMix64};
+
+/// Per-rank outcome of one full workload pass.
+#[derive(Debug, Clone, PartialEq)]
+struct RankOut {
+    bcast: Vec<u8>,
+    allgather: Vec<u8>,
+    reduce: Vec<u8>,
+    allreduce: Vec<u8>,
+    scatter_block: Vec<u8>,
+    finish_ps: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Case {
+    w: usize,
+    h: usize,
+    seed: u64,
+    /// Payload bytes for broadcast / allgather.
+    bytes: usize,
+    /// 8-byte elements for the reductions.
+    count: usize,
+    chunk: usize,
+    slots: usize,
+    alt: bool,
+    op: ReduceOp,
+}
+
+fn input_bytes(seed: u64, rank: usize, len: usize) -> Vec<u8> {
+    let mut rng = SplitMix64::new(seed ^ (rank as u64).wrapping_mul(0x9E37_79B9));
+    (0..len).map(|_| rng.next_u64() as u8).collect()
+}
+
+/// Reduction inputs use small integer-valued lanes so every supported
+/// op is exact and order-independent — algorithms may combine in any
+/// association.
+fn input_elems(seed: u64, rank: usize, count: usize, op: ReduceOp) -> Vec<u8> {
+    let mut rng = SplitMix64::new(seed ^ (rank as u64).wrapping_mul(0xDEAD_BEEF));
+    let mut out = Vec::with_capacity(count * 8);
+    for _ in 0..count {
+        let v = (rng.next_u64() % 201) as i64 - 100;
+        match op {
+            ReduceOp::SumF64 | ReduceOp::MaxF64 => out.extend((v as f64).to_le_bytes()),
+            ReduceOp::SumI64 => out.extend(v.to_le_bytes()),
+        }
+    }
+    out
+}
+
+fn fold_all(n: usize, seed: u64, count: usize, op: ReduceOp) -> Vec<u8> {
+    let mut acc = input_elems(seed, 0, count, op);
+    for r in 1..n {
+        op.fold(&mut acc, &input_elems(seed, r, count, op));
+    }
+    acc
+}
+
+fn run_case(case: Case) -> Vec<RankOut> {
+    let n = case.w * case.h;
+    let kernel = Kernel::new();
+    let system = ShrimpSystem::build(&kernel, SystemConfig::with_mesh(case.w, case.h));
+    let config = CollConfig {
+        chunk_bytes: case.chunk,
+        slots: case.slots,
+        ..CollConfig::default()
+    };
+    let world = CollWorld::new(Arc::clone(&system), config, (0..n).collect());
+    let outs: Arc<Mutex<Vec<(usize, RankOut)>>> = Arc::new(Mutex::new(Vec::new()));
+    let root = (case.seed % n as u64) as usize;
+    for rank in 0..n {
+        let world = Arc::clone(&world);
+        let outs = Arc::clone(&outs);
+        kernel.spawn(format!("rank{rank}"), move |ctx| {
+            let mut comm = world.join(ctx, rank);
+            let p = comm.vmmc().proc_().clone();
+            let (bc_alg, rd_alg, ag_alg, rs_alg, ar_alg, ba_alg) = if case.alt {
+                (
+                    BcastAlg::Flat,
+                    ReduceAlg::Flat,
+                    AllgatherAlg::GatherBcast,
+                    ReduceScatterAlg::Pairwise,
+                    AllreduceAlg::RecursiveDoubling,
+                    BarrierAlg::Tree,
+                )
+            } else {
+                (
+                    BcastAlg::Binomial,
+                    ReduceAlg::Binomial,
+                    AllgatherAlg::Ring,
+                    ReduceScatterAlg::Ring,
+                    AllreduceAlg::RingRsAg,
+                    BarrierAlg::Dissemination,
+                )
+            };
+
+            comm.barrier_with(ctx, ba_alg).unwrap();
+
+            // Broadcast.
+            let bbuf = p.alloc(case.bytes.max(4), CacheMode::WriteBack);
+            if rank == root {
+                p.poke(bbuf, &input_bytes(case.seed, root, case.bytes))
+                    .unwrap();
+            }
+            comm.broadcast_with(ctx, root, bbuf, case.bytes, bc_alg)
+                .unwrap();
+            let bcast = p.peek(bbuf, case.bytes).unwrap();
+
+            // Allgather (in place over the block partition).
+            let gbuf = p.alloc(case.bytes.max(4), CacheMode::WriteBack);
+            p.poke(gbuf, &input_bytes(case.seed, rank, case.bytes))
+                .unwrap();
+            comm.allgather_with(ctx, gbuf, case.bytes, ag_alg).unwrap();
+            let allgather = p.peek(gbuf, case.bytes).unwrap();
+
+            // Reduce to root.
+            let rbuf = p.alloc((case.count * 8).max(4), CacheMode::WriteBack);
+            p.poke(rbuf, &input_elems(case.seed, rank, case.count, case.op))
+                .unwrap();
+            comm.reduce_with(ctx, root, rbuf, case.count, case.op, rd_alg)
+                .unwrap();
+            let reduce = p.peek(rbuf, case.count * 8).unwrap();
+
+            comm.barrier_with(ctx, ba_alg).unwrap();
+
+            // Allreduce.
+            p.poke(rbuf, &input_elems(case.seed, rank, case.count, case.op))
+                .unwrap();
+            comm.allreduce_with(ctx, rbuf, case.count, case.op, ar_alg)
+                .unwrap();
+            let allreduce = p.peek(rbuf, case.count * 8).unwrap();
+
+            // Reduce-scatter.
+            p.poke(rbuf, &input_elems(case.seed, rank, case.count, case.op))
+                .unwrap();
+            let (bs, bl) = comm
+                .reduce_scatter_with(ctx, rbuf, case.count, case.op, rs_alg)
+                .unwrap();
+            let scatter_block = p.peek(rbuf.add(bs * 8), bl * 8).unwrap();
+
+            comm.barrier_with(ctx, ba_alg).unwrap();
+            outs.lock().push((
+                rank,
+                RankOut {
+                    bcast,
+                    allgather,
+                    reduce,
+                    allreduce,
+                    scatter_block,
+                    finish_ps: ctx.now().as_ps(),
+                },
+            ));
+        });
+    }
+    kernel.run_until_quiescent().unwrap();
+    assert!(system.violations().is_empty());
+    let mut outs = Arc::try_unwrap(outs).unwrap().into_inner();
+    outs.sort_by_key(|(r, _)| *r);
+    assert_eq!(outs.len(), n);
+    outs.into_iter().map(|(_, o)| o).collect()
+}
+
+fn check_case(case: Case) {
+    let n = case.w * case.h;
+    let outs = run_case(case);
+    let root = (case.seed % n as u64) as usize;
+    let expect_bcast = input_bytes(case.seed, root, case.bytes);
+    let expect_gather: Vec<u8> = (0..n)
+        .flat_map(|r| {
+            let (s, l) = block_range(r, n, case.bytes);
+            input_bytes(case.seed, r, case.bytes)[s..s + l].to_vec()
+        })
+        .collect();
+    let expect_red = fold_all(n, case.seed, case.count, case.op);
+    for (r, o) in outs.iter().enumerate() {
+        assert_eq!(o.bcast, expect_bcast, "bcast rank {r} case {case:?}");
+        assert_eq!(
+            o.allgather, expect_gather,
+            "allgather rank {r} case {case:?}"
+        );
+        assert_eq!(o.allreduce, expect_red, "allreduce rank {r} case {case:?}");
+        if r == root {
+            assert_eq!(o.reduce, expect_red, "reduce root case {case:?}");
+        }
+        let (s, l) = block_range(r, n, case.count);
+        assert_eq!(
+            o.scatter_block,
+            expect_red[s * 8..(s + l) * 8].to_vec(),
+            "reduce_scatter rank {r} case {case:?}"
+        );
+    }
+}
+
+#[test]
+fn both_algorithm_families_on_the_prototype() {
+    for alt in [false, true] {
+        check_case(Case {
+            w: 2,
+            h: 2,
+            seed: 11,
+            bytes: 777,
+            count: 65,
+            chunk: 256,
+            slots: 2,
+            alt,
+            op: ReduceOp::SumF64,
+        });
+    }
+}
+
+#[test]
+fn sixteen_ranks_ring_family() {
+    check_case(Case {
+        w: 4,
+        h: 4,
+        seed: 5,
+        bytes: 4096,
+        count: 300,
+        chunk: 512,
+        slots: 2,
+        alt: false,
+        op: ReduceOp::SumI64,
+    });
+}
+
+#[test]
+fn non_power_of_two_ranks_both_families() {
+    for (w, h, alt) in [(3, 2, false), (3, 2, true), (3, 3, false), (3, 3, true)] {
+        check_case(Case {
+            w,
+            h,
+            seed: 23,
+            bytes: 500,
+            count: 37,
+            chunk: 128,
+            slots: 2,
+            alt,
+            op: ReduceOp::MaxF64,
+        });
+    }
+}
+
+#[test]
+fn single_rank_collectives_are_noops() {
+    let kernel = Kernel::new();
+    let system = ShrimpSystem::build(&kernel, SystemConfig::prototype());
+    let world = CollWorld::new(Arc::clone(&system), CollConfig::default(), vec![2]);
+    kernel.spawn("solo", move |ctx| {
+        let mut comm = world.join(ctx, 0);
+        let p = comm.vmmc().proc_().clone();
+        let buf = p.alloc(64, CacheMode::WriteBack);
+        p.poke(buf, &[7u8; 64]).unwrap();
+        comm.barrier(ctx).unwrap();
+        comm.broadcast(ctx, 0, buf, 64).unwrap();
+        comm.allreduce(ctx, buf, 8, ReduceOp::SumI64).unwrap();
+        assert_eq!(p.peek(buf, 64).unwrap(), vec![7u8; 64]);
+    });
+    kernel.run_until_quiescent().unwrap();
+}
+
+#[test]
+fn flat_variants_rejected_without_all_pairs_channels() {
+    let kernel = Kernel::new();
+    let system = ShrimpSystem::build(&kernel, SystemConfig::prototype());
+    let config = CollConfig {
+        flat_limit: 2,
+        ..CollConfig::default()
+    };
+    let world = CollWorld::new(Arc::clone(&system), config, (0..4).collect());
+    for rank in 0..4 {
+        let world = Arc::clone(&world);
+        kernel.spawn(format!("rank{rank}"), move |ctx| {
+            let mut comm = world.join(ctx, rank);
+            assert!(!comm.has_flat_channels());
+            let p = comm.vmmc().proc_().clone();
+            let buf = p.alloc(64, CacheMode::WriteBack);
+            let err = comm
+                .broadcast_with(ctx, 0, buf, 64, BcastAlg::Flat)
+                .unwrap_err();
+            assert!(matches!(err, CollError::Unsupported(_)));
+            // The sparse geometry still serves the tree/ring family.
+            comm.broadcast_with(ctx, 0, buf, 64, BcastAlg::Binomial)
+                .unwrap();
+            comm.barrier(ctx).unwrap();
+        });
+    }
+    kernel.run_until_quiescent().unwrap();
+}
+
+#[test]
+fn same_seed_is_bit_identical_including_finish_times() {
+    let case = Case {
+        w: 4,
+        h: 4,
+        seed: 99,
+        bytes: 2048,
+        count: 200,
+        chunk: 512,
+        slots: 2,
+        alt: false,
+        op: ReduceOp::SumF64,
+    };
+    let a = run_case(case);
+    let b = run_case(case);
+    assert_eq!(a, b, "same seed must give identical results and timing");
+}
+
+fn mesh_shapes() -> impl Strategy<Value = (usize, usize)> {
+    prop_oneof![
+        Just((1, 2)),
+        Just((1, 3)),
+        Just((2, 2)),
+        Just((1, 5)),
+        Just((2, 3)),
+        Just((2, 4)),
+        Just((3, 3)),
+        Just((2, 5)),
+        Just((3, 4)),
+        Just((1, 13)),
+        Just((2, 7)),
+        Just((3, 5)),
+        Just((4, 4)),
+    ]
+}
+
+fn chunking() -> impl Strategy<Value = (usize, usize)> {
+    // (chunk_bytes, payload cap): small chunks get small payloads to
+    // bound simulated chunk counts.
+    prop_oneof![Just((8, 64)), Just((64, 400)), Just((512, 2500))]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn collectives_match_sequential_reference(
+        wh in mesh_shapes(),
+        ck in chunking(),
+        seed in 0u64..1 << 48,
+        frac in 0usize..101,
+        slots in 2usize..4,
+        alt in any::<bool>(),
+        opsel in 0u8..3,
+    ) {
+        let (w, h) = wh;
+        let (chunk, cap) = ck;
+        let bytes = cap * frac / 100;
+        let count = (cap / 8) * frac / 100;
+        let op = match opsel {
+            0 => ReduceOp::SumF64,
+            1 => ReduceOp::SumI64,
+            _ => ReduceOp::MaxF64,
+        };
+        check_case(Case { w, h, seed, bytes, count, chunk, slots, alt, op });
+    }
+}

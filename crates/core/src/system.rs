@@ -285,6 +285,24 @@ impl ShrimpSystem {
         Vmmc::new(Arc::clone(self), i, proc_)
     }
 
+    /// Create a second VMMC endpoint for an *existing* process on node
+    /// `i`, sharing its address space. Libraries layered on top of each
+    /// other (NX over the collective layer, say) use this so both see
+    /// the same user buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range or `proc_` does not live on node
+    /// `i`.
+    pub fn endpoint_on(self: &Arc<Self>, i: usize, proc_: UserProc) -> Vmmc {
+        assert!(i < self.nodes.len(), "node {i} out of range");
+        assert!(
+            Arc::ptr_eq(proc_.node(), &self.nodes[i]),
+            "process does not live on node {i}"
+        );
+        Vmmc::new(Arc::clone(self), i, proc_)
+    }
+
     /// Receive-path protection violations observed so far, as
     /// `(node, physical page)` pairs. A correct protocol never triggers
     /// any; tests assert emptiness.

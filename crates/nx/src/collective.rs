@@ -1,83 +1,47 @@
-//! NX global (collective) operations: `gsync`, `gdsum`, `gisum`.
+//! NX global (collective) operations: `gsync`, `gdsum`, `gisum`,
+//! `gbcast`, `gcol` — thin wrappers over the `shrimp-coll`
+//! communicator each rank carries.
 //!
-//! Implemented, as on the real machines, as message-passing algorithms
-//! over the point-to-point layer: a dissemination barrier and
-//! recursive-doubling reductions. Internal messages use types at
-//! [`INTERNAL_TYPE_BASE`](crate::proc::INTERNAL_TYPE_BASE) and are
-//! invisible to `crecv(-1, ...)`.
+//! The heavy lifting (persistent VMMC channel geometry, ring and
+//! binomial-tree algorithms, chunked pipelining, the size selector)
+//! lives in `shrimp-coll`; these entry points only adapt NX's calling
+//! conventions. The one exception is [`NxProc::gbcast_naive`], kept as
+//! a point-to-point ablation baseline for the §6 co-design argument.
 
 use shrimp_node::{CacheMode, VAddr};
 use shrimp_sim::Ctx;
 
 use crate::proc::{NxError, NxProc, INTERNAL_TYPE_BASE};
 
-/// Scratch buffers for collectives, allocated lazily per process.
-#[derive(Debug, Clone, Copy)]
-struct Scratch {
-    send: VAddr,
-    recv: VAddr,
-}
-
 impl NxProc {
-    fn scratch(&mut self) -> Scratch {
-        // Allocate once; stash the addresses in a small table keyed by a
-        // marker export-free allocation (cheap: two words stored in the
-        // struct would be nicer, but keeps NxProc lean).
-        if let Some(s) = self.collective_scratch {
-            return Scratch {
-                send: s.0,
-                recv: s.1,
-            };
-        }
-        let send = self.vmmc().proc_().alloc(64, CacheMode::WriteBack);
-        let recv = self.vmmc().proc_().alloc(64, CacheMode::WriteBack);
-        self.collective_scratch = Some((send, recv));
-        Scratch { send, recv }
-    }
-
-    /// Global barrier (NX `gsync`): dissemination algorithm,
-    /// `ceil(log2 n)` rounds.
+    /// Global barrier (NX `gsync`).
     ///
     /// # Errors
     ///
-    /// Propagates point-to-point errors.
+    /// Propagates collective-channel errors.
     pub fn gsync(&mut self, ctx: &Ctx) -> Result<(), NxError> {
-        let n = self.numnodes();
-        if n == 1 {
-            return Ok(());
-        }
-        let me = self.mynode();
-        let s = self.scratch();
-        let epoch = self.barrier_epoch;
-        self.barrier_epoch += 1;
-        let mut round = 0u32;
-        let mut dist = 1usize;
-        while dist < n {
-            let mtype = INTERNAL_TYPE_BASE + ((epoch as i32 & 0xFFF) << 8) + round as i32;
-            let to = (me + dist) % n;
-            let _from = (me + n - dist) % n;
-            self.csend(ctx, mtype, s.send, 0, to)?;
-            self.crecv(ctx, mtype, s.recv, 64)?;
-            dist *= 2;
-            round += 1;
-        }
+        self.coll.barrier(ctx)?;
         Ok(())
     }
 
     /// Global sum of one `f64` across all ranks (NX `gdsum` with a
-    /// single element): recursive doubling over the power-of-two portion
-    /// with fold-in for the remainder.
+    /// single element).
     ///
     /// # Errors
     ///
-    /// Propagates point-to-point errors.
+    /// Propagates collective-channel errors.
     pub fn gdsum(&mut self, ctx: &Ctx, x: f64) -> Result<f64, NxError> {
-        self.reduce_bytes(ctx, &x.to_le_bytes(), |a, b| {
-            let fa = f64::from_le_bytes(a.try_into().expect("8 bytes"));
-            let fb = f64::from_le_bytes(b.try_into().expect("8 bytes"));
-            (fa + fb).to_le_bytes().to_vec()
-        })
-        .map(|b| f64::from_le_bytes(b.try_into().expect("8 bytes")))
+        Ok(self.coll.allreduce_f64(ctx, &[x])?[0])
+    }
+
+    /// Global element-wise sum of a `f64` vector (NX `gdsum` with `n`
+    /// elements): every rank returns the per-element sums.
+    ///
+    /// # Errors
+    ///
+    /// Propagates collective-channel errors.
+    pub fn gdsum_vec(&mut self, ctx: &Ctx, xs: &[f64]) -> Result<Vec<f64>, NxError> {
+        Ok(self.coll.allreduce_f64(ctx, xs)?)
     }
 
     /// Global sum of one `i64` across all ranks (NX `gisum` with a
@@ -85,26 +49,29 @@ impl NxProc {
     ///
     /// # Errors
     ///
-    /// Propagates point-to-point errors.
+    /// Propagates collective-channel errors.
     pub fn gisum(&mut self, ctx: &Ctx, x: i64) -> Result<i64, NxError> {
-        self.reduce_bytes(ctx, &x.to_le_bytes(), |a, b| {
-            let fa = i64::from_le_bytes(a.try_into().expect("8 bytes"));
-            let fb = i64::from_le_bytes(b.try_into().expect("8 bytes"));
-            (fa + fb).to_le_bytes().to_vec()
-        })
-        .map(|b| i64::from_le_bytes(b.try_into().expect("8 bytes")))
+        Ok(self.coll.allreduce_i64(ctx, &[x])?[0])
     }
 
-    /// Broadcast `len` bytes from `root`'s `buf` into every other rank's
-    /// `buf` — the software multicast of paper §6: the hardware multicast
-    /// feature was removed during co-design because a software spanning
-    /// tree performs acceptably. This is a binomial tree:
-    /// `ceil(log2 n)` rounds, each participant forwarding to one new
-    /// rank per round.
+    /// Global element-wise sum of an `i64` vector (NX `gisum` with `n`
+    /// elements): every rank returns the per-element sums.
     ///
     /// # Errors
     ///
-    /// Propagates point-to-point errors.
+    /// Propagates collective-channel errors.
+    pub fn gisum_vec(&mut self, ctx: &Ctx, xs: &[i64]) -> Result<Vec<i64>, NxError> {
+        Ok(self.coll.allreduce_i64(ctx, xs)?)
+    }
+
+    /// Broadcast `len` bytes from `root`'s `buf` into every other
+    /// rank's `buf` — the software multicast of paper §6: the hardware
+    /// multicast feature was removed during co-design because a
+    /// software spanning tree performs acceptably.
+    ///
+    /// # Errors
+    ///
+    /// Propagates collective-channel errors.
     pub fn gbcast(
         &mut self,
         ctx: &Ctx,
@@ -112,39 +79,13 @@ impl NxProc {
         buf: VAddr,
         len: usize,
     ) -> Result<(), NxError> {
-        let n = self.numnodes();
-        if n == 1 {
-            return Ok(());
-        }
-        let me = self.mynode();
-        let epoch = self.barrier_epoch;
-        self.barrier_epoch += 1;
-        let tag = INTERNAL_TYPE_BASE + 0x2000 + (epoch as i32 & 0xFFF);
-        // Virtual ranks relative to the root.
-        let vrank = (me + n - root) % n;
-        let rounds = usize::BITS - (n - 1).leading_zeros();
-        // Receive once (non-roots), then forward in the remaining rounds.
-        if vrank != 0 {
-            // The bit of the highest set position tells which round this
-            // rank is reached in; its parent cleared that bit.
-            let got = self.crecv(ctx, tag, buf, len)?;
-            debug_assert_eq!(got, len);
-        }
-        for k in 0..rounds {
-            let bit = 1usize << k;
-            if vrank < bit {
-                let dst_v = vrank + bit;
-                if dst_v < n {
-                    self.csend(ctx, tag, buf, len, (dst_v + root) % n)?;
-                }
-            }
-        }
+        self.coll.broadcast(ctx, root, buf, len)?;
         Ok(())
     }
 
     /// The naive multicast a sender without a tree would do: the root
-    /// sends to every rank in turn. Kept for the ablation bench that
-    /// justifies the co-design decision.
+    /// sends to every rank in turn over the point-to-point layer. Kept
+    /// for the ablation bench that justifies the co-design decision.
     ///
     /// # Errors
     ///
@@ -174,103 +115,24 @@ impl NxProc {
     }
 
     /// Concatenation gather (NX `gcol` for a single element per rank):
-    /// every rank contributes `len` bytes from `buf`; every rank returns
-    /// the concatenation in rank order. Implemented as a gather to rank
-    /// 0 followed by a tree broadcast.
+    /// every rank contributes `len` bytes from `buf`; every rank
+    /// returns the concatenation in rank order. Runs as an in-place
+    /// allgather over uniform blocks in the collective layer.
     ///
     /// # Errors
     ///
-    /// Propagates point-to-point errors.
+    /// Propagates collective-channel errors.
     pub fn gcol(&mut self, ctx: &Ctx, buf: VAddr, len: usize) -> Result<Vec<u8>, NxError> {
         let n = self.numnodes();
         let me = self.mynode();
         let p = self.vmmc().proc_().clone();
-        let epoch = self.barrier_epoch;
-        self.barrier_epoch += 1;
-        let tag = INTERNAL_TYPE_BASE + 0x4000 + ((epoch as i32) & 0xFFF);
         let total = n * len;
         let all = p.alloc(total.max(4), CacheMode::WriteBack);
-        if me == 0 {
-            // Collect every contribution into rank order (receiving via
-            // a scratch area so late arrivals never clobber placed data).
-            let scratch = p.alloc(len.max(4), CacheMode::WriteBack);
-            let mine = p.peek(buf, len).map_err(shrimp_core::VmmcError::from)?;
-            p.poke(all, &mine).map_err(shrimp_core::VmmcError::from)?;
-            for _ in 1..n {
-                let got = self.crecv(ctx, tag, scratch, len)?;
-                debug_assert_eq!(got, len);
-                let src = self.infonode();
-                let data = p.peek(scratch, len).map_err(shrimp_core::VmmcError::from)?;
-                p.poke(all.add(src * len), &data)
-                    .map_err(shrimp_core::VmmcError::from)?;
-            }
-        } else {
-            self.csend(ctx, tag, buf, len, 0)?;
+        if len > 0 {
+            p.copy(ctx, buf, all.add(me * len), len)
+                .map_err(shrimp_core::VmmcError::from)?;
         }
-        self.gbcast(ctx, 0, all, total)?;
+        self.coll.allgather(ctx, all, total)?;
         Ok(p.peek(all, total).map_err(shrimp_core::VmmcError::from)?)
-    }
-
-    /// All-reduce of a fixed-width value with a combining function;
-    /// every rank returns the same result.
-    fn reduce_bytes(
-        &mut self,
-        ctx: &Ctx,
-        value: &[u8],
-        combine: impl Fn(&[u8], &[u8]) -> Vec<u8>,
-    ) -> Result<Vec<u8>, NxError> {
-        assert!(value.len() <= 64, "collective scratch is 64 bytes");
-        let n = self.numnodes();
-        let me = self.mynode();
-        let s = self.scratch();
-        let epoch = self.barrier_epoch;
-        self.barrier_epoch += 1;
-        let mut acc = value.to_vec();
-        let p = self.vmmc().proc_().clone();
-
-        // Recursive doubling across the largest power of two <= n; extra
-        // ranks fold into their partner first and receive the result at
-        // the end.
-        let pow2 = n.next_power_of_two() / if n.is_power_of_two() { 1 } else { 2 };
-        let tag =
-            |round: u32| INTERNAL_TYPE_BASE + 0x1000 + ((epoch as i32 & 0xFFF) << 8) + round as i32;
-        if me >= pow2 {
-            // Fold in, then wait for the broadcast result.
-            p.write(ctx, s.send, &acc)
-                .map_err(shrimp_core::VmmcError::from)?;
-            self.csend(ctx, tag(30), s.send, acc.len(), me - pow2)?;
-            let n_bytes = self.crecv(ctx, tag(31), s.recv, 64)?;
-            return Ok(p
-                .read(ctx, s.recv, n_bytes)
-                .map_err(shrimp_core::VmmcError::from)?);
-        }
-        if me + pow2 < n {
-            let got = self.crecvx(ctx, tag(30), s.recv, 64, Some(me + pow2))?;
-            let other = p
-                .read(ctx, s.recv, got)
-                .map_err(shrimp_core::VmmcError::from)?;
-            acc = combine(&acc, &other);
-        }
-        let mut dist = 1usize;
-        let mut round = 0u32;
-        while dist < pow2 {
-            let partner = me ^ dist;
-            p.write(ctx, s.send, &acc)
-                .map_err(shrimp_core::VmmcError::from)?;
-            self.csend(ctx, tag(round), s.send, acc.len(), partner)?;
-            let got = self.crecvx(ctx, tag(round), s.recv, 64, Some(partner))?;
-            let other = p
-                .read(ctx, s.recv, got)
-                .map_err(shrimp_core::VmmcError::from)?;
-            acc = combine(&acc, &other);
-            dist *= 2;
-            round += 1;
-        }
-        if me + pow2 < n {
-            p.write(ctx, s.send, &acc)
-                .map_err(shrimp_core::VmmcError::from)?;
-            self.csend(ctx, tag(31), s.send, acc.len(), me + pow2)?;
-        }
-        Ok(acc)
     }
 }

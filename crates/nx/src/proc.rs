@@ -85,6 +85,8 @@ pub enum NxError {
     InvalidRank(usize),
     /// An underlying VMMC operation failed.
     Vmmc(VmmcError),
+    /// A collective operation failed in the `shrimp-coll` backend.
+    Collective(shrimp_coll::CollError),
     /// A bounded setup wait (the join rendezvous) gave up.
     Timeout {
         /// The operation that timed out.
@@ -105,6 +107,7 @@ impl std::fmt::Display for NxError {
             }
             NxError::InvalidRank(r) => write!(f, "rank {r} out of range"),
             NxError::Vmmc(e) => write!(f, "vmmc: {e}"),
+            NxError::Collective(e) => write!(f, "collective: {e}"),
             NxError::Timeout { op, waited } => write!(f, "{op} timed out after {waited}"),
         }
     }
@@ -114,6 +117,7 @@ impl std::error::Error for NxError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             NxError::Vmmc(e) => Some(e),
+            NxError::Collective(e) => Some(e),
             _ => None,
         }
     }
@@ -122,6 +126,16 @@ impl std::error::Error for NxError {
 impl From<VmmcError> for NxError {
     fn from(e: VmmcError) -> Self {
         NxError::Vmmc(e)
+    }
+}
+
+impl From<shrimp_coll::CollError> for NxError {
+    fn from(e: shrimp_coll::CollError) -> Self {
+        match e {
+            shrimp_coll::CollError::Vmmc(v) => NxError::Vmmc(v),
+            shrimp_coll::CollError::Timeout { op, waited } => NxError::Timeout { op, waited },
+            other => NxError::Collective(other),
+        }
     }
 }
 
@@ -178,7 +192,7 @@ pub struct NxProc {
     posted: Vec<Posted>,
     completed: std::collections::HashMap<MsgHandle, NxInfo>,
     next_handle: u32,
-    pub(crate) collective_scratch: Option<(VAddr, VAddr)>,
+    pub(crate) coll: shrimp_coll::CollComm,
     pub(crate) barrier_epoch: u32,
     progress_guard: bool,
     stats: NxStats,
@@ -194,6 +208,7 @@ impl std::fmt::Debug for NxProc {
 }
 
 impl NxProc {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         vmmc: shrimp_core::Vmmc,
         rank: usize,
@@ -202,6 +217,7 @@ impl NxProc {
         layout: DataLayout,
         out: Vec<Option<OutConn>>,
         inc: Vec<Option<InConn>>,
+        coll: shrimp_coll::CollComm,
     ) -> NxProc {
         NxProc {
             vmmc,
@@ -216,7 +232,7 @@ impl NxProc {
             posted: Vec::new(),
             completed: std::collections::HashMap::new(),
             next_handle: 1,
-            collective_scratch: None,
+            coll,
             barrier_epoch: 0,
             progress_guard: false,
             stats: NxStats::default(),
@@ -236,6 +252,13 @@ impl NxProc {
     /// The VMMC endpoint (for allocating user buffers etc.).
     pub fn vmmc(&self) -> &shrimp_core::Vmmc {
         &self.vmmc
+    }
+
+    /// The underlying collective communicator (shares this rank's
+    /// address space): use it directly for the full algorithm palette —
+    /// the NX `g*` calls are thin wrappers over it.
+    pub fn coll(&mut self) -> &mut shrimp_coll::CollComm {
+        &mut self.coll
     }
 
     /// Protocol counters for this process.

@@ -47,6 +47,9 @@ pub struct NxWorld {
     published: Mutex<Published>,
     joined: AtomicUsize,
     ready: Gate,
+    /// Collective-communication factory: the `g*` calls run on
+    /// `shrimp-coll` communicators sharing each rank's address space.
+    coll: Arc<shrimp_coll::CollWorld>,
 }
 
 impl std::fmt::Debug for NxWorld {
@@ -125,6 +128,11 @@ impl NxWorld {
         for &n in &nodes {
             assert!(n < system.len(), "node {n} out of range");
         }
+        let coll = shrimp_coll::CollWorld::new(
+            Arc::clone(&system),
+            shrimp_coll::CollConfig::default(),
+            nodes.clone(),
+        );
         Arc::new(NxWorld {
             system,
             config,
@@ -132,6 +140,7 @@ impl NxWorld {
             published: Mutex::new(Published::default()),
             joined: AtomicUsize::new(0),
             ready: Gate::new(),
+            coll,
         })
     }
 
@@ -332,6 +341,13 @@ impl NxWorld {
             }));
         }
 
+        // Finally, build this rank's collective communicator on the
+        // same process, so the persistent channel geometry shares the
+        // NX address space (user buffers are directly sendable).
+        let coll = self
+            .coll
+            .try_join(ctx, rank, policy, Some(vmmc.proc_().clone()))?;
+
         Ok(NxProc::new(
             vmmc,
             rank,
@@ -340,6 +356,7 @@ impl NxWorld {
             layout,
             out,
             inc,
+            coll,
         ))
     }
 }

@@ -17,6 +17,8 @@
 //!   combining, deliberate-update engine, incoming DMA);
 //! * [`vmmc`] — **the paper's contribution**: import-export mappings,
 //!   deliberate and automatic update, notifications, the daemon;
+//! * [`coll`] — topology-aware collective communication over
+//!   persistent VMMC geometry (rings, binomial trees, pipelining);
 //! * [`nx`] — NX message passing (one-copy credits + zero-copy
 //!   rendezvous);
 //! * [`sunrpc`] — SunRPC-compatible VRPC (XDR over a cyclic shared
@@ -31,6 +33,7 @@
 
 #![warn(missing_docs)]
 
+pub use shrimp_coll as coll;
 pub use shrimp_core as vmmc;
 pub use shrimp_mesh as mesh;
 pub use shrimp_nic as nic;
