@@ -1,0 +1,132 @@
+//! Wall-clock performance harness for the simulation engine (host
+//! seconds, scheduled items/sec, heap allocations) over the repo's own
+//! figure workloads. See `shrimp_bench::simperf` for the workload
+//! definitions.
+//!
+//! Usage:
+//!   `cargo run --release -p shrimp-bench --bin simperf [-- --only NAME]
+//!        [-- --json] [-- --check BENCH_simperf.json [--threshold X]]`
+//!
+//! * default: run all workloads, print a human-readable table plus the
+//!   JSON fragment to splice into `BENCH_simperf.json`;
+//! * `--only NAME`: run a single workload (`fig3`, `fig7`, `coll4x4`,
+//!   `coll8x8`);
+//! * `--check FILE`: CI regression gate — after running, compare each
+//!   workload's wall seconds against the committed baseline's `after`
+//!   section and exit non-zero if any exceeds `threshold ×` baseline
+//!   (default 1.5; CI machines are noisy, virtual results are exact,
+//!   so only gross regressions should trip this).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use shrimp_bench::simperf::{baseline_wall_s, render_json, run_all};
+
+/// Counts every allocation the workloads make. Wraps the system
+/// allocator; the counters are what `--json` reports as `allocs` /
+/// `alloc_bytes`.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates directly to `System`; only adds relaxed counter
+// increments, which allocate nothing.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn read_counters() -> (u64, u64) {
+    (
+        ALLOCS.load(Ordering::Relaxed),
+        ALLOC_BYTES.load(Ordering::Relaxed),
+    )
+}
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let only = arg_value(&args, "--only");
+    let json_only = args.iter().any(|a| a == "--json");
+    let check = arg_value(&args, "--check");
+    let threshold: f64 = arg_value(&args, "--threshold")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.5);
+
+    let results = run_all(only.as_deref(), read_counters);
+    if results.is_empty() {
+        eprintln!("unknown workload {only:?}; expected fig3|fig7|coll4x4|coll8x8");
+        std::process::exit(2);
+    }
+
+    if !json_only {
+        println!(
+            "{:<9} {:>9} {:>12} {:>14} {:>12} {:>12} {:>14}  virt digest",
+            "workload", "wall s", "items", "items/sec", "fast-resume", "allocs", "alloc bytes",
+        );
+        for r in &results {
+            println!(
+                "{:<9} {:>9.3} {:>12} {:>14.0} {:>12} {:>12} {:>14}  {:016x}",
+                r.name,
+                r.wall_s,
+                r.metrics.items(),
+                r.items_per_sec(),
+                r.metrics.fast_resumes,
+                r.allocs,
+                r.alloc_bytes,
+                r.virt_digest
+            );
+        }
+        println!();
+    }
+    println!("{}", render_json(&results));
+
+    if let Some(path) = check {
+        let committed = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let mut failed = false;
+        for r in &results {
+            match baseline_wall_s(&committed, "after", r.name) {
+                None => {
+                    eprintln!("check: no committed baseline for {}, skipping", r.name);
+                }
+                Some(base) => {
+                    let ratio = r.wall_s / base.max(1e-9);
+                    let verdict = if ratio > threshold { "FAIL" } else { "ok" };
+                    eprintln!(
+                        "check: {} wall {:.3}s vs baseline {:.3}s ({:.2}x, limit {:.2}x) {}",
+                        r.name, r.wall_s, base, ratio, threshold, verdict
+                    );
+                    failed |= ratio > threshold;
+                }
+            }
+        }
+        if failed {
+            eprintln!("check: wall-clock regression beyond {threshold}x baseline");
+            std::process::exit(1);
+        }
+    }
+}

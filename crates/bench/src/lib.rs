@@ -16,6 +16,7 @@ pub mod pingpong;
 pub mod report;
 pub mod rpc_compare;
 pub mod scale;
+pub mod simperf;
 pub mod socket_bench;
 pub mod vrpc_bench;
 

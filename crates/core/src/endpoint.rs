@@ -152,7 +152,7 @@ struct EpState {
     notify_blocked: bool,
     pending_notifies: VecDeque<NotifyEvent>,
     handlers: HashMap<BufferName, NotifyHandler>,
-    exports: HashMap<BufferName, (VAddr, usize, Vec<u64>)>,
+    exports: HashMap<BufferName, (VAddr, usize, Arc<Vec<u64>>)>,
     ppage_to_buffer: HashMap<u64, BufferName>,
 }
 
@@ -279,9 +279,11 @@ impl Vmmc {
     ) -> Result<BufferName, VmmcError> {
         ctx.advance(self.proc_.node().costs().os_export);
         let chunks = self.proc_.aspace().translate_range(va, len, true)?;
-        let ppages: Vec<u64> = chunks.iter().map(|(pa, _, _)| pa.page()).collect();
+        // One page list, shared by the daemon record, the page registry,
+        // and this endpoint's export table.
+        let ppages: Arc<Vec<u64>> = Arc::new(chunks.iter().map(|(pa, _, _)| pa.page()).collect());
         let record = ExportRecord {
-            ppages: Arc::new(ppages.clone()),
+            ppages: Arc::clone(&ppages),
             first_offset: va.offset(),
             len,
             perms: opts.perms,
@@ -295,8 +297,8 @@ impl Vmmc {
             .register_pages(self.node_index, &ppages, &self.shared);
         {
             let mut st = self.shared.state.lock();
-            st.exports.insert(name, (va, len, ppages.clone()));
-            for &p in &ppages {
+            st.exports.insert(name, (va, len, Arc::clone(&ppages)));
+            for &p in ppages.iter() {
                 st.ppage_to_buffer.insert(p, name);
             }
             if let Some(h) = opts.handler {
@@ -327,7 +329,7 @@ impl Vmmc {
                 node: self.node_id(),
                 name: name.0,
             })?;
-            for p in &pages {
+            for p in pages.iter() {
                 st.ppage_to_buffer.remove(p);
             }
             st.handlers.remove(&name);

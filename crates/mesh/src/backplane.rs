@@ -494,6 +494,45 @@ mod tests {
     }
 
     #[test]
+    fn header_bytes_are_charged_on_every_packet() {
+        // A network configured with zero header bytes must be faster by
+        // exactly the header's serialization time — per packet, on every
+        // channel of the (unloaded) path: the tail arrival differs by one
+        // header serialization because the tail is delayed only by the
+        // last channel's finish time.
+        let kernel = Kernel::new();
+        let with_header = net(&kernel);
+        let mut p = LinkParams::paragon();
+        p.header_bytes = 0;
+        let headerless: Arc<Backplane<u64>> =
+            Backplane::new(kernel.handle(), Topology::shrimp_prototype(), p);
+        with_header.attach(NodeId(3), |_| {});
+        headerless.attach(NodeId(3), |_| {});
+
+        // per_bytes rounds up once per call, so compute the expected gap
+        // as the difference of the two wire serializations.
+        let rate = LinkParams::paragon().link_bytes_per_sec;
+        let h = LinkParams::paragon().header_bytes;
+        let header_ser = |payload: usize| {
+            SimDur::per_bytes(payload + h, rate) - SimDur::per_bytes(payload, rate)
+        };
+        assert!(header_ser(256) > SimDur::ZERO);
+
+        let t_with = with_header.inject(NodeId(0), NodeId(3), 256, 1);
+        let t_without = headerless.inject(NodeId(0), NodeId(3), 256, 1);
+        assert_eq!(t_with, t_without + header_ser(256));
+
+        // And the analytic bound accounts for it identically, for any
+        // payload size (headers are per packet, not per byte).
+        for bytes in [0usize, 1, 64, 4096] {
+            let a = with_header.unloaded_latency(NodeId(0), NodeId(3), bytes);
+            let b = headerless.unloaded_latency(NodeId(0), NodeId(3), bytes);
+            assert_eq!(a, b + header_ser(bytes), "payload {bytes}");
+        }
+        kernel.run_until_quiescent().unwrap();
+    }
+
+    #[test]
     fn self_send_uses_injection_and_ejection_only() {
         let kernel = Kernel::new();
         let net = net(&kernel);

@@ -20,7 +20,7 @@ use std::sync::{Arc, Weak};
 use parking_lot::Mutex;
 use shrimp_mesh::{Backplane, Delivery, NodeId};
 use shrimp_node::{Interrupt, Node, PAddr, SnoopWrite, PAGE_SIZE};
-use shrimp_sim::{SimDur, SimTime, StallWindows};
+use shrimp_sim::{SimBuf, SimDur, SimTime, StallWindows};
 
 use crate::packetizer::{OutPacket, OutWrite, Packetizer};
 use crate::tables::{IncomingPageTable, OutgoingPageTable};
@@ -38,8 +38,9 @@ pub const IRQ_RECV_FREEZE: u32 = 2;
 pub struct NicPacket {
     /// Destination physical byte address (within one page).
     pub dst_paddr: u64,
-    /// Payload bytes.
-    pub data: Vec<u8>,
+    /// Payload bytes — a shared zero-copy view; the same backing
+    /// allocation travels from the snoop/DU engine to the incoming DMA.
+    pub data: SimBuf,
     /// Sender-specified destination-interrupt flag.
     pub interrupt: bool,
 }
@@ -95,6 +96,9 @@ pub struct Nic {
     pktz: Mutex<Packetizer>,
     freeze: Mutex<FreezeState>,
     delivery_hook: Mutex<Option<DeliveryHook>>,
+    /// Mirrors `delivery_hook.is_some()`; lets the per-packet DMA
+    /// completion skip the lock + `Arc` clone when no hook is installed.
+    has_delivery_hook: std::sync::atomic::AtomicBool,
     stats: Mutex<NicStats>,
     pending_recv_dma: AtomicU64,
     /// Outgoing-FIFO sequencer: no packet may be injected earlier than a
@@ -132,6 +136,7 @@ impl Nic {
                 pending: VecDeque::new(),
             }),
             delivery_hook: Mutex::new(None),
+            has_delivery_hook: std::sync::atomic::AtomicBool::new(false),
             stats: Mutex::new(NicStats::default()),
             pending_recv_dma: AtomicU64::new(0),
             out_tail: Mutex::new(SimTime::ZERO),
@@ -175,6 +180,7 @@ impl Nic {
     /// VMMC layer uses it to wake blocked receivers.
     pub fn set_delivery_hook(&self, hook: impl Fn(u64, SimTime) + Send + Sync + 'static) {
         *self.delivery_hook.lock() = Some(Arc::new(hook));
+        self.has_delivery_hook.store(true, Ordering::SeqCst);
     }
 
     /// Traffic counters.
@@ -201,7 +207,7 @@ impl Nic {
             p.push(OutWrite {
                 dst_node: entry.dst_node,
                 dst_paddr,
-                data,
+                data: data.into(),
                 interrupt: entry.dst_interrupt,
                 combine: entry.combine,
                 at: w.at,
@@ -336,7 +342,7 @@ impl Nic {
                 let pkt = OutPacket {
                     dst_node: req.dst_node,
                     dst_paddr: addr,
-                    data,
+                    data: data.into(),
                     // The destination interrupt rides on the final packet so
                     // the notification fires after all data has landed.
                     interrupt: req.interrupt && is_last,
@@ -415,9 +421,13 @@ impl Nic {
                     });
                 }
                 me2.pending_recv_dma.fetch_sub(1, Ordering::SeqCst);
-                let hook = me2.delivery_hook.lock().clone();
-                if let Some(h) = hook {
-                    h(ppage, t);
+                if me2.has_delivery_hook.load(Ordering::Relaxed) {
+                    // Clone out of the lock before calling: the hook may
+                    // re-enter the NIC (receiver wakeups can run inline).
+                    let hook = me2.delivery_hook.lock().clone();
+                    if let Some(h) = hook {
+                        h(ppage, t);
+                    }
                 }
             });
         });

@@ -11,7 +11,7 @@
 //! timer.
 
 use shrimp_mesh::NodeId;
-use shrimp_sim::SimTime;
+use shrimp_sim::{SimBuf, SimTime};
 
 /// A write run presented to the packetizer (already OPT-translated).
 #[derive(Debug, Clone)]
@@ -20,8 +20,8 @@ pub struct OutWrite {
     pub dst_node: NodeId,
     /// Destination physical byte address.
     pub dst_paddr: u64,
-    /// The written bytes.
-    pub data: Vec<u8>,
+    /// The written bytes (a shared view; packetization slices it).
+    pub data: SimBuf,
     /// Sender-specified destination-interrupt flag.
     pub interrupt: bool,
     /// Whether the source OPT entry allows combining.
@@ -37,8 +37,8 @@ pub struct OutPacket {
     pub dst_node: NodeId,
     /// Destination physical byte address of the first payload byte.
     pub dst_paddr: u64,
-    /// Payload.
-    pub data: Vec<u8>,
+    /// Payload — a zero-copy window of the originating write run.
+    pub data: SimBuf,
     /// Destination-interrupt request.
     pub interrupt: bool,
 }
@@ -108,13 +108,19 @@ impl Packetizer {
     /// should arm the combine timer whenever [`has_open`](Self::has_open)
     /// is true after this call.
     pub fn push(&mut self, w: OutWrite) -> Vec<OutPacket> {
+        // A zero-length run puts no bytes on the bus: it is a no-op and
+        // must not disturb the open packet or its armed combine timer
+        // (the generation stays put so the timer remains valid).
+        if w.data.is_empty() {
+            return Vec::new();
+        }
         self.generation += 1;
         let mut out = Vec::new();
 
         // Try to extend the open packet.
         if let Some(open) = &mut self.open {
             if w.combine && open.can_append(&w, self.max_payload) {
-                open.pkt.data.extend_from_slice(&w.data);
+                open.pkt.data.append(&w.data);
                 open.pkt.interrupt |= w.interrupt;
                 open.last_write_at = w.at;
                 return out;
@@ -132,7 +138,7 @@ impl Packetizer {
             let piece = OutPacket {
                 dst_node: w.dst_node,
                 dst_paddr: addr,
-                data: w.data[off..off + n].to_vec(),
+                data: w.data.slice(off..off + n),
                 interrupt: w.interrupt,
             };
             off += n;
@@ -173,7 +179,7 @@ mod tests {
         OutWrite {
             dst_node: NodeId(1),
             dst_paddr: addr,
-            data: vec![0xAA; len],
+            data: vec![0xAA; len].into(),
             interrupt: false,
             combine,
             at: SimTime::ZERO,
@@ -283,6 +289,55 @@ mod tests {
         let g1 = p.generation();
         p.flush();
         assert!(p.generation() > g1);
+    }
+
+    #[test]
+    fn zero_length_run_is_a_noop() {
+        let mut p = Packetizer::new(1024, PAGE);
+        let g0 = p.generation();
+        assert!(p.push(w(100, 0, false)).is_empty());
+        assert!(p.push(w(100, 0, true)).is_empty());
+        assert!(!p.has_open());
+        // The generation must not move: an armed combine timer for an
+        // open packet stays valid across an empty run.
+        assert_eq!(p.generation(), g0);
+
+        p.push(w(0, 8, true));
+        let g1 = p.generation();
+        assert!(p.push(w(8, 0, true)).is_empty());
+        assert_eq!(p.generation(), g1);
+        // The open packet is untouched and still appendable.
+        assert!(p.push(w(8, 8, true)).is_empty());
+        assert_eq!(p.flush().unwrap().data.len(), 16);
+    }
+
+    #[test]
+    fn payload_exactly_at_max_is_one_packet() {
+        let mut p = Packetizer::new(100, PAGE);
+        let out = p.push(w(0, 100, false));
+        assert_eq!(
+            out.iter().map(|o| o.data.len()).collect::<Vec<_>>(),
+            vec![100]
+        );
+    }
+
+    #[test]
+    fn payload_one_over_max_splits_in_two() {
+        let mut p = Packetizer::new(100, PAGE);
+        let out = p.push(w(0, 101, false));
+        assert_eq!(
+            out.iter().map(|o| o.data.len()).collect::<Vec<_>>(),
+            vec![100, 1]
+        );
+        assert_eq!(out[1].dst_paddr, 100);
+    }
+
+    #[test]
+    fn append_filling_packet_exactly_to_max_is_allowed() {
+        let mut p = Packetizer::new(16, PAGE);
+        assert!(p.push(w(0, 12, true)).is_empty());
+        assert!(p.push(w(12, 4, true)).is_empty()); // 12 + 4 == 16
+        assert_eq!(p.flush().unwrap().data.len(), 16);
     }
 
     #[test]

@@ -58,7 +58,7 @@ proptest! {
             let out = p.push(OutWrite {
                 dst_node: NodeId(1),
                 dst_paddr: w.addr,
-                data: w.data.clone(),
+                data: w.data.clone().into(),
                 interrupt: false,
                 combine: w.combine,
                 at: SimTime::ZERO,
@@ -82,7 +82,7 @@ proptest! {
             p.push(OutWrite {
                 dst_node: NodeId(0),
                 dst_paddr: w.addr,
-                data: w.data,
+                data: w.data.into(),
                 interrupt: false,
                 combine: w.combine,
                 at: SimTime::ZERO,

@@ -4,7 +4,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use shrimp_mesh::NodeId;
-use shrimp_sim::{BandwidthResource, SimDur, SimHandle, SimTime};
+use shrimp_sim::{BandwidthResource, SimBuf, SimDur, SimHandle, SimTime};
 
 use crate::costs::CostModel;
 use crate::memory::{PAddr, PageAllocator, PhysMem, PAGE_SIZE};
@@ -185,9 +185,10 @@ impl Node {
     pub fn dma_write(
         self: &Arc<Self>,
         paddr: PAddr,
-        data: Vec<u8>,
+        data: impl Into<SimBuf>,
         on_done: impl FnOnce(SimTime) + Send + 'static,
     ) {
+        let data = data.into();
         let now = self.handle.now();
         let bytes = data.len();
         let setup = self.costs.dma_setup;

@@ -4,24 +4,49 @@
 //! *processes*. A process is protocol code written in ordinary blocking
 //! style (loops, calls, waits) that runs on its own OS thread, but the
 //! kernel guarantees that **at most one thread — the kernel thread or a
-//! single process thread — executes at any moment**. Control is handed
-//! back and forth with a strict two-phase handshake, so the whole
+//! single process thread — executes at any moment**. The whole
 //! simulation is deterministic: every run with the same inputs produces
 //! the same event order and the same virtual timestamps.
 //!
 //! Two kinds of items live in the event queue:
 //!
-//! * **Closures** — one-shot events (a packet arriving, a DMA completing),
-//!   executed on the kernel thread.
+//! * **Closures** — one-shot events (a packet arriving, a DMA completing).
 //! * **Resumes** — wake-ups for processes that called
 //!   [`Ctx::advance`](crate::Ctx::advance) or were unparked.
 //!
 //! Items at equal timestamps execute in the order they were scheduled
 //! (FIFO tie-break by sequence number).
+//!
+//! ## Execution model: direct token passing
+//!
+//! Exactly one *token* exists per kernel; the thread holding it drains
+//! the queue. Each pop is dispatched by the token holder itself:
+//!
+//! * a **closure** runs inline on whatever thread holds the token (event
+//!   closures are `Send` and never block, so any thread will do);
+//! * a **resume for the dispatching process itself** simply returns
+//!   control to its body — the common polling-loop case costs no context
+//!   switch at all;
+//! * a **resume for another process** hands the token *directly* to that
+//!   process's thread — one context switch, not a round-trip through the
+//!   kernel thread.
+//!
+//! The kernel thread is woken only to finish a run (queue empty or
+//! deadline reached), join a terminated process, or surface a panic.
+//! Because every pop happens in strict queue order under one lock and
+//! trace/metrics hooks fire at the pop regardless of which thread
+//! dispatches it, the executed item sequence — and therefore every
+//! virtual timestamp — is bit-identical to a classic single-dispatcher
+//! loop; only the host-side handoff count changes. Event storage itself
+//! is a slab: the binary heap orders small `Copy` keys `(at, seq, slot)`
+//! while the actions sit in a recycled slot arena, so heap sifts never
+//! move boxed closures around.
 
+use std::any::Any;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -74,49 +99,50 @@ enum Action {
     Resume(ProcessId),
 }
 
-struct Entry {
+/// Heap entry: ordering fields plus the index of the action's slot in the
+/// arena. Keeping the heap to a small `Copy` value makes sift operations
+/// cheap and leaves the boxed closures in place.
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct HeapKey {
     at: SimTime,
     seq: u64,
-    action: Action,
+    slot: u32,
 }
 
-impl PartialEq for Entry {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for Entry {}
-impl PartialOrd for Entry {
+impl PartialOrd for HeapKey {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
-impl Ord for Entry {
+impl Ord for HeapKey {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         (self.at, self.seq).cmp(&(other.at, other.seq))
     }
 }
 
-/// Message handed from kernel to a process thread.
+/// Token handed to a process thread.
 enum ToProc {
-    /// Continue executing.
+    /// You hold the token: continue executing.
     Run,
     /// Unwind and exit; the simulation is shutting down.
     Shutdown,
 }
 
-/// Message handed from a process thread back to the kernel.
-enum ToKernel {
-    /// The process yielded (it scheduled its own resume or parked).
-    Yielded,
-    /// The process function returned normally or unwound at shutdown.
-    Terminated,
-    /// The process function panicked with the given message.
-    Panicked(String),
+/// Reasons the token comes back to the kernel thread.
+enum KernelWake {
+    /// Queue empty or next entry past the deadline: finish the run.
+    Idle,
+    /// A process body returned; join its thread and keep dispatching.
+    ProcTerminated(ProcessId),
+    /// A process body panicked (a real panic, not a shutdown unwind).
+    ProcPanicked(ProcessId, String),
+    /// An event closure panicked while running on a process thread; the
+    /// payload is re-raised on the kernel thread so `run_until` callers
+    /// observe the same panic they would from a kernel-dispatched event.
+    ClosurePanic(Box<dyn Any + Send>),
 }
 
-/// The per-process rendezvous used to pass control between the kernel
-/// thread and a process thread.
+/// The per-process mailbox used to pass the token to a process thread.
 pub(crate) struct ProcSync {
     m: Mutex<Hand>,
     cv: Condvar,
@@ -124,8 +150,9 @@ pub(crate) struct ProcSync {
 
 #[derive(Default)]
 struct Hand {
-    to_proc: Option<ToProc>,
-    to_kernel: Option<ToKernel>,
+    token: Option<ToProc>,
+    /// Final-termination flag consumed by the shutdown handshake.
+    done: bool,
 }
 
 impl ProcSync {
@@ -136,55 +163,90 @@ impl ProcSync {
         }
     }
 
-    /// Kernel side: give the process the token and wait for it to yield.
-    fn resume_and_wait(&self, msg: ToProc) -> ToKernel {
+    /// Hand the token to this process's thread.
+    fn post(&self, msg: ToProc) {
         let mut g = self.m.lock();
-        debug_assert!(g.to_proc.is_none());
-        g.to_proc = Some(msg);
-        self.cv.notify_all();
-        loop {
-            if let Some(back) = g.to_kernel.take() {
-                return back;
-            }
-            self.cv.wait(&mut g);
-        }
+        debug_assert!(g.token.is_none(), "token duplicated");
+        g.token = Some(msg);
+        self.cv.notify_one();
     }
 
-    /// Process side: give the kernel the token and wait for our next turn.
-    /// Returns `false` when the simulation is shutting down.
-    pub(crate) fn yield_and_wait(&self, terminal: bool) -> bool {
+    /// Process side: block until the token arrives. Returns `false` when
+    /// the simulation is shutting down.
+    pub(crate) fn wait_token(&self) -> bool {
         let mut g = self.m.lock();
-        debug_assert!(g.to_kernel.is_none());
-        g.to_kernel = Some(ToKernel::Yielded);
-        self.cv.notify_all();
-        if terminal {
-            return false;
-        }
         loop {
-            if let Some(msg) = g.to_proc.take() {
+            if let Some(msg) = g.token.take() {
                 return matches!(msg, ToProc::Run);
             }
             self.cv.wait(&mut g);
         }
     }
 
-    /// Process side, first wait before the body runs.
-    fn wait_first_turn(&self) -> bool {
+    /// Process side: signal final termination to the shutdown handshake.
+    fn signal_done(&self) {
+        let mut g = self.m.lock();
+        g.done = true;
+        self.cv.notify_one();
+    }
+
+    /// Kernel side (shutdown only): wait for the thread's final signal.
+    fn wait_done(&self) {
+        let mut g = self.m.lock();
+        while !g.done {
+            self.cv.wait(&mut g);
+        }
+    }
+}
+
+/// The kernel thread's mailbox. Only one wake can ever be pending: a
+/// waker holds the token and hands it over with the wake.
+struct KernelSync {
+    m: Mutex<Option<KernelWake>>,
+    cv: Condvar,
+}
+
+impl KernelSync {
+    fn new() -> Self {
+        KernelSync {
+            m: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn wake(&self, w: KernelWake) {
+        let mut g = self.m.lock();
+        debug_assert!(g.is_none(), "kernel woken twice");
+        *g = Some(w);
+        self.cv.notify_one();
+    }
+
+    fn wait(&self) -> KernelWake {
         let mut g = self.m.lock();
         loop {
-            if let Some(msg) = g.to_proc.take() {
-                return matches!(msg, ToProc::Run);
+            if let Some(w) = g.take() {
+                return w;
             }
             self.cv.wait(&mut g);
         }
     }
+}
 
-    /// Process side: final handoff when the body has finished or panicked.
-    fn send_final(&self, msg: ToKernel) {
-        let mut g = self.m.lock();
-        g.to_kernel = Some(msg);
-        self.cv.notify_all();
-    }
+/// Outcome of dispatching one queue entry.
+enum Step {
+    /// A closure ran; the dispatching actor keeps the token.
+    Ran,
+    /// The dispatching process popped its own resume: keep running.
+    MyResume,
+    /// The token was handed to another process.
+    Handed,
+    /// The queue is empty.
+    Quiesced,
+    /// The next entry lies beyond the current run's deadline.
+    PastDeadline,
+    /// A closure panicked on a process thread; the kernel has been woken
+    /// with the payload and will re-raise it.
+    Poisoned,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -208,7 +270,13 @@ struct ProcSlot {
 pub(crate) struct State {
     now: SimTime,
     seq: u64,
-    queue: BinaryHeap<Reverse<Entry>>,
+    /// Deadline of the run currently in progress; no dispatcher may
+    /// execute an entry past it.
+    deadline: SimTime,
+    queue: BinaryHeap<Reverse<HeapKey>>,
+    /// Slot arena holding the actions the heap keys point at.
+    slots: Vec<Option<Action>>,
+    free_slots: Vec<u32>,
     procs: Vec<ProcSlot>,
     shutting_down: bool,
 }
@@ -217,7 +285,26 @@ impl State {
     fn push(&mut self, at: SimTime, action: Action) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(Entry { at, seq, action }));
+        let slot = match self.free_slots.pop() {
+            Some(s) => {
+                self.slots[s as usize] = Some(action);
+                s
+            }
+            None => {
+                let s = u32::try_from(self.slots.len()).expect("event slot arena overflow");
+                self.slots.push(Some(action));
+                s
+            }
+        };
+        self.queue.push(Reverse(HeapKey { at, seq, slot }));
+    }
+
+    fn take_action(&mut self, key: HeapKey) -> Action {
+        let action = self.slots[key.slot as usize]
+            .take()
+            .expect("popped key points at an empty slot");
+        self.free_slots.push(key.slot);
+        action
     }
 }
 
@@ -225,11 +312,31 @@ impl State {
 /// [`SimHandle`](crate::SimHandle)s.
 pub(crate) struct Shared {
     pub(crate) state: Mutex<State>,
+    kernel_sync: KernelSync,
+    /// Mirror of `state.now`, so `now()` never takes the state lock.
+    now_ps: AtomicU64,
+    /// Trace hook; lives here (not on `Kernel`) because any thread that
+    /// holds the token dispatches entries and must emit the same events
+    /// the kernel thread would.
+    tracer: Mutex<Option<Tracer>>,
+    /// Cheap guard so untraced runs never touch the tracer mutex.
+    has_tracer: AtomicBool,
 }
 
 impl Shared {
     pub(crate) fn now(&self) -> SimTime {
-        self.state.lock().now
+        SimTime(self.now_ps.load(Ordering::Relaxed))
+    }
+
+    fn set_now(&self, st: &mut State, at: SimTime) {
+        st.now = at;
+        self.now_ps.store(at.as_ps(), Ordering::Relaxed);
+    }
+
+    fn trace(&self, ev: TraceEvent) {
+        if let Some(t) = self.tracer.lock().as_ref() {
+            t(&ev);
+        }
     }
 
     pub(crate) fn schedule_at(&self, at: SimTime, f: EventFn) {
@@ -276,11 +383,140 @@ impl Shared {
         }
     }
 
-    /// Called by a process yielding until `at`.
-    pub(crate) fn schedule_resume(&self, pid: ProcessId, d: SimDur) {
-        let mut st = self.state.lock();
-        let at = st.now + d;
-        st.push(at, Action::Resume(pid));
+    /// Dispatch the next queue entry on the calling thread. `me` is the
+    /// dispatching process, or `None` when the kernel thread dispatches.
+    ///
+    /// Exactly one thread per kernel is ever inside this function (it
+    /// holds the token), so the pops — and the trace/metrics emissions
+    /// that accompany them — form one globally ordered sequence no
+    /// matter which threads perform them.
+    fn dispatch_next(&self, me: Option<ProcessId>) -> Step {
+        loop {
+            enum Todo {
+                Run(EventFn),
+                Mine(Option<String>),
+                Give(Arc<ProcSync>, Option<String>),
+            }
+            let at;
+            let todo;
+            {
+                let mut st = self.state.lock();
+                let next_at = match st.queue.peek() {
+                    None => return Step::Quiesced,
+                    Some(&Reverse(k)) => k.at,
+                };
+                if next_at > st.deadline {
+                    return Step::PastDeadline;
+                }
+                let Reverse(key) = st.queue.pop().expect("peeked entry vanished");
+                at = next_at;
+                self.set_now(&mut st, at);
+                todo = match st.take_action(key) {
+                    Action::Closure(f) => Todo::Run(f),
+                    Action::Resume(pid) => {
+                        let slot = &st.procs[pid.0];
+                        if slot.status == ProcStatus::Terminated {
+                            continue; // stale resume for a finished process
+                        }
+                        debug_assert_eq!(slot.status, ProcStatus::Scheduled);
+                        let name = if self.has_tracer.load(Ordering::Relaxed) {
+                            Some(slot.name.clone())
+                        } else {
+                            None
+                        };
+                        if me == Some(pid) {
+                            Todo::Mine(name)
+                        } else {
+                            Todo::Give(Arc::clone(&slot.sync), name)
+                        }
+                    }
+                };
+            }
+            return match todo {
+                Todo::Run(f) => {
+                    crate::metrics::EVENTS_EXECUTED.fetch_add(1, Ordering::Relaxed);
+                    if me.is_some() {
+                        // A kernel-thread handoff avoided: the closure
+                        // runs inline on the process thread.
+                        crate::metrics::BATCHED_EVENTS.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if self.has_tracer.load(Ordering::Relaxed) {
+                        self.trace(TraceEvent::Event { at });
+                    }
+                    if me.is_some() {
+                        if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(f)) {
+                            self.kernel_sync.wake(KernelWake::ClosurePanic(payload));
+                            return Step::Poisoned;
+                        }
+                    } else {
+                        f();
+                    }
+                    Step::Ran
+                }
+                Todo::Mine(name) => {
+                    crate::metrics::RESUMES.fetch_add(1, Ordering::Relaxed);
+                    crate::metrics::FAST_RESUMES.fetch_add(1, Ordering::Relaxed);
+                    if let Some(process) = name {
+                        self.trace(TraceEvent::Resume { at, process });
+                    }
+                    Step::MyResume
+                }
+                Todo::Give(sync, name) => {
+                    crate::metrics::RESUMES.fetch_add(1, Ordering::Relaxed);
+                    // Trace before the handoff so the receiving process
+                    // cannot emit its next event first.
+                    if let Some(process) = name {
+                        self.trace(TraceEvent::Resume { at, process });
+                    }
+                    sync.post(ToProc::Run);
+                    Step::Handed
+                }
+            };
+        }
+    }
+
+    /// Drive the queue from a process thread until control returns to
+    /// this process — either it pops its own resume directly, or it hands
+    /// the token away and blocks until another dispatcher pops its
+    /// resume. Returns `false` when the simulation is shutting down.
+    fn dispatch_as_process(&self, me: ProcessId, sync: &ProcSync) -> bool {
+        loop {
+            match self.dispatch_next(Some(me)) {
+                Step::Ran => continue,
+                Step::MyResume => return true,
+                Step::Handed | Step::Poisoned => return sync.wait_token(),
+                Step::Quiesced | Step::PastDeadline => {
+                    self.kernel_sync.wake(KernelWake::Idle);
+                    return sync.wait_token();
+                }
+            }
+        }
+    }
+
+    /// [`Ctx::advance`](crate::Ctx::advance): schedule this process's
+    /// resume and dispatch until it comes up. Returns `false` at
+    /// shutdown.
+    pub(crate) fn advance_process(&self, me: ProcessId, sync: &ProcSync, d: SimDur) -> bool {
+        {
+            let mut st = self.state.lock();
+            if st.shutting_down {
+                drop(st);
+                return sync.wait_token(); // delivers the Shutdown token
+            }
+            let at = st.now + d;
+            st.push(at, Action::Resume(me));
+        }
+        self.dispatch_as_process(me, sync)
+    }
+
+    /// [`Ctx::park`](crate::Ctx::park) after `prepare_park`: dispatch
+    /// without scheduling a resume; control returns when an unpark
+    /// schedules one. Returns `false` at shutdown.
+    pub(crate) fn park_process(&self, me: ProcessId, sync: &ProcSync) -> bool {
+        if self.state.lock().shutting_down {
+            return sync.wait_token();
+        }
+        self.dispatch_as_process(me, sync)
     }
 
     pub(crate) fn spawn(
@@ -295,22 +531,25 @@ impl Shared {
         let ctx = crate::Ctx::new(pid, Arc::clone(self), Arc::clone(&sync));
         let tsync = Arc::clone(&sync);
         let tname = name.clone();
+        let shared = Arc::clone(self);
         let join = std::thread::Builder::new()
             .name(format!("sim-{tname}"))
             .spawn(move || {
-                if !tsync.wait_first_turn() {
-                    tsync.send_final(ToKernel::Terminated);
+                if !tsync.wait_token() {
+                    tsync.signal_done();
                     return;
                 }
                 let result = panic::catch_unwind(AssertUnwindSafe(|| f(&ctx)));
                 match result {
-                    Ok(()) => tsync.send_final(ToKernel::Terminated),
+                    // The body finished while holding the token: hand it
+                    // to the kernel thread, which joins us and carries on.
+                    Ok(()) => shared.kernel_sync.wake(KernelWake::ProcTerminated(pid)),
                     Err(payload) => {
                         if payload.is::<ShutdownSignal>() {
-                            tsync.send_final(ToKernel::Terminated);
+                            tsync.signal_done();
                         } else {
                             let msg = panic_message(payload.as_ref());
-                            tsync.send_final(ToKernel::Panicked(msg));
+                            shared.kernel_sync.wake(KernelWake::ProcPanicked(pid, msg));
                         }
                     }
                 }
@@ -361,7 +600,6 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// ```
 pub struct Kernel {
     shared: Arc<Shared>,
-    tracer: Mutex<Option<Tracer>>,
 }
 
 /// What a trace hook observes: every scheduled item the kernel executes.
@@ -398,19 +636,28 @@ impl Kernel {
                 state: Mutex::new(State {
                     now: SimTime::ZERO,
                     seq: 0,
+                    deadline: SimTime::ZERO,
                     queue: BinaryHeap::new(),
+                    slots: Vec::new(),
+                    free_slots: Vec::new(),
                     procs: Vec::new(),
                     shutting_down: false,
                 }),
+                kernel_sync: KernelSync::new(),
+                now_ps: AtomicU64::new(0),
+                tracer: Mutex::new(None),
+                has_tracer: AtomicBool::new(false),
             }),
-            tracer: Mutex::new(None),
         }
     }
 
     /// Install a trace hook observing every executed item (diagnostics;
-    /// adds a callback per event). Replaces any previous tracer.
+    /// adds a callback per event). The hook may be invoked from any
+    /// simulation thread, but invocations are strictly serialized and in
+    /// queue order. Replaces any previous tracer.
     pub fn set_tracer(&self, tracer: impl Fn(&TraceEvent) + Send + 'static) {
-        *self.tracer.lock() = Some(Box::new(tracer));
+        *self.shared.tracer.lock() = Some(Box::new(tracer));
+        self.shared.has_tracer.store(true, Ordering::Relaxed);
     }
 
     /// Current virtual time.
@@ -463,55 +710,17 @@ impl Kernel {
     }
 
     fn run_inner(&self, deadline: SimTime) -> Result<SimTime, SimError> {
+        self.shared.state.lock().deadline = deadline;
         loop {
-            let (action, pid_sync);
-            {
-                let mut st = self.shared.state.lock();
-                let next_at = match st.queue.peek() {
-                    None => break,
-                    Some(Reverse(e)) => e.at,
-                };
-                if next_at > deadline {
-                    st.now = deadline.max(st.now);
-                    break;
+            match self.shared.dispatch_next(None) {
+                Step::Ran => {}
+                Step::MyResume | Step::Poisoned => {
+                    unreachable!("kernel dispatch has no own resume and re-raises panics directly")
                 }
-                let Reverse(entry) = st.queue.pop().expect("peeked entry vanished");
-                st.now = entry.at;
-                match entry.action {
-                    Action::Closure(f) => {
-                        pid_sync = None;
-                        action = Some(f);
-                    }
-                    Action::Resume(pid) => {
-                        let slot = &st.procs[pid.0];
-                        if slot.status == ProcStatus::Terminated {
-                            continue;
-                        }
-                        debug_assert_eq!(slot.status, ProcStatus::Scheduled);
-                        pid_sync = Some((pid, Arc::clone(&slot.sync)));
-                        action = None;
-                    }
-                }
-            }
-            if let Some(f) = action {
-                if let Some(t) = self.tracer.lock().as_ref() {
-                    t(&TraceEvent::Event {
-                        at: self.shared.now(),
-                    });
-                }
-                f();
-            } else if let Some((pid, sync)) = pid_sync {
-                if let Some(t) = self.tracer.lock().as_ref() {
-                    let name = self.shared.state.lock().procs[pid.0].name.clone();
-                    t(&TraceEvent::Resume {
-                        at: self.shared.now(),
-                        process: name,
-                    });
-                }
-                match sync.resume_and_wait(ToProc::Run) {
-                    ToKernel::Yielded => {}
-                    ToKernel::Terminated => self.finish_proc(pid),
-                    ToKernel::Panicked(message) => {
+                Step::Handed => match self.shared.kernel_sync.wait() {
+                    KernelWake::Idle => {} // re-examine the queue
+                    KernelWake::ProcTerminated(pid) => self.finish_proc(pid),
+                    KernelWake::ProcPanicked(pid, message) => {
                         let process = {
                             let st = self.shared.state.lock();
                             st.procs[pid.0].name.clone()
@@ -520,11 +729,17 @@ impl Kernel {
                         self.shutdown();
                         return Err(SimError::ProcessPanicked { process, message });
                     }
+                    KernelWake::ClosurePanic(payload) => panic::resume_unwind(payload),
+                },
+                Step::Quiesced => return Ok(self.shared.now()),
+                Step::PastDeadline => {
+                    let mut st = self.shared.state.lock();
+                    let clamped = deadline.max(st.now);
+                    self.shared.set_now(&mut st, clamped);
+                    return Ok(clamped);
                 }
             }
         }
-        let now = self.shared.state.lock().now;
-        Ok(now)
     }
 
     fn finish_proc(&self, pid: ProcessId) {
@@ -556,6 +771,8 @@ impl Kernel {
             let mut st = self.shared.state.lock();
             st.shutting_down = true;
             st.queue.clear();
+            st.slots.clear();
+            st.free_slots.clear();
             st.procs
                 .iter()
                 .enumerate()
@@ -564,13 +781,8 @@ impl Kernel {
                 .collect()
         };
         for (pid, sync) in live {
-            loop {
-                match sync.resume_and_wait(ToProc::Shutdown) {
-                    ToKernel::Terminated | ToKernel::Panicked(_) => break,
-                    // A process may need one more turn if it was mid-yield.
-                    ToKernel::Yielded => continue,
-                }
-            }
+            sync.post(ToProc::Shutdown);
+            sync.wait_done();
             self.finish_proc(pid);
         }
     }
@@ -689,6 +901,27 @@ mod tests {
     }
 
     #[test]
+    fn run_until_deadline_interrupts_advancing_process() {
+        // A process sleeping past the deadline must not carry the clock
+        // with it: its dispatch hands control back to the kernel, which
+        // stops at exactly the deadline; the process finishes in a later
+        // run.
+        let k = Kernel::new();
+        let done = Arc::new(AtomicUsize::new(0));
+        let d = Arc::clone(&done);
+        k.spawn("sleeper", move |ctx| {
+            ctx.advance(SimDur::from_us(10.0));
+            d.store(ctx.now().as_ps() as usize, Ordering::SeqCst);
+        });
+        let t = k.run_until(SimTime::ZERO + SimDur::from_us(4.0)).unwrap();
+        assert_eq!(t.as_us(), 4.0);
+        assert_eq!(done.load(Ordering::SeqCst), 0, "must not run past deadline");
+        assert_eq!(k.now().as_us(), 4.0);
+        k.run_until_quiescent().unwrap();
+        assert_eq!(done.load(Ordering::SeqCst), 10_000_000);
+    }
+
+    #[test]
     fn nested_spawn_from_process() {
         let k = Kernel::new();
         let sum = Arc::new(AtomicUsize::new(0));
@@ -725,5 +958,114 @@ mod tests {
             v
         }
         assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn own_resume_dispatch_is_traced_like_a_kernel_one() {
+        // A lone advancing process pops its own resumes without any
+        // handoff; the tracer must still see one Resume per advance, at
+        // the right timestamps.
+        let k = Kernel::new();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let l = Arc::clone(&log);
+        k.set_tracer(move |ev| {
+            if let TraceEvent::Resume { at, process } = ev {
+                l.lock().push((at.as_ps(), process.clone()));
+            }
+        });
+        k.spawn("solo", |ctx| {
+            ctx.advance(SimDur::from_us(1.0));
+            ctx.advance(SimDur::from_us(2.0));
+        });
+        k.run_until_quiescent().unwrap();
+        let log = log.lock().clone();
+        assert_eq!(
+            log,
+            vec![
+                (0, "solo".to_string()),
+                (1_000_000, "solo".to_string()),
+                (3_000_000, "solo".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn closures_run_inline_during_process_advance() {
+        // An event scheduled between now and the wake-up time executes
+        // (on the advancing process's thread) before the advance returns,
+        // in queue order.
+        let k = Kernel::new();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let o1 = Arc::clone(&order);
+        let o2 = Arc::clone(&order);
+        k.schedule_in(SimDur::from_us(1.0), move || o1.lock().push("event"));
+        k.spawn("p", move |ctx| {
+            ctx.advance(SimDur::from_us(5.0));
+            o2.lock().push("proc");
+        });
+        k.run_until_quiescent().unwrap();
+        assert_eq!(*order.lock(), vec!["event", "proc"]);
+    }
+
+    #[test]
+    fn closure_panic_surfaces_on_the_run_caller() {
+        // Closures may execute on process threads, but a panicking
+        // closure must still unwind out of run_until_quiescent on the
+        // kernel thread, exactly as if the kernel had dispatched it.
+        let k = Kernel::new();
+        k.spawn("driver", |ctx| {
+            ctx.schedule_in(SimDur::from_us(1.0), || panic!("event went bad"));
+            ctx.advance(SimDur::from_us(5.0));
+        });
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| k.run_until_quiescent()));
+        let payload = caught.expect_err("closure panic must propagate");
+        assert_eq!(
+            payload.downcast_ref::<&str>().copied(),
+            Some("event went bad")
+        );
+    }
+
+    #[test]
+    fn direct_handoff_preserves_round_robin_order() {
+        // Three processes advancing by the same step hand the token to
+        // each other directly; the interleaving must stay strict FIFO.
+        let k = Kernel::new();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..3usize {
+            let log = Arc::clone(&log);
+            k.spawn(format!("p{i}"), move |ctx| {
+                for step in 0..3usize {
+                    ctx.advance(SimDur::from_us(1.0));
+                    log.lock().push((step, i));
+                }
+            });
+        }
+        k.run_until_quiescent().unwrap();
+        let expect: Vec<(usize, usize)> = (0..3)
+            .flat_map(|step| (0..3).map(move |i| (step, i)))
+            .collect();
+        assert_eq!(*log.lock(), expect);
+    }
+
+    #[test]
+    fn same_time_event_batch_preserves_fifo_and_interleaving() {
+        // Five closures at one timestamp, where the middle one schedules
+        // a sixth at the same time: execution must stay in seq order.
+        let k = Kernel::new();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let h = k.handle();
+        for i in 0..5 {
+            let log = Arc::clone(&log);
+            let h = h.clone();
+            k.schedule_in(SimDur::from_us(1.0), move || {
+                log.lock().push(i);
+                if i == 2 {
+                    let log = Arc::clone(&log);
+                    h.schedule_in(SimDur::ZERO, move || log.lock().push(99));
+                }
+            });
+        }
+        k.run_until_quiescent().unwrap();
+        assert_eq!(*log.lock(), vec![0, 1, 2, 3, 4, 99]);
     }
 }

@@ -9,6 +9,8 @@
 //!   threads but the kernel interleaves them one-at-a-time in virtual-time
 //!   order, so message-passing libraries are written in the same natural
 //!   blocking style the original SHRIMP libraries were;
+//! * [`SimBuf`] — the zero-copy payload buffer shared by every
+//!   datapath station (packetizer, mesh, incoming DMA);
 //! * [`BandwidthResource`] — FIFO-arbitrated buses and links;
 //! * [`WaitQueue`], [`Gate`], [`SimChannel`] — blocking synchronization;
 //! * [`SplitMix64`] — a deterministic PRNG for workload generators;
@@ -52,18 +54,22 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod buf;
 pub mod faults;
 mod kernel;
+pub mod metrics;
 mod process;
 mod resource;
 mod rng;
 mod sync;
 mod time;
 
+pub use buf::SimBuf;
 pub use faults::{
     FaultEvent, FaultKind, FaultLog, FaultPlan, FaultSpec, RetryPolicy, StallWindows,
 };
 pub use kernel::{Kernel, ProcessId, SimError, TraceEvent, Tracer};
+pub use metrics::MetricsSnapshot;
 pub use process::{Ctx, SimHandle};
 pub use resource::{BandwidthResource, Grant};
 pub use rng::SplitMix64;

@@ -1,0 +1,107 @@
+//! Process-wide wall-clock metrics for the simulation engine.
+//!
+//! These counters measure the *host* cost of running the simulator —
+//! how many scheduled items the engine executed, and how many of those
+//! the token-passing executor dispatched without a thread handoff — as
+//! opposed to the *modelled* (virtual time) costs everything else in
+//! this workspace reports. The perf
+//! harness (`shrimp-bench`'s `simperf` binary) snapshots them around
+//! each workload to derive events/sec.
+//!
+//! The counters are global atomics because kernel hot paths must not
+//! pay for per-kernel plumbing, and because a wall-clock harness always
+//! measures one workload at a time. Increments use relaxed ordering;
+//! only one simulation thread executes at any moment, so totals are
+//! exact for a single kernel and merely additive across concurrent
+//! kernels.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub(crate) static EVENTS_EXECUTED: AtomicU64 = AtomicU64::new(0);
+pub(crate) static RESUMES: AtomicU64 = AtomicU64::new(0);
+pub(crate) static FAST_RESUMES: AtomicU64 = AtomicU64::new(0);
+pub(crate) static BATCHED_EVENTS: AtomicU64 = AtomicU64::new(0);
+
+/// A point-in-time copy of the engine counters. Obtain with
+/// [`snapshot`]; subtract two snapshots (see [`MetricsSnapshot::delta`])
+/// to attribute counts to a workload.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// One-shot event closures executed (on any dispatching thread).
+    pub events_executed: u64,
+    /// Process resumes, counting both token handoffs and own-resume
+    /// pops.
+    pub resumes: u64,
+    /// Resumes a process consumed for *itself* while holding the token
+    /// (no thread handoff at all); a subset of `resumes`.
+    pub fast_resumes: u64,
+    /// Event closures executed inline on a process thread (each one a
+    /// kernel-thread handoff avoided); a subset of `events_executed`.
+    pub batched_events: u64,
+}
+
+impl MetricsSnapshot {
+    /// Counts accumulated since `earlier` (saturating).
+    pub fn delta(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            events_executed: self.events_executed.saturating_sub(earlier.events_executed),
+            resumes: self.resumes.saturating_sub(earlier.resumes),
+            fast_resumes: self.fast_resumes.saturating_sub(earlier.fast_resumes),
+            batched_events: self.batched_events.saturating_sub(earlier.batched_events),
+        }
+    }
+
+    /// Total scheduled items executed (events plus resumes).
+    pub fn items(&self) -> u64 {
+        self.events_executed + self.resumes
+    }
+}
+
+/// Read the current values of the global engine counters.
+pub fn snapshot() -> MetricsSnapshot {
+    MetricsSnapshot {
+        events_executed: EVENTS_EXECUTED.load(Ordering::Relaxed),
+        resumes: RESUMES.load(Ordering::Relaxed),
+        fast_resumes: FAST_RESUMES.load(Ordering::Relaxed),
+        batched_events: BATCHED_EVENTS.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_is_saturating_and_additive() {
+        let a = MetricsSnapshot {
+            events_executed: 10,
+            resumes: 5,
+            fast_resumes: 2,
+            batched_events: 1,
+        };
+        let b = MetricsSnapshot {
+            events_executed: 25,
+            resumes: 9,
+            fast_resumes: 4,
+            batched_events: 3,
+        };
+        let d = b.delta(&a);
+        assert_eq!(d.events_executed, 15);
+        assert_eq!(d.resumes, 4);
+        assert_eq!(d.items(), 19);
+        // Reversed order saturates to zero rather than wrapping.
+        assert_eq!(a.delta(&b).events_executed, 0);
+    }
+
+    #[test]
+    fn kernel_execution_moves_the_counters() {
+        let before = snapshot();
+        let k = crate::Kernel::new();
+        k.schedule_in(crate::SimDur::from_us(1.0), || {});
+        k.spawn("p", |ctx| ctx.advance(crate::SimDur::from_us(2.0)));
+        k.run_until_quiescent().unwrap();
+        let d = snapshot().delta(&before);
+        assert!(d.events_executed >= 1);
+        assert!(d.resumes >= 2, "spawn resume + advance resume");
+    }
+}

@@ -57,9 +57,15 @@ impl Ctx {
 
     /// Spend `d` of virtual time: the process suspends and resumes once
     /// the clock has advanced past every other event in between.
+    ///
+    /// Under the token-passing executor this thread usually keeps the
+    /// token: intervening event closures run inline here, and popping its
+    /// own resume simply returns — observable behaviour is identical to a
+    /// kernel round-trip, the context switches are just skipped.
     pub fn advance(&self, d: SimDur) {
-        self.shared.schedule_resume(self.pid, d);
-        self.yield_to_kernel(false);
+        if !self.shared.advance_process(self.pid, &self.sync, d) {
+            self.shutdown_unwind();
+        }
     }
 
     /// Yield without spending time, letting any same-timestamp events run
@@ -86,7 +92,9 @@ impl Ctx {
         if self.shared.prepare_park(self.pid) {
             return; // consumed a pending wake-up
         }
-        self.yield_to_kernel(false);
+        if !self.shared.park_process(self.pid, &self.sync) {
+            self.shutdown_unwind();
+        }
     }
 
     /// Wake the given process if it is parked; otherwise latch the wake-up.
@@ -119,13 +127,12 @@ impl Ctx {
         SimHandle::new(Arc::clone(&self.shared))
     }
 
-    fn yield_to_kernel(&self, terminal: bool) {
-        if !self.sync.yield_and_wait(terminal) {
-            // Shutdown requested: unwind this thread. The unwind is caught
-            // by the process wrapper in kernel.rs and reported as a clean
-            // termination.
-            std::panic::panic_any(ShutdownSignal);
-        }
+    fn shutdown_unwind(&self) -> ! {
+        // Shutdown requested: unwind this thread. The unwind is caught
+        // by the process wrapper in kernel.rs and reported as a clean
+        // termination. `resume_unwind` (rather than `panic_any`) skips
+        // the panic hook, so clean shutdowns print no backtrace.
+        std::panic::resume_unwind(Box::new(ShutdownSignal));
     }
 }
 

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Regenerate every committed results/*.txt from its bench binary, so
+# figure outputs can be diffed against the tree after engine changes
+# (virtual results are deterministic: an engine-only change must leave
+# every file byte-identical; see DESIGN.md §5c).
+#
+# Usage: scripts/regen_results.sh [results-dir]   (default: results/)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+out="${1:-results}"
+mkdir -p "$out"
+
+bins=(fig3 fig4 fig5 fig7 fig8 ttcp ablations scale)
+
+cargo build --release -p shrimp-bench
+
+for b in "${bins[@]}"; do
+    echo ">> $b"
+    "target/release/$b" > "$out/$b.txt"
+done
+
+echo
+echo "Regenerated: ${bins[*]/%/.txt}"
+echo "Diff against the committed tree with: git diff -- results/"

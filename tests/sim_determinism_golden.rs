@@ -1,0 +1,192 @@
+//! Golden-trace determinism guard for the simulation engine.
+//!
+//! Hashes the kernel's full scheduled-item trace (every executed event
+//! and process resume, with its virtual timestamp) over a mixed
+//! workload that crosses the VMMC, NX, and collective layers, then
+//! checks the hash against a committed golden value.
+//!
+//! This is the pre/post guard for engine work (zero-copy payload path,
+//! event-kernel fast paths): any change that shifts a single virtual
+//! timestamp, reorders two same-time items, or adds/drops a scheduled
+//! item changes the hash and fails here. The golden constant was
+//! recorded on the pre-overhaul engine, so passing proves bit-identical
+//! virtual behaviour across the change. Wall-clock-only changes keep it
+//! green by construction.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use shrimp::coll::{CollConfig, CollWorld, ReduceOp};
+use shrimp::prelude::*;
+use shrimp::sim::TraceEvent;
+use shrimp::vmmc::{BufferName, ExportOpts};
+
+/// Trace hash of the mixed workload, recorded on the pre-overhaul
+/// engine (PR 2 head). Do not update this constant for engine-side
+/// changes — a mismatch there is a determinism regression. Update it
+/// (in its own commit, with an explanation) only when a *modelled*
+/// behaviour legitimately changes: costs, protocol structure, workload.
+const GOLDEN_TRACE_HASH: u64 = 0x7d86_e013_e88f_23dc;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+fn fnv1a(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(FNV_PRIME);
+    }
+}
+
+fn install_trace_hash(kernel: &Kernel) -> Arc<Mutex<u64>> {
+    let hash = Arc::new(Mutex::new(FNV_OFFSET));
+    let h = Arc::clone(&hash);
+    kernel.set_tracer(move |ev| {
+        let mut acc = h.lock();
+        match ev {
+            TraceEvent::Event { at } => {
+                fnv1a(&mut acc, &[1]);
+                fnv1a(&mut acc, &at.as_ps().to_le_bytes());
+            }
+            TraceEvent::Resume { at, process } => {
+                fnv1a(&mut acc, &[2]);
+                fnv1a(&mut acc, &at.as_ps().to_le_bytes());
+                fnv1a(&mut acc, process.as_bytes());
+            }
+        }
+    });
+    hash
+}
+
+/// Phase A: deliberate update, notifications, and automatic update
+/// between two endpoint pairs on the 4-node prototype.
+fn run_vmmc_phase() -> u64 {
+    let kernel = Kernel::new();
+    let hash = install_trace_hash(&kernel);
+    let system = shrimp::vmmc::ShrimpSystem::build(&kernel, SystemConfig::prototype());
+
+    let names: SimChannel<BufferName> = SimChannel::new();
+
+    // Receiver on node 1: exports a 2-page buffer with a notification
+    // handler, then waits for the sender's flag word.
+    {
+        let vmmc = system.endpoint(1, "rx");
+        let rx_names = names.clone();
+        kernel.spawn("rx", move |ctx| {
+            let buf = vmmc.proc_().alloc(2 * 4096, CacheMode::WriteBack);
+            let notified = Arc::new(Mutex::new(0u32));
+            let n2 = Arc::clone(&notified);
+            let name = vmmc
+                .export(
+                    ctx,
+                    buf,
+                    2 * 4096,
+                    ExportOpts {
+                        handler: Some(Box::new(move |_ctx, _ev| *n2.lock() += 1)),
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+            rx_names.send(&ctx.handle(), name);
+            // Flag word at offset 4096+512: last word the sender writes.
+            let v = vmmc
+                .wait_u32(ctx, buf.add(4096 + 512), 16, |v| v == 0xfeed_beef)
+                .unwrap();
+            assert_eq!(v, 0xfeed_beef);
+            vmmc.wait_notification(ctx);
+            assert!(*notified.lock() >= 1);
+        });
+    }
+
+    // Sender on node 0: imports, streams a deliberate update, then an
+    // automatic-update binding with combining, then the notify flag.
+    {
+        let vmmc = system.endpoint(0, "tx");
+        let tx_names = names.clone();
+        kernel.spawn("tx", move |ctx| {
+            let name = tx_names.recv(ctx);
+            let handle = vmmc.import(ctx, NodeId(1), name).unwrap();
+            let src = vmmc.proc_().alloc(2 * 4096, CacheMode::WriteBack);
+            let payload: Vec<u8> = (0..4096u32).map(|i| (i % 251) as u8).collect();
+            vmmc.proc_().poke(src, &payload).unwrap();
+            vmmc.send(ctx, src, &handle, 0, 4096).unwrap();
+
+            // One page of automatic update with combining.
+            let au_va = vmmc.proc_().alloc(4096, CacheMode::WriteBack);
+            let binding = vmmc
+                .bind_au(ctx, au_va, &handle, 4096, 1, true, false)
+                .unwrap();
+            let p = vmmc.proc_().clone();
+            p.write(ctx, au_va, &[0xA5u8; 256]).unwrap();
+            p.write(ctx, au_va.add(256), &[0x5Au8; 256]).unwrap();
+            vmmc.unbind_au(ctx, binding);
+
+            // Notify flag via deliberate update (sender interrupt).
+            p.poke(src, &0xfeed_beefu32.to_le_bytes()).unwrap();
+            vmmc.send_notify(ctx, src, &handle, 4096 + 512, 4).unwrap();
+        });
+    }
+
+    kernel.run_until_quiescent().unwrap();
+    assert!(system.violations().is_empty());
+    let v = *hash.lock();
+    v
+}
+
+/// Phase B: collective layer on all four prototype nodes — barrier plus
+/// two allreduce rounds at two sizes (both algorithms get exercised by
+/// the size selector's cutoff).
+fn run_coll_phase() -> u64 {
+    let kernel = Kernel::new();
+    let hash = install_trace_hash(&kernel);
+    let system = shrimp::vmmc::ShrimpSystem::build(&kernel, SystemConfig::prototype());
+    let n = system.len();
+    let world = CollWorld::new(Arc::clone(&system), CollConfig::default(), (0..n).collect());
+
+    for rank in 0..n {
+        let world = Arc::clone(&world);
+        kernel.spawn(format!("rank{rank}"), move |ctx| {
+            let mut comm = world.join(ctx, rank);
+            let p = comm.vmmc().proc_().clone();
+            let buf = p.alloc(8192, CacheMode::WriteBack);
+            comm.barrier(ctx).unwrap();
+            for &bytes in &[64usize, 8192] {
+                let count = bytes / 8;
+                let lanes: Vec<u8> = (0..count)
+                    .flat_map(|i| ((rank + i) as i64).to_le_bytes())
+                    .collect();
+                for _ in 0..2 {
+                    p.poke(buf, &lanes).unwrap();
+                    comm.allreduce(ctx, buf, count, ReduceOp::SumI64).unwrap();
+                }
+            }
+            comm.barrier(ctx).unwrap();
+        });
+    }
+    kernel.run_until_quiescent().unwrap();
+    assert!(system.violations().is_empty());
+    let v = *hash.lock();
+    v
+}
+
+fn mixed_workload_trace_hash() -> u64 {
+    let mut h = FNV_OFFSET;
+    fnv1a(&mut h, &run_vmmc_phase().to_le_bytes());
+    fnv1a(&mut h, &run_coll_phase().to_le_bytes());
+    h
+}
+
+#[test]
+fn sim_determinism_golden() {
+    let first = mixed_workload_trace_hash();
+    let second = mixed_workload_trace_hash();
+    assert_eq!(
+        first, second,
+        "same-build replay must produce an identical scheduled-item trace"
+    );
+    assert_eq!(
+        first, GOLDEN_TRACE_HASH,
+        "trace hash diverged from the committed golden value: virtual \
+         timestamps or event order changed (hash {first:#018x})"
+    );
+}
