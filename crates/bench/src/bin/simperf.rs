@@ -15,7 +15,12 @@
 //!   workload's wall seconds against the committed baseline's `after`
 //!   section and exit non-zero if any exceeds `threshold ×` baseline
 //!   (default 1.5; CI machines are noisy, virtual results are exact,
-//!   so only gross regressions should trip this).
+//!   so only gross regressions should trip this);
+//! * `--obs-overhead NAME [--obs-threshold PCT]`: observability-cost
+//!   gate — run NAME with the `shrimp-obs` recorder disabled and
+//!   enabled, demand identical virtual digests, and fail when the
+//!   enabled run costs more than PCT percent extra wall clock
+//!   (default 5).
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -67,8 +72,60 @@ fn arg_value(args: &[String], flag: &str) -> Option<String> {
         .cloned()
 }
 
+/// The observability-cost gate: run one workload alternately with the
+/// recorder disabled and enabled (min wall seconds of `REPS` runs
+/// each, to ride out CI noise), demand bit-identical virtual digests,
+/// and fail when the enabled run costs more than `pct_limit` percent
+/// extra wall clock.
+fn run_obs_overhead(name: &str, pct_limit: f64) -> ! {
+    const REPS: usize = 3;
+    let (mut off, mut on) = (f64::INFINITY, f64::INFINITY);
+    let (mut off_digest, mut on_digest) = (0u64, 0u64);
+    let mut spans = 0usize;
+    for _ in 0..REPS {
+        let Some(r) = run_all(Some(name), read_counters).into_iter().next() else {
+            eprintln!("unknown workload {name}; expected fig3|fig7|coll4x4|coll8x8");
+            std::process::exit(2);
+        };
+        off = off.min(r.wall_s);
+        off_digest = r.virt_digest;
+
+        let rec = shrimp_obs::Recorder::new();
+        let guard = rec.install();
+        let r = run_all(Some(name), read_counters)
+            .into_iter()
+            .next()
+            .unwrap();
+        drop(guard);
+        on = on.min(r.wall_s);
+        on_digest = r.virt_digest;
+        spans = rec.len();
+    }
+    assert_eq!(
+        off_digest, on_digest,
+        "virt_digest changed with the recorder installed"
+    );
+    assert!(spans > 0, "enabled runs must actually record spans");
+    let pct = (on / off.max(1e-9) - 1.0) * 100.0;
+    println!(
+        "obs-overhead {name}: disabled {off:.3}s, enabled {on:.3}s ({pct:+.1}%, \
+         {spans} spans, limit +{pct_limit:.1}%)"
+    );
+    if pct > pct_limit {
+        eprintln!("obs-overhead gate FAILED: enabled run costs {pct:.1}% > {pct_limit:.1}%");
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if let Some(name) = arg_value(&args, "--obs-overhead") {
+        let pct_limit: f64 = arg_value(&args, "--obs-threshold")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(5.0);
+        run_obs_overhead(&name, pct_limit);
+    }
     let only = arg_value(&args, "--only");
     let json_only = args.iter().any(|a| a == "--json");
     let check = arg_value(&args, "--check");

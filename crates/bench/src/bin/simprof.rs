@@ -1,0 +1,84 @@
+//! Virtual-time profiler: rerun a figure workload with the
+//! `shrimp-obs` recorder installed, print the per-layer decomposition
+//! (Fig. 5 budget for `fig5`, §5 decomposition for `srpc`), and
+//! optionally export a Perfetto-loadable trace.
+//!
+//! Usage:
+//!   `cargo run -p shrimp-bench --bin simprof -- <workload>
+//!        [--chaos] [--trace FILE.json]`
+//!
+//! * `<workload>`: `fig3`, `fig5`, `fig7`, `srpc`, or `coll4x4`;
+//! * `--chaos`: drive the run through the fault-injection engine and
+//!   overlay the fault log on the trace as instant events;
+//! * `--trace FILE.json`: write the run as Chrome trace-event JSON
+//!   (open in <https://ui.perfetto.dev> or `chrome://tracing`).
+//!
+//! Exits non-zero if any conservation check fails — segments of a
+//! per-message breakdown, or rows of an RPC budget, not summing
+//! exactly to end-to-end virtual time.
+
+use shrimp_bench::simprof::{profile, WORKLOADS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut workload: Option<String> = None;
+    let mut chaos = false;
+    let mut trace: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--chaos" => chaos = true,
+            "--trace" => {
+                let Some(path) = it.next() else {
+                    eprintln!("--trace needs a file path");
+                    std::process::exit(2);
+                };
+                trace = Some(path);
+            }
+            name if !name.starts_with('-') && workload.is_none() => {
+                workload = Some(name.to_string());
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage_and_exit();
+            }
+        }
+    }
+    let Some(workload) = workload else {
+        usage_and_exit();
+    };
+
+    let Some(out) = profile(&workload, chaos) else {
+        eprintln!("unknown workload: {workload}");
+        usage_and_exit();
+    };
+
+    println!(
+        "simprof {}{}",
+        out.name,
+        if chaos { " (chaos)" } else { "" }
+    );
+    print!("{}", out.report);
+
+    if let Some(path) = trace {
+        let json = out.trace_json();
+        if let Err(e) = std::fs::write(&path, &json) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("trace: {path} ({} bytes)", json.len());
+    }
+
+    if !out.conserved {
+        eprintln!("conservation check FAILED");
+        std::process::exit(1);
+    }
+}
+
+fn usage_and_exit() -> ! {
+    eprintln!(
+        "usage: simprof <{}> [--chaos] [--trace FILE.json]",
+        WORKLOADS.join("|")
+    );
+    std::process::exit(2);
+}

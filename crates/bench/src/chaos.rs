@@ -148,6 +148,20 @@ fn export_retry(vmmc: &Vmmc, ctx: &Ctx, va: VAddr, len: usize, policy: RetryPoli
 /// failed shutdown, or an endpoint error the retry policies should have
 /// absorbed.
 pub fn run_cell(workload: Workload, plan_name: &str, plan: &FaultPlan) -> CellOutcome {
+    run_cell_events(workload, plan_name, plan).0
+}
+
+/// [`run_cell`], also returning the raw timestamped fault-log entries
+/// (for overlaying on an observability trace).
+///
+/// # Panics
+///
+/// As [`run_cell`].
+pub fn run_cell_events(
+    workload: Workload,
+    plan_name: &str,
+    plan: &FaultPlan,
+) -> (CellOutcome, Vec<(SimTime, String)>) {
     let kernel = Kernel::new();
     let system = ShrimpSystem::build(&kernel, SystemConfig::prototype());
     let log = system.apply_faults(plan);
@@ -165,14 +179,15 @@ pub fn run_cell(workload: Workload, plan_name: &str, plan: &FaultPlan) -> CellOu
         .expect("chaos cell must shut down cleanly");
     assert!(system.quiescent(), "all injected traffic must drain");
     let finished = finished.lock().expect("driver process never finished");
-    CellOutcome {
+    let outcome = CellOutcome {
         workload: workload.label(),
         plan_name: plan_name.to_string(),
         events: plan.events.len(),
         finished_ps: (finished - SimTime::ZERO).as_ps(),
         violations: system.violations().len(),
         log: log.render(),
-    }
+    };
+    (outcome, log.snapshot())
 }
 
 /// Figure 3 workload: deliberate-update ping-pong, one page per message.

@@ -17,6 +17,7 @@ pub mod report;
 pub mod rpc_compare;
 pub mod scale;
 pub mod simperf;
+pub mod simprof;
 pub mod socket_bench;
 pub mod vrpc_bench;
 

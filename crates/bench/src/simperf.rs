@@ -26,7 +26,8 @@
 use std::time::Instant;
 
 use shrimp_node::CostModel;
-use shrimp_sim::metrics::{snapshot, MetricsSnapshot};
+use shrimp_sim::metrics::MetricsSnapshot;
+use shrimp_sim::MetricsRegistry;
 
 use crate::collectives::{allreduce_sweep, barrier_latency};
 use crate::pingpong::{vmmc_pingpong, Strategy};
@@ -90,11 +91,15 @@ fn run_workload(
     body: impl FnOnce() -> u64,
 ) -> WorkloadResult {
     let (a0, b0) = alloc_counter();
-    let m0 = snapshot();
+    // A fresh registry per workload: counters attribute exactly to the
+    // kernels this workload builds, not additively across workloads.
+    let registry = MetricsRegistry::new();
+    let guard = registry.install();
     let t0 = Instant::now();
     let virt_digest = body();
     let wall_s = t0.elapsed().as_secs_f64();
-    let metrics = snapshot().delta(&m0);
+    drop(guard);
+    let metrics = registry.snapshot();
     let (a1, b1) = alloc_counter();
     WorkloadResult {
         name,

@@ -1,0 +1,69 @@
+//! Observability invariance: enabling the `shrimp-obs` recorder must
+//! not change a single virtual result.
+//!
+//! Recording is passive by construction (layers push spans, never
+//! schedule events), but "by construction" claims rot; this suite
+//! replays the simperf workloads — whose `virt_digest` is a stable
+//! FNV-1a digest of every modelled latency and bandwidth — with and
+//! without a recorder installed and demands bit-identical digests.
+
+use proptest::prelude::*;
+use shrimp_bench::simperf::{
+    no_alloc_counter, workload_coll4x4, workload_coll8x8, workload_fig3, workload_fig7,
+    AllocCounter, WorkloadResult,
+};
+use shrimp_obs::Recorder;
+
+type WorkloadFn = fn(AllocCounter) -> WorkloadResult;
+
+const WORKLOADS: [(&str, WorkloadFn); 4] = [
+    ("fig3", workload_fig3),
+    ("fig7", workload_fig7),
+    ("coll4x4", workload_coll4x4),
+    ("coll8x8", workload_coll8x8),
+];
+
+fn digest_pair(f: WorkloadFn) -> (u64, u64, usize) {
+    let plain = f(no_alloc_counter).virt_digest;
+    let rec = Recorder::new();
+    let observed = {
+        let _g = rec.install();
+        f(no_alloc_counter).virt_digest
+    };
+    (plain, observed, rec.len())
+}
+
+#[test]
+fn all_simperf_digests_are_identical_with_observability_enabled() {
+    for (name, f) in WORKLOADS {
+        let (plain, observed, spans) = digest_pair(f);
+        assert_eq!(
+            plain, observed,
+            "{name}: virt_digest changed when a recorder was installed \
+             ({plain:#018x} vs {observed:#018x})"
+        );
+        assert!(spans > 0, "{name}: recorder observed no spans");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Any workload, replayed in any order, with or without a recorder
+    /// first: the digest never moves. (The recorder's thread-local
+    /// install must also leave no residue for the following plain run.)
+    #[test]
+    fn digest_is_order_and_observer_independent(idx in 0usize..3, observed_first in any::<bool>()) {
+        let (_name, f) = WORKLOADS[idx];
+        let (a, b) = if observed_first {
+            let rec = Recorder::new();
+            let o = { let _g = rec.install(); f(no_alloc_counter).virt_digest };
+            (o, f(no_alloc_counter).virt_digest)
+        } else {
+            let p = f(no_alloc_counter).virt_digest;
+            let rec = Recorder::new();
+            (p, { let _g = rec.install(); f(no_alloc_counter).virt_digest })
+        };
+        prop_assert_eq!(a, b);
+    }
+}

@@ -202,7 +202,28 @@ impl CollComm {
     ///
     /// Propagates channel faults.
     pub fn barrier(&mut self, ctx: &Ctx) -> Result<(), CollError> {
-        self.barrier_with(ctx, self.select_barrier())
+        let obs_t0 = ctx.now();
+        let r = self.barrier_with(ctx, self.select_barrier());
+        if r.is_ok() {
+            self.obs_span(ctx, "coll_barrier", obs_t0, 0);
+        }
+        r
+    }
+
+    /// Record a [`shrimp_obs::Layer::User`] span for a completed
+    /// collective call (no-op without an installed recorder).
+    fn obs_span(&self, ctx: &Ctx, name: &'static str, start: shrimp_sim::SimTime, bytes: usize) {
+        if let Some(rec) = self.vmmc().obs() {
+            rec.push(shrimp_obs::SpanRec {
+                msg: shrimp_obs::MsgId::NONE,
+                node: self.vmmc().node_index(),
+                layer: shrimp_obs::Layer::User,
+                name,
+                start,
+                end: ctx.now(),
+                bytes,
+            });
+        }
     }
 
     /// Global barrier with an explicit algorithm.
@@ -261,7 +282,12 @@ impl CollComm {
         buf: VAddr,
         len: usize,
     ) -> Result<(), CollError> {
-        self.broadcast_with(ctx, root, buf, len, self.select_broadcast(len))
+        let obs_t0 = ctx.now();
+        let r = self.broadcast_with(ctx, root, buf, len, self.select_broadcast(len));
+        if r.is_ok() {
+            self.obs_span(ctx, "coll_broadcast", obs_t0, len);
+        }
+        r
     }
 
     /// Broadcast with an explicit algorithm.
@@ -341,7 +367,12 @@ impl CollComm {
         count: usize,
         op: ReduceOp,
     ) -> Result<(), CollError> {
-        self.reduce_with(ctx, root, buf, count, op, self.select_reduce(count))
+        let obs_t0 = ctx.now();
+        let r = self.reduce_with(ctx, root, buf, count, op, self.select_reduce(count));
+        if r.is_ok() {
+            self.obs_span(ctx, "coll_reduce", obs_t0, count * op.elem_bytes());
+        }
+        r
     }
 
     /// Reduce with an explicit algorithm.
@@ -404,7 +435,12 @@ impl CollComm {
     ///
     /// Propagates channel faults.
     pub fn allgather(&mut self, ctx: &Ctx, buf: VAddr, total: usize) -> Result<(), CollError> {
-        self.allgather_with(ctx, buf, total, self.select_allgather(total))
+        let obs_t0 = ctx.now();
+        let r = self.allgather_with(ctx, buf, total, self.select_allgather(total));
+        if r.is_ok() {
+            self.obs_span(ctx, "coll_allgather", obs_t0, total);
+        }
+        r
     }
 
     /// Allgather with an explicit algorithm.
@@ -506,7 +542,12 @@ impl CollComm {
         op: ReduceOp,
     ) -> Result<(usize, usize), CollError> {
         let alg = self.select_reduce_scatter(count);
-        self.reduce_scatter_with(ctx, buf, count, op, alg)
+        let obs_t0 = ctx.now();
+        let r = self.reduce_scatter_with(ctx, buf, count, op, alg);
+        if r.is_ok() {
+            self.obs_span(ctx, "coll_reduce_scatter", obs_t0, count * op.elem_bytes());
+        }
+        r
     }
 
     /// Reduce-scatter with an explicit algorithm.
@@ -598,7 +639,12 @@ impl CollComm {
         count: usize,
         op: ReduceOp,
     ) -> Result<(), CollError> {
-        self.allreduce_with(ctx, buf, count, op, self.select_allreduce(count))
+        let obs_t0 = ctx.now();
+        let r = self.allreduce_with(ctx, buf, count, op, self.select_allreduce(count));
+        if r.is_ok() {
+            self.obs_span(ctx, "coll_allreduce", obs_t0, count * op.elem_bytes());
+        }
+        r
     }
 
     /// Allreduce with an explicit algorithm.

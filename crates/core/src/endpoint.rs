@@ -259,6 +259,14 @@ impl Vmmc {
         &self.system
     }
 
+    /// The observability recorder attached to this endpoint's system,
+    /// or `None` on the disabled fast path (one relaxed atomic load).
+    /// User-level libraries use this to record [`shrimp_obs::Layer::User`]
+    /// spans around their protocol phases.
+    pub fn obs(&self) -> Option<Arc<shrimp_obs::Recorder>> {
+        self.system.obs()
+    }
+
     // ------------------------------------------------------------------
     // Import-export mappings
     // ------------------------------------------------------------------
@@ -471,6 +479,7 @@ impl Vmmc {
         dst_off: usize,
         len: usize,
     ) -> Result<SendHandle, VmmcError> {
+        let t0 = ctx.now();
         let costs = self.proc_.node().costs().clone();
         ctx.advance(costs.lib_call);
         if !dst.alive.load(Ordering::SeqCst) {
@@ -499,6 +508,9 @@ impl Vmmc {
 
         // Count chunks, then fire them all; each decrements on injection.
         let nic = self.system.nic(self.node_index);
+        // The causal id is allocated at the send syscall; every chunk
+        // of this transfer carries it.
+        let msg = nic.alloc_msg();
         let mut chunks = Vec::new();
         let mut off = 0usize;
         while off < len {
@@ -513,6 +525,7 @@ impl Vmmc {
                 dst_paddr: dst.locate(dst_off + off),
                 len: n,
                 interrupt: false,
+                msg,
             });
             off += n;
         }
@@ -524,6 +537,17 @@ impl Vmmc {
             nic.du_transfer(req, move |_t| {
                 o.fetch_sub(1, Ordering::SeqCst);
                 h.unpark(pid);
+            });
+        }
+        if let Some(rec) = self.system.obs() {
+            rec.push(shrimp_obs::SpanRec {
+                msg,
+                node: self.node_index,
+                layer: shrimp_obs::Layer::Endpoint,
+                name: "send_nonblocking",
+                start: t0,
+                end: ctx.now(),
+                bytes: len,
             });
         }
         Ok(SendHandle { outstanding })
@@ -546,6 +570,7 @@ impl Vmmc {
         len: usize,
         interrupt: bool,
     ) -> Result<(), VmmcError> {
+        let t0 = ctx.now();
         let costs = self.proc_.node().costs().clone();
         ctx.advance(costs.lib_call);
         if !dst.alive.load(Ordering::SeqCst) {
@@ -575,6 +600,9 @@ impl Vmmc {
         ctx.advance(costs.eisa_pio_access * 2);
 
         let nic = self.system.nic(self.node_index);
+        // The causal id is allocated at the send syscall and carried by
+        // every packet of the transfer (tentpole piece 1).
+        let msg = nic.alloc_msg();
         let mut off = 0usize;
         while off < len {
             let cur = src.add(off);
@@ -588,6 +616,7 @@ impl Vmmc {
                 dst_paddr: dst.locate(dst_off + off),
                 len: n,
                 interrupt: interrupt && off + n == len,
+                msg,
             };
             let flag = Arc::new(AtomicBool::new(false));
             let f2 = Arc::clone(&flag);
@@ -601,6 +630,17 @@ impl Vmmc {
                 ctx.park();
             }
             off += n;
+        }
+        if let Some(rec) = self.system.obs() {
+            rec.push(shrimp_obs::SpanRec {
+                msg,
+                node: self.node_index,
+                layer: shrimp_obs::Layer::Endpoint,
+                name: "send",
+                start: t0,
+                end: ctx.now(),
+                bytes: len,
+            });
         }
         Ok(())
     }

@@ -120,6 +120,10 @@ pub struct ShrimpSystem {
     /// latency, instead of only being recorded.
     auto_repair: AtomicBool,
     fault_log: Mutex<Option<Arc<FaultLog>>>,
+    /// Observability recorder shared by every layer of this system
+    /// (see `shrimp_obs`). Auto-attached at [`ShrimpSystem::build`]
+    /// from the thread's current recorder, if one is installed.
+    obs: shrimp_obs::ObsSlot,
 }
 
 impl std::fmt::Debug for ShrimpSystem {
@@ -168,7 +172,15 @@ impl ShrimpSystem {
             violations: Mutex::new(Vec::new()),
             auto_repair: AtomicBool::new(false),
             fault_log: Mutex::new(None),
+            obs: shrimp_obs::ObsSlot::new(),
         });
+
+        // Auto-attach the thread's current observability recorder (if
+        // any), so existing workloads gain tracing by installing a
+        // recorder before building the system — no signature changes.
+        if let Some(rec) = shrimp_obs::Recorder::current() {
+            system.set_obs(Some(rec));
+        }
 
         // Wire per-node delivery and interrupt routing.
         for (i, node) in system.nodes.iter().enumerate() {
@@ -241,6 +253,24 @@ impl ShrimpSystem {
     /// The routing backplane.
     pub fn net(&self) -> &Arc<Backplane<NicPacket>> {
         &self.net
+    }
+
+    /// Attach (or detach) an observability recorder to every layer of
+    /// the system: the mesh backplane, all NICs, and the VMMC
+    /// endpoints/user libraries (which read it via
+    /// [`ShrimpSystem::obs`]).
+    pub fn set_obs(&self, rec: Option<Arc<shrimp_obs::Recorder>>) {
+        self.net.set_obs(rec.clone());
+        for nic in &self.nics {
+            nic.set_obs(rec.clone());
+        }
+        self.obs.set(rec);
+    }
+
+    /// The attached observability recorder, or `None` on the disabled
+    /// fast path (one relaxed atomic load).
+    pub fn obs(&self) -> Option<Arc<shrimp_obs::Recorder>> {
+        self.obs.get()
     }
 
     /// The Ethernet side channel.

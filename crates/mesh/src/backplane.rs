@@ -152,6 +152,9 @@ pub struct Backplane<P> {
     pair_seq: Mutex<std::collections::HashMap<(NodeId, NodeId), PairSeq>>,
     stats: Mutex<MeshStats>,
     faults: Mutex<MeshFaults>,
+    /// Observability hook: when a recorder is attached, every injection
+    /// records a `mesh/route` span from injection to tail arrival.
+    obs: shrimp_obs::ObsSlot,
 }
 
 const CH_PER_NODE: usize = 6;
@@ -173,7 +176,15 @@ impl<P: Send + 'static> Backplane<P> {
             pair_seq: Mutex::new(std::collections::HashMap::new()),
             stats: Mutex::new(MeshStats::default()),
             faults: Mutex::new(MeshFaults::default()),
+            obs: shrimp_obs::ObsSlot::new(),
         })
+    }
+
+    /// Attach (or detach) an observability recorder. While attached,
+    /// [`inject_msg`](Backplane::inject_msg) records one span per packet
+    /// covering its whole backplane residence.
+    pub fn set_obs(&self, rec: Option<Arc<shrimp_obs::Recorder>>) {
+        self.obs.set(rec);
     }
 
     /// The topology this backplane routes over.
@@ -217,6 +228,20 @@ impl<P: Send + 'static> Backplane<P> {
         payload_bytes: usize,
         payload: P,
     ) -> SimTime {
+        self.inject_msg(src, dst, payload_bytes, payload, shrimp_obs::MsgId::NONE)
+    }
+
+    /// [`inject`](Backplane::inject), attributing the packet to a causal
+    /// message id for observability. The mesh span runs from injection
+    /// to tail arrival on the source node's timeline.
+    pub fn inject_msg(
+        self: &Arc<Self>,
+        src: NodeId,
+        dst: NodeId,
+        payload_bytes: usize,
+        payload: P,
+        msg: shrimp_obs::MsgId,
+    ) -> SimTime {
         let now = self.handle.now();
         let wire_bytes = payload_bytes + self.params.header_bytes;
         let ser = SimDur::per_bytes(wire_bytes, self.params.link_bytes_per_sec);
@@ -253,6 +278,18 @@ impl<P: Send + 'static> Backplane<P> {
         {
             let mut st = self.stats.lock();
             st.injected += 1;
+        }
+
+        if let Some(rec) = self.obs.get() {
+            rec.push(shrimp_obs::SpanRec {
+                msg,
+                node: src.0,
+                layer: shrimp_obs::Layer::Mesh,
+                name: "route",
+                start: now,
+                end: tail_arrival,
+                bytes: payload_bytes,
+            });
         }
 
         let me = Arc::clone(self);

@@ -43,6 +43,9 @@ pub struct NicPacket {
     pub data: SimBuf,
     /// Sender-specified destination-interrupt flag.
     pub interrupt: bool,
+    /// Causal message id for observability; [`shrimp_obs::MsgId::NONE`]
+    /// when tracing is off.
+    pub msg: shrimp_obs::MsgId,
 }
 
 /// A deliberate-update transfer request, as decoded from the two-access
@@ -60,6 +63,10 @@ pub struct DuRequest {
     pub len: usize,
     /// Request a destination interrupt on the final packet.
     pub interrupt: bool,
+    /// Causal message id allocated at the send syscall
+    /// ([`shrimp_obs::MsgId::NONE`] when tracing is off); every packet
+    /// of the transfer carries it.
+    pub msg: shrimp_obs::MsgId,
 }
 
 /// Traffic counters for one NIC.
@@ -107,6 +114,11 @@ pub struct Nic {
     /// Injected incoming-DMA stall windows (see `shrimp_sim::faults`):
     /// the DMA engine holds accepted packets until the window passes.
     recv_stall: Mutex<StallWindows>,
+    /// Observability hook: when attached, the outgoing datapath records
+    /// packetize/FIFO spans and the incoming datapath records
+    /// IPT-check and deposit spans, all tagged with the packet's
+    /// causal message id.
+    obs: shrimp_obs::ObsSlot,
 }
 
 impl std::fmt::Debug for Nic {
@@ -141,6 +153,7 @@ impl Nic {
             pending_recv_dma: AtomicU64::new(0),
             out_tail: Mutex::new(SimTime::ZERO),
             recv_stall: Mutex::new(StallWindows::new()),
+            obs: shrimp_obs::ObsSlot::new(),
         });
 
         let weak: Weak<Nic> = Arc::downgrade(&nic);
@@ -188,6 +201,21 @@ impl Nic {
         *self.stats.lock()
     }
 
+    /// Attach (or detach) an observability recorder (see `shrimp_obs`).
+    pub fn set_obs(&self, rec: Option<Arc<shrimp_obs::Recorder>>) {
+        self.obs.set(rec);
+    }
+
+    /// Allocate a causal message id from the attached recorder, or
+    /// [`shrimp_obs::MsgId::NONE`] on the disabled fast path. The VMMC
+    /// send syscall calls this so the id exists before the first packet.
+    pub fn alloc_msg(&self) -> shrimp_obs::MsgId {
+        match self.obs.get() {
+            Some(rec) => rec.alloc_msg(),
+            None => shrimp_obs::MsgId::NONE,
+        }
+    }
+
     // ------------------------------------------------------------------
     // Outgoing: automatic update
     // ------------------------------------------------------------------
@@ -202,6 +230,9 @@ impl Nic {
         self.node.mem().read(w.paddr, &mut data);
 
         let costs = self.node.costs();
+        // Automatic updates have no send syscall: each snooped write run
+        // becomes its own causal message (combining keeps the first).
+        let msg = self.alloc_msg();
         let flushed = {
             let mut p = self.pktz.lock();
             p.push(OutWrite {
@@ -211,6 +242,7 @@ impl Nic {
                 interrupt: entry.dst_interrupt,
                 combine: entry.combine,
                 at: w.at,
+                msg,
             })
         };
         let lead = costs.nic_snoop + costs.nic_packetize;
@@ -267,16 +299,32 @@ impl Nic {
         // Enter the outgoing FIFO: a packet never departs before one
         // enqueued earlier, even when its datapath has a shorter
         // processing lead (ties run in enqueue order).
+        let now = self.node.sim().now();
         let at = {
             let mut tail = self.out_tail.lock();
-            let at = (self.node.sim().now() + after).max(*tail);
+            let at = (now + after).max(*tail);
             *tail = at;
             at
         };
+        if let Some(rec) = self.obs.get() {
+            rec.push(shrimp_obs::SpanRec {
+                msg: pkt.msg,
+                node: self.node.id().0,
+                layer: shrimp_obs::Layer::NicOut,
+                name: if is_au {
+                    "au_packetize"
+                } else {
+                    "du_packetize"
+                },
+                start: now,
+                end: at,
+                bytes: pkt.data.len(),
+            });
+        }
         let me = Arc::clone(self);
         self.node.sim().schedule_at(at, move || {
             let bytes = pkt.data.len();
-            me.net.inject(
+            me.net.inject_msg(
                 me.node.id(),
                 pkt.dst_node,
                 bytes,
@@ -284,7 +332,9 @@ impl Nic {
                     dst_paddr: pkt.dst_paddr,
                     data: pkt.data,
                     interrupt: pkt.interrupt,
+                    msg: pkt.msg,
                 },
+                pkt.msg,
             );
         });
     }
@@ -346,6 +396,7 @@ impl Nic {
                     // The destination interrupt rides on the final packet so
                     // the notification fires after all data has landed.
                     interrupt: req.interrupt && is_last,
+                    msg: req.msg,
                 };
                 me.schedule_inject(me.node.costs().nic_packetize, pkt, false);
                 if is_last {
@@ -402,16 +453,39 @@ impl Nic {
             let w = self.recv_stall.lock();
             w.release(self.node.sim().now() + check)
         };
+        if let Some(rec) = self.obs.get() {
+            rec.push(shrimp_obs::SpanRec {
+                msg: pkt.msg,
+                node: self.node.id().0,
+                layer: shrimp_obs::Layer::NicIn,
+                name: "ipt_check",
+                start: self.node.sim().now(),
+                end: at,
+                bytes: pkt.data.len(),
+            });
+        }
         self.node.sim().schedule_at(at, move || {
             let dst = PAddr(pkt.dst_paddr);
             let want_irq = pkt.interrupt;
             let bytes = pkt.data.len();
+            let msg = pkt.msg;
             let me2 = Arc::clone(&me);
             me.node.dma_write(dst, pkt.data, move |t| {
                 {
                     let mut st = me2.stats.lock();
                     st.packets_in += 1;
                     st.bytes_in += bytes as u64;
+                }
+                if let Some(rec) = me2.obs.get() {
+                    rec.push(shrimp_obs::SpanRec {
+                        msg,
+                        node: me2.node.id().0,
+                        layer: shrimp_obs::Layer::Deposit,
+                        name: "dma_write",
+                        start: at,
+                        end: t,
+                        bytes,
+                    });
                 }
                 let entry_now = me2.ipt.get(ppage);
                 if want_irq && entry_now.interrupt {
@@ -667,6 +741,7 @@ mod tests {
                 dst_paddr: dst_pa.0,
                 len: 2048,
                 interrupt: false,
+                msg: shrimp_obs::MsgId::NONE,
             },
             move |t| *d.lock() = Some(t),
         );
@@ -701,6 +776,7 @@ mod tests {
                 dst_paddr: dst_pa.0,
                 len: 3 * PAGE_SIZE,
                 interrupt: false,
+                msg: shrimp_obs::MsgId::NONE,
             },
             |_| {},
         );
@@ -721,6 +797,7 @@ mod tests {
                 dst_paddr: 0,
                 len: 4,
                 interrupt: false,
+                msg: shrimp_obs::MsgId::NONE,
             },
             |_| {},
         );
@@ -744,6 +821,7 @@ mod tests {
                 dst_paddr: 10 * PAGE_SIZE as u64,
                 len: 64,
                 interrupt: false,
+                msg: shrimp_obs::MsgId::NONE,
             },
             |_| {},
         );
@@ -768,6 +846,7 @@ mod tests {
                 dst_paddr: dst,
                 len: 64,
                 interrupt: false,
+                msg: shrimp_obs::MsgId::NONE,
             },
             |_| {},
         );
@@ -817,6 +896,7 @@ mod tests {
                 dst_paddr: dst_pa.0,
                 len: 4,
                 interrupt: true,
+                msg: shrimp_obs::MsgId::NONE,
             },
             |_| {},
         );
@@ -832,6 +912,7 @@ mod tests {
                 dst_paddr: dst_pa.0,
                 len: 4,
                 interrupt: true,
+                msg: shrimp_obs::MsgId::NONE,
             },
             |_| {},
         );
@@ -986,6 +1067,7 @@ mod tests {
                     dst_paddr: dst_pa.0,
                     len: 4,
                     interrupt: false,
+                    msg: shrimp_obs::MsgId::NONE,
                 },
                 |_| {},
             );

@@ -11,6 +11,7 @@
 //! timer.
 
 use shrimp_mesh::NodeId;
+use shrimp_obs::MsgId;
 use shrimp_sim::{SimBuf, SimTime};
 
 /// A write run presented to the packetizer (already OPT-translated).
@@ -28,6 +29,9 @@ pub struct OutWrite {
     pub combine: bool,
     /// Completion time of the write run.
     pub at: SimTime,
+    /// Causal message id for observability ([`MsgId::NONE`] when
+    /// tracing is off). Combining keeps the *first* write's id.
+    pub msg: MsgId,
 }
 
 /// A closed packet ready for injection.
@@ -41,6 +45,8 @@ pub struct OutPacket {
     pub data: SimBuf,
     /// Destination-interrupt request.
     pub interrupt: bool,
+    /// Causal message id (first contributing write when combined).
+    pub msg: MsgId,
 }
 
 #[derive(Debug)]
@@ -140,6 +146,7 @@ impl Packetizer {
                 dst_paddr: addr,
                 data: w.data.slice(off..off + n),
                 interrupt: w.interrupt,
+                msg: w.msg,
             };
             off += n;
             let is_last = off == w.data.len();
@@ -183,6 +190,7 @@ mod tests {
             interrupt: false,
             combine,
             at: SimTime::ZERO,
+            msg: MsgId::NONE,
         }
     }
 

@@ -5,6 +5,7 @@
 use proptest::prelude::*;
 use shrimp_mesh::NodeId;
 use shrimp_nic::{OutWrite, Packetizer};
+use shrimp_obs::MsgId;
 use shrimp_sim::SimTime;
 
 const PAGE: u64 = 4096;
@@ -62,6 +63,7 @@ proptest! {
                 interrupt: false,
                 combine: w.combine,
                 at: SimTime::ZERO,
+                msg: MsgId::NONE,
             });
             for pkt in &out {
                 apply(pkt, &mut got)?;
@@ -86,6 +88,7 @@ proptest! {
                 interrupt: false,
                 combine: w.combine,
                 at: SimTime::ZERO,
+                msg: MsgId::NONE,
             });
             prop_assert!(p.generation() > last);
             last = p.generation();

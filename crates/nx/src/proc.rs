@@ -299,6 +299,31 @@ impl NxProc {
         len: usize,
         dst: usize,
     ) -> Result<(), NxError> {
+        let obs = self.vmmc.obs();
+        let obs_t0 = ctx.now();
+        let r = self.csend_inner(ctx, mtype, buf, len, dst);
+        if let (Some(rec), Ok(())) = (&obs, &r) {
+            rec.push(shrimp_obs::SpanRec {
+                msg: shrimp_obs::MsgId::NONE,
+                node: self.vmmc.node_index(),
+                layer: shrimp_obs::Layer::User,
+                name: "csend",
+                start: obs_t0,
+                end: ctx.now(),
+                bytes: len,
+            });
+        }
+        r
+    }
+
+    fn csend_inner(
+        &mut self,
+        ctx: &Ctx,
+        mtype: i32,
+        buf: VAddr,
+        len: usize,
+        dst: usize,
+    ) -> Result<(), NxError> {
         self.vmmc.proc_().charge_call(ctx);
         self.progress(ctx)?;
         if dst >= self.nranks {
@@ -805,6 +830,31 @@ impl NxProc {
     ///
     /// As for [`NxProc::crecv`].
     pub fn crecvx(
+        &mut self,
+        ctx: &Ctx,
+        typesel: i32,
+        buf: VAddr,
+        maxlen: usize,
+        srcsel: Option<usize>,
+    ) -> Result<usize, NxError> {
+        let obs = self.vmmc.obs();
+        let obs_t0 = ctx.now();
+        let r = self.crecvx_inner(ctx, typesel, buf, maxlen, srcsel);
+        if let (Some(rec), Ok(n)) = (&obs, &r) {
+            rec.push(shrimp_obs::SpanRec {
+                msg: shrimp_obs::MsgId::NONE,
+                node: self.vmmc.node_index(),
+                layer: shrimp_obs::Layer::User,
+                name: "crecv",
+                start: obs_t0,
+                end: ctx.now(),
+                bytes: *n,
+            });
+        }
+        r
+    }
+
+    fn crecvx_inner(
         &mut self,
         ctx: &Ctx,
         typesel: i32,

@@ -1,0 +1,296 @@
+//! Per-message latency breakdowns and per-layer span statistics.
+//!
+//! [`breakdown`] partitions a message's end-to-end interval into
+//! labelled segments using an interval sweep: boundaries are the
+//! recorded span edges, each elementary interval is attributed to the
+//! *innermost* covering span (latest start, then deepest layer), and
+//! uncovered intervals become the `transfer+wait` segment — time the
+//! message spent in flight or queued where no layer was doing
+//! attributable work. Because the segments partition the interval in
+//! integer picoseconds, they sum **exactly** to end-to-end latency;
+//! the conservation tests in `crates/bench` assert this across the
+//! fig3/fig5/fig7 workloads.
+
+use shrimp_sim::{SimDur, SimTime};
+
+use crate::{Layer, MsgId, SpanRec};
+
+/// Label for time no recorded span covers: wire transfer, FIFO/queue
+/// residence, and blocked waiting.
+pub const TRANSFER_WAIT: &str = "transfer+wait";
+
+/// One labelled slice of a message's end-to-end interval.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment {
+    /// Layer the time is attributed to; `None` for [`TRANSFER_WAIT`].
+    pub layer: Option<Layer>,
+    /// Phase name ([`TRANSFER_WAIT`] for uncovered time).
+    pub name: &'static str,
+    /// Slice length.
+    pub dur: SimDur,
+}
+
+impl Segment {
+    /// `layer/name` label used in tables and exports.
+    pub fn label(&self) -> String {
+        match self.layer {
+            Some(l) => format!("{}/{}", l.as_str(), self.name),
+            None => self.name.to_string(),
+        }
+    }
+}
+
+/// A message's end-to-end latency, partitioned into segments that sum
+/// exactly to `end - start`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Breakdown {
+    /// The message.
+    pub msg: MsgId,
+    /// Earliest span entry for the message.
+    pub start: SimTime,
+    /// Latest span exit for the message.
+    pub end: SimTime,
+    /// Ordered, merged segments partitioning `[start, end]`.
+    pub segments: Vec<Segment>,
+}
+
+impl Breakdown {
+    /// End-to-end latency.
+    pub fn total(&self) -> SimDur {
+        self.end.since(self.start)
+    }
+
+    /// Sum of the segment durations (picosecond-exact).
+    pub fn segment_sum(&self) -> SimDur {
+        SimDur(self.segments.iter().map(|s| s.dur.0).sum())
+    }
+
+    /// The conservation invariant: segments sum exactly to the
+    /// end-to-end latency.
+    pub fn is_conserved(&self) -> bool {
+        self.segment_sum() == self.total()
+    }
+
+    /// Total time attributed to `name` (summed over segments).
+    pub fn named(&self, name: &str) -> SimDur {
+        SimDur(
+            self.segments
+                .iter()
+                .filter(|s| s.name == name)
+                .map(|s| s.dur.0)
+                .sum(),
+        )
+    }
+}
+
+/// Build the [`Breakdown`] for message `msg` from a span set.
+///
+/// Returns `None` when no span mentions the message.
+pub fn breakdown(spans: &[SpanRec], msg: MsgId) -> Option<Breakdown> {
+    let mine: Vec<&SpanRec> = spans.iter().filter(|s| s.msg == msg).collect();
+    if mine.is_empty() {
+        return None;
+    }
+    let start = mine.iter().map(|s| s.start).min().unwrap();
+    let end = mine.iter().map(|s| s.end).max().unwrap();
+
+    // Elementary boundaries: every span edge, sorted and deduplicated.
+    let mut edges: Vec<SimTime> = Vec::with_capacity(mine.len() * 2);
+    for s in &mine {
+        edges.push(s.start);
+        edges.push(s.end);
+    }
+    edges.sort_unstable();
+    edges.dedup();
+
+    let mut segments: Vec<Segment> = Vec::new();
+    for w in edges.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        if b <= a {
+            continue;
+        }
+        // Innermost covering span: latest start wins (tightest
+        // enclosure), then deepest layer, then later push order.
+        let owner = mine
+            .iter()
+            .filter(|s| s.start <= a && s.end >= b && s.end > s.start)
+            .max_by_key(|s| (s.start, s.layer.depth()));
+        let (layer, name) = match owner {
+            Some(s) => (Some(s.layer), s.name),
+            None => (None, TRANSFER_WAIT),
+        };
+        let dur = b.since(a);
+        match segments.last_mut() {
+            Some(last) if last.layer == layer && last.name == name => {
+                last.dur = SimDur(last.dur.0 + dur.0);
+            }
+            _ => segments.push(Segment { layer, name, dur }),
+        }
+    }
+
+    Some(Breakdown {
+        msg,
+        start,
+        end,
+        segments,
+    })
+}
+
+/// Every distinct [`MsgId`] appearing in a span set, ascending.
+pub fn message_ids(spans: &[SpanRec]) -> Vec<MsgId> {
+    let mut ids: Vec<MsgId> = spans
+        .iter()
+        .map(|s| s.msg)
+        .filter(|m| m.is_some())
+        .collect();
+    ids.sort_unstable();
+    ids.dedup();
+    ids
+}
+
+/// Aggregated statistics for one `(layer, name)` phase: count, total,
+/// min/max, and a base-2 duration histogram (bucket *k* counts spans
+/// with `2^k <= ps < 2^(k+1)`; bucket 0 also holds zero-length spans).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerStats {
+    /// Stack layer.
+    pub layer: Layer,
+    /// Phase name.
+    pub name: &'static str,
+    /// Number of spans.
+    pub count: u64,
+    /// Summed duration.
+    pub total: SimDur,
+    /// Shortest span.
+    pub min: SimDur,
+    /// Longest span.
+    pub max: SimDur,
+    /// Log2 histogram of span durations in picoseconds.
+    pub buckets: [u64; 64],
+}
+
+impl LayerStats {
+    /// Mean span duration.
+    pub fn mean(&self) -> SimDur {
+        SimDur(self.total.0.checked_div(self.count).unwrap_or(0))
+    }
+}
+
+/// Aggregate spans into per-`(layer, name)` statistics, sorted by
+/// layer depth then name.
+pub fn layer_stats(spans: &[SpanRec]) -> Vec<LayerStats> {
+    let mut out: Vec<LayerStats> = Vec::new();
+    for s in spans {
+        let dur = s.dur();
+        let entry = match out
+            .iter_mut()
+            .find(|e| e.layer == s.layer && e.name == s.name)
+        {
+            Some(e) => e,
+            None => {
+                out.push(LayerStats {
+                    layer: s.layer,
+                    name: s.name,
+                    count: 0,
+                    total: SimDur::ZERO,
+                    min: SimDur(u64::MAX),
+                    max: SimDur::ZERO,
+                    buckets: [0; 64],
+                });
+                out.last_mut().unwrap()
+            }
+        };
+        entry.count += 1;
+        entry.total = SimDur(entry.total.0 + dur.0);
+        entry.min = SimDur(entry.min.0.min(dur.0));
+        entry.max = SimDur(entry.max.0.max(dur.0));
+        let bucket = if dur.0 == 0 {
+            0
+        } else {
+            63 - dur.0.leading_zeros() as usize
+        };
+        entry.buckets[bucket] += 1;
+    }
+    out.sort_by_key(|e| (e.layer.depth(), e.name));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: f64) -> SimTime {
+        SimTime::ZERO + SimDur::from_us(us)
+    }
+
+    fn span(msg: u64, layer: Layer, name: &'static str, a: f64, b: f64) -> SpanRec {
+        SpanRec {
+            msg: MsgId(msg),
+            node: 0,
+            layer,
+            name,
+            start: t(a),
+            end: t(b),
+            bytes: 0,
+        }
+    }
+
+    #[test]
+    fn gaps_become_transfer_wait_and_sum_is_exact() {
+        let spans = vec![
+            span(1, Layer::User, "prep", 0.0, 2.0),
+            span(1, Layer::Deposit, "dma", 5.0, 6.0),
+        ];
+        let b = breakdown(&spans, MsgId(1)).unwrap();
+        assert!(b.is_conserved());
+        assert_eq!(b.total(), SimDur::from_us(6.0));
+        assert_eq!(b.segments.len(), 3);
+        assert_eq!(b.segments[1].name, TRANSFER_WAIT);
+        assert_eq!(b.named(TRANSFER_WAIT), SimDur::from_us(3.0));
+    }
+
+    #[test]
+    fn nested_spans_attribute_to_innermost() {
+        let spans = vec![
+            span(1, Layer::User, "call", 0.0, 10.0),
+            span(1, Layer::Endpoint, "send", 2.0, 4.0),
+        ];
+        let b = breakdown(&spans, MsgId(1)).unwrap();
+        assert!(b.is_conserved());
+        // call [0,2), send [2,4), call [4,10) — merged into 3 segments.
+        assert_eq!(b.segments.len(), 3);
+        assert_eq!(b.segments[1].layer, Some(Layer::Endpoint));
+        assert_eq!(b.named("call"), SimDur::from_us(8.0));
+        assert_eq!(b.named("send"), SimDur::from_us(2.0));
+    }
+
+    #[test]
+    fn unknown_message_is_none_and_ids_are_sorted() {
+        let spans = vec![
+            span(7, Layer::User, "a", 0.0, 1.0),
+            span(3, Layer::User, "b", 0.0, 1.0),
+            span(7, Layer::Mesh, "c", 1.0, 2.0),
+        ];
+        assert!(breakdown(&spans, MsgId(99)).is_none());
+        assert_eq!(message_ids(&spans), vec![MsgId(3), MsgId(7)]);
+    }
+
+    #[test]
+    fn layer_stats_aggregate_and_bucket() {
+        let spans = vec![
+            span(1, Layer::Mesh, "hop", 0.0, 1.0),
+            span(2, Layer::Mesh, "hop", 0.0, 3.0),
+            span(2, Layer::User, "call", 0.0, 2.0),
+        ];
+        let stats = layer_stats(&spans);
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].layer, Layer::User); // depth order
+        let hop = &stats[1];
+        assert_eq!(hop.count, 2);
+        assert_eq!(hop.total, SimDur::from_us(4.0));
+        assert_eq!(hop.min, SimDur::from_us(1.0));
+        assert_eq!(hop.max, SimDur::from_us(3.0));
+        assert_eq!(hop.mean(), SimDur::from_us(2.0));
+        assert_eq!(hop.buckets.iter().sum::<u64>(), 2);
+    }
+}

@@ -1,0 +1,180 @@
+//! Chrome trace-event JSON export (loadable in Perfetto / `chrome://tracing`).
+//!
+//! Emits the JSON-object form (`{"traceEvents": [...]}`) with:
+//!
+//! * one *process* per node (`pid` = node index) named `node<N>`;
+//! * one *thread* per stack layer (`tid` = layer depth) named after
+//!   [`Layer::as_str`], so each node renders as a stack of per-layer
+//!   tracks in path order;
+//! * `"X"` complete events for spans (`ts`/`dur` in microseconds of
+//!   virtual time, with `args.msg` and `args.bytes` for attribution);
+//! * `"i"` instant events for [`InstantRec`]s — fault injections and
+//!   repairs land here — process-scoped when a node is known, global
+//!   otherwise.
+//!
+//! No serde: the vendored dependency set has no JSON crate, and the
+//! event shape is flat enough that direct string building stays
+//! readable.
+
+use crate::{InstantRec, Layer, SpanRec};
+
+/// Render spans and instants as a Chrome trace-event JSON document.
+pub fn export(spans: &[SpanRec], instants: &[InstantRec]) -> String {
+    let mut out = String::with_capacity(128 + spans.len() * 160 + instants.len() * 120);
+    out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    let mut first = true;
+
+    // Metadata: name every (node, layer) track that will appear.
+    let mut nodes: Vec<usize> = spans
+        .iter()
+        .map(|s| s.node)
+        .chain(instants.iter().filter_map(|i| i.node))
+        .collect();
+    nodes.sort_unstable();
+    nodes.dedup();
+    for &node in &nodes {
+        push_event(
+            &mut out,
+            &mut first,
+            &format!(
+                "{{\"ph\":\"M\",\"pid\":{node},\"tid\":0,\"name\":\"process_name\",\
+                 \"args\":{{\"name\":\"node{node}\"}}}}"
+            ),
+        );
+        for layer in Layer::ALL {
+            if spans.iter().any(|s| s.node == node && s.layer == layer) {
+                push_event(
+                    &mut out,
+                    &mut first,
+                    &format!(
+                        "{{\"ph\":\"M\",\"pid\":{node},\"tid\":{tid},\"name\":\"thread_name\",\
+                         \"args\":{{\"name\":\"{lname}\"}}}}",
+                        tid = layer.depth(),
+                        lname = layer.as_str()
+                    ),
+                );
+            }
+        }
+    }
+
+    for s in spans {
+        push_event(
+            &mut out,
+            &mut first,
+            &format!(
+                "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts},\"dur\":{dur},\
+                 \"name\":\"{name}\",\"cat\":\"{cat}\",\
+                 \"args\":{{\"msg\":{msg},\"bytes\":{bytes}}}}}",
+                pid = s.node,
+                tid = s.layer.depth(),
+                ts = us(s.start.as_ps()),
+                dur = us(s.end.as_ps() - s.start.as_ps()),
+                name = escape(s.name),
+                cat = s.layer.as_str(),
+                msg = s.msg.0,
+                bytes = s.bytes,
+            ),
+        );
+    }
+
+    for i in instants {
+        let (pid, scope) = match i.node {
+            Some(n) => (n, "p"),
+            None => (0, "g"),
+        };
+        push_event(
+            &mut out,
+            &mut first,
+            &format!(
+                "{{\"ph\":\"i\",\"pid\":{pid},\"tid\":0,\"ts\":{ts},\"s\":\"{scope}\",\
+                 \"name\":\"{name}\",\"cat\":\"fault\"}}",
+                ts = us(i.at.as_ps()),
+                name = escape(&i.label),
+            ),
+        );
+    }
+
+    out.push_str("]}");
+    out
+}
+
+fn push_event(out: &mut String, first: &mut bool, ev: &str) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    out.push_str(ev);
+}
+
+/// Picoseconds → trace-event microseconds, exact: integer part plus up
+/// to six fractional digits (1 ps = 1e-6 µs), trailing zeros trimmed.
+fn us(ps: u64) -> String {
+    let whole = ps / 1_000_000;
+    let frac = ps % 1_000_000;
+    if frac == 0 {
+        format!("{whole}")
+    } else {
+        let s = format!("{whole}.{frac:06}");
+        s.trim_end_matches('0').to_string()
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Recorder;
+    use shrimp_sim::{SimDur, SimTime};
+
+    #[test]
+    fn exports_spans_instants_and_metadata() {
+        let r = Recorder::new();
+        let m = r.alloc_msg();
+        let t0 = SimTime::ZERO + SimDur::from_us(1.5);
+        r.push(SpanRec {
+            msg: m,
+            node: 2,
+            layer: Layer::Mesh,
+            name: "xfer",
+            start: t0,
+            end: t0 + SimDur::from_ns(250.0),
+            bytes: 64,
+        });
+        r.instant(t0, Some(2), "link down \"x\"");
+        r.instant(t0, None, "plan start");
+        let json = export(&r.spans(), &r.instants());
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"name\":\"node2\""));
+        assert!(json.contains("\"name\":\"mesh\""));
+        assert!(json.contains("\"ts\":1.5"));
+        assert!(json.contains("\"dur\":0.25"));
+        assert!(json.contains("\"s\":\"p\""));
+        assert!(json.contains("\"s\":\"g\""));
+        assert!(json.contains("link down \\\"x\\\""));
+    }
+
+    #[test]
+    fn us_rendering_is_exact() {
+        assert_eq!(us(0), "0");
+        assert_eq!(us(1), "0.000001");
+        assert_eq!(us(1_000_000), "1");
+        assert_eq!(us(29_123_456), "29.123456");
+        assert_eq!(us(2_500_000), "2.5");
+    }
+}

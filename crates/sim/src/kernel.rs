@@ -321,6 +321,9 @@ pub(crate) struct Shared {
     tracer: Mutex<Option<Tracer>>,
     /// Cheap guard so untraced runs never touch the tracer mutex.
     has_tracer: AtomicBool,
+    /// Engine counters this kernel records into: the registry current
+    /// on the constructing thread (see `crate::metrics`).
+    counters: Arc<crate::metrics::Counters>,
 }
 
 impl Shared {
@@ -434,11 +437,13 @@ impl Shared {
             }
             return match todo {
                 Todo::Run(f) => {
-                    crate::metrics::EVENTS_EXECUTED.fetch_add(1, Ordering::Relaxed);
+                    self.counters
+                        .events_executed
+                        .fetch_add(1, Ordering::Relaxed);
                     if me.is_some() {
                         // A kernel-thread handoff avoided: the closure
                         // runs inline on the process thread.
-                        crate::metrics::BATCHED_EVENTS.fetch_add(1, Ordering::Relaxed);
+                        self.counters.batched_events.fetch_add(1, Ordering::Relaxed);
                     }
                     if self.has_tracer.load(Ordering::Relaxed) {
                         self.trace(TraceEvent::Event { at });
@@ -454,15 +459,15 @@ impl Shared {
                     Step::Ran
                 }
                 Todo::Mine(name) => {
-                    crate::metrics::RESUMES.fetch_add(1, Ordering::Relaxed);
-                    crate::metrics::FAST_RESUMES.fetch_add(1, Ordering::Relaxed);
+                    self.counters.resumes.fetch_add(1, Ordering::Relaxed);
+                    self.counters.fast_resumes.fetch_add(1, Ordering::Relaxed);
                     if let Some(process) = name {
                         self.trace(TraceEvent::Resume { at, process });
                     }
                     Step::MyResume
                 }
                 Todo::Give(sync, name) => {
-                    crate::metrics::RESUMES.fetch_add(1, Ordering::Relaxed);
+                    self.counters.resumes.fetch_add(1, Ordering::Relaxed);
                     // Trace before the handoff so the receiving process
                     // cannot emit its next event first.
                     if let Some(process) = name {
@@ -647,6 +652,7 @@ impl Kernel {
                 now_ps: AtomicU64::new(0),
                 tracer: Mutex::new(None),
                 has_tracer: AtomicBool::new(false),
+                counters: crate::metrics::current_counters(),
             }),
         }
     }

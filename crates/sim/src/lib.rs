@@ -69,7 +69,7 @@ pub use faults::{
     FaultEvent, FaultKind, FaultLog, FaultPlan, FaultSpec, RetryPolicy, StallWindows,
 };
 pub use kernel::{Kernel, ProcessId, SimError, TraceEvent, Tracer};
-pub use metrics::MetricsSnapshot;
+pub use metrics::{MetricsGuard, MetricsRegistry, MetricsSnapshot};
 pub use process::{Ctx, SimHandle};
 pub use resource::{BandwidthResource, Grant};
 pub use rng::SplitMix64;

@@ -1,30 +1,133 @@
-//! Process-wide wall-clock metrics for the simulation engine.
+//! Per-kernel wall-clock metrics for the simulation engine.
 //!
 //! These counters measure the *host* cost of running the simulator —
 //! how many scheduled items the engine executed, and how many of those
 //! the token-passing executor dispatched without a thread handoff — as
 //! opposed to the *modelled* (virtual time) costs everything else in
-//! this workspace reports. The perf
-//! harness (`shrimp-bench`'s `simperf` binary) snapshots them around
-//! each workload to derive events/sec.
+//! this workspace reports. The perf harness (`shrimp-bench`'s
+//! `simperf` and `simprof` binaries) snapshots them around each
+//! workload to derive events/sec.
 //!
-//! The counters are global atomics because kernel hot paths must not
-//! pay for per-kernel plumbing, and because a wall-clock harness always
-//! measures one workload at a time. Increments use relaxed ordering;
-//! only one simulation thread executes at any moment, so totals are
-//! exact for a single kernel and merely additive across concurrent
-//! kernels.
+//! Counters live on a [`MetricsRegistry`]; every [`Kernel`](crate::Kernel)
+//! captures the thread's *current* registry at construction (the
+//! process-wide default when none is installed), so a harness that
+//! installs a fresh registry before building its kernels reads exact
+//! per-workload numbers even while other kernels run concurrently on
+//! other threads. The module-level [`snapshot`] reads the default
+//! registry and keeps the old additive-across-everything behaviour for
+//! callers that don't care about isolation.
+//!
+//! Increments use relaxed ordering; only one simulation thread of a
+//! kernel executes at any moment, so totals are exact per registry.
 
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
-pub(crate) static EVENTS_EXECUTED: AtomicU64 = AtomicU64::new(0);
-pub(crate) static RESUMES: AtomicU64 = AtomicU64::new(0);
-pub(crate) static FAST_RESUMES: AtomicU64 = AtomicU64::new(0);
-pub(crate) static BATCHED_EVENTS: AtomicU64 = AtomicU64::new(0);
+/// The four engine counters backing one registry. Hot paths touch
+/// these through `Shared.counters`, paying one pointer indirection per
+/// increment (no thread-local lookup on the dispatch path).
+#[derive(Debug, Default)]
+pub(crate) struct Counters {
+    pub(crate) events_executed: AtomicU64,
+    pub(crate) resumes: AtomicU64,
+    pub(crate) fast_resumes: AtomicU64,
+    pub(crate) batched_events: AtomicU64,
+}
 
-/// A point-in-time copy of the engine counters. Obtain with
-/// [`snapshot`]; subtract two snapshots (see [`MetricsSnapshot::delta`])
-/// to attribute counts to a workload.
+impl Counters {
+    fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            events_executed: self.events_executed.load(Ordering::Relaxed),
+            resumes: self.resumes.load(Ordering::Relaxed),
+            fast_resumes: self.fast_resumes.load(Ordering::Relaxed),
+            batched_events: self.batched_events.load(Ordering::Relaxed),
+        }
+    }
+}
+
+fn default_counters() -> &'static Arc<Counters> {
+    static DEFAULT: OnceLock<Arc<Counters>> = OnceLock::new();
+    DEFAULT.get_or_init(|| Arc::new(Counters::default()))
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Arc<Counters>>> = const { RefCell::new(None) };
+}
+
+/// The counters a kernel built on this thread should record into: the
+/// installed registry's, else the process-wide default.
+pub(crate) fn current_counters() -> Arc<Counters> {
+    CURRENT.with(|c| {
+        c.borrow()
+            .as_ref()
+            .cloned()
+            .unwrap_or_else(|| Arc::clone(default_counters()))
+    })
+}
+
+/// An isolated set of engine counters.
+///
+/// Install one around a workload so that only kernels built inside the
+/// scope record into it:
+///
+/// ```
+/// use shrimp_sim::{Kernel, MetricsRegistry, SimDur};
+/// let reg = MetricsRegistry::new();
+/// let guard = reg.install();
+/// let k = Kernel::new(); // records into `reg`
+/// k.spawn("p", |ctx| ctx.advance(SimDur::from_us(1.0)));
+/// k.run_until_quiescent()?;
+/// drop(guard);
+/// assert!(reg.snapshot().resumes >= 1);
+/// # Ok::<(), shrimp_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: Arc<Counters>,
+}
+
+impl MetricsRegistry {
+    /// A fresh registry with zeroed counters.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Make this the thread's current registry until the guard drops.
+    /// Kernels capture the current registry at [`Kernel::new`]
+    /// (crate::Kernel::new) and keep recording into it for their whole
+    /// lifetime, even after the guard is gone.
+    pub fn install(&self) -> MetricsGuard {
+        let prev = CURRENT.with(|c| c.replace(Some(Arc::clone(&self.counters))));
+        MetricsGuard { prev }
+    }
+
+    /// Current values of this registry's counters.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.counters.snapshot()
+    }
+}
+
+/// Restores the previously-installed registry on drop. Returned by
+/// [`MetricsRegistry::install`].
+#[must_use = "dropping the guard immediately uninstalls the registry"]
+#[derive(Debug)]
+pub struct MetricsGuard {
+    prev: Option<Arc<Counters>>,
+}
+
+impl Drop for MetricsGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| {
+            *c.borrow_mut() = self.prev.take();
+        });
+    }
+}
+
+/// A point-in-time copy of a registry's counters. Obtain with
+/// [`snapshot`] or [`MetricsRegistry::snapshot`]; subtract two
+/// snapshots (see [`MetricsSnapshot::delta`]) to attribute counts to a
+/// workload.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MetricsSnapshot {
     /// One-shot event closures executed (on any dispatching thread).
@@ -57,14 +160,11 @@ impl MetricsSnapshot {
     }
 }
 
-/// Read the current values of the global engine counters.
+/// Read the current values of the *default* registry — every kernel
+/// built while no [`MetricsRegistry`] was installed on the building
+/// thread. Additive across all such kernels.
 pub fn snapshot() -> MetricsSnapshot {
-    MetricsSnapshot {
-        events_executed: EVENTS_EXECUTED.load(Ordering::Relaxed),
-        resumes: RESUMES.load(Ordering::Relaxed),
-        fast_resumes: FAST_RESUMES.load(Ordering::Relaxed),
-        batched_events: BATCHED_EVENTS.load(Ordering::Relaxed),
-    }
+    default_counters().snapshot()
 }
 
 #[cfg(test)]
@@ -94,7 +194,7 @@ mod tests {
     }
 
     #[test]
-    fn kernel_execution_moves_the_counters() {
+    fn kernel_execution_moves_the_default_counters() {
         let before = snapshot();
         let k = crate::Kernel::new();
         k.schedule_in(crate::SimDur::from_us(1.0), || {});
@@ -103,5 +203,45 @@ mod tests {
         let d = snapshot().delta(&before);
         assert!(d.events_executed >= 1);
         assert!(d.resumes >= 2, "spawn resume + advance resume");
+    }
+
+    #[test]
+    fn installed_registry_isolates_kernels() {
+        let reg = MetricsRegistry::new();
+        let default_before = snapshot();
+        {
+            let _g = reg.install();
+            let k = crate::Kernel::new();
+            k.schedule_in(crate::SimDur::from_us(1.0), || {});
+            k.spawn("p", |ctx| ctx.advance(crate::SimDur::from_us(2.0)));
+            k.run_until_quiescent().unwrap();
+        }
+        let d = reg.snapshot();
+        assert!(d.events_executed >= 1);
+        assert!(d.resumes >= 2);
+        // Concurrent default-registry kernels (other test threads) may
+        // move the default counters, but *this* kernel must not have:
+        // build a second isolated registry and check zero cross-talk.
+        let other = MetricsRegistry::new();
+        assert_eq!(other.snapshot(), MetricsSnapshot::default());
+        // The guard restored the previous (default) registry.
+        let k2 = crate::Kernel::new();
+        k2.spawn("q", |ctx| ctx.advance(crate::SimDur::from_us(1.0)));
+        k2.run_until_quiescent().unwrap();
+        assert!(snapshot().delta(&default_before).resumes >= 1);
+        // And the isolated registry did not see k2.
+        assert_eq!(reg.snapshot(), d);
+    }
+
+    #[test]
+    fn kernel_keeps_registry_after_guard_drop() {
+        let reg = MetricsRegistry::new();
+        let k = {
+            let _g = reg.install();
+            crate::Kernel::new()
+        };
+        k.spawn("p", |ctx| ctx.advance(crate::SimDur::from_us(1.0)));
+        k.run_until_quiescent().unwrap();
+        assert!(reg.snapshot().resumes >= 1);
     }
 }

@@ -321,6 +321,7 @@ impl ShrimpSocket {
     ///
     /// [`SocketError::Closed`] after [`ShrimpSocket::close`].
     pub fn send(&mut self, ctx: &Ctx, data: &[u8]) -> Result<usize, SocketError> {
+        let obs_t0 = ctx.now();
         ctx.advance(sock_overhead());
         if self.sent_fin {
             return Err(SocketError::Closed);
@@ -347,6 +348,17 @@ impl ShrimpSocket {
             off += n;
             // Control information (the written count) after the data.
             p.write_u32(ctx, self.mirror.add(ctrl::WRITTEN), self.sent as u32)?;
+        }
+        if let Some(rec) = self.vmmc.obs() {
+            rec.push(shrimp_obs::SpanRec {
+                msg: shrimp_obs::MsgId::NONE,
+                node: self.vmmc.node_index(),
+                layer: shrimp_obs::Layer::User,
+                name: "sock_send",
+                start: obs_t0,
+                end: ctx.now(),
+                bytes: data.len(),
+            });
         }
         Ok(data.len())
     }
@@ -407,6 +419,7 @@ impl ShrimpSocket {
         if maxlen == 0 {
             return Ok(Vec::new());
         }
+        let obs_t0 = ctx.now();
         let p = self.vmmc.proc_().clone();
         // Wait for data or FIN.
         let consumed32 = self.consumed as u32;
@@ -443,6 +456,17 @@ impl ShrimpSocket {
         self.consumed += n as u64;
         // Return buffer space to the sender (control via AU).
         p.write_u32(ctx, self.mirror.add(ctrl::ACK), self.consumed as u32)?;
+        if let Some(rec) = self.vmmc.obs() {
+            rec.push(shrimp_obs::SpanRec {
+                msg: shrimp_obs::MsgId::NONE,
+                node: self.vmmc.node_index(),
+                layer: shrimp_obs::Layer::User,
+                name: "sock_recv",
+                start: obs_t0,
+                end: ctx.now(),
+                bytes: n,
+            });
+        }
         Ok(out)
     }
 

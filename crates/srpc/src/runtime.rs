@@ -298,6 +298,14 @@ impl SrpcClient {
         proc_name: &str,
         args: &[Val],
     ) -> Result<Vec<Val>, SrpcError> {
+        // §5 decomposition boundaries: marshal (argument stores +
+        // call-flag store), wait (reply flag propagation), unmarshal.
+        let obs = self.vmmc.obs();
+        let msg = match &obs {
+            Some(rec) => rec.alloc_msg(),
+            None => shrimp_obs::MsgId::NONE,
+        };
+        let t0 = ctx.now();
         self.vmmc.proc_().charge_call(ctx);
         let idx = self
             .plan
@@ -339,11 +347,14 @@ impl SrpcClient {
             InterfacePlan::call_flag(seq, idx),
         )?;
 
+        let t1 = ctx.now();
+
         // Wait for the reply flag (the server's final store, propagated
         // back into this very buffer).
         let flag_va = self.buf.add(self.plan.flag_offset);
         let want = InterfacePlan::reply_flag(seq);
         self.vmmc.wait_u32(ctx, flag_va, 1024, move |v| v == want)?;
+        let t2 = ctx.now();
 
         // Unmarshal OUT/INOUT results.
         let mut outs = Vec::new();
@@ -351,6 +362,24 @@ impl SrpcClient {
             if slot.param.dir.is_out() {
                 let b = p.read(ctx, self.buf.add(slot.offset), slot.param.ty.wire_bytes())?;
                 outs.push(Val::decode(slot.param.ty, &b));
+            }
+        }
+        if let Some(rec) = &obs {
+            let node = self.vmmc.node_index();
+            for (name, start, end) in [
+                ("marshal", t0, t1),
+                ("wait_reply", t1, t2),
+                ("unmarshal", t2, ctx.now()),
+            ] {
+                rec.push(shrimp_obs::SpanRec {
+                    msg,
+                    node,
+                    layer: shrimp_obs::Layer::User,
+                    name,
+                    start,
+                    end,
+                    bytes: 0,
+                });
             }
         }
         Ok(outs)
@@ -522,6 +551,8 @@ impl SrpcServer {
                 return Ok(served);
             }
             let (_, idx) = InterfacePlan::decode_call_flag(v).expect("predicate checked");
+            let obs = self.vmmc.obs();
+            let dispatch_t0 = ctx.now();
             self.vmmc.proc_().charge_bookkeeping(ctx); // dispatch lookup
             let slots = self.plan.procs[idx].slots.clone();
 
@@ -552,6 +583,17 @@ impl SrpcServer {
             // When the procedure finishes, the server simply writes the
             // flag; all written OUT values have already propagated.
             p.write_u32(ctx, flag_va, InterfacePlan::reply_flag(seq))?;
+            if let Some(rec) = &obs {
+                rec.push(shrimp_obs::SpanRec {
+                    msg: shrimp_obs::MsgId::NONE,
+                    node: self.vmmc.node_index(),
+                    layer: shrimp_obs::Layer::User,
+                    name: "dispatch",
+                    start: dispatch_t0,
+                    end: ctx.now(),
+                    bytes: 0,
+                });
+            }
             conn.seq += 1;
             served += 1;
         }

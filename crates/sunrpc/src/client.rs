@@ -231,6 +231,15 @@ impl VrpcClient {
         args: impl FnOnce(&mut XdrEncoder),
         res: impl FnOnce(&mut XdrDecoder<'_>) -> Result<T, XdrError>,
     ) -> Result<T, RpcError> {
+        // Fig. 5 budget boundaries: t0..t1 header prep (client CPU up
+        // to the last byte handed to the stream), t1..t2 waiting for
+        // the reply (transfer + server time), t2..t3 client return.
+        let obs = self.vmmc.obs();
+        let msg = match &obs {
+            Some(rec) => rec.alloc_msg(),
+            None => shrimp_obs::MsgId::NONE,
+        };
+        let t0 = ctx.now();
         ctx.advance(costs::client_prep());
         let xid = self.next_xid;
         self.next_xid += 1;
@@ -243,15 +252,37 @@ impl VrpcClient {
         }
         .encode(&mut enc);
         args(&mut enc);
+        let call_bytes = enc.as_bytes().len();
         self.stream.send_record(&self.vmmc, ctx, enc.as_bytes())?;
+        let t1 = ctx.now();
 
         let reply = if self.in_place {
             self.stream.recv_record_in_place(&self.vmmc, ctx)?
         } else {
             self.stream.recv_record(&self.vmmc, ctx)?
         };
+        let t2 = ctx.now();
         ctx.advance(costs::xdr_decode(reply.len()));
         ctx.advance(costs::client_return());
+        if let Some(rec) = &obs {
+            let node = self.vmmc.node_index();
+            let user = shrimp_obs::Layer::User;
+            for (name, start, end, bytes) in [
+                ("header_prep", t0, t1, call_bytes),
+                ("wait_reply", t1, t2, reply.len()),
+                ("return", t2, ctx.now(), reply.len()),
+            ] {
+                rec.push(shrimp_obs::SpanRec {
+                    msg,
+                    node,
+                    layer: user,
+                    name,
+                    start,
+                    end,
+                    bytes,
+                });
+            }
+        }
         let mut dec = XdrDecoder::new(&reply);
         let header = ReplyHeader::decode(&mut dec)?;
         if header.xid != xid {

@@ -4,7 +4,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use shrimp_core::Vmmc;
-use shrimp_sim::Ctx;
+use shrimp_sim::{Ctx, SimHandle, SimTime};
 
 use crate::client::{costs, RpcError};
 use crate::connect::RpcDirectory;
@@ -16,6 +16,31 @@ use crate::xdr::{XdrDecoder, XdrEncoder};
 /// results, and reports the disposition.
 pub type ProcHandler =
     Box<dyn FnMut(&Ctx, &mut XdrDecoder<'_>, &mut XdrEncoder) -> AcceptStat + Send>;
+
+/// Drop guard recording the server-side "header processing" span (see
+/// [`VrpcServer::serve`]): closes at whatever virtual time the dispatch
+/// path reaches its `send_record`.
+struct HeaderProcSpan {
+    rec: Arc<shrimp_obs::Recorder>,
+    node: usize,
+    start: SimTime,
+    ctx_handle: SimHandle,
+    bytes: usize,
+}
+
+impl Drop for HeaderProcSpan {
+    fn drop(&mut self) {
+        self.rec.push(shrimp_obs::SpanRec {
+            msg: shrimp_obs::MsgId::NONE,
+            node: self.node,
+            layer: shrimp_obs::Layer::User,
+            name: "header_proc",
+            start: self.start,
+            end: self.ctx_handle.now(),
+            bytes: self.bytes,
+        });
+    }
+}
 
 /// A VRPC server for one program/version.
 pub struct VrpcServer {
@@ -116,6 +141,18 @@ impl VrpcServer {
             if record.is_empty() {
                 return Ok(served);
             }
+            // Fig. 5 "header processing": server CPU from the record
+            // becoming available to the reply being handed to the
+            // stream. Recorded via a drop guard because the dispatch
+            // below exits through two `send_record` paths.
+            let obs_t0 = ctx.now();
+            let _hdr_span = self.vmmc.obs().map(|rec| HeaderProcSpan {
+                rec,
+                node: self.vmmc.node_index(),
+                start: obs_t0,
+                ctx_handle: ctx.handle(),
+                bytes: record.len(),
+            });
             ctx.advance(costs::server_dispatch());
             ctx.advance(costs::xdr_decode(record.len()));
             let mut dec = XdrDecoder::new(&record);

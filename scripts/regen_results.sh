@@ -19,6 +19,14 @@ for b in "${bins[@]}"; do
     "target/release/$b" > "$out/$b.txt"
 done
 
+# Observability decompositions (simprof): the Fig. 5 per-layer budget
+# and the §5 specialized-RPC decomposition. Both derive entirely from
+# virtual time, so they are byte-identical across replays.
+echo ">> fig5_breakdown"
+target/release/simprof fig5 > "$out/fig5_breakdown.txt"
+echo ">> srpc_decomposition"
+target/release/simprof srpc > "$out/srpc_decomposition.txt"
+
 echo
-echo "Regenerated: ${bins[*]/%/.txt}"
+echo "Regenerated: ${bins[*]/%/.txt} fig5_breakdown.txt srpc_decomposition.txt"
 echo "Diff against the committed tree with: git diff -- results/"

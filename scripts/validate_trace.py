@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Validate a simprof Perfetto trace (Chrome trace-event JSON).
+
+Checks the structural contract the shrimp-obs exporter promises:
+
+* the document parses and has a ``traceEvents`` list;
+* every event has a known phase (``M`` metadata, ``X`` complete,
+  ``i`` instant) and the fields that phase requires;
+* ``X`` events carry non-negative ``ts``/``dur`` plus ``args.msg`` and
+  ``args.bytes``;
+* every (pid, tid) that appears on an ``X`` event has ``process_name``
+  and ``thread_name`` metadata;
+* instant events have a valid scope and the ``fault`` category.
+
+Usage: scripts/validate_trace.py TRACE.json [--require-instants]
+Exits non-zero (with a message) on the first violation.
+"""
+
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"validate_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    require_instants = "--require-instants" in sys.argv
+    if len(args) != 1:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+
+    with open(args[0], encoding="utf-8") as f:
+        doc = json.load(f)
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("no traceEvents list")
+
+    named_procs = set()
+    named_threads = set()
+    spans = instants = 0
+    for i, ev in enumerate(events):
+        ph = ev.get("ph")
+        if ph == "M":
+            if ev.get("name") == "process_name":
+                named_procs.add(ev["pid"])
+            elif ev.get("name") == "thread_name":
+                named_threads.add((ev["pid"], ev["tid"]))
+            else:
+                fail(f"event {i}: unknown metadata {ev.get('name')!r}")
+            if not ev.get("args", {}).get("name"):
+                fail(f"event {i}: metadata without args.name")
+        elif ph == "X":
+            spans += 1
+            for key in ("pid", "tid", "ts", "dur", "name", "cat"):
+                if key not in ev:
+                    fail(f"event {i}: X event missing {key}")
+            if ev["ts"] < 0 or ev["dur"] < 0:
+                fail(f"event {i}: negative ts/dur")
+            a = ev.get("args", {})
+            if "msg" not in a or "bytes" not in a:
+                fail(f"event {i}: X event missing args.msg/args.bytes")
+        elif ph == "i":
+            instants += 1
+            if ev.get("s") not in ("p", "g", "t"):
+                fail(f"event {i}: instant with bad scope {ev.get('s')!r}")
+            if ev.get("cat") != "fault":
+                fail(f"event {i}: instant with cat {ev.get('cat')!r}")
+            if "ts" not in ev or ev["ts"] < 0:
+                fail(f"event {i}: instant missing/negative ts")
+        else:
+            fail(f"event {i}: unknown phase {ph!r}")
+
+    for ev in events:
+        if ev.get("ph") != "X":
+            continue
+        if ev["pid"] not in named_procs:
+            fail(f"span on unnamed process pid={ev['pid']}")
+        if (ev["pid"], ev["tid"]) not in named_threads:
+            fail(f"span on unnamed track pid={ev['pid']} tid={ev['tid']}")
+
+    if spans == 0:
+        fail("trace has no spans")
+    if require_instants and instants == 0:
+        fail("trace has no fault instants (expected under chaos)")
+
+    print(
+        f"validate_trace: ok ({spans} spans, {instants} instants, "
+        f"{len(named_procs)} nodes, {len(named_threads)} tracks)"
+    )
+
+
+if __name__ == "__main__":
+    main()

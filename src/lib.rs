@@ -24,7 +24,9 @@
 //! * [`sunrpc`] — SunRPC-compatible VRPC (XDR over a cyclic shared
 //!   queue);
 //! * [`srpc`] — the specialized SHRIMP RPC with its IDL stub generator;
-//! * [`sockets`] — stream sockets with Ethernet connection setup.
+//! * [`sockets`] — stream sockets with Ethernet connection setup;
+//! * [`obs`] — virtual-time observability: causal message ids, per-layer
+//!   spans, exact latency breakdowns, Perfetto trace export.
 //!
 //! Start with the `examples/` directory: `quickstart.rs` builds the
 //! four-node prototype and moves bytes in a few dozen lines. The
@@ -39,6 +41,7 @@ pub use shrimp_mesh as mesh;
 pub use shrimp_nic as nic;
 pub use shrimp_node as node;
 pub use shrimp_nx as nx;
+pub use shrimp_obs as obs;
 pub use shrimp_sim as sim;
 pub use shrimp_sockets as sockets;
 pub use shrimp_srpc as srpc;

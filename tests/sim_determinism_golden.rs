@@ -190,3 +190,31 @@ fn sim_determinism_golden() {
          timestamps or event order changed (hash {first:#018x})"
     );
 }
+
+/// Observability must be passive: running the same workload with a
+/// `shrimp-obs` recorder installed (spans recorded at every layer)
+/// must leave every scheduled item and virtual timestamp untouched —
+/// the same golden hash — while actually collecting spans.
+#[test]
+fn sim_determinism_golden_with_recorder_installed() {
+    let rec = shrimp::obs::Recorder::new();
+    let hash = {
+        let _g = rec.install();
+        mixed_workload_trace_hash()
+    };
+    assert_eq!(
+        hash, GOLDEN_TRACE_HASH,
+        "an installed recorder perturbed the virtual trace (hash {hash:#018x})"
+    );
+    assert!(
+        !rec.is_empty(),
+        "the recorder must have observed the workload's spans"
+    );
+    let spans = rec.spans();
+    assert!(
+        shrimp::obs::breakdown::message_ids(&spans)
+            .iter()
+            .all(|&m| shrimp::obs::breakdown(&spans, m).unwrap().is_conserved()),
+        "every observed message must conserve its latency"
+    );
+}
