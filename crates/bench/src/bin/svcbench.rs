@@ -1,0 +1,93 @@
+//! The KV serving benchmark binary: throughput-vs-offered-load curve
+//! plus failover measurement for `shrimp-svc`. See
+//! `shrimp_bench::svcbench` for the experiment definitions.
+//!
+//! Usage:
+//!   `cargo run --release -p shrimp-bench --bin svcbench [-- FLAGS]`
+//!
+//! * default: run the committed 4×4 sweep, print the human-readable
+//!   curve and the `BENCH_svc.json` content;
+//! * `--smoke`: run the small 2×2 configuration instead;
+//! * `--curve`: print only the `results/svc_curve.txt` content;
+//! * `--json`: print only the `BENCH_svc.json` content;
+//! * `--write-curve PATH` / `--write-json PATH`: write the artifacts
+//!   from one run (what `scripts/regen_results.sh` uses);
+//! * `--check BENCH_svc.json`: CI gate — re-run the sweep and exit
+//!   non-zero unless the curve and failover digests match the
+//!   committed file bit-for-bit.
+
+use shrimp_bench::svcbench::{
+    committed_digest, curve_digest, failover_digest, render_curve, render_json, run_sweep,
+    SweepConfig,
+};
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let cfg = if args.iter().any(|a| a == "--smoke") {
+        SweepConfig::smoke()
+    } else {
+        SweepConfig::paper_4x4()
+    };
+
+    let (curve, failover) = run_sweep(&cfg);
+    let curve_txt = render_curve(&cfg, &curve, &failover);
+    let json = render_json(&cfg, &curve, &failover);
+
+    if let Some(path) = arg_value(&args, "--write-curve") {
+        std::fs::write(&path, &curve_txt).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = arg_value(&args, "--write-json") {
+        std::fs::write(&path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        eprintln!("wrote {path}");
+    }
+
+    let curve_only = args.iter().any(|a| a == "--curve");
+    let json_only = args.iter().any(|a| a == "--json");
+    let wrote = args
+        .iter()
+        .any(|a| a == "--write-curve" || a == "--write-json");
+    if curve_only {
+        print!("{curve_txt}");
+    } else if json_only {
+        print!("{json}");
+    } else if !wrote {
+        print!("{curve_txt}");
+        println!();
+        print!("{json}");
+    }
+
+    if let Some(path) = arg_value(&args, "--check") {
+        let committed = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let want_curve = committed_digest(&committed, "curve_digest");
+        let want_failover = committed_digest(&committed, "failover_digest");
+        let got_curve = curve_digest(&curve);
+        let got_failover = failover_digest(&failover);
+        let curve_ok = want_curve == Some(got_curve);
+        let failover_ok = want_failover == Some(got_failover);
+        eprintln!(
+            "check: curve digest {:016x} vs committed {} — {}",
+            got_curve,
+            want_curve.map_or("<missing>".to_string(), |d| format!("{d:016x}")),
+            if curve_ok { "ok" } else { "FAIL" }
+        );
+        eprintln!(
+            "check: failover digest {:016x} vs committed {} — {}",
+            got_failover,
+            want_failover.map_or("<missing>".to_string(), |d| format!("{d:016x}")),
+            if failover_ok { "ok" } else { "FAIL" }
+        );
+        if !(curve_ok && failover_ok) {
+            eprintln!("check: svc virtual results diverged from {path}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -762,6 +762,48 @@ impl Vmmc {
         }
     }
 
+    /// Like [`Vmmc::wait_u32`], but give up at `deadline` — the bounded
+    /// wait the serving layers need so a call into a crashed peer
+    /// surfaces as a typed error instead of blocking forever.
+    ///
+    /// # Errors
+    ///
+    /// [`VmmcError::Timeout`] once virtual time reaches `deadline`
+    /// without the predicate holding; fails if `va` is unmapped.
+    pub fn wait_u32_deadline(
+        &self,
+        ctx: &Ctx,
+        va: VAddr,
+        poll_budget: usize,
+        deadline: SimTime,
+        mut pred: impl FnMut(u32) -> bool,
+    ) -> Result<u32, VmmcError> {
+        let start = ctx.now();
+        let mut armed = false;
+        loop {
+            if let Some(v) = self.proc_.poll_u32(ctx, va, poll_budget, &mut pred)? {
+                return Ok(v);
+            }
+            if ctx.now() >= deadline {
+                return Err(VmmcError::Timeout {
+                    op: "wait_u32",
+                    waited: ctx.now().since(start),
+                });
+            }
+            if !armed {
+                // One scheduled wake at the deadline; spurious unparks
+                // are latched, so the activity wait below re-checks.
+                armed = true;
+                let pid = ctx.pid();
+                let h = ctx.handle();
+                ctx.schedule_at(deadline, move || h.unpark(pid));
+            }
+            self.wait_activity(ctx, || {
+                matches!(self.proc_.poll_u32(ctx, va, 1, &mut pred), Ok(Some(_)))
+            });
+        }
+    }
+
     /// Block until any packet lands in one of this endpoint's exported
     /// pages. `recheck` runs after the waiter is registered; returning
     /// `true` skips the sleep (avoids the lost-wakeup race). Spurious

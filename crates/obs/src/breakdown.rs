@@ -13,6 +13,7 @@
 
 use shrimp_sim::{SimDur, SimTime};
 
+use crate::hist::Log2Hist;
 use crate::{Layer, MsgId, SpanRec};
 
 /// Label for time no recorded span covers: wire transfer, FIFO/queue
@@ -166,7 +167,7 @@ pub struct LayerStats {
     /// Longest span.
     pub max: SimDur,
     /// Log2 histogram of span durations in picoseconds.
-    pub buckets: [u64; 64],
+    pub hist: Log2Hist,
 }
 
 impl LayerStats {
@@ -195,7 +196,7 @@ pub fn layer_stats(spans: &[SpanRec]) -> Vec<LayerStats> {
                     total: SimDur::ZERO,
                     min: SimDur(u64::MAX),
                     max: SimDur::ZERO,
-                    buckets: [0; 64],
+                    hist: Log2Hist::new(),
                 });
                 out.last_mut().unwrap()
             }
@@ -204,12 +205,7 @@ pub fn layer_stats(spans: &[SpanRec]) -> Vec<LayerStats> {
         entry.total = SimDur(entry.total.0 + dur.0);
         entry.min = SimDur(entry.min.0.min(dur.0));
         entry.max = SimDur(entry.max.0.max(dur.0));
-        let bucket = if dur.0 == 0 {
-            0
-        } else {
-            63 - dur.0.leading_zeros() as usize
-        };
-        entry.buckets[bucket] += 1;
+        entry.hist.record(dur.0);
     }
     out.sort_by_key(|e| (e.layer.depth(), e.name));
     out
@@ -291,6 +287,7 @@ mod tests {
         assert_eq!(hop.min, SimDur::from_us(1.0));
         assert_eq!(hop.max, SimDur::from_us(3.0));
         assert_eq!(hop.mean(), SimDur::from_us(2.0));
-        assert_eq!(hop.buckets.iter().sum::<u64>(), 2);
+        assert_eq!(hop.hist.count(), 2);
+        assert_eq!(hop.hist.max(), SimDur::from_us(3.0).as_ps());
     }
 }

@@ -37,9 +37,11 @@ use parking_lot::Mutex;
 use shrimp_sim::{SimDur, SimTime};
 
 pub mod breakdown;
+pub mod hist;
 pub mod perfetto;
 
 pub use breakdown::{breakdown, Breakdown, LayerStats, Segment};
+pub use hist::Log2Hist;
 
 /// A causal message/transfer id, allocated at the send syscall and
 /// carried on every packet derived from that send.

@@ -18,7 +18,7 @@ use parking_lot::Mutex;
 use shrimp_core::{BufferName, ExportOpts, ImportHandle, Vmmc, VmmcError};
 use shrimp_mesh::NodeId;
 use shrimp_node::{CacheMode, VAddr, PAGE_SIZE};
-use shrimp_sim::{Ctx, SimChannel, SimDur};
+use shrimp_sim::{Ctx, SimChannel, SimDur, SimTime};
 
 use crate::idl::{Interface, Ty};
 use crate::layout::{InterfacePlan, ParamSlot};
@@ -276,6 +276,51 @@ impl SrpcClient {
         })
     }
 
+    /// Like [`SrpcClient::bind`], but give up at `deadline` if no
+    /// server answers the connect request — the bounded path serving
+    /// layers use to survive binding toward a crashed node.
+    ///
+    /// # Errors
+    ///
+    /// [`VmmcError::Timeout`] (wrapped) when the binder exchange is not
+    /// answered by `deadline`; otherwise as [`SrpcClient::bind`].
+    pub fn bind_deadline(
+        vmmc: Vmmc,
+        ctx: &Ctx,
+        directory: &Arc<SrpcDirectory>,
+        service: &str,
+        iface: &Interface,
+        deadline: SimTime,
+    ) -> Result<SrpcClient, SrpcError> {
+        let plan = InterfacePlan::new(iface);
+        let start = ctx.now();
+        let (buf, my_name) = alloc_region(&vmmc, ctx, &plan)?;
+        let reply: SimChannel<(NodeId, BufferName)> = SimChannel::new();
+        directory.queue(service).send(
+            &ctx.handle(),
+            SrpcConnect {
+                client_node: vmmc.node_id(),
+                client_region: my_name,
+                reply: reply.clone(),
+            },
+        );
+        ctx.advance(SimDur::from_us(400.0)); // out-of-band binder exchange
+        let Some((peer_node, peer_region)) = reply.recv_deadline(ctx, deadline) else {
+            return Err(SrpcError::Vmmc(VmmcError::Timeout {
+                op: "srpc_bind",
+                waited: ctx.now().since(start),
+            }));
+        };
+        let peer = establish(&vmmc, ctx, &plan, peer_node, peer_region, buf)?;
+        Ok(SrpcClient {
+            vmmc,
+            plan,
+            buf,
+            _peer: peer,
+            seq: 1,
+        })
+    }
+
     /// The VMMC endpoint.
     pub fn vmmc(&self) -> &Vmmc {
         &self.vmmc
@@ -297,6 +342,36 @@ impl SrpcClient {
         ctx: &Ctx,
         proc_name: &str,
         args: &[Val],
+    ) -> Result<Vec<Val>, SrpcError> {
+        self.call_inner(ctx, proc_name, args, None)
+    }
+
+    /// Like [`SrpcClient::call`], but give up waiting for the reply
+    /// flag at `deadline`. **A timed-out binding is poisoned** — the
+    /// server may still answer the abandoned sequence number later, so
+    /// the caller must drop this client and re-bind rather than issue
+    /// further calls on it.
+    ///
+    /// # Errors
+    ///
+    /// [`VmmcError::Timeout`] (wrapped) when no reply lands by
+    /// `deadline`; otherwise as [`SrpcClient::call`].
+    pub fn call_deadline(
+        &mut self,
+        ctx: &Ctx,
+        proc_name: &str,
+        args: &[Val],
+        deadline: SimTime,
+    ) -> Result<Vec<Val>, SrpcError> {
+        self.call_inner(ctx, proc_name, args, Some(deadline))
+    }
+
+    fn call_inner(
+        &mut self,
+        ctx: &Ctx,
+        proc_name: &str,
+        args: &[Val],
+        deadline: Option<SimTime>,
     ) -> Result<Vec<Val>, SrpcError> {
         // §5 decomposition boundaries: marshal (argument stores +
         // call-flag store), wait (reply flag propagation), unmarshal.
@@ -353,7 +428,15 @@ impl SrpcClient {
         // back into this very buffer).
         let flag_va = self.buf.add(self.plan.flag_offset);
         let want = InterfacePlan::reply_flag(seq);
-        self.vmmc.wait_u32(ctx, flag_va, 1024, move |v| v == want)?;
+        match deadline {
+            None => {
+                self.vmmc.wait_u32(ctx, flag_va, 1024, move |v| v == want)?;
+            }
+            Some(d) => {
+                self.vmmc
+                    .wait_u32_deadline(ctx, flag_va, 1024, d, move |v| v == want)?;
+            }
+        }
         let t2 = ctx.now();
 
         // Unmarshal OUT/INOUT results.
@@ -539,6 +622,30 @@ impl SrpcServer {
     /// Panics if a call arrives for a procedure with no handler (a
     /// deployment bug, as in the original stubs).
     pub fn serve(&mut self, ctx: &Ctx, conn: &mut SrpcConn) -> Result<u64, SrpcError> {
+        self.serve_fenced(ctx, conn, || false)
+    }
+
+    /// Like [`SrpcServer::serve`], but consult `fence` after each
+    /// request arrives and again after its handler runs: when the fence
+    /// reports `true` the loop returns **without writing the reply
+    /// flag**, abandoning the connection. This is how a serving layer
+    /// models process death on a crashed node — a fenced server must
+    /// neither acknowledge in-flight requests nor accept new ones, so
+    /// the client's bounded wait times out and it re-routes.
+    ///
+    /// # Errors
+    ///
+    /// As [`SrpcServer::serve`].
+    ///
+    /// # Panics
+    ///
+    /// As [`SrpcServer::serve`].
+    pub fn serve_fenced(
+        &mut self,
+        ctx: &Ctx,
+        conn: &mut SrpcConn,
+        mut fence: impl FnMut() -> bool,
+    ) -> Result<u64, SrpcError> {
         let mut served = 0u64;
         let p = self.vmmc.proc_().clone();
         loop {
@@ -547,6 +654,9 @@ impl SrpcServer {
             let v = self.vmmc.wait_u32(ctx, flag_va, 1024, move |v| {
                 (v >> 8) == seq && (v & 0xFF) != 0
             })?;
+            if fence() {
+                return Ok(served);
+            }
             if v & 0xFF == CLOSE_MARK {
                 return Ok(served);
             }
@@ -580,6 +690,11 @@ impl SrpcServer {
             });
             handler(ctx, &ins, &mut writer);
 
+            // A fence tripping mid-request (the node died while the
+            // handler ran) abandons the connection unacknowledged.
+            if fence() {
+                return Ok(served);
+            }
             // When the procedure finishes, the server simply writes the
             // flag; all written OUT values have already propagated.
             p.write_u32(ctx, flag_va, InterfacePlan::reply_flag(seq))?;

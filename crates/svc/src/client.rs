@@ -1,0 +1,234 @@
+//! The client library: consistent-hash routing, per-shard persistent
+//! bindings, and timeout-driven re-routing across failovers.
+//!
+//! A client holds at most one RPC binding per shard, established
+//! lazily against the shard's *current* routing epoch and reused for
+//! every subsequent call — the persistent-channel fast path. Failure
+//! handling is entirely timeout-driven: a call that outlives
+//! [`op_timeout`](crate::SvcConfig::op_timeout) poisons its binding
+//! (the server may still answer the abandoned sequence later), so the
+//! client drops it, backs off one
+//! [`retry_backoff`](crate::SvcConfig::retry_backoff) — long enough
+//! for a watchdog poll to promote — and re-binds against whatever
+//! route the cluster then advertises.
+
+use std::sync::Arc;
+
+use shrimp_sim::Ctx;
+use shrimp_srpc::{SrpcClient, Val};
+
+use crate::cluster::SvcCluster;
+use crate::store::{Applied, Op, MAX_KEY, MAX_VAL};
+use crate::SvcError;
+
+struct Conn {
+    epoch: u32,
+    rpc: SrpcClient,
+}
+
+/// A KV client bound to one node. Not `Send`-shared: each client
+/// process owns its own.
+pub struct SvcClient {
+    cluster: Arc<SvcCluster>,
+    node: usize,
+    tag: String,
+    conns: Vec<Option<Conn>>,
+    endpoints: u64,
+}
+
+impl std::fmt::Debug for SvcClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SvcClient")
+            .field("node", &self.node)
+            .field("tag", &self.tag)
+            .finish_non_exhaustive()
+    }
+}
+
+fn pad(bytes: &[u8], n: usize) -> Val {
+    let mut v = bytes.to_vec();
+    v.resize(n, 0);
+    Val::Bytes(v)
+}
+
+fn as_u32(v: &Val) -> u32 {
+    match v {
+        Val::U32(x) => *x,
+        _ => 0,
+    }
+}
+
+fn as_bool(v: &Val) -> bool {
+    matches!(v, Val::Bool(true))
+}
+
+impl SvcClient {
+    /// A client living on node `node`; `tag` disambiguates endpoint
+    /// names when a node hosts several clients.
+    pub fn new(cluster: &Arc<SvcCluster>, node: usize, tag: impl Into<String>) -> SvcClient {
+        SvcClient {
+            cluster: Arc::clone(cluster),
+            node,
+            tag: tag.into(),
+            conns: (0..cluster.config().shards).map(|_| None).collect(),
+            endpoints: 0,
+        }
+    }
+
+    /// The shard a key routes to.
+    pub fn shard_of(&self, key: &[u8]) -> usize {
+        self.cluster.ring().shard_of(key)
+    }
+
+    /// Insert or overwrite `key`. On a replicated shard the returned
+    /// ack means the write reached the backup.
+    pub fn put(&mut self, ctx: &Ctx, key: &[u8], val: &[u8]) -> Result<Applied, SvcError> {
+        check_len(key, MAX_KEY)?;
+        check_len(val, MAX_VAL)?;
+        let shard = self.shard_of(key);
+        let outs = self.call(
+            ctx,
+            shard,
+            "put",
+            &[
+                pad(key, MAX_KEY),
+                Val::U32(key.len() as u32),
+                pad(val, MAX_VAL),
+                Val::U32(val.len() as u32),
+            ],
+        )?;
+        Ok(Applied {
+            seq: as_u32(&outs[0]) as u64,
+            existed: as_bool(&outs[1]),
+        })
+    }
+
+    /// Read `key`: `(entry sequence, value)` — `(0, None)` when never
+    /// written, a tombstone's sequence with `None` when deleted.
+    pub fn get(&mut self, ctx: &Ctx, key: &[u8]) -> Result<(u64, Option<Vec<u8>>), SvcError> {
+        check_len(key, MAX_KEY)?;
+        let shard = self.shard_of(key);
+        let outs = self.call(
+            ctx,
+            shard,
+            "get",
+            &[pad(key, MAX_KEY), Val::U32(key.len() as u32)],
+        )?;
+        let seq = as_u32(&outs[0]) as u64;
+        let found = as_bool(&outs[1]);
+        let val = if found {
+            let vlen = as_u32(&outs[3]) as usize;
+            match &outs[2] {
+                Val::Bytes(b) => Some(b[..vlen.min(b.len())].to_vec()),
+                _ => Some(Vec::new()),
+            }
+        } else {
+            None
+        };
+        Ok((seq, val))
+    }
+
+    /// Delete `key`, leaving a sequenced tombstone.
+    pub fn del(&mut self, ctx: &Ctx, key: &[u8]) -> Result<Applied, SvcError> {
+        check_len(key, MAX_KEY)?;
+        let shard = self.shard_of(key);
+        let outs = self.call(
+            ctx,
+            shard,
+            "del",
+            &[pad(key, MAX_KEY), Val::U32(key.len() as u32)],
+        )?;
+        Ok(Applied {
+            seq: as_u32(&outs[0]) as u64,
+            existed: as_bool(&outs[1]),
+        })
+    }
+
+    /// Apply a pre-built mutation (the load engine's path).
+    pub fn apply(&mut self, ctx: &Ctx, op: &Op) -> Result<Applied, SvcError> {
+        match op {
+            Op::Put { key, val } => self.put(ctx, key, val),
+            Op::Del { key } => self.del(ctx, key),
+        }
+    }
+
+    /// One routed call with bounded waits, re-bind on epoch change,
+    /// and bounded retries.
+    fn call(
+        &mut self,
+        ctx: &Ctx,
+        shard: usize,
+        proc_name: &str,
+        args: &[Val],
+    ) -> Result<Vec<Val>, SvcError> {
+        let cfg = self.cluster.config().clone();
+        for _ in 0..cfg.max_attempts {
+            let route = self.cluster.route(shard);
+            let stale = match &self.conns[shard] {
+                Some(c) => c.epoch != route.epoch,
+                None => true,
+            };
+            if stale {
+                self.conns[shard] = None;
+                let name = format!("svc-cli-n{}-{}-{}", self.node, self.tag, self.endpoints);
+                self.endpoints += 1;
+                let vmmc = self.cluster.system().endpoint(self.node, name);
+                let bound = SrpcClient::bind_deadline(
+                    vmmc,
+                    ctx,
+                    self.cluster.directory(),
+                    &SvcCluster::service(shard, route.epoch),
+                    self.cluster.iface(),
+                    ctx.now() + cfg.bind_timeout,
+                );
+                match bound {
+                    Ok(rpc) => {
+                        self.conns[shard] = Some(Conn {
+                            epoch: route.epoch,
+                            rpc,
+                        });
+                    }
+                    Err(e) => {
+                        let e = SvcError::from(e);
+                        if !e.is_retryable() {
+                            return Err(e);
+                        }
+                        ctx.advance(cfg.retry_backoff);
+                        continue;
+                    }
+                }
+            }
+            let conn = self.conns[shard].as_mut().expect("bound above");
+            match conn
+                .rpc
+                .call_deadline(ctx, proc_name, args, ctx.now() + cfg.op_timeout)
+            {
+                Ok(outs) => return Ok(outs),
+                Err(e) => {
+                    let e = SvcError::from(e);
+                    if !e.is_retryable() {
+                        return Err(e);
+                    }
+                    // Timed-out bindings are poisoned; drop, back off
+                    // past a watchdog poll, and re-route.
+                    self.conns[shard] = None;
+                    ctx.advance(cfg.retry_backoff);
+                }
+            }
+        }
+        Err(SvcError::Exhausted {
+            shard,
+            attempts: cfg.max_attempts,
+        })
+    }
+}
+
+fn check_len(bytes: &[u8], limit: usize) -> Result<(), SvcError> {
+    if bytes.len() > limit {
+        return Err(SvcError::TooLarge {
+            len: bytes.len(),
+            limit,
+        });
+    }
+    Ok(())
+}

@@ -1,0 +1,386 @@
+//! Cluster assembly: shard placement, routing epochs, the watchdog's
+//! promotion protocol, and shutdown choreography.
+//!
+//! Placement is *chained*: with `N` nodes and `N` shards, node `s`
+//! runs the primary of shard `s` and the backup replica of shard
+//! `(s - 1) mod N` — the paper-era "one server per node" layout where
+//! replication traffic is one hop of deliberate-update deposits along
+//! the ring.
+//!
+//! Failover contract: a shard's *route* is `(primary, backup, epoch)`.
+//! The watchdog polls daemon liveness every
+//! [`watch_interval`](SvcConfig::watch_interval); when a primary's
+//! daemon is down (or has restarted since the route was established —
+//! a crash the poll missed), it bumps the epoch, promotes the backup,
+//! records a [`Promotion`], and signals the backup process to start
+//! serving under the epoch-qualified service name. Clients discover
+//! the move through their bounded-wait timeouts and re-bind against
+//! the refreshed route. Epoch-qualified names mean a deposed primary
+//! can never answer a current-epoch request.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use shrimp_core::ShrimpSystem;
+use shrimp_sim::{Ctx, SimChannel, SimDur, SimTime};
+use shrimp_srpc::{parse_interface, Interface, SrpcDirectory};
+
+use crate::server::{self, ReplLink, ReplReq};
+use crate::store::ShardStore;
+use crate::ShardRing;
+
+/// The KV fast-path interface: fixed-size slots keep the marshaling
+/// run consecutive, so a whole request is one combined packet.
+const KV_IDL: &str = "interface Kv {
+    put(in key: opaque[32], in klen: u32, in val: opaque[64], in vlen: u32,
+        out seq: u32, out existed: bool);
+    get(in key: opaque[32], in klen: u32,
+        out seq: u32, out found: bool, out val: opaque[64], out vlen: u32);
+    del(in key: opaque[32], in klen: u32,
+        out seq: u32, out existed: bool);
+}";
+
+/// Cluster shape and protocol timing knobs.
+#[derive(Debug, Clone)]
+pub struct SvcConfig {
+    /// Number of shards (≤ nodes; the chained layout uses one per
+    /// node).
+    pub shards: usize,
+    /// Whether each shard keeps a chained backup replica.
+    pub replication: bool,
+    /// Watchdog poll cadence; also the backup's bounded-wait slice
+    /// between promotion/shutdown checks.
+    pub watch_interval: SimDur,
+    /// Serve workers pre-spawned per shard per epoch — the maximum
+    /// concurrent client bindings a shard accepts.
+    pub conns_per_shard: usize,
+    /// Replication channel depth (records in flight).
+    pub repl_slots: u32,
+    /// Client-side bound on the binder exchange.
+    pub bind_timeout: SimDur,
+    /// Client-side bound on one RPC's reply wait.
+    pub op_timeout: SimDur,
+    /// Client back-off between retries (long enough for a watchdog
+    /// poll to have promoted).
+    pub retry_backoff: SimDur,
+    /// Client attempt budget per operation.
+    pub max_attempts: u32,
+}
+
+impl SvcConfig {
+    /// The chained one-shard-per-node layout for an `n`-node system.
+    pub fn chained(nodes: usize) -> SvcConfig {
+        SvcConfig {
+            shards: nodes,
+            replication: nodes >= 2,
+            watch_interval: SimDur::from_us(100.0),
+            conns_per_shard: 2 * nodes,
+            repl_slots: 4,
+            bind_timeout: SimDur::from_us(1_000.0),
+            op_timeout: SimDur::from_us(400.0),
+            retry_backoff: SimDur::from_us(250.0),
+            max_attempts: 16,
+        }
+    }
+}
+
+/// A shard's current route.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRoute {
+    /// Node index of the serving primary.
+    pub primary: usize,
+    /// Node index of the backup replica, if one survives.
+    pub backup: Option<usize>,
+    /// Routing epoch — bumped at every promotion; service names are
+    /// epoch-qualified.
+    pub epoch: u32,
+}
+
+/// One recorded failover.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Promotion {
+    /// Virtual time the watchdog promoted.
+    pub at: SimTime,
+    /// Affected shard.
+    pub shard: usize,
+    /// Deposed primary node.
+    pub from: usize,
+    /// Promoted backup node.
+    pub to: usize,
+    /// The new epoch.
+    pub epoch: u32,
+}
+
+impl Promotion {
+    /// Deterministic one-line rendering.
+    pub fn render(&self) -> String {
+        format!(
+            "promote shard={} epoch={} node{}->node{} at_ps={}",
+            self.shard,
+            self.epoch,
+            self.from,
+            self.to,
+            self.at.since(SimTime::ZERO).as_ps()
+        )
+    }
+}
+
+#[derive(Debug)]
+struct RouteState {
+    route: ShardRoute,
+    /// The primary node's daemon restart count when the route was
+    /// established — a restart since then means a crash the liveness
+    /// poll may have missed entirely.
+    primary_restarts: u64,
+}
+
+/// Per-shard runtime state shared between the serving processes.
+pub(crate) struct ShardRuntime {
+    /// The epoch-0 primary's store.
+    pub(crate) primary_store: Arc<Mutex<ShardStore>>,
+    /// The chained replica (authoritative after promotion).
+    pub(crate) backup_store: Arc<Mutex<ShardStore>>,
+    /// Watchdog → backup: "serve under this epoch".
+    pub(crate) promo: SimChannel<u32>,
+    /// Export/import rendezvous for the replication channel.
+    pub(crate) link: Arc<ReplLink>,
+    /// Serve workers → replicator.
+    pub(crate) repl: SimChannel<ReplReq>,
+}
+
+/// A running KV cluster: spawn once per system, then create
+/// [`SvcClient`](crate::SvcClient)s against it.
+pub struct SvcCluster {
+    system: Arc<ShrimpSystem>,
+    directory: Arc<SrpcDirectory>,
+    cfg: SvcConfig,
+    ring: Arc<ShardRing>,
+    iface: Interface,
+    routes: Mutex<Vec<RouteState>>,
+    promotions: Mutex<Vec<Promotion>>,
+    shutdown: AtomicBool,
+    clients: AtomicUsize,
+    pub(crate) shards: Vec<ShardRuntime>,
+}
+
+impl std::fmt::Debug for SvcCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SvcCluster")
+            .field("shards", &self.cfg.shards)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SvcCluster {
+    /// Spawn the serving processes (per shard: serve workers, the
+    /// replicator, the backup applier; plus one watchdog) onto the
+    /// system's kernel and return the cluster handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the config asks for more shards than nodes, or for
+    /// replication on a single-node system.
+    pub fn spawn(system: &Arc<ShrimpSystem>, cfg: SvcConfig) -> Arc<SvcCluster> {
+        let nodes = system.len();
+        assert!(
+            cfg.shards >= 1 && cfg.shards <= nodes,
+            "shards must fit nodes"
+        );
+        assert!(
+            !cfg.replication || nodes >= 2,
+            "replication needs at least two nodes"
+        );
+        let iface = parse_interface(KV_IDL).expect("KV IDL parses");
+        let mut routes = Vec::with_capacity(cfg.shards);
+        let mut shards = Vec::with_capacity(cfg.shards);
+        for s in 0..cfg.shards {
+            let primary = s % nodes;
+            let backup = cfg.replication.then(|| (s + 1) % nodes);
+            routes.push(RouteState {
+                route: ShardRoute {
+                    primary,
+                    backup,
+                    epoch: 0,
+                },
+                primary_restarts: system.daemon(primary).restarts(),
+            });
+            shards.push(ShardRuntime {
+                primary_store: Arc::new(Mutex::new(ShardStore::new())),
+                backup_store: Arc::new(Mutex::new(ShardStore::new())),
+                promo: SimChannel::new(),
+                link: Arc::new(ReplLink::default()),
+                repl: SimChannel::new(),
+            });
+        }
+        let cluster = Arc::new(SvcCluster {
+            system: Arc::clone(system),
+            directory: SrpcDirectory::new(),
+            ring: Arc::new(ShardRing::new(cfg.shards)),
+            iface,
+            routes: Mutex::new(routes),
+            promotions: Mutex::new(Vec::new()),
+            shutdown: AtomicBool::new(false),
+            clients: AtomicUsize::new(0),
+            shards,
+            cfg,
+        });
+        for s in 0..cluster.cfg.shards {
+            server::spawn_shard(&cluster, s);
+        }
+        server::spawn_watchdog(&cluster);
+        cluster
+    }
+
+    /// The epoch-qualified service name a shard's workers listen on.
+    pub fn service(shard: usize, epoch: u32) -> String {
+        format!("kv{shard}e{epoch}")
+    }
+
+    /// The system the cluster runs on.
+    pub fn system(&self) -> &Arc<ShrimpSystem> {
+        &self.system
+    }
+
+    /// The RPC binder directory.
+    pub fn directory(&self) -> &Arc<SrpcDirectory> {
+        &self.directory
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &SvcConfig {
+        &self.cfg
+    }
+
+    /// The consistent-hash routing ring.
+    pub fn ring(&self) -> &Arc<ShardRing> {
+        &self.ring
+    }
+
+    /// The parsed KV interface.
+    pub(crate) fn iface(&self) -> &Interface {
+        &self.iface
+    }
+
+    /// A shard's current route.
+    pub fn route(&self, shard: usize) -> ShardRoute {
+        self.routes.lock()[shard].route
+    }
+
+    /// Every promotion so far, in order.
+    pub fn promotions(&self) -> Vec<Promotion> {
+        self.promotions.lock().clone()
+    }
+
+    /// Deterministic rendering of the promotion sequence — the
+    /// failover-determinism fingerprint.
+    pub fn promotion_log(&self) -> String {
+        let promos = self.promotions.lock();
+        let mut out = String::new();
+        for p in promos.iter() {
+            out.push_str(&p.render());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The store currently authoritative for a shard (the promoted
+    /// replica after failover, the primary's otherwise).
+    pub fn authoritative_store(&self, shard: usize) -> Arc<Mutex<ShardStore>> {
+        let rt = &self.shards[shard];
+        if self.route(shard).epoch > 0 {
+            Arc::clone(&rt.backup_store)
+        } else {
+            Arc::clone(&rt.primary_store)
+        }
+    }
+
+    /// The backup replica's store (for replication-equality checks).
+    pub fn backup_store(&self, shard: usize) -> Arc<Mutex<ShardStore>> {
+        Arc::clone(&self.shards[shard].backup_store)
+    }
+
+    /// FNV-1a digest across every shard's authoritative store — the
+    /// cluster-state fingerprint benches commit.
+    pub fn state_digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for s in 0..self.cfg.shards {
+            let d = self.authoritative_store(s).lock().digest();
+            for b in d.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+        h
+    }
+
+    /// Announce `n` more client processes whose completion gates
+    /// cluster shutdown.
+    pub fn register_clients(&self, n: usize) {
+        self.clients.fetch_add(n, Ordering::SeqCst);
+    }
+
+    /// A registered client finished; the last one out triggers
+    /// shutdown so the watchdog and backup pollers stop scheduling
+    /// wake-ups and the kernel can quiesce.
+    pub fn client_done(&self) {
+        if self.clients.fetch_sub(1, Ordering::SeqCst) == 1 {
+            self.begin_shutdown();
+        }
+    }
+
+    /// Ask every polling service process to exit at its next bounded
+    /// wait.
+    pub fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether shutdown has begun.
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Replication for this shard degraded: clear the backup from the
+    /// route so the watchdog can never promote a stale replica.
+    pub(crate) fn demote_backup(&self, shard: usize) {
+        self.routes.lock()[shard].route.backup = None;
+    }
+
+    /// Watchdog step for one shard: if the primary's daemon is down —
+    /// or restarted since the route was established — and a backup
+    /// exists, promote it under a bumped epoch. Returns whether a
+    /// promotion happened.
+    pub(crate) fn promote_if_down(&self, ctx: &Ctx, shard: usize) -> bool {
+        let promotion = {
+            let mut routes = self.routes.lock();
+            let rs = &mut routes[shard];
+            let Some(backup) = rs.route.backup else {
+                return false;
+            };
+            let d = self.system.daemon(rs.route.primary);
+            if !d.is_down() && d.restarts() == rs.primary_restarts {
+                return false;
+            }
+            let from = rs.route.primary;
+            let epoch = rs.route.epoch + 1;
+            rs.route = ShardRoute {
+                primary: backup,
+                backup: None,
+                epoch,
+            };
+            rs.primary_restarts = self.system.daemon(backup).restarts();
+            Promotion {
+                at: ctx.now(),
+                shard,
+                from,
+                to: backup,
+                epoch,
+            }
+        };
+        self.promotions.lock().push(promotion);
+        self.shards[shard]
+            .promo
+            .send(&ctx.handle(), promotion.epoch);
+        true
+    }
+}

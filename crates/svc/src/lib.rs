@@ -1,0 +1,241 @@
+//! `shrimp-svc`: a sharded, primary–backup replicated key-value
+//! serving subsystem built directly on VMMC, plus a deterministic
+//! open-loop load engine for driving it.
+//!
+//! The paper's argument is that VMMC's user-level buffer management
+//! and separated data/control transfer let *real services* run at
+//! near-hardware speed. This crate is that service-scale workload for
+//! the reproduction:
+//!
+//! * **Sharding** — every node hosts one shard primary; a consistent-
+//!   hash ring ([`ShardRing`]) routes keys to shards, so adding
+//!   shards moves only a proportional slice of the keyspace.
+//! * **Fast path** — `get`/`put`/`delete` run over the SHRIMP RPC
+//!   persistent channel geometry (`shrimp-srpc`): one bidirectional
+//!   automatic-update binding per client↔shard pair, established
+//!   once, with no per-request rendezvous.
+//! * **Replication** — each primary chains its mutations to the next
+//!   node's backup replica through a dedicated VMMC deposit channel
+//!   with flag-after-data commit; a write is acknowledged to the
+//!   client only after the backup's ack word comes back, so an acked
+//!   write survives the primary's death.
+//! * **Failover** — the existing `FaultPlan` daemon-crash machinery
+//!   doubles as shard-server death: a cluster watchdog notices the
+//!   downed daemon, promotes the backup under a bumped epoch, and
+//!   clients re-route on their bounded-wait timeouts
+//!   ([`VmmcError::Timeout`](shrimp_core::VmmcError::Timeout) /
+//!   [`DaemonUnavailable`](shrimp_core::VmmcError::DaemonUnavailable)
+//!   surfaced through [`SvcError`]).
+//! * **Load engine** — [`load`] generates open-loop Poisson or
+//!   fixed-rate arrivals in virtual time with Zipfian key popularity
+//!   and a read/write mix, feeds per-request latencies into the
+//!   shared [`shrimp_obs::Log2Hist`], and sheds arrivals past a
+//!   bounded queue so overload degrades gracefully.
+//!
+//! Everything runs inside the deterministic simulation kernel: the
+//! same seeds and fault plans replay bit-identically, which is what
+//! makes the `svcbench` latency/failover numbers committable.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod client;
+pub mod cluster;
+pub mod load;
+mod server;
+pub mod store;
+
+pub use client::SvcClient;
+pub use cluster::{Promotion, ShardRoute, SvcCluster, SvcConfig};
+pub use load::{spawn_engine, Arrival, LoadPlan, LoadStats, Outage, Request};
+pub use store::{Applied, Op, ShardStore, MAX_KEY, MAX_VAL};
+
+use shrimp_core::VmmcError;
+use shrimp_srpc::SrpcError;
+
+/// Errors surfaced by the serving layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SvcError {
+    /// The RPC fast path failed; wraps the transport error, including
+    /// [`VmmcError::Timeout`] (bounded wait expired — the peer is slow
+    /// or dead) and [`VmmcError::DaemonUnavailable`] (the target
+    /// node's daemon is down).
+    Rpc(SrpcError),
+    /// A key exceeded [`MAX_KEY`] or a value exceeded [`MAX_VAL`].
+    TooLarge {
+        /// Offending length.
+        len: usize,
+        /// The limit it exceeded.
+        limit: usize,
+    },
+    /// Every retry was exhausted without reaching the shard — the
+    /// route never recovered within the client's attempt budget.
+    Exhausted {
+        /// Shard the operation was routed to.
+        shard: usize,
+        /// Attempts spent.
+        attempts: u32,
+    },
+}
+
+impl std::fmt::Display for SvcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SvcError::Rpc(e) => write!(f, "rpc: {e}"),
+            SvcError::TooLarge { len, limit } => {
+                write!(f, "payload of {len} bytes exceeds limit {limit}")
+            }
+            SvcError::Exhausted { shard, attempts } => {
+                write!(f, "shard {shard} unreachable after {attempts} attempts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SvcError {}
+
+impl From<SrpcError> for SvcError {
+    fn from(e: SrpcError) -> Self {
+        SvcError::Rpc(e)
+    }
+}
+
+impl From<VmmcError> for SvcError {
+    fn from(e: VmmcError) -> Self {
+        SvcError::Rpc(SrpcError::Vmmc(e))
+    }
+}
+
+impl SvcError {
+    /// True when the underlying failure is a bounded-wait timeout.
+    pub fn is_timeout(&self) -> bool {
+        matches!(
+            self,
+            SvcError::Rpc(SrpcError::Vmmc(VmmcError::Timeout { .. }))
+        )
+    }
+
+    /// True when the failure is transient and a retry against a
+    /// (possibly re-routed) shard can succeed: timeouts and daemon
+    /// outages.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            SvcError::Rpc(SrpcError::Vmmc(
+                VmmcError::Timeout { .. } | VmmcError::DaemonUnavailable { .. }
+            ))
+        )
+    }
+}
+
+/// FNV-1a over a byte string — the routing hash.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Virtual points per shard on the consistent-hash ring — enough that
+/// keyspace slices stay within a few percent of uniform.
+const VNODES: usize = 64;
+
+/// A consistent-hash ring mapping keys onto shards: each shard owns
+/// [`VNODES`] pseudo-random points on the `u64` circle and a key
+/// belongs to the first point clockwise of its hash. Built once per
+/// cluster; lookups are a binary search.
+#[derive(Debug, Clone)]
+pub struct ShardRing {
+    points: Vec<(u64, u32)>,
+    shards: usize,
+}
+
+impl ShardRing {
+    /// Build the ring for `shards` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards` is zero.
+    pub fn new(shards: usize) -> ShardRing {
+        assert!(shards > 0, "a cluster needs at least one shard");
+        let mut points = Vec::with_capacity(shards * VNODES);
+        for s in 0..shards {
+            for v in 0..VNODES {
+                let mut tag = [0u8; 16];
+                tag[..8].copy_from_slice(&(s as u64).to_le_bytes());
+                tag[8..].copy_from_slice(&(v as u64).to_le_bytes());
+                points.push((fnv1a(&tag), s as u32));
+            }
+        }
+        points.sort_unstable();
+        points.dedup_by_key(|p| p.0);
+        ShardRing { points, shards }
+    }
+
+    /// Number of shards the ring routes to.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning `key`.
+    pub fn shard_of(&self, key: &[u8]) -> usize {
+        let h = fnv1a(key);
+        let i = self.points.partition_point(|&(p, _)| p < h);
+        let (_, s) = self.points[i % self.points.len()];
+        s as usize
+    }
+}
+
+/// Wrapping `>=` over `u32` sequence numbers (replication ack words
+/// truncate the 64-bit store sequence to the wire's 32 bits).
+pub(crate) fn seq_ge(a: u32, b: u32) -> bool {
+    a.wrapping_sub(b) as i32 >= 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_routes_deterministically_and_spreads() {
+        let ring = ShardRing::new(4);
+        let mut counts = [0usize; 4];
+        for i in 0..4096 {
+            let key = format!("key-{i:06}");
+            let s = ring.shard_of(key.as_bytes());
+            assert_eq!(s, ring.shard_of(key.as_bytes()));
+            counts[s] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 4096 / 16, "a shard owns too little: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn ring_growth_moves_only_a_slice() {
+        let a = ShardRing::new(4);
+        let b = ShardRing::new(5);
+        let moved = (0..4096)
+            .filter(|i| {
+                let key = format!("key-{i:06}");
+                a.shard_of(key.as_bytes()) != b.shard_of(key.as_bytes())
+            })
+            .count();
+        // Consistent hashing moves ~1/5 of keys; plain modulo would
+        // move ~4/5. Allow a generous band.
+        assert!(
+            moved < 4096 / 2,
+            "adding a shard moved {moved}/4096 keys — not consistent"
+        );
+    }
+
+    #[test]
+    fn seq_ge_wraps() {
+        assert!(seq_ge(5, 5));
+        assert!(seq_ge(6, 5));
+        assert!(!seq_ge(5, 6));
+        assert!(seq_ge(3, u32::MAX - 2));
+    }
+}

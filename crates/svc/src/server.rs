@@ -1,0 +1,576 @@
+//! The serving processes: per-shard RPC workers, the chained
+//! replicator, the backup applier, and the failover watchdog.
+//!
+//! ## Replication channel
+//!
+//! The backup exports one region per shard, written only by the
+//! primary's replicator:
+//!
+//! ```text
+//! | rec 0 | … | rec S-1 | flag[0..S] |
+//! ```
+//!
+//! plus a single 4-byte *ack word* exported by the primary, written
+//! only by the backup. A mutation with sequence `q` is deposited into
+//! record slot `(q-1) % S`, then the 4-byte flag word `= q as u32` is
+//! sent — VMMC's in-order delivery lands the flag after the record
+//! (flag-after-data). The backup applies the record and deposits `q`
+//! into the ack word. The replicator holds the client's reply until
+//! the ack arrives: **the commit point is the backup's ack**, so every
+//! acknowledged write exists on the replica when the primary dies.
+//!
+//! ## Degradation
+//!
+//! Replication is chained best-effort under faults: when the backup's
+//! daemon dies (or its channel can never be established), the
+//! replicator *demotes* the backup — clearing it from the route so the
+//! watchdog can never promote a stale replica — and keeps serving
+//! unreplicated. The single-failure guarantee ("no acked write lost
+//! when a primary dies") is preserved; a second failure makes the
+//! shard unavailable rather than silently wrong.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use shrimp_core::{BufferName, ExportOpts, ImportHandle, Vmmc, VmmcError};
+use shrimp_mesh::NodeId;
+use shrimp_node::{CacheMode, VAddr};
+use shrimp_sim::{Ctx, Gate, RetryPolicy, SimChannel, SimHandle};
+use shrimp_srpc::{SrpcServer, Val};
+
+use crate::cluster::SvcCluster;
+use crate::seq_ge;
+use crate::store::{Applied, Op, ShardStore, MAX_KEY, MAX_VAL};
+
+/// Replication record: `[seq u64][kind u32][klen u32][vlen u32][pad]`
+/// then the fixed key and value slots.
+const REC_HDR: usize = 24;
+/// Whole record size — a multiple of the word size, so slot offsets
+/// stay aligned for deliberate update.
+pub(crate) const REC_BYTES: usize = REC_HDR + MAX_KEY + MAX_VAL;
+
+const KIND_PUT: u32 = 1;
+const KIND_DEL: u32 = 2;
+
+/// Export/import rendezvous for one shard's replication channel.
+#[derive(Debug, Default)]
+pub(crate) struct ReplLink {
+    /// `(node, name)` of the backup's record+flag region.
+    pub(crate) backup_pub: Mutex<Option<(NodeId, BufferName)>>,
+    /// Opened once `backup_pub` is set.
+    pub(crate) backup_ready: Gate,
+    /// `(node, name)` of the primary's ack word.
+    pub(crate) primary_pub: Mutex<Option<(NodeId, BufferName)>>,
+    /// Opened once `primary_pub` is set.
+    pub(crate) primary_ready: Gate,
+}
+
+/// One queued mutation from a serve worker to the replicator.
+pub(crate) struct ReplReq {
+    /// The primary-assigned store sequence.
+    pub(crate) seq: u64,
+    /// The mutation itself (replayed verbatim on the backup).
+    pub(crate) op: Op,
+    /// Completion: `true` once the backup acked, `false` when
+    /// replication degraded and the write is primary-only.
+    pub(crate) done: SimChannel<bool>,
+}
+
+fn encode_record(seq: u64, op: &Op) -> Vec<u8> {
+    let mut out = vec![0u8; REC_BYTES];
+    out[..8].copy_from_slice(&seq.to_le_bytes());
+    let (kind, key, val): (u32, &[u8], &[u8]) = match op {
+        Op::Put { key, val } => (KIND_PUT, key, val),
+        Op::Del { key } => (KIND_DEL, key, &[]),
+    };
+    out[8..12].copy_from_slice(&kind.to_le_bytes());
+    out[12..16].copy_from_slice(&(key.len() as u32).to_le_bytes());
+    out[16..20].copy_from_slice(&(val.len() as u32).to_le_bytes());
+    out[REC_HDR..REC_HDR + key.len()].copy_from_slice(key);
+    out[REC_HDR + MAX_KEY..REC_HDR + MAX_KEY + val.len()].copy_from_slice(val);
+    out
+}
+
+fn decode_record(raw: &[u8]) -> (u64, Op) {
+    let seq = u64::from_le_bytes(raw[..8].try_into().expect("8 bytes"));
+    let kind = u32::from_le_bytes(raw[8..12].try_into().expect("4 bytes"));
+    let klen = u32::from_le_bytes(raw[12..16].try_into().expect("4 bytes")) as usize;
+    let vlen = u32::from_le_bytes(raw[16..20].try_into().expect("4 bytes")) as usize;
+    let key = raw[REC_HDR..REC_HDR + klen.min(MAX_KEY)].to_vec();
+    let op = if kind == KIND_DEL {
+        Op::Del { key }
+    } else {
+        let val = raw[REC_HDR + MAX_KEY..REC_HDR + MAX_KEY + vlen.min(MAX_VAL)].to_vec();
+        Op::Put { key, val }
+    };
+    (seq, op)
+}
+
+/// [`Vmmc::export`] that rides out daemon outages with the policy's
+/// backoff schedule, mirroring [`Vmmc::import_retry`].
+fn export_retry(
+    vmmc: &Vmmc,
+    ctx: &Ctx,
+    base: VAddr,
+    len: usize,
+    policy: RetryPolicy,
+) -> Result<BufferName, VmmcError> {
+    for attempt in 0..policy.attempts {
+        match vmmc.export(ctx, base, len, ExportOpts::default()) {
+            Err(VmmcError::DaemonUnavailable { .. }) => ctx.advance(policy.timeout(attempt)),
+            other => return other,
+        }
+    }
+    Err(VmmcError::Timeout {
+        op: "svc export",
+        waited: policy.total_budget(),
+    })
+}
+
+/// Spawn every process serving one shard under the initial route.
+pub(crate) fn spawn_shard(cluster: &Arc<SvcCluster>, shard: usize) {
+    let route = cluster.route(shard);
+    let h = cluster.system().sim().clone();
+    let repl = route.backup.map(|_| cluster.shards[shard].repl.clone());
+    let store = Arc::clone(&cluster.shards[shard].primary_store);
+    spawn_serve_workers(cluster, &h, shard, 0, route.primary, store, repl);
+    if let Some(bnode) = route.backup {
+        spawn_replicator(cluster, &h, shard, route.primary, bnode);
+        spawn_backup(cluster, &h, shard, bnode);
+    }
+}
+
+/// Truncate a fixed-slot opaque argument to its companion length.
+fn unpad(bytes: &Val, len: &Val) -> Vec<u8> {
+    match (bytes, len) {
+        (Val::Bytes(b), Val::U32(n)) => b[..(*n as usize).min(b.len())].to_vec(),
+        _ => Vec::new(),
+    }
+}
+
+/// Apply a mutation as the primary and (when chained) hold the reply
+/// until the backup acks.
+///
+/// The sequence assignment and the replication enqueue happen with no
+/// virtual-time operation between them, so records reach the
+/// replicator in sequence order even with many concurrent workers.
+fn mutate(
+    ctx: &Ctx,
+    store: &Mutex<ShardStore>,
+    repl: &Option<SimChannel<ReplReq>>,
+    op: Op,
+) -> Applied {
+    let applied = store.lock().apply_next(&op);
+    if let Some(tx) = repl {
+        let done: SimChannel<bool> = SimChannel::new();
+        tx.send(
+            &ctx.handle(),
+            ReplReq {
+                seq: applied.seq,
+                op,
+                done: done.clone(),
+            },
+        );
+        // Commit point: the backup applied the record (or replication
+        // degraded and the route's backup was demoted).
+        done.recv(ctx);
+    }
+    applied
+}
+
+/// Spawn the pre-allocated RPC workers for `(shard, epoch)` on `node`.
+/// Each worker is one concurrent client binding; it dies when the
+/// node's daemon does (process death) or its epoch is deposed.
+pub(crate) fn spawn_serve_workers(
+    cluster: &Arc<SvcCluster>,
+    h: &SimHandle,
+    shard: usize,
+    epoch: u32,
+    node: usize,
+    store: Arc<Mutex<ShardStore>>,
+    repl: Option<SimChannel<ReplReq>>,
+) {
+    let service = SvcCluster::service(shard, epoch);
+    for w in 0..cluster.config().conns_per_shard {
+        let cluster = Arc::clone(cluster);
+        let store = Arc::clone(&store);
+        let repl = repl.clone();
+        let service = service.clone();
+        let name = format!("svc-s{shard}-e{epoch}-w{w}");
+        h.spawn(name.clone(), move |ctx| {
+            let sys = Arc::clone(cluster.system());
+            let birth = sys.daemon(node).restarts();
+            let vmmc = sys.endpoint(node, name);
+            let mut srv = SrpcServer::new(vmmc, cluster.iface());
+
+            let st = Arc::clone(&store);
+            let rp = repl.clone();
+            srv.register(
+                "put",
+                Box::new(move |ctx, ins, out| {
+                    let op = Op::Put {
+                        key: unpad(&ins[0], &ins[1]),
+                        val: unpad(&ins[2], &ins[3]),
+                    };
+                    let a = mutate(ctx, &st, &rp, op);
+                    let _ = out.set(ctx, "seq", &Val::U32(a.seq as u32));
+                    let _ = out.set(ctx, "existed", &Val::Bool(a.existed));
+                }),
+            );
+            let st = Arc::clone(&store);
+            srv.register(
+                "get",
+                Box::new(move |ctx, ins, out| {
+                    let key = unpad(&ins[0], &ins[1]);
+                    let (seq, val) = {
+                        let g = st.lock();
+                        let (s, v) = g.get(&key);
+                        (s, v.map(|v| v.to_vec()))
+                    };
+                    let _ = out.set(ctx, "seq", &Val::U32(seq as u32));
+                    let _ = out.set(ctx, "found", &Val::Bool(val.is_some()));
+                    let v = val.unwrap_or_default();
+                    let _ = out.set(ctx, "vlen", &Val::U32(v.len() as u32));
+                    let mut padded = v;
+                    padded.resize(MAX_VAL, 0);
+                    let _ = out.set(ctx, "val", &Val::Bytes(padded));
+                }),
+            );
+            let st = Arc::clone(&store);
+            let rp = repl.clone();
+            srv.register(
+                "del",
+                Box::new(move |ctx, ins, out| {
+                    let op = Op::Del {
+                        key: unpad(&ins[0], &ins[1]),
+                    };
+                    let a = mutate(ctx, &st, &rp, op);
+                    let _ = out.set(ctx, "seq", &Val::U32(a.seq as u32));
+                    let _ = out.set(ctx, "existed", &Val::Bool(a.existed));
+                }),
+            );
+
+            loop {
+                let mut conn = match srv.accept(ctx, cluster.directory(), &service) {
+                    Ok(c) => c,
+                    // Establishment fails only under daemon outage —
+                    // the connecting client times out and re-routes.
+                    Err(_) => return,
+                };
+                let r = srv.serve_fenced(ctx, &mut conn, || {
+                    let d = sys.daemon(node);
+                    d.is_down() || d.restarts() != birth || cluster.route(shard).epoch != epoch
+                });
+                let d = sys.daemon(node);
+                let fenced =
+                    d.is_down() || d.restarts() != birth || cluster.route(shard).epoch != epoch;
+                if fenced || r.is_err() {
+                    return;
+                }
+                // Graceful close: recycle the worker for another
+                // binding under the same epoch.
+            }
+        });
+    }
+}
+
+/// Bounded wait on the primary's ack word for `seq_ge(ack, need)`,
+/// re-checking shutdown, the backup's liveness, and this shard's epoch
+/// every `watch_interval`. `false` means replication must degrade.
+#[allow(clippy::too_many_arguments)]
+fn wait_ack(
+    ctx: &Ctx,
+    vmmc: &Vmmc,
+    ack_va: VAddr,
+    need: u32,
+    cluster: &Arc<SvcCluster>,
+    shard: usize,
+    bnode: usize,
+    birth: u64,
+) -> bool {
+    let interval = cluster.config().watch_interval;
+    loop {
+        match vmmc.wait_u32_deadline(ctx, ack_va, 64, ctx.now() + interval, |v| seq_ge(v, need)) {
+            Ok(_) => return true,
+            Err(VmmcError::Timeout { .. }) => {
+                if cluster.is_shutdown() {
+                    return false;
+                }
+                let d = cluster.system().daemon(bnode);
+                if d.is_down() || d.restarts() != birth {
+                    return false;
+                }
+                // Our own shard was promoted away — the backup is now
+                // the primary and stopped acking; stop chaining.
+                if cluster.route(shard).epoch != 0 {
+                    return false;
+                }
+            }
+            Err(_) => return false,
+        }
+    }
+}
+
+/// One chained deposit: flow-control on the slot, record, flag, then
+/// the commit wait for the backup's ack.
+#[allow(clippy::too_many_arguments)]
+fn replicate_one(
+    ctx: &Ctx,
+    vmmc: &Vmmc,
+    dst: &ImportHandle,
+    rec_stage: VAddr,
+    flag_stage: VAddr,
+    ack_va: VAddr,
+    req: &ReplReq,
+    cluster: &Arc<SvcCluster>,
+    shard: usize,
+    bnode: usize,
+    birth: u64,
+) -> bool {
+    let slots = cluster.config().repl_slots as u64;
+    if req.seq > slots
+        && !wait_ack(
+            ctx,
+            vmmc,
+            ack_va,
+            (req.seq - slots) as u32,
+            cluster,
+            shard,
+            bnode,
+            birth,
+        )
+    {
+        return false;
+    }
+    let rec = encode_record(req.seq, &req.op);
+    if vmmc.proc_().write(ctx, rec_stage, &rec).is_err() {
+        return false;
+    }
+    let slot = ((req.seq - 1) % slots) as usize;
+    if vmmc
+        .send(ctx, rec_stage, dst, slot * REC_BYTES, REC_BYTES)
+        .is_err()
+    {
+        return false;
+    }
+    if vmmc
+        .proc_()
+        .write_u32(ctx, flag_stage, req.seq as u32)
+        .is_err()
+    {
+        return false;
+    }
+    // Flag-after-data: in-order delivery lands the flag behind the
+    // record it covers.
+    if vmmc
+        .send(
+            ctx,
+            flag_stage,
+            dst,
+            slots as usize * REC_BYTES + 4 * slot,
+            4,
+        )
+        .is_err()
+    {
+        return false;
+    }
+    wait_ack(
+        ctx,
+        vmmc,
+        ack_va,
+        req.seq as u32,
+        cluster,
+        shard,
+        bnode,
+        birth,
+    )
+}
+
+/// The primary-side replicator: one process per chained shard, pulling
+/// mutations off the workers' queue in sequence order.
+fn spawn_replicator(
+    cluster: &Arc<SvcCluster>,
+    h: &SimHandle,
+    shard: usize,
+    node: usize,
+    bnode: usize,
+) {
+    let cluster = Arc::clone(cluster);
+    let name = format!("svc-repl-s{shard}");
+    h.spawn(name.clone(), move |ctx| {
+        let vmmc = cluster.system().endpoint(node, name);
+        let rt = &cluster.shards[shard];
+        let rx = rt.repl.clone();
+        let boot = RetryPolicy::bootstrap();
+        let ack_va = vmmc.proc_().alloc(4, CacheMode::WriteBack);
+
+        let peer: Option<ImportHandle> = (|| {
+            let bufname = export_retry(&vmmc, ctx, ack_va, 4, boot).ok()?;
+            *rt.link.primary_pub.lock() = Some((vmmc.node_id(), bufname));
+            rt.link.primary_ready.open(&ctx.handle());
+            let deadline = ctx.now() + boot.total_budget();
+            if !rt.link.backup_ready.wait_deadline(ctx, deadline) {
+                return None;
+            }
+            let (bn, bname) = (*rt.link.backup_pub.lock())?;
+            vmmc.import_retry(ctx, bn, bname, boot).ok()
+        })();
+        let mut peer = peer;
+        if peer.is_none() {
+            cluster.demote_backup(shard);
+        }
+
+        let rec_stage = vmmc.proc_().alloc(REC_BYTES, CacheMode::WriteBack);
+        let flag_stage = vmmc.proc_().alloc(4, CacheMode::WriteBack);
+        let birth = cluster.system().daemon(bnode).restarts();
+        loop {
+            let req = rx.recv(ctx);
+            let mut ok = false;
+            if let Some(dst) = peer.as_ref() {
+                ok = replicate_one(
+                    ctx, &vmmc, dst, rec_stage, flag_stage, ack_va, &req, &cluster, shard, bnode,
+                    birth,
+                );
+                if !ok {
+                    // Degrade permanently and make sure the watchdog
+                    // can never promote the now-stale replica.
+                    peer = None;
+                    cluster.demote_backup(shard);
+                }
+            }
+            req.done.send(&ctx.handle(), ok);
+        }
+    });
+}
+
+/// The backup-side applier: receives records in sequence order, applies
+/// them to the replica, acks, and — on promotion — starts serving the
+/// replica under the new epoch.
+fn spawn_backup(cluster: &Arc<SvcCluster>, h: &SimHandle, shard: usize, bnode: usize) {
+    let cluster = Arc::clone(cluster);
+    let name = format!("svc-backup-s{shard}");
+    h.spawn(name.clone(), move |ctx| {
+        let vmmc = cluster.system().endpoint(bnode, name);
+        let rt = &cluster.shards[shard];
+        let cfg = cluster.config().clone();
+        let boot = RetryPolicy::bootstrap();
+        let slots = cfg.repl_slots as usize;
+        let total = slots * REC_BYTES + 4 * slots;
+        let base = vmmc.proc_().alloc(total, CacheMode::WriteBack);
+
+        let ack_dst: Option<ImportHandle> = (|| {
+            let bufname = export_retry(&vmmc, ctx, base, total, boot).ok()?;
+            *rt.link.backup_pub.lock() = Some((vmmc.node_id(), bufname));
+            rt.link.backup_ready.open(&ctx.handle());
+            let deadline = ctx.now() + boot.total_budget();
+            if !rt.link.primary_ready.wait_deadline(ctx, deadline) {
+                return None;
+            }
+            let (pn, pname) = (*rt.link.primary_pub.lock())?;
+            vmmc.import_retry(ctx, pn, pname, boot).ok()
+        })();
+        let Some(ack_dst) = ack_dst else { return };
+
+        let flag_stage = vmmc.proc_().alloc(4, CacheMode::WriteBack);
+        // Birth after setup: a crash ridden out by the bootstrap
+        // retries counts as a (re)start, not a death.
+        let birth = cluster.system().daemon(bnode).restarts();
+        let mut next: u64 = 1;
+        loop {
+            if cluster.is_shutdown() {
+                return;
+            }
+            let d = cluster.system().daemon(bnode);
+            if d.is_down() || d.restarts() != birth {
+                return;
+            }
+            if let Some(epoch) = rt.promo.try_recv() {
+                // Promoted: the replica becomes the shard under the
+                // bumped epoch, unreplicated from here on. Records
+                // past `next` were never acked to any client.
+                spawn_serve_workers(
+                    &cluster,
+                    &ctx.handle(),
+                    shard,
+                    epoch,
+                    bnode,
+                    Arc::clone(&rt.backup_store),
+                    None,
+                );
+                return;
+            }
+            let slot = (next - 1) as usize % slots;
+            let flag_va = base.add(slots * REC_BYTES + 4 * slot);
+            let want = next as u32;
+            match vmmc.wait_u32_deadline(ctx, flag_va, 64, ctx.now() + cfg.watch_interval, |v| {
+                v == want
+            }) {
+                Ok(_) => {
+                    let Ok(raw) = vmmc
+                        .proc_()
+                        .read(ctx, base.add(slot * REC_BYTES), REC_BYTES)
+                    else {
+                        return;
+                    };
+                    let (seq, op) = decode_record(&raw);
+                    debug_assert_eq!(seq, next, "replication records arrive in order");
+                    rt.backup_store.lock().apply_at(seq, &op);
+                    if vmmc.proc_().write_u32(ctx, flag_stage, seq as u32).is_err() {
+                        return;
+                    }
+                    if vmmc.send(ctx, flag_stage, &ack_dst, 0, 4).is_err() {
+                        return;
+                    }
+                    next += 1;
+                }
+                // Timeout is just the bounded-wait slice expiring so
+                // the promotion/shutdown/liveness checks re-run.
+                Err(VmmcError::Timeout { .. }) => {}
+                Err(_) => return,
+            }
+        }
+    });
+}
+
+/// The cluster watchdog: polls daemon liveness every `watch_interval`
+/// and promotes backups of dead primaries.
+pub(crate) fn spawn_watchdog(cluster: &Arc<SvcCluster>) {
+    let h = cluster.system().sim().clone();
+    let cluster = Arc::clone(cluster);
+    h.spawn("svc-watchdog", move |ctx| loop {
+        if cluster.is_shutdown() {
+            return;
+        }
+        ctx.advance(cluster.config().watch_interval);
+        if cluster.is_shutdown() {
+            return;
+        }
+        for shard in 0..cluster.config().shards {
+            cluster.promote_if_down(ctx, shard);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_roundtrip() {
+        let op = Op::Put {
+            key: b"alpha".to_vec(),
+            val: b"some value".to_vec(),
+        };
+        let (seq, back) = decode_record(&encode_record(77, &op));
+        assert_eq!(seq, 77);
+        assert_eq!(back, op);
+
+        let del = Op::Del {
+            key: b"alpha".to_vec(),
+        };
+        let (seq, back) = decode_record(&encode_record(78, &del));
+        assert_eq!(seq, 78);
+        assert_eq!(back, del);
+        assert_eq!(REC_BYTES % 4, 0, "slot offsets must stay word-aligned");
+    }
+}

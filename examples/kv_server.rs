@@ -1,180 +1,61 @@
-//! A key-value store served over the SunRPC-compatible VRPC library:
-//! `put`, `get`, and `delete` procedures with XDR-marshaled arguments,
-//! exercised by two clients on different nodes.
+//! A key-value store served by `shrimp-svc`: one shard server per
+//! node, primary–backup replication chained over VMMC deposits, and
+//! consistent-hash routing — the whole server side is
+//! [`SvcCluster::spawn`]; clients are a [`SvcClient`] each.
 //!
 //! Run with: `cargo run --example kv_server`
 
-use std::collections::HashMap;
-use std::sync::Arc;
-
 use shrimp::prelude::*;
-use shrimp::sunrpc::{AcceptStat, RpcDirectory, StreamVariant, VrpcClient, VrpcServer};
-
-const KV_PROG: u32 = 0x2000_1234;
-const KV_VERS: u32 = 1;
-const PROC_PUT: u32 = 1;
-const PROC_GET: u32 = 2;
-const PROC_DELETE: u32 = 3;
+use shrimp::svc::{SvcClient, SvcCluster, SvcConfig};
 
 fn main() {
     let kernel = Kernel::new();
     let system = shrimp::vmmc::ShrimpSystem::build(&kernel, SystemConfig::prototype());
-    let dir = RpcDirectory::new();
 
-    // --- Server on node 3 --------------------------------------------
-    {
-        let vmmc = system.endpoint(3, "kv-server");
-        let dir = Arc::clone(&dir);
-        kernel.spawn("kv-server", move |ctx| {
-            let store: Arc<parking_lot::Mutex<HashMap<String, Vec<u8>>>> =
-                Arc::new(parking_lot::Mutex::new(HashMap::new()));
-            let mut server = VrpcServer::new(vmmc, KV_PROG, KV_VERS);
-            {
-                let store = Arc::clone(&store);
-                server.register(
-                    PROC_PUT,
-                    Box::new(move |_ctx, args, out| {
-                        let (Ok(key), Ok(val)) = (args.get_string(), args.get_opaque()) else {
-                            return AcceptStat::GarbageArgs;
-                        };
-                        let old = store.lock().insert(key.to_string(), val.to_vec());
-                        out.put_bool(old.is_some());
-                        AcceptStat::Success
-                    }),
-                );
-            }
-            {
-                let store = Arc::clone(&store);
-                server.register(
-                    PROC_GET,
-                    Box::new(move |_ctx, args, out| {
-                        let Ok(key) = args.get_string() else {
-                            return AcceptStat::GarbageArgs;
-                        };
-                        match store.lock().get(key) {
-                            Some(v) => {
-                                out.put_bool(true);
-                                out.put_opaque(v);
-                            }
-                            None => out.put_bool(false),
-                        }
-                        AcceptStat::Success
-                    }),
-                );
-            }
-            {
-                let store = Arc::clone(&store);
-                server.register(
-                    PROC_DELETE,
-                    Box::new(move |_ctx, args, out| {
-                        let Ok(key) = args.get_string() else {
-                            return AcceptStat::GarbageArgs;
-                        };
-                        out.put_bool(store.lock().remove(key).is_some());
-                        AcceptStat::Success
-                    }),
-                );
-            }
-            // Serve both clients, one connection at a time.
-            for _ in 0..2 {
-                let mut conn = server.accept(ctx, &dir).unwrap();
-                let calls = server.serve(ctx, &mut conn).unwrap();
-                println!(
-                    "[{}] kv-server: connection closed after {calls} calls",
-                    ctx.now()
-                );
-            }
-        });
-    }
+    // One shard primary per node, each chained to a backup replica on
+    // the next node; a put's ack means the write reached the backup.
+    let cluster = SvcCluster::spawn(&system, SvcConfig::chained(system.len()));
+    cluster.register_clients(2);
 
     // --- Writer client on node 0 --------------------------------------
     {
-        let vmmc = system.endpoint(0, "writer");
-        let dir = Arc::clone(&dir);
+        let cluster = std::sync::Arc::clone(&cluster);
         kernel.spawn("writer", move |ctx| {
-            let mut c = VrpcClient::bind(
-                vmmc,
-                ctx,
-                &dir,
-                KV_PROG,
-                KV_VERS,
-                StreamVariant::AutomaticUpdate,
-            )
-            .unwrap();
+            let mut c = SvcClient::new(&cluster, 0, "writer");
             for i in 0..10u32 {
                 let key = format!("sensor/{i}");
-                let val = vec![i as u8; 100 + i as usize];
-                let existed = c
-                    .call(
-                        ctx,
-                        PROC_PUT,
-                        |e| {
-                            e.put_string(&key);
-                            e.put_opaque(&val);
-                        },
-                        |d| d.get_bool(),
-                    )
-                    .unwrap();
-                assert!(!existed);
+                let val = vec![i as u8; 20 + i as usize];
+                let ack = c.put(ctx, key.as_bytes(), &val).unwrap();
+                assert!(!ack.existed);
             }
             println!("[{}] writer: stored 10 keys", ctx.now());
-            c.close(ctx).unwrap();
+            cluster.client_done();
         });
     }
 
     // --- Reader client on node 1 (starts after the writer) ------------
     {
-        let vmmc = system.endpoint(1, "reader");
-        let dir = Arc::clone(&dir);
+        let cluster = std::sync::Arc::clone(&cluster);
         kernel.spawn("reader", move |ctx| {
             // Crude coordination: let the writer finish first.
             ctx.advance(SimDur::from_us(50_000.0));
-            let mut c = VrpcClient::bind(
-                vmmc,
-                ctx,
-                &dir,
-                KV_PROG,
-                KV_VERS,
-                StreamVariant::DeliberateUpdate,
-            )
-            .unwrap();
+            let mut c = SvcClient::new(&cluster, 1, "reader");
             let mut found = 0;
             for i in 0..12u32 {
                 let key = format!("sensor/{i}");
-                let hit = c
-                    .call(
-                        ctx,
-                        PROC_GET,
-                        |e| e.put_string(&key),
-                        |d| {
-                            let present = d.get_bool()?;
-                            if present {
-                                let v = d.get_opaque()?;
-                                Ok(Some(v.len()))
-                            } else {
-                                Ok(None)
-                            }
-                        },
-                    )
-                    .unwrap();
-                if let Some(len) = hit {
-                    assert_eq!(len, 100 + i as usize);
+                let (_seq, val) = c.get(ctx, key.as_bytes()).unwrap();
+                if let Some(v) = val {
+                    assert_eq!(v.len(), 20 + i as usize);
                     found += 1;
                 }
             }
-            let deleted = c
-                .call(
-                    ctx,
-                    PROC_DELETE,
-                    |e| e.put_string("sensor/0"),
-                    |d| d.get_bool(),
-                )
-                .unwrap();
+            let deleted = c.del(ctx, b"sensor/0").unwrap();
             println!(
-                "[{}] reader: found {found}/12 keys, delete(sensor/0)={deleted}",
-                ctx.now()
+                "[{}] reader: found {found}/12 keys, delete(sensor/0)={}",
+                ctx.now(),
+                deleted.existed
             );
-            c.close(ctx).unwrap();
+            cluster.client_done();
         });
     }
 

@@ -27,6 +27,12 @@ target/release/simprof fig5 > "$out/fig5_breakdown.txt"
 echo ">> srpc_decomposition"
 target/release/simprof srpc > "$out/srpc_decomposition.txt"
 
+# KV serving curve + failover measurement (shrimp-svc). Also rewrites
+# the committed BENCH_svc.json digest baseline that CI's svc-smoke job
+# gates on.
+echo ">> svcbench"
+target/release/svcbench --write-curve "$out/svc_curve.txt" --write-json BENCH_svc.json
+
 echo
-echo "Regenerated: ${bins[*]/%/.txt} fig5_breakdown.txt srpc_decomposition.txt"
+echo "Regenerated: ${bins[*]/%/.txt} fig5_breakdown.txt srpc_decomposition.txt svc_curve.txt BENCH_svc.json"
 echo "Diff against the committed tree with: git diff -- results/"

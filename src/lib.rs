@@ -25,6 +25,9 @@
 //!   queue);
 //! * [`srpc`] — the specialized SHRIMP RPC with its IDL stub generator;
 //! * [`sockets`] — stream sockets with Ethernet connection setup;
+//! * [`svc`] — a sharded, primary–backup replicated KV serving
+//!   subsystem with an open-loop load engine (latency-vs-load curves,
+//!   failover measurement);
 //! * [`obs`] — virtual-time observability: causal message ids, per-layer
 //!   spans, exact latency breakdowns, Perfetto trace export.
 //!
@@ -46,6 +49,7 @@ pub use shrimp_sim as sim;
 pub use shrimp_sockets as sockets;
 pub use shrimp_srpc as srpc;
 pub use shrimp_sunrpc as sunrpc;
+pub use shrimp_svc as svc;
 
 /// Convenience prelude: the types nearly every program starts from.
 pub mod prelude {
