@@ -1,0 +1,101 @@
+//! The chaos-soaked SLO soak binary for `shrimp-svc`. See
+//! `shrimp_bench::svcsoak` for the experiment definition.
+//!
+//! Usage:
+//!   `cargo run --release -p shrimp-bench --bin svcsoak [-- FLAGS]`
+//!
+//! * default: run the committed 4×4 soak (plus the smoke soak, whose
+//!   digest is part of the JSON), print the human-readable report and
+//!   the `BENCH_svcsoak.json` content;
+//! * `--smoke`: run only the small 2×2 configuration (no JSON — the
+//!   committed JSON derives from the full run);
+//! * `--report`: print only the `results/svc_soak.txt` content;
+//! * `--json`: print only the `BENCH_svcsoak.json` content;
+//! * `--write-report PATH` / `--write-json PATH`: write the artifacts
+//!   from one run (what `scripts/regen_results.sh` uses);
+//! * `--check BENCH_svcsoak.json`: digest gate — the SLO and
+//!   zero-lost-acks assertions fire inside the run itself, then the
+//!   digest is compared bit-for-bit against the committed file:
+//!   `smoke_digest` under `--smoke` (CI's svc-soak job), `soak_digest`
+//!   otherwise.
+
+use shrimp_bench::svcsoak::{
+    committed_digest, render_json, render_report, run_soak, soak_digest, SoakConfig,
+};
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+
+    let (cfg, outcome, json) = if smoke {
+        let cfg = SoakConfig::smoke();
+        let outcome = run_soak(&cfg);
+        (cfg, outcome, None)
+    } else {
+        let cfg = SoakConfig::paper_4x4();
+        let outcome = run_soak(&cfg);
+        let smoke_outcome = run_soak(&SoakConfig::smoke());
+        let json = render_json(&cfg, &outcome, soak_digest(&smoke_outcome));
+        (cfg, outcome, Some(json))
+    };
+    let report = render_report(&cfg, &outcome);
+
+    if let Some(path) = arg_value(&args, "--write-report") {
+        std::fs::write(&path, &report).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = arg_value(&args, "--write-json") {
+        let json = json
+            .as_deref()
+            .expect("--write-json requires the full soak (drop --smoke)");
+        std::fs::write(&path, json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        eprintln!("wrote {path}");
+    }
+
+    let report_only = args.iter().any(|a| a == "--report");
+    let json_only = args.iter().any(|a| a == "--json");
+    let wrote = args
+        .iter()
+        .any(|a| a == "--write-report" || a == "--write-json");
+    if report_only {
+        print!("{report}");
+    } else if json_only {
+        print!(
+            "{}",
+            json.as_deref()
+                .expect("--json requires the full soak (drop --smoke)")
+        );
+    } else if !wrote {
+        print!("{report}");
+        if let Some(json) = &json {
+            println!();
+            print!("{json}");
+        }
+    }
+
+    if let Some(path) = arg_value(&args, "--check") {
+        let committed = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let field = if smoke { "smoke_digest" } else { "soak_digest" };
+        let want = committed_digest(&committed, field);
+        let got = soak_digest(&outcome);
+        let ok = want == Some(got);
+        eprintln!(
+            "check: {field} {:016x} vs committed {} — {}",
+            got,
+            want.map_or("<missing>".to_string(), |d| format!("{d:016x}")),
+            if ok { "ok" } else { "FAIL" }
+        );
+        if !ok {
+            eprintln!("check: svc soak virtual results diverged from {path}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -33,7 +33,7 @@ use shrimp_sim::{
     Ctx, FaultEvent, FaultKind, FaultPlan, FaultSpec, Kernel, RetryPolicy, SimDur, SimTime,
 };
 use shrimp_sockets::{connect, listen, SocketError, SocketVariant};
-use shrimp_svc::{SvcClient, SvcCluster, SvcConfig, SvcError};
+use shrimp_svc::{RetryClass, SvcClient, SvcCluster, SvcConfig, SvcError};
 
 /// Which evaluation workload a cell drives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -126,8 +126,16 @@ pub fn delay_budget(plan: &FaultPlan) -> SimDur {
             // Freeze, interrupt, repair, retry of the frozen packet.
             FaultKind::IptViolation { .. } => SimDur::from_us(100.0),
             // The outage itself plus every bounded wait a retry loop
-            // may spend discovering the daemon is back.
-            FaultKind::DaemonCrash { downtime, .. } => *downtime + boot.total_budget(),
+            // may spend discovering the daemon is back, plus the
+            // re-replication sync the watchdog runs afterwards (freeze
+            // window, snapshot stream, epoch re-bind churn).
+            FaultKind::DaemonCrash { downtime, .. } => {
+                *downtime + boot.total_budget() + SimDur::from_us(500.0)
+            }
+            // A scripted directive (e.g. a live shard migration):
+            // freeze window + delta drain + every client re-binding
+            // under the bumped epoch.
+            FaultKind::Directive { .. } => SimDur::from_us(1_000.0),
         }
     })
 }
@@ -443,7 +451,12 @@ fn svc_workload(
     system: &Arc<ShrimpSystem>,
     finished: &Arc<Mutex<Option<SimTime>>>,
 ) {
-    let cluster = SvcCluster::spawn(system, SvcConfig::chained(system.len()));
+    let mut cfg = SvcConfig::chained(system.len());
+    // Hedged reads on: a read stalling on a faulted primary re-issues
+    // against the backup replica, so the read-your-write checks below
+    // also audit replica-read safety under every plan.
+    cfg.hedge_reads = true;
+    let cluster = SvcCluster::spawn(system, cfg);
     let n_clients = 2usize;
     cluster.register_clients(n_clients);
     for c in 0..n_clients {
@@ -480,22 +493,29 @@ fn svc_workload(
                 }
             }
             cluster.client_done();
-            if c == 0 {
-                *finished.lock() = Some(ctx.now());
-            }
+            // Whole-run completion: the cell is done when the LAST
+            // client is. Measuring a single client would not be
+            // monotone under faults — backing one client off
+            // de-contends the shared replication channels and can
+            // finish the *other* client marginally earlier.
+            let mut f = finished.lock();
+            let now = ctx.now();
+            *f = Some(f.map_or(now, |prev| prev.max(now)));
         });
     }
 }
 
-/// Retry `op` through outages: retryable transport errors and an
-/// exhausted attempt budget both mean "the route is down right now" —
-/// back off one watchdog-scale beat and go again. Anything else is a
-/// contract breach.
+/// Retry `op` through outages, using the error's own retry
+/// classification: every [`RetryClass::Transient`] failure (timeouts,
+/// daemon outages, exhausted attempt budgets, expired deadline
+/// budgets) means "the route is down right now" — back off one
+/// watchdog-scale beat and go again. A terminal error is a contract
+/// breach.
 fn ride_out<T>(ctx: &Ctx, mut op: impl FnMut() -> Result<T, SvcError>) -> T {
     loop {
         match op() {
             Ok(v) => return v,
-            Err(e) if e.is_retryable() || matches!(e, SvcError::Exhausted { .. }) => {
+            Err(e) if e.class() == RetryClass::Transient => {
                 ctx.advance(SimDur::from_us(1_000.0));
             }
             Err(e) => panic!("chaos svc op failed: {e}"),
@@ -556,13 +576,14 @@ pub fn run_matrix(workload: Workload, matrix: &[(String, FaultPlan)]) -> Vec<Cel
                 out.finished_ps,
                 allowed
             );
-            // The svc client's recovery is timeout-driven: a fault
-            // landing inside a bounded wait realigns the retry clock,
-            // so a faulted run may finish marginally *earlier* than
-            // baseline. Monotonicity is only a contract for the
-            // workloads whose waits are completion-driven.
+            // Monotonicity holds for every workload, svc included:
+            // the PR 5 escape hatch existed because a promoted shard
+            // stayed unreplicated and its cheaper degraded writes
+            // could outrun the baseline. The watchdog's automatic
+            // re-replication closes that — replication (and its cost)
+            // come back, so faults can only slow a run down.
             assert!(
-                workload == Workload::Svc || out.finished_ps >= base,
+                out.finished_ps >= base,
                 "{} {}: faults must never speed a run up",
                 workload.label(),
                 name
@@ -707,10 +728,11 @@ mod tests {
         let outcomes = run_matrix(Workload::Svc, &matrix);
         assert_eq!(outcomes.len(), 4);
         let crash = &outcomes[3];
-        // No timing assert: once the watchdog promotes, the shard runs
-        // without a backup and every later put skips replication, so
-        // the stall and the degraded-mode savings roughly cancel. The
-        // contract here is the workload's read-your-write checks.
+        // run_matrix already asserted monotonicity and the bounded
+        // delay budget (the re-replication watchdog restores the
+        // replicated write path, so degraded-mode savings can no
+        // longer mask the stall); the read-your-write checks inside
+        // the workload did the correctness half.
         assert!(
             crash.log.contains("daemon-restart node=1"),
             "primary-crash cell must record the restart:\n{}",

@@ -20,6 +20,7 @@ pub mod simperf;
 pub mod simprof;
 pub mod socket_bench;
 pub mod svcbench;
+pub mod svcsoak;
 pub mod vrpc_bench;
 
 pub use report::{paper_sizes, render_figure, Point, Series, LATENCY_CUTOFF};

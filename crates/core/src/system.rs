@@ -120,6 +120,9 @@ pub struct ShrimpSystem {
     /// latency, instead of only being recorded.
     auto_repair: AtomicBool,
     fault_log: Mutex<Option<Arc<FaultLog>>>,
+    /// Control-plane directives delivered by the fault plan, for upper
+    /// layers (e.g. shrimp-svc shard migrations) to poll.
+    directives: Mutex<Vec<(shrimp_sim::SimTime, &'static str, u64, u64)>>,
     /// Observability recorder shared by every layer of this system
     /// (see `shrimp_obs`). Auto-attached at [`ShrimpSystem::build`]
     /// from the thread's current recorder, if one is installed.
@@ -172,6 +175,7 @@ impl ShrimpSystem {
             violations: Mutex::new(Vec::new()),
             auto_repair: AtomicBool::new(false),
             fault_log: Mutex::new(None),
+            directives: Mutex::new(Vec::new()),
             obs: shrimp_obs::ObsSlot::new(),
         });
 
@@ -409,9 +413,19 @@ impl ShrimpSystem {
                         }
                     });
                 }
+                FaultKind::Directive { op, a, b } => {
+                    sys.directives.lock().push((now, op, a, b));
+                }
             }
         });
         log
+    }
+
+    /// Control-plane directives injected so far (see
+    /// [`FaultKind::Directive`]), in firing order. Consuming layers
+    /// poll this and track their own cursor; entries are never removed.
+    pub fn directives(&self) -> Vec<(shrimp_sim::SimTime, &'static str, u64, u64)> {
+        self.directives.lock().clone()
     }
 
     /// The log installed by the last [`ShrimpSystem::apply_faults`].

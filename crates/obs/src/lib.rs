@@ -82,17 +82,24 @@ pub enum Layer {
     NicIn,
     /// Receive-side deposit: incoming DMA write into memory.
     Deposit,
+    /// Serving-layer overlay (shrimp-svc): request spans, hedged
+    /// reads, shard migrations, and re-replication syncs. Not part of
+    /// the message path, so conservation breakdowns never see it
+    /// (service spans carry [`MsgId::NONE`]).
+    Service,
 }
 
 impl Layer {
-    /// All layers, in path order.
-    pub const ALL: [Layer; 6] = [
+    /// All layers, in path order (the [`Layer::Service`] overlay
+    /// last).
+    pub const ALL: [Layer; 7] = [
         Layer::User,
         Layer::Endpoint,
         Layer::NicOut,
         Layer::Mesh,
         Layer::NicIn,
         Layer::Deposit,
+        Layer::Service,
     ];
 
     /// Stable display name (also the Perfetto track name).
@@ -104,6 +111,7 @@ impl Layer {
             Layer::Mesh => "mesh",
             Layer::NicIn => "nic-in",
             Layer::Deposit => "deposit",
+            Layer::Service => "service",
         }
     }
 
@@ -116,6 +124,7 @@ impl Layer {
             Layer::Mesh => 3,
             Layer::NicIn => 4,
             Layer::Deposit => 5,
+            Layer::Service => 6,
         }
     }
 }

@@ -77,6 +77,19 @@ pub enum FaultKind {
         /// Time until restart.
         downtime: SimDur,
     },
+    /// A control-plane directive for a higher layer (e.g. `"migrate"`
+    /// shard `a` to node `b` for the serving layer's planned handoff):
+    /// the injector records and forwards it; the simulated hardware is
+    /// untouched. Lets a fault plan script membership changes alongside
+    /// real faults under the same deterministic schedule.
+    Directive {
+        /// Operation name the consuming layer dispatches on.
+        op: &'static str,
+        /// First operand (layer-defined).
+        a: u64,
+        /// Second operand (layer-defined).
+        b: u64,
+    },
 }
 
 impl std::fmt::Display for FaultKind {
@@ -88,6 +101,9 @@ impl std::fmt::Display for FaultKind {
             FaultKind::IptViolation { node } => write!(f, "ipt-violation node={node}"),
             FaultKind::DaemonCrash { node, downtime } => {
                 write!(f, "daemon-crash node={node} downtime={downtime}")
+            }
+            FaultKind::Directive { op, a, b } => {
+                write!(f, "directive op={op} a={a} b={b}")
             }
         }
     }
@@ -499,6 +515,9 @@ mod tests {
                 FaultKind::IptViolation { node } => assert!(*node < s.nodes),
                 FaultKind::DaemonCrash { node, downtime } => {
                     assert!(*node < s.nodes && *downtime <= s.max_daemon_downtime);
+                }
+                FaultKind::Directive { .. } => {
+                    panic!("generate never draws directives; they are scripted only")
                 }
             }
         }

@@ -1,29 +1,59 @@
 //! The client library: consistent-hash routing, per-shard persistent
-//! bindings, and timeout-driven re-routing across failovers.
+//! bindings, deadline-budgeted retries, and hedged reads.
 //!
 //! A client holds at most one RPC binding per shard, established
 //! lazily against the shard's *current* routing epoch and reused for
 //! every subsequent call — the persistent-channel fast path. Failure
-//! handling is entirely timeout-driven: a call that outlives
-//! [`op_timeout`](crate::SvcConfig::op_timeout) poisons its binding
-//! (the server may still answer the abandoned sequence later), so the
-//! client drops it, backs off one
-//! [`retry_backoff`](crate::SvcConfig::retry_backoff) — long enough
-//! for a watchdog poll to promote — and re-binds against whatever
-//! route the cluster then advertises.
+//! handling is entirely timeout-driven, bounded two ways:
+//!
+//! * **Attempts** — at most
+//!   [`max_attempts`](crate::SvcConfig::max_attempts) tries per
+//!   operation ([`SvcError::Exhausted`] past that).
+//! * **Time** — a per-request deadline budget of
+//!   [`op_budget`](crate::SvcConfig::op_budget): every bind and reply
+//!   wait is clamped to the budget's remainder and the operation fails
+//!   with [`SvcError::DeadlineExceeded`] once it expires, so one
+//!   request can never stall a caller across an entire failover storm.
+//!
+//! A failed attempt poisons its binding (the server may still answer
+//! the abandoned sequence later), so the client drops it, sleeps a
+//! *jittered* exponential backoff — doubling from
+//! [`retry_base`](crate::SvcConfig::retry_base) up to
+//! [`retry_cap`](crate::SvcConfig::retry_cap), scaled by a
+//! deterministic per-client factor in `[0.75, 1.25)` so synchronized
+//! clients fan out instead of thundering back in lockstep — and
+//! re-binds against whatever route the cluster then advertises.
+//!
+//! With [`hedge_reads`](crate::SvcConfig::hedge_reads) on, a read that
+//! outlives [`hedge_after`](crate::SvcConfig::hedge_after) *hedges*:
+//! it is re-issued against the backup replica's read-only service
+//! instead of waiting out the primary. Replica reads are safe because
+//! the commit point of every acked write is the backup's ack — the
+//! replica is never behind any acknowledged write, and a demoted
+//! replica is fenced server-side before the demotion is acked.
 
 use std::sync::Arc;
 
-use shrimp_sim::Ctx;
+use shrimp_sim::{Ctx, SimDur, SimTime, SplitMix64};
 use shrimp_srpc::{SrpcClient, Val};
 
 use crate::cluster::SvcCluster;
 use crate::store::{Applied, Op, MAX_KEY, MAX_VAL};
-use crate::SvcError;
+use crate::{fnv1a, SvcError};
 
 struct Conn {
     epoch: u32,
     rpc: SrpcClient,
+}
+
+/// Client-side resilience counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Reads hedged to the backup replica after the primary stalled.
+    pub hedges: u64,
+    /// Hedged reads the backup answered (the request succeeded without
+    /// waiting out the primary's recovery).
+    pub hedge_wins: u64,
 }
 
 /// A KV client bound to one node. Not `Send`-shared: each client
@@ -33,7 +63,10 @@ pub struct SvcClient {
     node: usize,
     tag: String,
     conns: Vec<Option<Conn>>,
+    hedge_conns: Vec<Option<Conn>>,
     endpoints: u64,
+    rng: SplitMix64,
+    stats: ClientStats,
 }
 
 impl std::fmt::Debug for SvcClient {
@@ -62,22 +95,40 @@ fn as_bool(v: &Val) -> bool {
     matches!(v, Val::Bool(true))
 }
 
+fn earlier(a: SimTime, b: SimTime) -> SimTime {
+    if a <= b {
+        a
+    } else {
+        b
+    }
+}
+
 impl SvcClient {
     /// A client living on node `node`; `tag` disambiguates endpoint
     /// names when a node hosts several clients.
     pub fn new(cluster: &Arc<SvcCluster>, node: usize, tag: impl Into<String>) -> SvcClient {
+        let tag = tag.into();
+        let shards = cluster.config().shards;
         SvcClient {
             cluster: Arc::clone(cluster),
             node,
-            tag: tag.into(),
-            conns: (0..cluster.config().shards).map(|_| None).collect(),
+            rng: SplitMix64::new(fnv1a(tag.as_bytes()) ^ node as u64),
+            tag,
+            conns: (0..shards).map(|_| None).collect(),
+            hedge_conns: (0..shards).map(|_| None).collect(),
             endpoints: 0,
+            stats: ClientStats::default(),
         }
     }
 
     /// The shard a key routes to.
     pub fn shard_of(&self, key: &[u8]) -> usize {
         self.cluster.ring().shard_of(key)
+    }
+
+    /// Resilience counters accumulated so far.
+    pub fn stats(&self) -> ClientStats {
+        self.stats
     }
 
     /// Insert or overwrite `key`. On a replicated shard the returned
@@ -152,8 +203,31 @@ impl SvcClient {
         }
     }
 
-    /// One routed call with bounded waits, re-bind on epoch change,
-    /// and bounded retries.
+    /// A fresh endpoint name (abandoned bindings are never reused).
+    fn next_endpoint(&mut self) -> String {
+        let name = format!("svc-cli-n{}-{}-{}", self.node, self.tag, self.endpoints);
+        self.endpoints += 1;
+        name
+    }
+
+    /// Sleep the jittered exponential backoff for a finished attempt
+    /// (0-based), clamped so the sleep never overshoots the deadline
+    /// by more than one step.
+    fn backoff(&mut self, ctx: &Ctx, attempt: u32) {
+        let cfg = self.cluster.config();
+        let exp = cfg
+            .retry_base
+            .as_ps()
+            .saturating_mul(1u64 << attempt.min(20));
+        let capped = exp.min(cfg.retry_cap.as_ps());
+        // Deterministic jitter in [0.75, 1.25): 768..1281 / 1024.
+        let scale = 768 + self.rng.next_below(513);
+        ctx.advance(SimDur::from_ps(capped / 1024 * scale));
+    }
+
+    /// One routed call under the deadline budget: bounded waits,
+    /// re-bind on epoch change, jittered retries, and (for reads)
+    /// hedging to the backup replica.
     fn call(
         &mut self,
         ctx: &Ctx,
@@ -162,7 +236,14 @@ impl SvcClient {
         args: &[Val],
     ) -> Result<Vec<Val>, SvcError> {
         let cfg = self.cluster.config().clone();
-        for _ in 0..cfg.max_attempts {
+        let deadline = ctx.now() + cfg.op_budget;
+        let hedgeable = cfg.hedge_reads && proc_name == "get";
+        let mut attempts = 0u32;
+        while attempts < cfg.max_attempts {
+            if ctx.now() >= deadline {
+                return Err(SvcError::DeadlineExceeded { shard, attempts });
+            }
+            attempts += 1;
             let route = self.cluster.route(shard);
             let stale = match &self.conns[shard] {
                 Some(c) => c.epoch != route.epoch,
@@ -170,8 +251,7 @@ impl SvcClient {
             };
             if stale {
                 self.conns[shard] = None;
-                let name = format!("svc-cli-n{}-{}-{}", self.node, self.tag, self.endpoints);
-                self.endpoints += 1;
+                let name = self.next_endpoint();
                 let vmmc = self.cluster.system().endpoint(self.node, name);
                 let bound = SrpcClient::bind_deadline(
                     vmmc,
@@ -179,7 +259,7 @@ impl SvcClient {
                     self.cluster.directory(),
                     &SvcCluster::service(shard, route.epoch),
                     self.cluster.iface(),
-                    ctx.now() + cfg.bind_timeout,
+                    earlier(ctx.now() + cfg.bind_timeout, deadline),
                 );
                 match bound {
                     Ok(rpc) => {
@@ -193,15 +273,24 @@ impl SvcClient {
                         if !e.is_retryable() {
                             return Err(e);
                         }
-                        ctx.advance(cfg.retry_backoff);
+                        self.backoff(ctx, attempts - 1);
                         continue;
                     }
                 }
             }
-            let conn = self.conns[shard].as_mut().expect("bound above");
+            // A hedging-enabled read gives the primary only
+            // `hedge_after` before trying the replica.
+            let wait = if hedgeable {
+                cfg.hedge_after
+            } else {
+                cfg.op_timeout
+            };
+            let Some(conn) = self.conns[shard].as_mut() else {
+                continue;
+            };
             match conn
                 .rpc
-                .call_deadline(ctx, proc_name, args, ctx.now() + cfg.op_timeout)
+                .call_deadline(ctx, proc_name, args, earlier(ctx.now() + wait, deadline))
             {
                 Ok(outs) => return Ok(outs),
                 Err(e) => {
@@ -212,7 +301,12 @@ impl SvcClient {
                     // Timed-out bindings are poisoned; drop, back off
                     // past a watchdog poll, and re-route.
                     self.conns[shard] = None;
-                    ctx.advance(cfg.retry_backoff);
+                    if hedgeable && e.is_timeout() {
+                        if let Some(outs) = self.try_hedge(ctx, shard, args, deadline) {
+                            return Ok(outs);
+                        }
+                    }
+                    self.backoff(ctx, attempts - 1);
                 }
             }
         }
@@ -220,6 +314,63 @@ impl SvcClient {
             shard,
             attempts: cfg.max_attempts,
         })
+    }
+
+    /// One hedged read against the backup replica's read-only service.
+    /// Best-effort: any failure just falls back to the primary retry
+    /// loop.
+    fn try_hedge(
+        &mut self,
+        ctx: &Ctx,
+        shard: usize,
+        args: &[Val],
+        deadline: SimTime,
+    ) -> Option<Vec<Val>> {
+        let cfg = self.cluster.config().clone();
+        let route = self.cluster.route(shard);
+        route.backup?;
+        if ctx.now() >= deadline {
+            return None;
+        }
+        self.stats.hedges += 1;
+        let stale = match &self.hedge_conns[shard] {
+            Some(c) => c.epoch != route.epoch,
+            None => true,
+        };
+        if stale {
+            self.hedge_conns[shard] = None;
+            let name = self.next_endpoint();
+            let vmmc = self.cluster.system().endpoint(self.node, name);
+            let rpc = SrpcClient::bind_deadline(
+                vmmc,
+                ctx,
+                self.cluster.directory(),
+                &SvcCluster::hedge_service(shard, route.epoch),
+                self.cluster.iface(),
+                earlier(ctx.now() + cfg.bind_timeout, deadline),
+            )
+            .ok()?;
+            self.hedge_conns[shard] = Some(Conn {
+                epoch: route.epoch,
+                rpc,
+            });
+        }
+        let conn = self.hedge_conns[shard].as_mut()?;
+        match conn.rpc.call_deadline(
+            ctx,
+            "get",
+            args,
+            earlier(ctx.now() + cfg.op_timeout, deadline),
+        ) {
+            Ok(outs) => {
+                self.stats.hedge_wins += 1;
+                Some(outs)
+            }
+            Err(_) => {
+                self.hedge_conns[shard] = None;
+                None
+            }
+        }
     }
 }
 

@@ -45,8 +45,8 @@ pub mod load;
 mod server;
 pub mod store;
 
-pub use client::SvcClient;
-pub use cluster::{Promotion, ShardRoute, SvcCluster, SvcConfig};
+pub use client::{ClientStats, SvcClient};
+pub use cluster::{ClusterEvent, Promotion, ShardRoute, SvcCluster, SvcConfig};
 pub use load::{spawn_engine, Arrival, LoadPlan, LoadStats, Outage, Request};
 pub use store::{Applied, Op, ShardStore, MAX_KEY, MAX_VAL};
 
@@ -76,6 +76,29 @@ pub enum SvcError {
         /// Attempts spent.
         attempts: u32,
     },
+    /// The per-request deadline budget expired before any attempt
+    /// succeeded. Distinct from [`SvcError::Exhausted`]: the caller
+    /// ran out of *time*, not attempts, so a fresh request (with a
+    /// fresh budget) may well succeed once the route recovers.
+    DeadlineExceeded {
+        /// Shard the operation was routed to.
+        shard: usize,
+        /// Attempts spent before the budget ran dry.
+        attempts: u32,
+    },
+}
+
+/// Retry classification for a failed operation — whether issuing the
+/// same request again (with a fresh deadline budget) can succeed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetryClass {
+    /// Transient: a timeout, daemon outage, route churn, or budget
+    /// expiry. The cluster may heal; retrying is sound.
+    Transient,
+    /// Terminal: the request itself is invalid (oversized payload,
+    /// protocol violation). Retrying the identical request fails
+    /// identically.
+    Terminal,
 }
 
 impl std::fmt::Display for SvcError {
@@ -87,6 +110,12 @@ impl std::fmt::Display for SvcError {
             }
             SvcError::Exhausted { shard, attempts } => {
                 write!(f, "shard {shard} unreachable after {attempts} attempts")
+            }
+            SvcError::DeadlineExceeded { shard, attempts } => {
+                write!(
+                    f,
+                    "deadline budget expired after {attempts} attempts on shard {shard}"
+                )
             }
         }
     }
@@ -125,6 +154,20 @@ impl SvcError {
                 VmmcError::Timeout { .. } | VmmcError::DaemonUnavailable { .. }
             ))
         )
+    }
+
+    /// Classify the failure for a caller deciding whether to reissue
+    /// the request. Exhausted attempts and expired deadlines are
+    /// [`RetryClass::Transient`] — the cluster heals over virtual
+    /// time — as are timeouts and daemon outages. Only failures that
+    /// indict the request itself are [`RetryClass::Terminal`].
+    pub fn class(&self) -> RetryClass {
+        match self {
+            SvcError::Exhausted { .. } | SvcError::DeadlineExceeded { .. } => RetryClass::Transient,
+            SvcError::TooLarge { .. } => RetryClass::Terminal,
+            SvcError::Rpc(_) if self.is_retryable() => RetryClass::Transient,
+            SvcError::Rpc(_) => RetryClass::Terminal,
+        }
     }
 }
 

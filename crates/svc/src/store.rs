@@ -18,6 +18,11 @@ pub const MAX_KEY: usize = 32;
 /// slot in the RPC interface).
 pub const MAX_VAL: usize = 64;
 
+/// One store entry as enumerated by [`ShardStore::entries`] /
+/// [`ShardStore::entries_since`]: key, apply sequence, and value
+/// (`None` = tombstone).
+pub type StoreEntry = (Vec<u8>, u64, Option<Vec<u8>>);
+
 /// A mutation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Op {
@@ -95,6 +100,23 @@ impl ShardStore {
         }
     }
 
+    /// Load one entry from a snapshot/delta stream: inserts the entry
+    /// at its original sequence without claiming the sequence space
+    /// between (entries arrive sorted by key, not by sequence). The
+    /// stream's closing cut record fixes `last_seq` exactly via
+    /// [`ShardStore::set_last_seq`].
+    pub fn load_entry(&mut self, seq: u64, key: Vec<u8>, val: Option<Vec<u8>>) {
+        self.last_seq = self.last_seq.max(seq);
+        self.map.insert(key, Entry { seq, val });
+    }
+
+    /// Pin the apply sequence at a snapshot cut (must be at least the
+    /// highest loaded entry's sequence).
+    pub fn set_last_seq(&mut self, seq: u64) {
+        debug_assert!(seq >= self.last_seq, "a cut never rewinds the store");
+        self.last_seq = seq;
+    }
+
     /// Read a key: `(entry sequence, value)`. A deleted key reports
     /// its tombstone's sequence with `None`; a never-written key
     /// reports `(0, None)`.
@@ -122,10 +144,24 @@ impl ShardStore {
 
     /// Every entry — including tombstones — sorted by key, for
     /// reference comparison in tests.
-    pub fn entries(&self) -> Vec<(Vec<u8>, u64, Option<Vec<u8>>)> {
+    pub fn entries(&self) -> Vec<StoreEntry> {
         let mut out: Vec<_> = self
             .map
             .iter()
+            .map(|(k, e)| (k.clone(), e.seq, e.val.clone()))
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Entries (tombstones included) applied after sequence `cut`,
+    /// sorted by key — the delta a migration or re-replication sync
+    /// streams after its concurrent snapshot phase.
+    pub fn entries_since(&self, cut: u64) -> Vec<StoreEntry> {
+        let mut out: Vec<_> = self
+            .map
+            .iter()
+            .filter(|(_, e)| e.seq > cut)
             .map(|(k, e)| (k.clone(), e.seq, e.val.clone()))
             .collect();
         out.sort();

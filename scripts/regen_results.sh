@@ -33,6 +33,12 @@ target/release/simprof srpc > "$out/srpc_decomposition.txt"
 echo ">> svcbench"
 target/release/svcbench --write-curve "$out/svc_curve.txt" --write-json BENCH_svc.json
 
+# Chaos-soaked SLO run (svcsoak): the full 4x4 soak plus the smoke
+# digest CI's svc-soak job gates on. The run itself asserts zero lost
+# acked writes, the p999 bound, and the bounded shed fraction.
+echo ">> svcsoak"
+target/release/svcsoak --write-report "$out/svc_soak.txt" --write-json BENCH_svcsoak.json
+
 echo
-echo "Regenerated: ${bins[*]/%/.txt} fig5_breakdown.txt srpc_decomposition.txt svc_curve.txt BENCH_svc.json"
+echo "Regenerated: ${bins[*]/%/.txt} fig5_breakdown.txt srpc_decomposition.txt svc_curve.txt BENCH_svc.json svc_soak.txt BENCH_svcsoak.json"
 echo "Diff against the committed tree with: git diff -- results/"
