@@ -220,6 +220,7 @@ pub fn interrupt_per_message() -> (f64, f64) {
                     ExportOpts {
                         perms: Default::default(),
                         handler: Some(Box::new(|_, _| {})),
+                        ..Default::default()
                     },
                 )
                 .unwrap();
@@ -246,6 +247,7 @@ pub fn interrupt_per_message() -> (f64, f64) {
                     ExportOpts {
                         perms: Default::default(),
                         handler: Some(Box::new(|_, _| {})),
+                        ..Default::default()
                     },
                 )
                 .unwrap();

@@ -7,7 +7,8 @@
 //!   `cargo run -p shrimp-bench --bin simprof -- <workload>
 //!        [--chaos] [--trace FILE.json]`
 //!
-//! * `<workload>`: `fig3`, `fig5`, `fig7`, `srpc`, or `coll4x4`;
+//! * `<workload>`: `fig3`, `fig5`, `fig7`, `srpc`, `coll4x4`, or
+//!   `rmc` (one-sided remote fetch);
 //! * `--chaos`: drive the run through the fault-injection engine and
 //!   overlay the fault log on the trace as instant events;
 //! * `--trace FILE.json`: write the run as Chrome trace-event JSON

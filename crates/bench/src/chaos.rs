@@ -13,6 +13,11 @@
 //! * **svc** — the sharded replicated KV service: single-writer
 //!   put/get rounds with a read-your-write check, riding out outages
 //!   through the client's timeout-driven re-routing.
+//! * **rmc** — disaggregated-memory paging: an LRU [`RemotePager`] on
+//!   node 0 over a [`MemoryServer`] pool on node 1, every read checked
+//!   against a local reference model, so a stalled, reordered, or
+//!   dropped fetch reply (or a lost write-back) is caught as
+//!   corruption.
 //!
 //! The harness asserts the recovery contract, not performance: no
 //! corruption, per-pair ordering, completion within a bounded delay
@@ -29,6 +34,7 @@ use shrimp_core::{BufferName, ExportOpts, ShrimpSystem, SystemConfig, Vmmc, Vmmc
 use shrimp_mesh::NodeId;
 use shrimp_node::{CacheMode, VAddr, PAGE_SIZE};
 use shrimp_nx::{NxConfig, NxError, NxWorld};
+use shrimp_rmc::{MemoryServer, RemotePager};
 use shrimp_sim::{
     Ctx, FaultEvent, FaultKind, FaultPlan, FaultSpec, Kernel, RetryPolicy, SimDur, SimTime,
 };
@@ -48,6 +54,8 @@ pub enum Workload {
     Socket,
     /// Sharded replicated KV service (shrimp-svc) put/get rounds.
     Svc,
+    /// Disaggregated-memory paging (shrimp-rmc) over one-sided fetch.
+    Rmc,
 }
 
 impl Workload {
@@ -59,17 +67,19 @@ impl Workload {
             Workload::Coll => "coll",
             Workload::Socket => "socket",
             Workload::Svc => "svc",
+            Workload::Rmc => "rmc",
         }
     }
 
-    /// All five, in report order.
-    pub fn all() -> [Workload; 5] {
+    /// All six, in report order.
+    pub fn all() -> [Workload; 6] {
         [
             Workload::Vmmc,
             Workload::Nx,
             Workload::Coll,
             Workload::Socket,
             Workload::Svc,
+            Workload::Rmc,
         ]
     }
 }
@@ -123,8 +133,14 @@ pub fn delay_budget(plan: &FaultPlan) -> SimDur {
                 SimDur::from_ps((dur.as_ps() as f64 * (factor - 1.0).max(0.0)) as u64 + 1)
             }
             FaultKind::DmaStall { dur, .. } => *dur,
-            // Freeze, interrupt, repair, retry of the frozen packet.
-            FaultKind::IptViolation { .. } => SimDur::from_us(100.0),
+            // Freeze, interrupt, repair, retry of the frozen packet —
+            // plus, for one-sided traffic, the backoffs a requester
+            // burns on fetches the frozen node denies until the OS
+            // repair re-enables the page (the deny is immediate but the
+            // retry loop's exponential backoff is not).
+            FaultKind::IptViolation { .. } => {
+                SimDur::from_us(100.0) + boot.timeout(0) + boot.timeout(1)
+            }
             // The outage itself plus every bounded wait a retry loop
             // may spend discovering the daemon is back, plus the
             // re-replication sync the watchdog runs afterwards (freeze
@@ -132,6 +148,11 @@ pub fn delay_budget(plan: &FaultPlan) -> SimDur {
             FaultKind::DaemonCrash { downtime, .. } => {
                 *downtime + boot.total_budget() + SimDur::from_us(500.0)
             }
+            // The engine holds requests and replies for the stall
+            // window; requesters park until completion (no drops, no
+            // retries), so the extra cost is the window plus the drain
+            // of whatever queued behind it.
+            FaultKind::FetchStall { dur, .. } => *dur + SimDur::from_us(100.0),
             // A scripted directive (e.g. a live shard migration):
             // freeze window + delta drain + every client re-binding
             // under the bumped epoch.
@@ -189,6 +210,7 @@ pub fn run_cell_events(
         Workload::Coll => coll_workload(&kernel, &system, &finished),
         Workload::Socket => socket_workload(&kernel, &system, &finished),
         Workload::Svc => svc_workload(&kernel, &system, &finished),
+        Workload::Rmc => rmc_workload(&kernel, &system, &finished),
     }
 
     kernel
@@ -505,6 +527,106 @@ fn svc_workload(
     }
 }
 
+/// Disaggregated-memory workload: an LRU pager on node 0 over a
+/// memory-server pool on node 1, driven by a deterministic mixed
+/// read/write pattern. A local reference model shadows every write;
+/// every read (and a full read-back sweep at the end, which forces
+/// most pages through fresh remote fetches) is checked against it, so
+/// a stalled, reordered, or dropped fetch reply — or a write-back the
+/// server lost — surfaces as corruption, not as a slow run.
+fn rmc_workload(
+    kernel: &Kernel,
+    system: &Arc<ShrimpSystem>,
+    finished: &Arc<Mutex<Option<SimTime>>>,
+) {
+    const VPAGES: usize = 12;
+    const FRAMES: usize = 4;
+    let names: shrimp_sim::SimChannel<BufferName> = shrimp_sim::SimChannel::new();
+    {
+        let system = Arc::clone(system);
+        let names = names.clone();
+        kernel.spawn("chaos-memserver", move |ctx| {
+            // The export consumes its endpoint on failure, so a daemon
+            // crash landing mid-setup costs a fresh endpoint per retry.
+            let policy = RetryPolicy::bootstrap();
+            let mut attempt = 0;
+            let srv = loop {
+                let vmmc = system.endpoint(1, format!("chaos-mem-{attempt}"));
+                match MemoryServer::export(vmmc, ctx, VPAGES) {
+                    Ok(s) => break s,
+                    Err(VmmcError::DaemonUnavailable { .. }) if attempt + 1 < policy.attempts => {
+                        ctx.advance(policy.timeout(attempt));
+                        attempt += 1;
+                    }
+                    Err(e) => panic!("chaos memory-server export failed: {e}"),
+                }
+            };
+            names.send(&ctx.handle(), srv.name());
+            // The server CPU is done: its NIC answers fetches and
+            // accepts write-back deposits on its own.
+        });
+    }
+    {
+        let vmmc = system.endpoint(0, "chaos-pager");
+        let finished = Arc::clone(finished);
+        kernel.spawn("chaos-pager", move |ctx| {
+            let name = names.recv(ctx);
+            let pool = vmmc
+                .import_retry(ctx, NodeId(1), name, RetryPolicy::bootstrap())
+                .unwrap();
+            let mut pager = RemotePager::new(vmmc, pool, VPAGES, FRAMES);
+            let mut reference = vec![vec![0u8; PAGE_SIZE]; VPAGES];
+            let mut rng = shrimp_sim::SplitMix64::new(0xC0FFEE);
+            for op in 0..(ROUNDS as usize * 30) {
+                let page = rng.next_below(VPAGES as u64) as usize;
+                let off = rng.next_below((PAGE_SIZE - 64) as u64) as usize;
+                let addr = page * PAGE_SIZE + off;
+                if rng.next_below(100) < 40 {
+                    let data = [(op % 251) as u8; 64];
+                    ride_out_rmc(ctx, || pager.write(ctx, addr, &data));
+                    reference[page][off..off + 64].copy_from_slice(&data);
+                } else {
+                    let got = ride_out_rmc(ctx, || pager.read(ctx, addr, 64));
+                    assert_eq!(
+                        got,
+                        &reference[page][off..off + 64],
+                        "op {op}: page {page} off {off} diverged from the reference"
+                    );
+                }
+            }
+            ride_out_rmc(ctx, || pager.flush(ctx));
+            // Full sweep: with VPAGES > FRAMES most pages fault back in
+            // from the server, auditing its post-write-back contents.
+            for (page, want) in reference.iter().enumerate() {
+                let got = ride_out_rmc(ctx, || pager.read(ctx, page * PAGE_SIZE, PAGE_SIZE));
+                assert_eq!(&got, want, "final sweep: page {page} lost a write-back");
+            }
+            *finished.lock() = Some(ctx.now());
+        });
+    }
+}
+
+/// Retry a pager operation through outages: a daemon outage or bounded
+/// wait outlasting the pager's built-in retry policy means "the far
+/// memory is unreachable right now" — back off one watchdog-scale beat
+/// and reissue. Anything else (a protection deny on a read-exported
+/// pool, a wild address) is a contract breach.
+fn ride_out_rmc<T>(ctx: &Ctx, mut op: impl FnMut() -> Result<T, VmmcError>) -> T {
+    loop {
+        match op() {
+            Ok(v) => return v,
+            Err(
+                VmmcError::DaemonUnavailable { .. }
+                | VmmcError::Timeout { .. }
+                | VmmcError::FetchDenied { .. },
+            ) => {
+                ctx.advance(SimDur::from_us(1_000.0));
+            }
+            Err(e) => panic!("chaos rmc op failed: {e}"),
+        }
+    }
+}
+
 /// Retry `op` through outages, using the error's own retry
 /// classification: every [`RetryClass::Transient`] failure (timeouts,
 /// daemon outages, exhausted attempt budgets, expired deadline
@@ -737,6 +859,31 @@ mod tests {
             crash.log.contains("daemon-restart node=1"),
             "primary-crash cell must record the restart:\n{}",
             crash.log
+        );
+    }
+
+    #[test]
+    fn rmc_workload_survives_fetch_stall_and_light_faults() {
+        // The plan the paging layer must specifically ride out: the
+        // server's fetch engine stalling mid-traffic (replies held, in
+        // order, never dropped), plus a generated light plan.
+        let mut matrix = default_matrix(2, &[7]);
+        matrix.push((
+            "scripted-fetch-stall".to_string(),
+            FaultPlan::scripted(vec![FaultEvent {
+                at: SimTime::ZERO + SimDur::from_us(300.0),
+                kind: FaultKind::FetchStall {
+                    node: 1,
+                    dur: SimDur::from_us(1_000.0),
+                },
+            }]),
+        ));
+        let outcomes = run_matrix(Workload::Rmc, &matrix);
+        assert_eq!(outcomes.len(), 5);
+        let stall = outcomes.last().unwrap();
+        assert!(
+            stall.finished_ps > outcomes[0].finished_ps,
+            "a mid-traffic fetch stall must cost time"
         );
     }
 

@@ -14,6 +14,7 @@ pub mod collectives;
 pub mod nx_pingpong;
 pub mod pingpong;
 pub mod report;
+pub mod rmcbench;
 pub mod rpc_compare;
 pub mod scale;
 pub mod simperf;

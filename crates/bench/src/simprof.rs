@@ -44,7 +44,7 @@ const WARMUP: u32 = 2;
 const ROUNDS: u32 = 8;
 
 /// The profiles `simprof` can run.
-pub const WORKLOADS: [&str; 5] = ["fig3", "fig5", "fig7", "srpc", "coll4x4"];
+pub const WORKLOADS: [&str; 6] = ["fig3", "fig5", "fig7", "srpc", "coll4x4", "rmc"];
 
 /// Phase names an RPC-style workload records, used to assemble the
 /// per-call budget from the span set.
@@ -327,6 +327,14 @@ pub fn profile(name: &str, chaos: bool) -> Option<ProfOutcome> {
             }
             ("coll4x4", String::new())
         }
+        "rmc" => {
+            if chaos {
+                run_chaos_cell(&rec, Workload::Rmc);
+            } else {
+                run_rmc_fetch(&rec);
+            }
+            ("rmc", String::new())
+        }
         _ => return None,
     };
 
@@ -364,6 +372,60 @@ fn run_chaos_cell(rec: &Arc<Recorder>, workload: Workload) {
     for (at, what) in events {
         rec.instant(at, None, what);
     }
+}
+
+/// The one-sided workload under observation: a reader on node 0
+/// fetching one page per round from node 1's read-enabled export. The
+/// interesting property the profile audits is the span shape of a
+/// fetch: requester-side issue + park, the responder's NIC serving the
+/// read with its processor idle, and the reply deposits — all summing
+/// exactly to the observed fetch latency.
+fn run_rmc_fetch(rec: &Arc<Recorder>) {
+    use shrimp_core::ExportOpts;
+    use shrimp_mesh::NodeId;
+    use shrimp_node::{CacheMode, PAGE_SIZE};
+
+    let _g = rec.install();
+    let kernel = Kernel::new();
+    let system = ShrimpSystem::build(&kernel, SystemConfig::prototype());
+    let names: shrimp_sim::SimChannel<shrimp_core::BufferName> = shrimp_sim::SimChannel::new();
+    {
+        let owner = system.endpoint(1, "prof-owner");
+        let names = names.clone();
+        kernel.spawn("prof-owner", move |ctx| {
+            let buf = owner.proc_().alloc(PAGE_SIZE, CacheMode::WriteBack);
+            let fill: Vec<u8> = (0..PAGE_SIZE).map(|i| (i % 241) as u8).collect();
+            owner.proc_().write(ctx, buf, &fill).unwrap();
+            let name = owner
+                .export(
+                    ctx,
+                    buf,
+                    PAGE_SIZE,
+                    ExportOpts {
+                        read: true,
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+            names.send(&ctx.handle(), name);
+        });
+    }
+    {
+        let reader = system.endpoint(0, "prof-reader");
+        kernel.spawn("prof-reader", move |ctx| {
+            let name = names.recv(ctx);
+            let src = reader.import(ctx, NodeId(1), name).unwrap();
+            let dst = reader.proc_().alloc(PAGE_SIZE, CacheMode::WriteBack);
+            for _ in 0..WARMUP + ROUNDS {
+                reader.fetch(ctx, dst, &src, 0, PAGE_SIZE).unwrap();
+            }
+            let got = reader.proc_().peek(dst, PAGE_SIZE).unwrap();
+            assert!(got.iter().enumerate().all(|(i, &b)| b == (i % 241) as u8));
+        });
+    }
+    kernel
+        .run_until_quiescent()
+        .expect("rmc profile run failed");
 }
 
 /// The Fig. 5 workload under observation: a null VRPC call with a
@@ -512,8 +574,25 @@ mod tests {
     }
 
     #[test]
+    fn rmc_fetch_profile_traces_and_conserves() {
+        let out = profile("rmc", false).unwrap();
+        let spans = out.recorder.spans();
+        let (msgs, ok) = check_conservation(&spans);
+        assert!(msgs > 0, "fetches must appear as traced messages");
+        assert!(ok, "fetch spans violated conservation");
+        assert!(out.conserved, "report:\n{}", out.report);
+        // The responder's CPU never runs: no server-side User spans.
+        assert!(
+            spans
+                .iter()
+                .all(|s| s.layer != Layer::User || !s.name.contains("dispatch")),
+            "a one-sided fetch must not dispatch server code"
+        );
+    }
+
+    #[test]
     fn per_message_conservation_holds_across_workloads() {
-        for name in ["fig3", "fig5", "fig7"] {
+        for name in ["fig3", "fig5", "fig7", "rmc"] {
             let out = profile(name, false).unwrap();
             let spans = out.recorder.spans();
             let (msgs, ok) = check_conservation(&spans);

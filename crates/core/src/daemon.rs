@@ -57,6 +57,10 @@ pub struct ExportRecord {
     pub len: usize,
     /// Import permissions.
     pub perms: ExportPerms,
+    /// Whether importers may *fetch* (one-sided read) from this buffer.
+    /// Programs the read-permission bit of every backing page's
+    /// incoming-page-table entry.
+    pub read: bool,
 }
 
 /// The mapping information a successful import returns.
@@ -130,6 +134,7 @@ impl Daemon {
                 IptEntry {
                     enabled: true,
                     interrupt: false,
+                    read: record.read,
                 },
             );
         }
@@ -148,6 +153,7 @@ impl Daemon {
                 IptEntry {
                     enabled: false,
                     interrupt: false,
+                    read: false,
                 },
             );
         }
@@ -241,6 +247,9 @@ impl Daemon {
         if self.down.swap(true, Ordering::SeqCst) {
             return; // already down
         }
+        // The fetch engine NAKs remote reads typed while the daemon is
+        // down (no mapping validation without the daemon).
+        self.nic.set_daemon_down(true);
         let exports = self.exports.lock();
         for record in exports.values() {
             for &p in record.ppages.iter() {
@@ -268,6 +277,7 @@ impl Daemon {
             }
         }
         self.restarts.fetch_add(1, Ordering::SeqCst);
+        self.nic.set_daemon_down(false);
         self.down.store(false, Ordering::SeqCst);
     }
 }
@@ -304,7 +314,28 @@ mod tests {
             first_offset: 0,
             len,
             perms,
+            read: false,
         }
+    }
+
+    #[test]
+    fn read_export_programs_the_read_bit_and_survives_restart() {
+        let (_k, d, nic) = daemon();
+        let rec = ExportRecord {
+            read: true,
+            ..record(vec![6], ExportPerms::Any)
+        };
+        let name = d.register_export(rec).unwrap();
+        assert!(nic.ipt().get(6).enabled && nic.ipt().get(6).read);
+        d.crash();
+        assert!(nic.is_daemon_down(), "fetch engine sees the crash");
+        assert!(!nic.ipt().get(6).enabled);
+        assert!(nic.ipt().get(6).read, "crash preserves the read bit");
+        d.restart();
+        assert!(!nic.is_daemon_down());
+        assert!(nic.ipt().get(6).enabled && nic.ipt().get(6).read);
+        d.unregister_export(name).unwrap();
+        assert!(!nic.ipt().get(6).read, "unexport revokes read");
     }
 
     #[test]

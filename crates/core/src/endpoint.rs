@@ -22,7 +22,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use shrimp_mesh::NodeId;
-use shrimp_nic::{DuRequest, OptEntry};
+use shrimp_nic::{DuRequest, FetchRequest, NakReason, OptEntry};
 use shrimp_node::{CacheMode, UserProc, VAddr, PAGE_SIZE};
 use shrimp_sim::{Ctx, ProcessId, SimHandle, SimTime};
 
@@ -51,6 +51,10 @@ pub struct ExportOpts {
     /// Optional notification handler; attaching one sets the
     /// receiver-specified interrupt flag on the buffer's pages.
     pub handler: Option<NotifyHandler>,
+    /// Allow importers to *fetch* (one-sided remote read) from this
+    /// buffer: programs the read-permission bit on every backing page.
+    /// Off by default — a plain VMMC export stays write-only.
+    pub read: bool,
 }
 
 impl std::fmt::Debug for ExportOpts {
@@ -58,6 +62,7 @@ impl std::fmt::Debug for ExportOpts {
         f.debug_struct("ExportOpts")
             .field("perms", &self.perms)
             .field("handler", &self.handler.as_ref().map(|_| "<fn>"))
+            .field("read", &self.read)
             .finish()
     }
 }
@@ -206,6 +211,10 @@ pub struct Vmmc {
     node_index: usize,
     proc_: UserProc,
     shared: Arc<EndpointShared>,
+    /// Lazily allocated completion flag word for remote fetches, plus
+    /// the count of fetch chunks issued so far (the value the reply
+    /// engine deposits on each completion).
+    fetch_flag: Mutex<Option<(VAddr, u32)>>,
 }
 
 impl std::fmt::Debug for Vmmc {
@@ -236,6 +245,7 @@ impl Vmmc {
             node_index,
             proc_,
             shared,
+            fetch_flag: Mutex::new(None),
         }
     }
 
@@ -295,6 +305,7 @@ impl Vmmc {
             first_offset: va.offset(),
             len,
             perms: opts.perms,
+            read: opts.read,
         };
         let name = self
             .system
@@ -643,6 +654,196 @@ impl Vmmc {
             });
         }
         Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Remote fetch (one-sided read)
+    // ------------------------------------------------------------------
+
+    /// Blocking one-sided remote read: fetch `len` bytes starting at
+    /// byte `src_off` of the imported buffer into local memory at
+    /// `dst`. The local NIC emits a fetch descriptor; the exporting
+    /// NIC validates the pages against its incoming page table (the
+    /// export must have been made with [`ExportOpts::read`]), DMAs the
+    /// data out of remote memory and streams reply packets back that
+    /// deposit directly into `dst` — the exporting *processor* never
+    /// runs. Completion is a monotone flag word the reply engine
+    /// bumps ([`Vmmc::fetch_completions`]).
+    ///
+    /// # Errors
+    ///
+    /// * [`VmmcError::Misaligned`] unless destination address, source
+    ///   offset, and length are word-aligned (the hardware restriction,
+    ///   shared with deliberate update);
+    /// * [`VmmcError::OutOfRange`] if the read exceeds the buffer;
+    /// * [`VmmcError::StaleImport`] after unimport;
+    /// * [`VmmcError::Fault`] if `dst` is not mapped writable;
+    /// * [`VmmcError::FetchDenied`] if a target page is receive-disabled
+    ///   or exported without read permission (transient when an injected
+    ///   violation froze the page — the OS repair re-enables it; see
+    ///   [`Vmmc::fetch_retry`]);
+    /// * [`VmmcError::FetchUnmapped`] if a target page has no incoming
+    ///   page-table entry at all;
+    /// * [`VmmcError::DaemonUnavailable`] while the exporting node's
+    ///   daemon is down.
+    pub fn fetch(
+        &self,
+        ctx: &Ctx,
+        dst: VAddr,
+        src: &ImportHandle,
+        src_off: usize,
+        len: usize,
+    ) -> Result<(), VmmcError> {
+        let t0 = ctx.now();
+        let costs = self.proc_.node().costs().clone();
+        ctx.advance(costs.lib_call + costs.fetch_issue);
+        if !src.alive.load(Ordering::SeqCst) {
+            return Err(VmmcError::StaleImport);
+        }
+        if src_off + len > src.len() {
+            return Err(VmmcError::OutOfRange {
+                offset: src_off,
+                len,
+                buffer_len: src.len(),
+            });
+        }
+        if len == 0 {
+            return Ok(());
+        }
+        if !dst.0.is_multiple_of(4)
+            || !(src.info().first_offset + src_off).is_multiple_of(4)
+            || !len.is_multiple_of(4)
+        {
+            return Err(VmmcError::Misaligned);
+        }
+        // Validate the whole local reply range up front (MMU protection).
+        self.proc_.aspace().translate_range(dst, len, true)?;
+
+        // The two-access initiation sequence presenting the descriptor.
+        ctx.advance(costs.eisa_pio_access * 2);
+
+        let nic = self.system.nic(self.node_index);
+        // One causal id for the whole read, carried by the request and
+        // every reply packet.
+        let msg = nic.alloc_msg();
+        let mut off = 0usize;
+        while off < len {
+            let cur = dst.add(off);
+            let (dst_pa, _) = self.proc_.aspace().translate(cur, true)?;
+            let dst_run = PAGE_SIZE - cur.offset();
+            let src_run = src.bytes_to_page_end(src_off + off);
+            let n = (len - off).min(dst_run).min(src_run);
+            let req = FetchRequest {
+                src_node: src.node(),
+                src_paddr: src.locate(src_off + off),
+                len: n,
+                dst_paddr: dst_pa.0,
+                msg,
+            };
+            let (flag_va, seq) = self.fetch_flag_slot();
+            let result: Arc<Mutex<Option<Result<SimTime, NakReason>>>> = Arc::new(Mutex::new(None));
+            let r2 = Arc::clone(&result);
+            let h = ctx.handle();
+            let pid = ctx.pid();
+            let writer = self.proc_.clone();
+            nic.fetch(req, move |res| {
+                // The reply engine's final deposit bumps the completion
+                // flag word; user code may poll it like any other flag.
+                let _ = writer.poke(flag_va, &seq.to_le_bytes());
+                *r2.lock() = Some(res);
+                h.unpark(pid);
+            });
+            let res = loop {
+                let taken = result.lock().take();
+                match taken {
+                    Some(r) => break r,
+                    None => ctx.park(),
+                }
+            };
+            match res {
+                Ok(_) => {}
+                Err(NakReason::Unmapped { ppage }) => {
+                    return Err(VmmcError::FetchUnmapped {
+                        node: src.node(),
+                        ppage,
+                    });
+                }
+                Err(NakReason::Denied { ppage }) => {
+                    return Err(VmmcError::FetchDenied {
+                        node: src.node(),
+                        ppage,
+                    });
+                }
+                Err(NakReason::DaemonDown) => {
+                    return Err(VmmcError::DaemonUnavailable { node: src.node() });
+                }
+            }
+            off += n;
+        }
+        if let Some(rec) = self.system.obs() {
+            rec.push(shrimp_obs::SpanRec {
+                msg,
+                node: self.node_index,
+                layer: shrimp_obs::Layer::Endpoint,
+                name: "fetch",
+                start: t0,
+                end: ctx.now(),
+                bytes: len,
+            });
+        }
+        Ok(())
+    }
+
+    /// Like [`Vmmc::fetch`], but rides out transient refusals: on
+    /// [`VmmcError::FetchDenied`] (an injected violation froze the page;
+    /// the OS repair re-enables it) or [`VmmcError::DaemonUnavailable`]
+    /// the call backs off per `policy` and retries. Other errors surface
+    /// immediately.
+    ///
+    /// # Errors
+    ///
+    /// [`VmmcError::Timeout`] once every attempt was refused; otherwise
+    /// as for [`Vmmc::fetch`].
+    pub fn fetch_retry(
+        &self,
+        ctx: &Ctx,
+        dst: VAddr,
+        src: &ImportHandle,
+        src_off: usize,
+        len: usize,
+        policy: shrimp_sim::RetryPolicy,
+    ) -> Result<(), VmmcError> {
+        for attempt in 0..policy.attempts {
+            match self.fetch(ctx, dst, src, src_off, len) {
+                Err(VmmcError::FetchDenied { .. } | VmmcError::DaemonUnavailable { .. }) => {
+                    ctx.advance(policy.timeout(attempt));
+                }
+                other => return other,
+            }
+        }
+        Err(VmmcError::Timeout {
+            op: "fetch",
+            waited: policy.total_budget(),
+        })
+    }
+
+    /// The monotone fetch-completion count: how many fetch chunks this
+    /// endpoint has completed, as deposited in the completion flag word
+    /// by the reply engine. Zero before the first fetch.
+    pub fn fetch_completions(&self) -> u32 {
+        let va = match *self.fetch_flag.lock() {
+            Some((va, _)) => va,
+            None => return 0,
+        };
+        let b = self.proc_.peek(va, 4).expect("fetch flag word is mapped");
+        u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+    }
+
+    fn fetch_flag_slot(&self) -> (VAddr, u32) {
+        let mut g = self.fetch_flag.lock();
+        let (va, count) = g.get_or_insert_with(|| (self.proc_.alloc(4, CacheMode::WriteBack), 0));
+        *count += 1;
+        (*va, *count)
     }
 
     // ------------------------------------------------------------------

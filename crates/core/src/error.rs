@@ -62,6 +62,26 @@ pub enum VmmcError {
         /// The physical page whose disabled IPT entry caused the freeze.
         ppage: u64,
     },
+    /// A remote fetch was refused: the target page is mapped but
+    /// receive-disabled or exported without read permission. Transient
+    /// when caused by an injected protection violation (the OS repair
+    /// re-enables the page); permanent when the export lacks read
+    /// permission.
+    FetchDenied {
+        /// Responding node.
+        node: NodeId,
+        /// The physical page the responder refused.
+        ppage: u64,
+    },
+    /// A remote fetch targeted a physical page with no incoming-page-
+    /// table entry at all — a protocol error (wild address), reported
+    /// distinctly from a protection deny.
+    FetchUnmapped {
+        /// Responding node.
+        node: NodeId,
+        /// The unmapped physical page.
+        ppage: u64,
+    },
 }
 
 impl std::fmt::Display for VmmcError {
@@ -99,6 +119,12 @@ impl std::fmt::Display for VmmcError {
             }
             VmmcError::Frozen { node, ppage } => {
                 write!(f, "receive datapath on {node} frozen at page {ppage}")
+            }
+            VmmcError::FetchDenied { node, ppage } => {
+                write!(f, "remote fetch denied by {node} at page {ppage}")
+            }
+            VmmcError::FetchUnmapped { node, ppage } => {
+                write!(f, "remote fetch of unmapped page {ppage} on {node}")
             }
         }
     }

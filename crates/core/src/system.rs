@@ -352,13 +352,10 @@ impl ShrimpSystem {
     pub fn repair_and_unfreeze(&self, node: usize, ppage: u64) -> bool {
         let nic = &self.nics[node];
         let was = nic.is_frozen();
-        nic.ipt().set(
-            ppage,
-            shrimp_nic::IptEntry {
-                enabled: true,
-                interrupt: false,
-            },
-        );
+        // repair() preserves the page's read-permission bit, so a
+        // fetch-triggered freeze recovers to exactly the pre-violation
+        // protection state.
+        nic.ipt().repair(ppage);
         nic.unfreeze();
         was
     }
@@ -412,6 +409,9 @@ impl ShrimpSystem {
                             sys.log_fault(format!("unfreeze node={node}"));
                         }
                     });
+                }
+                FaultKind::FetchStall { node, dur } => {
+                    sys.nics[node].stall_fetch_engine(now, dur);
                 }
                 FaultKind::Directive { op, a, b } => {
                     sys.directives.lock().push((now, op, a, b));

@@ -1,0 +1,183 @@
+//! Integration tests of one-sided remote fetch on the fully-wired
+//! prototype: data correctness across pages, the read-permission
+//! protection model, the monotone completion flag word, and the
+//! typed deny/unmapped/daemon-down errors.
+
+use std::sync::Arc;
+
+use shrimp_core::{BufferName, ExportOpts, ShrimpSystem, SystemConfig, VmmcError};
+use shrimp_mesh::NodeId;
+use shrimp_node::{CacheMode, PAGE_SIZE};
+use shrimp_sim::{Kernel, SimChannel, SimDur};
+
+fn prototype() -> (Kernel, Arc<ShrimpSystem>) {
+    let kernel = Kernel::new();
+    let system = ShrimpSystem::build(&kernel, SystemConfig::prototype());
+    (kernel, system)
+}
+
+#[test]
+fn fetch_reads_remote_memory_across_pages() {
+    let (kernel, system) = prototype();
+    let names: SimChannel<BufferName> = SimChannel::new();
+    let owner = system.endpoint(1, "owner");
+    let reader = system.endpoint(0, "reader");
+    let n = 2 * PAGE_SIZE + 512;
+
+    {
+        let names = names.clone();
+        kernel.spawn("owner", move |ctx| {
+            let buf = owner.proc_().alloc(n, CacheMode::WriteBack);
+            let data: Vec<u8> = (0..n).map(|i| (i % 239) as u8).collect();
+            owner.proc_().write(ctx, buf, &data).unwrap();
+            let name = owner
+                .export(
+                    ctx,
+                    buf,
+                    n,
+                    ExportOpts {
+                        read: true,
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+            names.send(&ctx.handle(), name);
+            // The owner never runs again — the read is one-sided.
+            ctx.advance(SimDur::from_us(50_000.0));
+        });
+    }
+    kernel.spawn("reader", move |ctx| {
+        let name = names.recv(ctx);
+        let src = reader.import(ctx, NodeId(1), name).unwrap();
+        let dst = reader.proc_().alloc(n, CacheMode::WriteBack);
+        assert_eq!(reader.fetch_completions(), 0);
+        reader.fetch(ctx, dst, &src, 0, n).unwrap();
+        let got = reader.proc_().peek(dst, n).unwrap();
+        let want: Vec<u8> = (0..n).map(|i| (i % 239) as u8).collect();
+        assert_eq!(got, want);
+        // Three pages touched => at least three chunks completed, and
+        // the flag word is monotone.
+        let c1 = reader.fetch_completions();
+        assert!(c1 >= 3, "completions {c1}");
+        // A second, smaller fetch advances the flag word.
+        reader.fetch(ctx, dst, &src, PAGE_SIZE, 64).unwrap();
+        assert!(reader.fetch_completions() > c1);
+        let got = reader.proc_().peek(dst, 64).unwrap();
+        assert_eq!(got, want[PAGE_SIZE..PAGE_SIZE + 64]);
+    });
+    kernel.run_until_quiescent().unwrap();
+    assert!(system.violations().is_empty());
+}
+
+#[test]
+fn fetch_without_read_permission_is_denied_without_freezing() {
+    let (kernel, system) = prototype();
+    let names: SimChannel<BufferName> = SimChannel::new();
+    let owner = system.endpoint(1, "owner");
+    let reader = system.endpoint(0, "reader");
+
+    {
+        let names = names.clone();
+        kernel.spawn("owner", move |ctx| {
+            let buf = owner.proc_().alloc(PAGE_SIZE, CacheMode::WriteBack);
+            // A plain export: writable by importers, but not readable.
+            let name = owner
+                .export(ctx, buf, PAGE_SIZE, ExportOpts::default())
+                .unwrap();
+            names.send(&ctx.handle(), name);
+            ctx.advance(SimDur::from_us(50_000.0));
+        });
+    }
+    let sys = Arc::clone(&system);
+    kernel.spawn("reader", move |ctx| {
+        let name = names.recv(ctx);
+        let src = reader.import(ctx, NodeId(1), name).unwrap();
+        let dst = reader.proc_().alloc(PAGE_SIZE, CacheMode::WriteBack);
+        let err = reader.fetch(ctx, dst, &src, 0, 64).unwrap_err();
+        assert!(matches!(
+            err,
+            VmmcError::FetchDenied {
+                node: NodeId(1),
+                ..
+            }
+        ));
+        // A read-never-granted page is refused, not frozen: the deny is
+        // not a repairable protection fault.
+        assert!(!sys.nic(1).is_frozen());
+        // Deliberate update through the same mapping still works.
+        reader.proc_().write(ctx, dst, b"still writable").unwrap();
+        reader.send(ctx, dst, &src, 0, 16).unwrap();
+    });
+    kernel.run_until_quiescent().unwrap();
+    let stats = system.report();
+    assert!(stats.nics[1].fetch_denials >= 1);
+}
+
+#[test]
+fn fetch_argument_errors_and_daemon_down() {
+    let (kernel, system) = prototype();
+    let names: SimChannel<BufferName> = SimChannel::new();
+    let owner = system.endpoint(1, "owner");
+    let reader = system.endpoint(0, "reader");
+
+    {
+        let names = names.clone();
+        kernel.spawn("owner", move |ctx| {
+            let buf = owner.proc_().alloc(PAGE_SIZE, CacheMode::WriteBack);
+            let name = owner
+                .export(
+                    ctx,
+                    buf,
+                    PAGE_SIZE,
+                    ExportOpts {
+                        read: true,
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+            names.send(&ctx.handle(), name);
+            ctx.advance(SimDur::from_us(50_000.0));
+        });
+    }
+    let sys = Arc::clone(&system);
+    kernel.spawn("reader", move |ctx| {
+        let name = names.recv(ctx);
+        let src = reader.import(ctx, NodeId(1), name).unwrap();
+        let dst = reader.proc_().alloc(PAGE_SIZE, CacheMode::WriteBack);
+
+        assert!(matches!(
+            reader.fetch(ctx, dst.add(2), &src, 0, 8),
+            Err(VmmcError::Misaligned)
+        ));
+        assert!(matches!(
+            reader.fetch(ctx, dst, &src, 2, 8),
+            Err(VmmcError::Misaligned)
+        ));
+        assert!(matches!(
+            reader.fetch(ctx, dst, &src, 0, 6),
+            Err(VmmcError::Misaligned)
+        ));
+        assert!(matches!(
+            reader.fetch(ctx, dst, &src, PAGE_SIZE - 4, 8),
+            Err(VmmcError::OutOfRange { .. })
+        ));
+        reader.fetch(ctx, dst, &src, 0, 0).unwrap(); // no-op
+
+        // While the remote daemon is down, the responding NIC refuses
+        // with a typed NAK that surfaces as DaemonUnavailable.
+        sys.daemon(1).crash();
+        assert!(matches!(
+            reader.fetch(ctx, dst, &src, 0, 64),
+            Err(VmmcError::DaemonUnavailable { node: NodeId(1) })
+        ));
+        sys.daemon(1).restart();
+        reader.fetch(ctx, dst, &src, 0, 64).unwrap();
+
+        reader.unimport(ctx, &src);
+        assert!(matches!(
+            reader.fetch(ctx, dst, &src, 0, 8),
+            Err(VmmcError::StaleImport)
+        ));
+    });
+    kernel.run_until_quiescent().unwrap();
+}

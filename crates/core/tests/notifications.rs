@@ -32,6 +32,7 @@ fn each_buffer_gets_its_own_handler() {
                     ExportOpts {
                         perms: ExportPerms::Any,
                         handler: Some(Box::new(move |_ctx, _ev| la.lock().push("a"))),
+                        ..Default::default()
                     },
                 )
                 .unwrap();
@@ -44,6 +45,7 @@ fn each_buffer_gets_its_own_handler() {
                     ExportOpts {
                         perms: ExportPerms::Any,
                         handler: Some(Box::new(move |_ctx, _ev| lb.lock().push("b"))),
+                        ..Default::default()
                     },
                 )
                 .unwrap();
@@ -129,6 +131,7 @@ fn blocked_notifications_queue_in_arrival_order() {
                     ExportOpts {
                         perms: ExportPerms::Any,
                         handler: Some(Box::new(|_ctx, _ev| {})),
+                        ..Default::default()
                     },
                 )
                 .unwrap();

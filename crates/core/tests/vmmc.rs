@@ -123,6 +123,7 @@ fn import_permission_denied_for_excluded_node() {
                     ExportOpts {
                         perms: ExportPerms::Nodes(vec![NodeId(2)]),
                         handler: None,
+                        ..Default::default()
                     },
                 )
                 .unwrap();
@@ -232,6 +233,7 @@ fn notification_handler_runs_with_signal_semantics() {
                     ExportOpts {
                         perms: ExportPerms::Any,
                         handler: Some(Box::new(move |_ctx, ev| h2.lock().push(ev.buffer))),
+                        ..Default::default()
                     },
                 )
                 .unwrap();

@@ -42,6 +42,9 @@ pub struct LinkParams {
     pub injection_overhead: SimDur,
     /// Bytes of routing header prepended on the wire to every packet.
     pub header_bytes: usize,
+    /// Wire size of a header-only *control* packet (remote-fetch
+    /// requests and NAKs): routing header plus the descriptor words.
+    pub ctl_header_bytes: usize,
 }
 
 impl LinkParams {
@@ -54,6 +57,8 @@ impl LinkParams {
             wire_latency: SimDur::from_ns(10.0),
             injection_overhead: SimDur::from_ns(50.0),
             header_bytes: 8,
+            // Routing header plus a 24-byte fetch descriptor.
+            ctl_header_bytes: 32,
         }
     }
 }
@@ -84,12 +89,15 @@ pub struct Delivery<P> {
 /// Aggregate traffic statistics for a backplane.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MeshStats {
-    /// Packets injected so far.
+    /// Packets injected so far (control packets included).
     pub injected: u64,
-    /// Packets delivered so far.
+    /// Packets delivered so far (control packets included).
     pub delivered: u64,
     /// Total payload bytes delivered (headers excluded).
     pub payload_bytes: u64,
+    /// Header-only control packets injected (remote-fetch requests and
+    /// NAKs), a subset of `injected`.
+    pub ctl_packets: u64,
 }
 
 #[derive(Default)]
@@ -242,8 +250,37 @@ impl<P: Send + 'static> Backplane<P> {
         payload: P,
         msg: shrimp_obs::MsgId,
     ) -> SimTime {
-        let now = self.handle.now();
         let wire_bytes = payload_bytes + self.params.header_bytes;
+        self.inject_inner(src, dst, payload_bytes, wire_bytes, payload, msg, false)
+    }
+
+    /// Inject a header-only *control* packet (a remote-fetch request or
+    /// NAK): zero payload bytes, [`LinkParams::ctl_header_bytes`] on the
+    /// wire. Control packets share the data packets' channels and
+    /// per-pair FIFO order.
+    pub fn inject_ctl_msg(
+        self: &Arc<Self>,
+        src: NodeId,
+        dst: NodeId,
+        payload: P,
+        msg: shrimp_obs::MsgId,
+    ) -> SimTime {
+        let wire_bytes = self.params.ctl_header_bytes;
+        self.inject_inner(src, dst, 0, wire_bytes, payload, msg, true)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn inject_inner(
+        self: &Arc<Self>,
+        src: NodeId,
+        dst: NodeId,
+        payload_bytes: usize,
+        wire_bytes: usize,
+        payload: P,
+        msg: shrimp_obs::MsgId,
+        is_ctl: bool,
+    ) -> SimTime {
+        let now = self.handle.now();
         let ser = SimDur::per_bytes(wire_bytes, self.params.link_bytes_per_sec);
 
         let seq = {
@@ -278,6 +315,9 @@ impl<P: Send + 'static> Backplane<P> {
         {
             let mut st = self.stats.lock();
             st.injected += 1;
+            if is_ctl {
+                st.ctl_packets += 1;
+            }
         }
 
         if let Some(rec) = self.obs.get() {

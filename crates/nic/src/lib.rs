@@ -26,6 +26,9 @@ mod nic;
 mod packetizer;
 mod tables;
 
-pub use nic::{DuRequest, Nic, NicPacket, NicStats, IRQ_NOTIFICATION, IRQ_RECV_FREEZE};
+pub use nic::{
+    DuRequest, FetchDesc, FetchRequest, NakReason, Nic, NicPacket, NicStats, PacketKind,
+    IRQ_NOTIFICATION, IRQ_RECV_FREEZE,
+};
 pub use packetizer::{OutPacket, OutWrite, Packetizer};
 pub use tables::{IncomingPageTable, IptEntry, OptEntry, OutgoingPageTable};

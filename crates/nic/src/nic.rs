@@ -13,8 +13,8 @@
 //!   sender-specified and receiver-specified flags are set; data for a
 //!   disabled page freezes the receive datapath and interrupts the CPU.
 
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 
 use parking_lot::Mutex;
@@ -36,15 +36,104 @@ pub const IRQ_RECV_FREEZE: u32 = 2;
 /// A packet on the wire between two NICs.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NicPacket {
-    /// Destination physical byte address (within one page).
+    /// Destination physical byte address (within one page). Unused for
+    /// the fetch packet classes: a fetch reply deposits at the address
+    /// the *requesting* NIC recorded at issue time, so a responder can
+    /// never redirect a deposit.
     pub dst_paddr: u64,
     /// Payload bytes — a shared zero-copy view; the same backing
     /// allocation travels from the snoop/DU engine to the incoming DMA.
     pub data: SimBuf,
     /// Sender-specified destination-interrupt flag.
     pub interrupt: bool,
+    /// Which datapath handles the packet on arrival.
+    pub kind: PacketKind,
     /// Causal message id for observability; [`shrimp_obs::MsgId::NONE`]
     /// when tracing is off.
+    pub msg: shrimp_obs::MsgId,
+}
+
+/// Classifies a [`NicPacket`] on the wire. Ordinary deposits carry
+/// [`PacketKind::Data`]; the remote-fetch engine (the one-sided read
+/// extension, DESIGN.md §5g) adds a request/reply/NAK protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketKind {
+    /// An ordinary one-way deposit (automatic or deliberate update).
+    Data,
+    /// A remote-fetch request descriptor (header-only control packet).
+    FetchReq(FetchDesc),
+    /// One chunk of a fetch reply.
+    FetchReply {
+        /// Requester-local fetch id this chunk answers.
+        fetch: u64,
+        /// Byte offset of this chunk within the fetched range.
+        offset: usize,
+        /// Whether this is the final chunk of the fetch.
+        last: bool,
+    },
+    /// A typed negative acknowledgement: the fetch was refused.
+    FetchNak {
+        /// Requester-local fetch id being refused.
+        fetch: u64,
+        /// Why the responder refused.
+        reason: NakReason,
+    },
+}
+
+/// A remote-fetch request descriptor, as carried in the request packet.
+/// Deliberately *excludes* any requester-side deposit address: the
+/// requesting NIC keeps the reply region in its pending-fetch table, so
+/// the protection of the reply deposit never depends on remote state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FetchDesc {
+    /// Requesting node (where replies and NAKs go).
+    pub from: NodeId,
+    /// Requester-local fetch id, echoed in every reply/NAK packet.
+    pub fetch: u64,
+    /// Physical byte address to read on the responder.
+    pub src_paddr: u64,
+    /// Bytes to read (word-aligned, within one source page).
+    pub len: usize,
+}
+
+/// Why a responder NIC refused a fetch (the typed NAK payload).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NakReason {
+    /// The target page has no incoming-page-table entry at all — it was
+    /// never part of any export. Distinguished from [`NakReason::Denied`]
+    /// so a protocol bug (wild address) is not mistaken for a transient
+    /// protection fault.
+    Unmapped {
+        /// The offending physical page.
+        ppage: u64,
+    },
+    /// The page is mapped but receive-disabled or exported without read
+    /// permission.
+    Denied {
+        /// The offending physical page.
+        ppage: u64,
+    },
+    /// The responder's daemon is down: no validation is possible.
+    DaemonDown,
+}
+
+/// A remote-fetch request as issued by the local VMMC layer: read
+/// `len` bytes at `src_paddr` on `src_node` and deposit them at the
+/// local physical address `dst_paddr`.
+#[derive(Debug, Clone, Copy)]
+pub struct FetchRequest {
+    /// Node to read from.
+    pub src_node: NodeId,
+    /// Physical byte address on that node.
+    pub src_paddr: u64,
+    /// Bytes to read. Must be word-aligned and lie within one source
+    /// page and one destination page (the VMMC layer chunks larger
+    /// fetches).
+    pub len: usize,
+    /// Local physical address the reply deposits into.
+    pub dst_paddr: u64,
+    /// Causal message id allocated at the fetch call
+    /// ([`shrimp_obs::MsgId::NONE`] when tracing is off).
     pub msg: shrimp_obs::MsgId,
 }
 
@@ -84,13 +173,43 @@ pub struct NicStats {
     pub bytes_in: u64,
     /// Times the receive datapath froze on a disabled page.
     pub freezes: u64,
+    /// Fetch requests issued by the local fetch engine.
+    pub fetch_reqs_out: u64,
+    /// Fetch requests arriving from remote nodes.
+    pub fetch_reqs_in: u64,
+    /// Fetch reply packets streamed out by the responder datapath.
+    pub fetch_replies_out: u64,
+    /// Fetch reply packets deposited by the requester datapath.
+    pub fetch_replies_in: u64,
+    /// Fetches this NIC refused (unmapped page, disabled page, missing
+    /// read permission, or daemon down) — the per-NIC violation counter
+    /// of the fetch protection model.
+    pub fetch_denials: u64,
+    /// Typed NAKs received for fetches this NIC issued.
+    pub fetch_naks_in: u64,
 }
 
 type DeliveryHook = Arc<dyn Fn(u64, SimTime) + Send + Sync>;
 
+/// Requester callback run when a fetch completes or is NAKed.
+type FetchDone = Box<dyn FnOnce(Result<SimTime, NakReason>) + Send>;
+
 struct FreezeState {
     frozen: bool,
     pending: VecDeque<NicPacket>,
+}
+
+/// Requester-side state for one in-flight fetch. Lives from issue until
+/// the final reply chunk's DMA completes (or a NAK arrives); the reply
+/// deposit address lives here and never crosses the wire.
+struct PendingFetch {
+    dst_paddr: u64,
+    expect: usize,
+    received: usize,
+    /// Reply-chunk DMAs accepted but not yet completed.
+    outstanding: u64,
+    saw_last: bool,
+    done: Option<FetchDone>,
 }
 
 /// The network interface of one node. Construct with [`Nic::install`],
@@ -114,6 +233,19 @@ pub struct Nic {
     /// Injected incoming-DMA stall windows (see `shrimp_sim::faults`):
     /// the DMA engine holds accepted packets until the window passes.
     recv_stall: Mutex<StallWindows>,
+    /// Requester-side fetch engine: in-flight fetches by id.
+    fetches: Mutex<HashMap<u64, PendingFetch>>,
+    /// Fetch id allocator.
+    next_fetch: AtomicU64,
+    /// Responder-side fetches accepted but not yet fully replied.
+    serving_fetches: AtomicU64,
+    /// Whether the local VMMC daemon is down. The fetch engine NAKs
+    /// every request while set: validation needs the daemon's mappings.
+    daemon_down: AtomicBool,
+    /// Injected fetch-engine stall windows: the responder holds accepted
+    /// fetch requests (post-IPT-check) until the window passes, stalling
+    /// the reply stream.
+    fetch_stall: Mutex<StallWindows>,
     /// Observability hook: when attached, the outgoing datapath records
     /// packetize/FIFO spans and the incoming datapath records
     /// IPT-check and deposit spans, all tagged with the packet's
@@ -153,6 +285,11 @@ impl Nic {
             pending_recv_dma: AtomicU64::new(0),
             out_tail: Mutex::new(SimTime::ZERO),
             recv_stall: Mutex::new(StallWindows::new()),
+            fetches: Mutex::new(HashMap::new()),
+            next_fetch: AtomicU64::new(1),
+            serving_fetches: AtomicU64::new(0),
+            daemon_down: AtomicBool::new(false),
+            fetch_stall: Mutex::new(StallWindows::new()),
             obs: shrimp_obs::ObsSlot::new(),
         });
 
@@ -332,6 +469,7 @@ impl Nic {
                     dst_paddr: pkt.dst_paddr,
                     data: pkt.data,
                     interrupt: pkt.interrupt,
+                    kind: PacketKind::Data,
                     msg: pkt.msg,
                 },
                 pkt.msg,
@@ -413,14 +551,29 @@ impl Nic {
 
     fn on_incoming(self: &Arc<Self>, d: Delivery<NicPacket>) {
         let pkt = d.payload;
-        {
-            let mut fz = self.freeze.lock();
-            if fz.frozen {
-                fz.pending.push_back(pkt);
-                return;
+        match pkt.kind {
+            PacketKind::Data => {
+                {
+                    let mut fz = self.freeze.lock();
+                    if fz.frozen {
+                        fz.pending.push_back(pkt);
+                        return;
+                    }
+                }
+                self.receive(pkt);
             }
+            // The fetch engine is a separate datapath: requests do not
+            // deposit (no IPT-freeze interaction) and replies land in a
+            // region the local fetch engine validated at issue time, so
+            // neither class queues behind a receive freeze.
+            PacketKind::FetchReq(desc) => self.serve_fetch(desc, pkt.msg),
+            PacketKind::FetchReply {
+                fetch,
+                offset,
+                last,
+            } => self.on_fetch_reply(fetch, offset, last, pkt.data, pkt.msg),
+            PacketKind::FetchNak { fetch, reason } => self.on_fetch_nak(fetch, reason),
         }
-        self.receive(pkt);
     }
 
     fn receive(self: &Arc<Self>, pkt: NicPacket) {
@@ -507,13 +660,412 @@ impl Nic {
         });
     }
 
+    // ------------------------------------------------------------------
+    // Remote fetch (one-sided read)
+    // ------------------------------------------------------------------
+
+    /// Issue a remote fetch: emit a request descriptor to the remote
+    /// NIC, which validates the source page against its incoming page
+    /// table (receive-enabled *and* read-permitted), DMAs the data out
+    /// of its memory without involving the remote CPU, and streams reply
+    /// packets back. `done` fires with the completion time of the final
+    /// reply deposit, or with the typed NAK reason on refusal.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless source, destination, and length are word-aligned
+    /// and the length is positive — the same hardware restriction as the
+    /// deliberate-update engine. Debug builds additionally assert the
+    /// range stays within one source and one destination page (the VMMC
+    /// layer chunks larger fetches).
+    pub fn fetch(
+        self: &Arc<Self>,
+        req: FetchRequest,
+        done: impl FnOnce(Result<SimTime, NakReason>) + Send + 'static,
+    ) {
+        assert!(req.len > 0, "remote fetch of zero bytes");
+        assert!(
+            req.src_paddr.is_multiple_of(4)
+                && req.dst_paddr.is_multiple_of(4)
+                && req.len.is_multiple_of(4),
+            "remote fetch requires word-aligned source, destination, and length"
+        );
+        debug_assert!(
+            (req.src_paddr + req.len as u64 - 1) / PAGE_SIZE as u64
+                == req.src_paddr / PAGE_SIZE as u64,
+            "fetch crosses a source page"
+        );
+        debug_assert!(
+            (req.dst_paddr + req.len as u64 - 1) / PAGE_SIZE as u64
+                == req.dst_paddr / PAGE_SIZE as u64,
+            "fetch crosses a destination page"
+        );
+        let fetch = self.next_fetch.fetch_add(1, Ordering::SeqCst);
+        self.fetches.lock().insert(
+            fetch,
+            PendingFetch {
+                dst_paddr: req.dst_paddr,
+                expect: req.len,
+                received: 0,
+                outstanding: 0,
+                saw_last: false,
+                done: Some(Box::new(done)),
+            },
+        );
+        self.stats.lock().fetch_reqs_out += 1;
+        // FIFO ordering with any held automatic-update packet.
+        self.flush_combining();
+        let desc = FetchDesc {
+            from: self.node.id(),
+            fetch,
+            src_paddr: req.src_paddr,
+            len: req.len,
+        };
+        let me = Arc::clone(self);
+        let setup = self.node.costs().fetch_engine_setup;
+        let dst_node = req.src_node;
+        let msg = req.msg;
+        self.node.sim().schedule_in(setup, move || {
+            let lead = me.node.costs().nic_packetize;
+            me.inject_ctl(lead, dst_node, PacketKind::FetchReq(desc), msg, "fetch_req");
+        });
+    }
+
+    /// Inject a header-only control packet (fetch request or NAK)
+    /// through the outgoing FIFO.
+    fn inject_ctl(
+        self: &Arc<Self>,
+        after: SimDur,
+        dst_node: NodeId,
+        kind: PacketKind,
+        msg: shrimp_obs::MsgId,
+        span: &'static str,
+    ) {
+        let now = self.node.sim().now();
+        let at = {
+            let mut tail = self.out_tail.lock();
+            let at = (now + after).max(*tail);
+            *tail = at;
+            at
+        };
+        if let Some(rec) = self.obs.get() {
+            rec.push(shrimp_obs::SpanRec {
+                msg,
+                node: self.node.id().0,
+                layer: shrimp_obs::Layer::NicOut,
+                name: span,
+                start: now,
+                end: at,
+                bytes: 0,
+            });
+        }
+        let me = Arc::clone(self);
+        self.node.sim().schedule_at(at, move || {
+            me.net.inject_ctl_msg(
+                me.node.id(),
+                dst_node,
+                NicPacket {
+                    dst_paddr: 0,
+                    data: Vec::new().into(),
+                    interrupt: false,
+                    kind,
+                    msg,
+                },
+                msg,
+            );
+        });
+    }
+
+    /// Responder datapath: validate an arriving fetch request against
+    /// the incoming page table and either NAK it or DMA the data out of
+    /// main memory and stream the reply.
+    fn serve_fetch(self: &Arc<Self>, desc: FetchDesc, msg: shrimp_obs::MsgId) {
+        self.stats.lock().fetch_reqs_in += 1;
+        let check = self.node.costs().nic_ipt_check;
+        if self.daemon_down.load(Ordering::SeqCst) {
+            self.stats.lock().fetch_denials += 1;
+            self.inject_ctl(
+                check,
+                desc.from,
+                PacketKind::FetchNak {
+                    fetch: desc.fetch,
+                    reason: NakReason::DaemonDown,
+                },
+                msg,
+                "fetch_nak",
+            );
+            return;
+        }
+        let ppage = desc.src_paddr / PAGE_SIZE as u64;
+        // The fetch path uses `lookup`, not `get`: an unmapped page is an
+        // explicit protocol error, never a silent default entry.
+        let reason = match self.ipt.lookup(ppage) {
+            None => Some(NakReason::Unmapped { ppage }),
+            Some(e) if !e.enabled || !e.read => {
+                // A read-exported page that is merely receive-disabled is
+                // a protection fault the OS can repair: freeze and
+                // interrupt exactly like the deposit path, so the daemon
+                // re-validates the mapping while the requester retries on
+                // the NAK. A page exported without read permission is
+                // refused outright — no repair would grant it.
+                if e.read && !e.enabled {
+                    let raise = {
+                        let mut fz = self.freeze.lock();
+                        if fz.frozen {
+                            false
+                        } else {
+                            fz.frozen = true;
+                            self.stats.lock().freezes += 1;
+                            true
+                        }
+                    };
+                    if raise {
+                        self.node.raise_interrupt(Interrupt {
+                            vector: IRQ_RECV_FREEZE,
+                            info: ppage,
+                        });
+                    }
+                }
+                Some(NakReason::Denied { ppage })
+            }
+            Some(_) => None,
+        };
+        if let Some(reason) = reason {
+            self.stats.lock().fetch_denials += 1;
+            self.inject_ctl(
+                check,
+                desc.from,
+                PacketKind::FetchNak {
+                    fetch: desc.fetch,
+                    reason,
+                },
+                msg,
+                "fetch_nak",
+            );
+            return;
+        }
+        self.serving_fetches.fetch_add(1, Ordering::SeqCst);
+        let now = self.node.sim().now();
+        // An injected fetch-engine stall holds the accepted request
+        // (post-IPT-check) until the window passes, delaying the reply.
+        let at = {
+            let w = self.fetch_stall.lock();
+            w.release(now + check)
+        };
+        if let Some(rec) = self.obs.get() {
+            rec.push(shrimp_obs::SpanRec {
+                msg,
+                node: self.node.id().0,
+                layer: shrimp_obs::Layer::NicIn,
+                name: "fetch_ipt_check",
+                start: now,
+                end: at,
+                bytes: desc.len,
+            });
+        }
+        let me = Arc::clone(self);
+        self.node.sim().schedule_at(at, move || {
+            let me2 = Arc::clone(&me);
+            me.node
+                .dma_read(PAddr(desc.src_paddr), desc.len, move |t, data| {
+                    if let Some(rec) = me2.obs.get() {
+                        rec.push(shrimp_obs::SpanRec {
+                            msg,
+                            node: me2.node.id().0,
+                            layer: shrimp_obs::Layer::NicIn,
+                            name: "fetch_read",
+                            start: at,
+                            end: t,
+                            bytes: desc.len,
+                        });
+                    }
+                    me2.fetch_reply_chunk(desc, data.into(), 0, msg);
+                });
+        });
+    }
+
+    /// Stream one reply chunk into the outgoing FIFO, then recurse for
+    /// the rest of the fetched data.
+    fn fetch_reply_chunk(
+        self: &Arc<Self>,
+        desc: FetchDesc,
+        data: SimBuf,
+        off: usize,
+        msg: shrimp_obs::MsgId,
+    ) {
+        let n = (desc.len - off).min(self.node.costs().max_packet_payload);
+        let last = off + n == desc.len;
+        let chunk = data.slice(off..off + n);
+        {
+            let mut st = self.stats.lock();
+            st.fetch_replies_out += 1;
+            st.bytes_out += n as u64;
+        }
+        let now = self.node.sim().now();
+        let at = {
+            let mut tail = self.out_tail.lock();
+            let at = (now + self.node.costs().nic_packetize).max(*tail);
+            *tail = at;
+            at
+        };
+        if let Some(rec) = self.obs.get() {
+            rec.push(shrimp_obs::SpanRec {
+                msg,
+                node: self.node.id().0,
+                layer: shrimp_obs::Layer::NicOut,
+                name: "fetch_reply",
+                start: now,
+                end: at,
+                bytes: n,
+            });
+        }
+        let me = Arc::clone(self);
+        self.node.sim().schedule_at(at, move || {
+            me.net.inject_msg(
+                me.node.id(),
+                desc.from,
+                n,
+                NicPacket {
+                    dst_paddr: 0,
+                    data: chunk,
+                    interrupt: false,
+                    kind: PacketKind::FetchReply {
+                        fetch: desc.fetch,
+                        offset: off,
+                        last,
+                    },
+                    msg,
+                },
+                msg,
+            );
+            if last {
+                me.serving_fetches.fetch_sub(1, Ordering::SeqCst);
+            } else {
+                me.fetch_reply_chunk(desc, data, off + n, msg);
+            }
+        });
+    }
+
+    /// Requester datapath: deposit one arriving reply chunk at the
+    /// address recorded in the pending-fetch table.
+    fn on_fetch_reply(
+        self: &Arc<Self>,
+        fetch: u64,
+        offset: usize,
+        last: bool,
+        data: SimBuf,
+        msg: shrimp_obs::MsgId,
+    ) {
+        let dst = {
+            let mut g = self.fetches.lock();
+            match g.get_mut(&fetch) {
+                None => return, // fetch already failed; stale chunk
+                Some(p) => {
+                    p.outstanding += 1;
+                    if last {
+                        p.saw_last = true;
+                    }
+                    p.dst_paddr + offset as u64
+                }
+            }
+        };
+        {
+            let mut st = self.stats.lock();
+            st.fetch_replies_in += 1;
+            st.bytes_in += data.len() as u64;
+        }
+        // Reply deposits bypass the IPT check: the local fetch engine
+        // validated and pinned the reply region at issue time. Injected
+        // incoming-DMA stalls still apply.
+        let now = self.node.sim().now();
+        let at = {
+            let w = self.recv_stall.lock();
+            w.release(now)
+        };
+        let bytes = data.len();
+        let me = Arc::clone(self);
+        let deposit = move || {
+            let me2 = Arc::clone(&me);
+            me.node.dma_write(PAddr(dst), data, move |t| {
+                if let Some(rec) = me2.obs.get() {
+                    rec.push(shrimp_obs::SpanRec {
+                        msg,
+                        node: me2.node.id().0,
+                        layer: shrimp_obs::Layer::Deposit,
+                        name: "fetch_deposit",
+                        start: at,
+                        end: t,
+                        bytes,
+                    });
+                }
+                me2.finish_fetch_chunk(fetch, bytes, t);
+            });
+        };
+        if at > now {
+            self.node.sim().schedule_at(at, deposit);
+        } else {
+            deposit();
+        }
+    }
+
+    /// Book a completed reply-chunk DMA; completes the fetch when the
+    /// final chunk has landed and no DMA is outstanding.
+    fn finish_fetch_chunk(&self, fetch: u64, bytes: usize, t: SimTime) {
+        let done = {
+            let mut g = self.fetches.lock();
+            let complete = match g.get_mut(&fetch) {
+                None => return,
+                Some(p) => {
+                    p.outstanding -= 1;
+                    p.received += bytes;
+                    p.saw_last && p.outstanding == 0 && p.received == p.expect
+                }
+            };
+            if complete {
+                g.remove(&fetch).and_then(|mut p| p.done.take())
+            } else {
+                None
+            }
+        };
+        if let Some(done) = done {
+            done(Ok(t));
+        }
+    }
+
+    /// Requester datapath: a typed NAK fails the whole fetch.
+    fn on_fetch_nak(self: &Arc<Self>, fetch: u64, reason: NakReason) {
+        self.stats.lock().fetch_naks_in += 1;
+        let done = {
+            let mut g = self.fetches.lock();
+            g.remove(&fetch).and_then(|mut p| p.done.take())
+        };
+        if let Some(done) = done {
+            done(Err(reason));
+        }
+    }
+
+    /// Mark the local daemon down (or back up). While down, the fetch
+    /// engine NAKs every arriving request with
+    /// [`NakReason::DaemonDown`].
+    pub fn set_daemon_down(&self, down: bool) {
+        self.daemon_down.store(down, Ordering::SeqCst);
+    }
+
+    /// Whether the local daemon is marked down.
+    pub fn is_daemon_down(&self) -> bool {
+        self.daemon_down.load(Ordering::SeqCst)
+    }
+
     /// Packets accepted by the incoming datapath whose DMA has not yet
-    /// completed, plus any packet held open in the combining buffer.
-    /// Zero means this NIC is quiescent; the VMMC unexport/unimport
-    /// drain uses this.
+    /// completed, plus any packet held open in the combining buffer,
+    /// plus fetches in flight on either side. Zero means this NIC is
+    /// quiescent; the VMMC unexport/unimport drain uses this.
     pub fn in_flight(&self) -> u64 {
         let open = if self.pktz.lock().has_open() { 1 } else { 0 };
-        self.pending_recv_dma.load(Ordering::SeqCst) + open
+        self.pending_recv_dma.load(Ordering::SeqCst)
+            + open
+            + self.fetches.lock().len() as u64
+            + self.serving_fetches.load(Ordering::SeqCst)
     }
 
     /// Whether the receive datapath is frozen.
@@ -530,6 +1082,14 @@ impl Nic {
     /// passes; nothing is dropped.
     pub fn stall_incoming_dma(&self, start: SimTime, dur: SimDur) {
         self.recv_stall.lock().add_stall(start, dur);
+    }
+
+    /// Fault hook: stall the responder-side fetch engine for `dur`
+    /// starting at `start`. Accepted fetch requests are held (in order)
+    /// until the window passes, so replies to remote requesters stall;
+    /// nothing is dropped.
+    pub fn stall_fetch_engine(&self, start: SimTime, dur: SimDur) {
+        self.fetch_stall.lock().add_stall(start, dur);
     }
 
     /// Fault hook: force an incoming-page-table protection violation by
@@ -633,6 +1193,7 @@ mod tests {
             IptEntry {
                 enabled: true,
                 interrupt: false,
+                read: false,
             },
         );
         r.nics[sender].opt().bind(
@@ -729,6 +1290,7 @@ mod tests {
             IptEntry {
                 enabled: true,
                 interrupt: false,
+                read: false,
             },
         );
         r.procs[0].poke(src_va, &vec![0x5A; 2048]).unwrap();
@@ -764,6 +1326,7 @@ mod tests {
                 IptEntry {
                     enabled: true,
                     interrupt: false,
+                    read: false,
                 },
             );
         }
@@ -858,6 +1421,7 @@ mod tests {
             IptEntry {
                 enabled: true,
                 interrupt: false,
+                read: false,
             },
         );
         r.nics[1].unfreeze();
@@ -887,6 +1451,7 @@ mod tests {
             IptEntry {
                 enabled: true,
                 interrupt: false,
+                read: false,
             },
         );
         r.nics[0].du_transfer(
@@ -1013,12 +1578,260 @@ mod tests {
             IptEntry {
                 enabled: true,
                 interrupt: false,
+                read: false,
             },
         );
         r.nics[1].unfreeze();
         r.kernel.run_until_quiescent().unwrap();
         assert_eq!(r.procs[1].peek(recv_va, 9).unwrap(), b"recoverme");
         assert_eq!(r.nics[1].stats().packets_in, 1);
+    }
+
+    /// Export one read-enabled page on `owner`, fill it with `data`,
+    /// and return its physical page base address.
+    fn export_read_page(r: &Rig, owner: usize, data: &[u8]) -> u64 {
+        let va = r.procs[owner].alloc(PAGE_SIZE, CacheMode::WriteBack);
+        let (pa, _) = r.procs[owner].aspace().translate(va, true).unwrap();
+        r.nics[owner].ipt().set(
+            pa.page(),
+            IptEntry {
+                enabled: true,
+                interrupt: false,
+                read: true,
+            },
+        );
+        r.procs[owner].poke(va, data).unwrap();
+        pa.0
+    }
+
+    /// Allocate a reply page on `owner`; returns (va, paddr).
+    fn reply_page(r: &Rig, owner: usize) -> (shrimp_node::VAddr, u64) {
+        let va = r.procs[owner].alloc(PAGE_SIZE, CacheMode::WriteBack);
+        let (pa, _) = r.procs[owner].aspace().translate(va, true).unwrap();
+        (va, pa.0)
+    }
+
+    #[test]
+    fn remote_fetch_round_trip() {
+        let r = rig(2);
+        let data: Vec<u8> = (0..512).map(|i| (i % 251) as u8).collect();
+        let src = export_read_page(&r, 1, &data);
+        let (dst_va, dst_pa) = reply_page(&r, 0);
+        let got = Arc::new(Mutex::new(None));
+        let g = Arc::clone(&got);
+        r.nics[0].fetch(
+            FetchRequest {
+                src_node: NodeId(1),
+                src_paddr: src,
+                len: 512,
+                dst_paddr: dst_pa,
+                msg: shrimp_obs::MsgId::NONE,
+            },
+            move |res| *g.lock() = Some(res),
+        );
+        r.kernel.run_until_quiescent().unwrap();
+        let res = got.lock().take().expect("fetch completed");
+        assert!(res.is_ok(), "{res:?}");
+        assert_eq!(r.procs[0].peek(dst_va, 512).unwrap(), data);
+        let st0 = r.nics[0].stats();
+        assert_eq!(st0.fetch_reqs_out, 1);
+        assert_eq!(st0.fetch_replies_in, 1);
+        let st1 = r.nics[1].stats();
+        assert_eq!(st1.fetch_reqs_in, 1);
+        assert_eq!(st1.fetch_replies_out, 1);
+        assert_eq!(st1.fetch_denials, 0);
+        assert_eq!(r.nics[0].in_flight(), 0, "fetch table drained");
+        assert_eq!(r.nics[1].in_flight(), 0, "serve counter drained");
+    }
+
+    #[test]
+    fn large_fetch_streams_multiple_reply_packets() {
+        let r = rig(2);
+        let data: Vec<u8> = (0..PAGE_SIZE).map(|i| (i % 249) as u8).collect();
+        let src = export_read_page(&r, 1, &data);
+        let (dst_va, dst_pa) = reply_page(&r, 0);
+        let ok = Arc::new(Mutex::new(false));
+        let o = Arc::clone(&ok);
+        r.nics[0].fetch(
+            FetchRequest {
+                src_node: NodeId(1),
+                src_paddr: src,
+                len: PAGE_SIZE,
+                dst_paddr: dst_pa,
+                msg: shrimp_obs::MsgId::NONE,
+            },
+            move |res| *o.lock() = res.is_ok(),
+        );
+        r.kernel.run_until_quiescent().unwrap();
+        assert!(*ok.lock());
+        assert_eq!(r.procs[0].peek(dst_va, PAGE_SIZE).unwrap(), data);
+        let expected = PAGE_SIZE.div_ceil(CostModel::shrimp_prototype().max_packet_payload);
+        assert_eq!(r.nics[1].stats().fetch_replies_out, expected as u64);
+        assert_eq!(r.nics[0].stats().fetch_replies_in, expected as u64);
+    }
+
+    #[test]
+    fn fetch_of_unmapped_page_gets_typed_nak() {
+        let r = rig(2);
+        let (_, dst_pa) = reply_page(&r, 0);
+        let got = Arc::new(Mutex::new(None));
+        let g = Arc::clone(&got);
+        r.nics[0].fetch(
+            FetchRequest {
+                src_node: NodeId(1),
+                src_paddr: 17 * PAGE_SIZE as u64,
+                len: 64,
+                dst_paddr: dst_pa,
+                msg: shrimp_obs::MsgId::NONE,
+            },
+            move |res| *g.lock() = Some(res),
+        );
+        r.kernel.run_until_quiescent().unwrap();
+        assert_eq!(
+            got.lock().take(),
+            Some(Err(NakReason::Unmapped { ppage: 17 }))
+        );
+        assert_eq!(r.nics[1].stats().fetch_denials, 1);
+        assert_eq!(r.nics[0].stats().fetch_naks_in, 1);
+        assert!(!r.nics[1].is_frozen(), "unmapped page does not freeze");
+        assert_eq!(r.nics[0].in_flight(), 0, "failed fetch drained");
+    }
+
+    #[test]
+    fn fetch_without_read_permission_is_denied() {
+        let r = rig(2);
+        // Page enabled for deposits but exported without read permission.
+        let va = r.procs[1].alloc(PAGE_SIZE, CacheMode::WriteBack);
+        let (pa, _) = r.procs[1].aspace().translate(va, true).unwrap();
+        r.nics[1].ipt().set(
+            pa.page(),
+            IptEntry {
+                enabled: true,
+                interrupt: false,
+                read: false,
+            },
+        );
+        let (_, dst_pa) = reply_page(&r, 0);
+        let got = Arc::new(Mutex::new(None));
+        let g = Arc::clone(&got);
+        r.nics[0].fetch(
+            FetchRequest {
+                src_node: NodeId(1),
+                src_paddr: pa.0,
+                len: 64,
+                dst_paddr: dst_pa,
+                msg: shrimp_obs::MsgId::NONE,
+            },
+            move |res| *g.lock() = Some(res),
+        );
+        r.kernel.run_until_quiescent().unwrap();
+        assert_eq!(
+            got.lock().take(),
+            Some(Err(NakReason::Denied { ppage: pa.page() }))
+        );
+        assert!(
+            !r.nics[1].is_frozen(),
+            "missing read permission is refused without a freeze"
+        );
+    }
+
+    #[test]
+    fn fetch_while_daemon_down_naks() {
+        let r = rig(2);
+        let src = export_read_page(&r, 1, &[9u8; 64]);
+        r.nics[1].set_daemon_down(true);
+        let (_, dst_pa) = reply_page(&r, 0);
+        let got = Arc::new(Mutex::new(None));
+        let g = Arc::clone(&got);
+        r.nics[0].fetch(
+            FetchRequest {
+                src_node: NodeId(1),
+                src_paddr: src,
+                len: 64,
+                dst_paddr: dst_pa,
+                msg: shrimp_obs::MsgId::NONE,
+            },
+            move |res| *g.lock() = Some(res),
+        );
+        r.kernel.run_until_quiescent().unwrap();
+        assert_eq!(got.lock().take(), Some(Err(NakReason::DaemonDown)));
+    }
+
+    #[test]
+    fn fetch_of_disabled_read_page_freezes_for_repair_then_retries() {
+        let r = rig(2);
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let s = Arc::clone(&seen);
+        r.nics[1]
+            .node()
+            .set_interrupt_hook(move |irq| s.lock().push(irq.vector));
+        let data = vec![0xA5u8; 128];
+        let src = export_read_page(&r, 1, &data);
+        let ppage = src / PAGE_SIZE as u64;
+        // Chaos-style violation: the read-exported page gets disabled.
+        r.nics[1].ipt().disable(ppage);
+        let (dst_va, dst_pa) = reply_page(&r, 0);
+        let got = Arc::new(Mutex::new(None));
+        let g = Arc::clone(&got);
+        r.nics[0].fetch(
+            FetchRequest {
+                src_node: NodeId(1),
+                src_paddr: src,
+                len: 128,
+                dst_paddr: dst_pa,
+                msg: shrimp_obs::MsgId::NONE,
+            },
+            move |res| *g.lock() = Some(res),
+        );
+        r.kernel.run_until_quiescent().unwrap();
+        assert_eq!(got.lock().take(), Some(Err(NakReason::Denied { ppage })));
+        assert!(r.nics[1].is_frozen(), "deny of a read export freezes");
+        assert_eq!(*seen.lock(), vec![IRQ_RECV_FREEZE]);
+        // OS repairs (read permission survives) and unfreezes; the
+        // requester's retry then succeeds.
+        r.nics[1].ipt().repair(ppage);
+        r.nics[1].unfreeze();
+        let ok = Arc::new(Mutex::new(false));
+        let o = Arc::clone(&ok);
+        r.nics[0].fetch(
+            FetchRequest {
+                src_node: NodeId(1),
+                src_paddr: src,
+                len: 128,
+                dst_paddr: dst_pa,
+                msg: shrimp_obs::MsgId::NONE,
+            },
+            move |res| *o.lock() = res.is_ok(),
+        );
+        r.kernel.run_until_quiescent().unwrap();
+        assert!(*ok.lock());
+        assert_eq!(r.procs[0].peek(dst_va, 128).unwrap(), data);
+    }
+
+    #[test]
+    fn fetch_engine_stall_delays_reply() {
+        let r = rig(2);
+        let src = export_read_page(&r, 1, &[3u8; 64]);
+        r.nics[1].stall_fetch_engine(SimTime::ZERO, SimDur::from_us(150.0));
+        let (_, dst_pa) = reply_page(&r, 0);
+        let done_at = Arc::new(Mutex::new(None));
+        let d = Arc::clone(&done_at);
+        r.nics[0].fetch(
+            FetchRequest {
+                src_node: NodeId(1),
+                src_paddr: src,
+                len: 64,
+                dst_paddr: dst_pa,
+                msg: shrimp_obs::MsgId::NONE,
+            },
+            move |res| *d.lock() = res.ok(),
+        );
+        r.kernel.run_until_quiescent().unwrap();
+        let t = done_at.lock().expect("fetch still completes");
+        assert!(
+            t >= SimTime::ZERO + SimDur::from_us(150.0),
+            "reply held by the stall window: {t}"
+        );
     }
 
     #[test]
@@ -1036,6 +1849,7 @@ mod tests {
             IptEntry {
                 enabled: true,
                 interrupt: false,
+                read: false,
             },
         );
         let order = Arc::new(Mutex::new(Vec::new()));

@@ -37,6 +37,11 @@ pub struct IptEntry {
     /// packet lands here only if the packet also carried the
     /// sender-specified flag.
     pub interrupt: bool,
+    /// Whether a remote NIC may *fetch* data out of this page (the
+    /// one-sided read permission of the rmc extension). Deposits and
+    /// fetches share the export/protection model; the read bit is the
+    /// only asymmetry.
+    pub read: bool,
 }
 
 /// The outgoing page table: local physical page → AU binding.
@@ -97,8 +102,20 @@ impl IncomingPageTable {
     }
 
     /// Read the entry for a page (disabled default if never set).
+    ///
+    /// The deposit datapath uses this: an unmapped page behaves like a
+    /// disabled one (freeze). The *fetch* datapath must instead
+    /// distinguish unmapped from disabled — use
+    /// [`IncomingPageTable::lookup`] there, so an unmapped page produces
+    /// an explicit typed deny rather than a silent default entry.
     pub fn get(&self, ppage: u64) -> IptEntry {
         self.entries.lock().get(&ppage).copied().unwrap_or_default()
+    }
+
+    /// Read the entry for a page, or `None` when the page was never
+    /// mapped into the table at all.
+    pub fn lookup(&self, ppage: u64) -> Option<IptEntry> {
+        self.entries.lock().get(&ppage).copied()
     }
 
     /// Flip just the interrupt flag for a page, preserving enablement.
@@ -133,6 +150,17 @@ impl IncomingPageTable {
     pub fn enable(&self, ppage: u64) {
         self.entries.lock().entry(ppage).or_default().enabled = true;
     }
+
+    /// OS repair after a protection-violation freeze: re-enable the page
+    /// and clear the interrupt flag (the repaired mapping starts without
+    /// a pending notification), preserving the read permission the
+    /// export installed.
+    pub fn repair(&self, ppage: u64) {
+        let mut g = self.entries.lock();
+        let e = g.entry(ppage).or_default();
+        e.enabled = true;
+        e.interrupt = false;
+    }
 }
 
 #[cfg(test)]
@@ -164,7 +192,8 @@ mod tests {
             ipt.get(3),
             IptEntry {
                 enabled: false,
-                interrupt: false
+                interrupt: false,
+                read: false,
             }
         );
         ipt.set(
@@ -172,6 +201,7 @@ mod tests {
             IptEntry {
                 enabled: true,
                 interrupt: false,
+                read: false,
             },
         );
         assert!(ipt.get(3).enabled);
@@ -180,7 +210,8 @@ mod tests {
             ipt.get(3),
             IptEntry {
                 enabled: true,
-                interrupt: true
+                interrupt: true,
+                read: false,
             }
         );
         // set_interrupt on an unseen page creates a disabled entry.
@@ -189,7 +220,57 @@ mod tests {
             ipt.get(7),
             IptEntry {
                 enabled: false,
-                interrupt: true
+                interrupt: true,
+                read: false,
+            }
+        );
+    }
+
+    #[test]
+    fn lookup_distinguishes_unmapped_from_disabled() {
+        let ipt = IncomingPageTable::new();
+        assert_eq!(ipt.lookup(9), None, "never-mapped page");
+        ipt.set(
+            9,
+            IptEntry {
+                enabled: false,
+                interrupt: false,
+                read: true,
+            },
+        );
+        assert_eq!(
+            ipt.lookup(9),
+            Some(IptEntry {
+                enabled: false,
+                interrupt: false,
+                read: true,
+            })
+        );
+        // get() still folds both into a default-shaped entry.
+        assert!(!ipt.get(9).enabled);
+    }
+
+    #[test]
+    fn repair_preserves_read_permission() {
+        let ipt = IncomingPageTable::new();
+        ipt.set(
+            4,
+            IptEntry {
+                enabled: true,
+                interrupt: true,
+                read: true,
+            },
+        );
+        assert!(ipt.disable(4), "was enabled");
+        assert!(!ipt.get(4).enabled);
+        assert!(ipt.get(4).interrupt, "disable preserves the interrupt flag");
+        ipt.repair(4);
+        assert_eq!(
+            ipt.get(4),
+            IptEntry {
+                enabled: true,
+                interrupt: false,
+                read: true,
             }
         );
     }

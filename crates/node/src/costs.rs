@@ -86,6 +86,12 @@ pub struct CostModel {
     pub du_engine_setup: SimDur,
     /// DMA engine setup per transaction (both directions).
     pub dma_setup: SimDur,
+    /// Building a remote-fetch descriptor in the user library and
+    /// presenting it to the NIC (one-sided read extension).
+    pub fetch_issue: SimDur,
+    /// Remote-fetch engine: decoding a presented descriptor and
+    /// emitting the request packet.
+    pub fetch_engine_setup: SimDur,
     /// Incoming page table lookup + receive checks per packet.
     pub nic_ipt_check: SimDur,
     /// Largest payload the NIC puts in one packet.
@@ -147,6 +153,8 @@ impl CostModel {
             au_combine_timeout: SimDur::from_ns(800.0),
             du_engine_setup: SimDur::from_ns(1100.0),
             dma_setup: SimDur::from_ns(1200.0),
+            fetch_issue: SimDur::from_ns(300.0),
+            fetch_engine_setup: SimDur::from_ns(900.0),
             nic_ipt_check: SimDur::from_ns(150.0),
             max_packet_payload: 2048,
             au_combine_limit: 256,

@@ -1187,6 +1187,7 @@ impl NxProc {
                             ExportOpts {
                                 perms: ExportPerms::Nodes(vec![peer_node]),
                                 handler: None,
+                                ..Default::default()
                             },
                         )?;
                         self.inc[q]

@@ -229,6 +229,7 @@ impl NxWorld {
                     handler: Some(Box::new(move |_ctx, _ev| {
                         fr.store(true, Ordering::SeqCst);
                     })),
+                    ..Default::default()
                 },
             )?;
             // Control region (I send to peer; peer writes credits back).

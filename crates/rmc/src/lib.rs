@@ -1,0 +1,67 @@
+//! # shrimp-rmc — one-sided remote memory channels
+//!
+//! VMMC's deliberate and automatic update are one-sided *writes*: the
+//! receiving processor never runs. This crate packages the symmetric
+//! primitive — the protected remote *read* ([`shrimp_core::Vmmc::fetch`],
+//! served entirely by the remote NIC against its incoming page table —
+//! into a disaggregated-memory subsystem:
+//!
+//! * [`MemoryServer`] — a node that exports a pool of page frames with
+//!   read permission ([`shrimp_core::ExportOpts::read`]) and then never
+//!   touches them again: clients evict pages *to* it with deliberate
+//!   update and fault them *back* with remote fetch, all in NIC
+//!   hardware;
+//! * [`RemotePager`] — the client side: a local frame cache over a
+//!   remote page pool with LRU replacement, dirty-page write-back, and
+//!   hit/miss/fault-latency accounting ([`PagerStats`]).
+//!
+//! The protection model is exactly the deposit model plus one bit: a
+//! fetch is admitted iff a deposit-side export of the same page would
+//! admit the importer *and* the export granted read permission. The
+//! property tests in `tests/rmc_properties.rs` pin both directions.
+//!
+//! ## A two-node disaggregated memory
+//!
+//! ```
+//! use shrimp_sim::{Kernel, SimChannel};
+//! use shrimp_core::{ShrimpSystem, SystemConfig};
+//! use shrimp_rmc::{MemoryServer, RemotePager};
+//!
+//! let kernel = Kernel::new();
+//! let system = ShrimpSystem::build(&kernel, SystemConfig::prototype());
+//! let names: SimChannel<shrimp_core::BufferName> = SimChannel::new();
+//!
+//! let server = system.endpoint(1, "memserver");
+//! let client = system.endpoint(0, "client");
+//!
+//! let names2 = names.clone();
+//! kernel.spawn("memserver", move |ctx| {
+//!     let srv = MemoryServer::export(server, ctx, 8).unwrap();
+//!     names2.send(&ctx.handle(), srv.name());
+//!     srv.park(ctx); // the server CPU idles; its NIC does the work
+//! });
+//!
+//! kernel.spawn("client", move |ctx| {
+//!     use shrimp_mesh::NodeId;
+//!     let name = names.recv(ctx);
+//!     let pool = client.import(ctx, NodeId(1), name).unwrap();
+//!     // 8 remote pages cached in 2 local frames.
+//!     let mut pager = RemotePager::new(client, pool, 8, 2);
+//!     pager.write(ctx, 5 * 4096, b"cold data").unwrap();
+//!     pager.write(ctx, 0, b"hot data").unwrap();   // evicts page 5
+//!     let back = pager.read(ctx, 5 * 4096, 9).unwrap(); // faults it back
+//!     assert_eq!(back, b"cold data");
+//!     assert!(pager.stats().misses >= 2);
+//! });
+//!
+//! kernel.run_until_quiescent()?;
+//! # Ok::<(), shrimp_sim::SimError>(())
+//! ```
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod pager;
+mod server;
+
+pub use pager::{PagerStats, RemotePager};
+pub use server::MemoryServer;

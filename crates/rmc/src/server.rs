@@ -1,0 +1,96 @@
+//! The disaggregated-memory node: a pool of page frames exported once
+//! with read permission, then served entirely by the NIC.
+
+use shrimp_core::{BufferName, ExportOpts, Vmmc, VmmcError};
+use shrimp_mesh::NodeId;
+use shrimp_node::{CacheMode, VAddr, PAGE_SIZE};
+use shrimp_sim::Ctx;
+
+/// A memory-server: one node of the machine donating a pool of
+/// `pages` page frames to remote pagers. After [`MemoryServer::export`]
+/// the server's processor never has to run again — evictions arrive as
+/// deliberate-update deposits and page-ins leave as NIC-served remote
+/// fetches.
+pub struct MemoryServer {
+    vmmc: Vmmc,
+    pool_va: VAddr,
+    name: BufferName,
+    pages: usize,
+}
+
+impl MemoryServer {
+    /// Allocate a zeroed pool of `pages` page frames on this endpoint's
+    /// node and export it fetchable (read permission) and writable by
+    /// any importer. Slot `i` is the page at byte `i * PAGE_SIZE`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Vmmc::export`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pages` is zero.
+    pub fn export(vmmc: Vmmc, ctx: &Ctx, pages: usize) -> Result<MemoryServer, VmmcError> {
+        assert!(pages > 0, "a memory server needs at least one page");
+        let bytes = pages * PAGE_SIZE;
+        let pool_va = vmmc.proc_().alloc(bytes, CacheMode::WriteBack);
+        let name = vmmc.export(
+            ctx,
+            pool_va,
+            bytes,
+            ExportOpts {
+                read: true,
+                ..Default::default()
+            },
+        )?;
+        Ok(MemoryServer {
+            vmmc,
+            pool_va,
+            name,
+            pages,
+        })
+    }
+
+    /// The pool's buffer name, for clients to import.
+    pub fn name(&self) -> BufferName {
+        self.name
+    }
+
+    /// Pool capacity in pages.
+    pub fn pages(&self) -> usize {
+        self.pages
+    }
+
+    /// The serving node.
+    pub fn node(&self) -> NodeId {
+        self.vmmc.node_id()
+    }
+
+    /// The endpoint owning the pool (the export stays alive as long as
+    /// the daemon's record does, even if the server process exits).
+    pub fn vmmc(&self) -> &Vmmc {
+        &self.vmmc
+    }
+
+    /// Untimed direct view of one pool slot — a verification aid for
+    /// tests asserting that write-backs really landed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn peek_slot(&self, slot: usize) -> Vec<u8> {
+        assert!(slot < self.pages, "slot {slot} out of range");
+        self.vmmc
+            .proc_()
+            .peek(self.pool_va.add(slot * PAGE_SIZE), PAGE_SIZE)
+            .expect("pool is mapped")
+    }
+
+    /// Idle the server process forever: the memory server's CPU has no
+    /// work — its NIC answers fetches and accepts deposits on its own.
+    pub fn park(&self, ctx: &Ctx) {
+        loop {
+            ctx.park();
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Conservation gate for the fetch datapath's observability spans: the
+//! request emission, remote IPT check, remote DMA read, reply
+//! packetization, and reply deposit — plus uncovered transfer/wait
+//! time — must partition the end-to-end fetch latency *exactly* (in
+//! integer picoseconds), for every fetch message.
+
+use shrimp_core::{BufferName, ExportOpts, ShrimpSystem, SystemConfig};
+use shrimp_mesh::NodeId;
+use shrimp_node::{CacheMode, PAGE_SIZE};
+use shrimp_obs::breakdown::message_ids;
+use shrimp_obs::{breakdown, Layer, Recorder};
+use shrimp_sim::{Kernel, SimChannel, SimDur};
+
+#[test]
+fn fetch_spans_conserve_end_to_end_latency() {
+    let rec = Recorder::new();
+    let _guard = rec.install();
+    let kernel = Kernel::new();
+    let system = ShrimpSystem::build(&kernel, SystemConfig::prototype());
+    let names: SimChannel<BufferName> = SimChannel::new();
+
+    let owner = system.endpoint(1, "owner");
+    let reader = system.endpoint(0, "reader");
+    let n = PAGE_SIZE + 512; // two source pages, multi-packet replies
+
+    {
+        let names = names.clone();
+        kernel.spawn("owner", move |ctx| {
+            let buf = owner.proc_().alloc(n, CacheMode::WriteBack);
+            let data: Vec<u8> = (0..n).map(|i| (i % 233) as u8).collect();
+            owner.proc_().write(ctx, buf, &data).unwrap();
+            let name = owner
+                .export(
+                    ctx,
+                    buf,
+                    n,
+                    ExportOpts {
+                        read: true,
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+            names.send(&ctx.handle(), name);
+            ctx.advance(SimDur::from_us(10_000.0));
+        });
+    }
+    kernel.spawn("reader", move |ctx| {
+        let name = names.recv(ctx);
+        let src = reader.import(ctx, NodeId(1), name).unwrap();
+        let dst = reader.proc_().alloc(n, CacheMode::WriteBack);
+        reader.fetch(ctx, dst, &src, 0, n).unwrap();
+        assert_eq!(
+            reader.proc_().peek(dst, n).unwrap(),
+            (0..n).map(|i| (i % 233) as u8).collect::<Vec<u8>>()
+        );
+    });
+    kernel.run_until_quiescent().unwrap();
+
+    let spans = rec.spans();
+    // The fetch message is the one carrying the endpoint-level span.
+    let fetch_msgs: Vec<_> = spans
+        .iter()
+        .filter(|s| s.layer == Layer::Endpoint && s.name == "fetch")
+        .map(|s| s.msg)
+        .collect();
+    assert_eq!(fetch_msgs.len(), 1, "one blocking fetch, one endpoint span");
+    let msg = fetch_msgs[0];
+
+    let b = breakdown(&spans, msg).expect("fetch message has spans");
+    assert!(
+        b.is_conserved(),
+        "segments must sum exactly to end-to-end latency: {:?}",
+        b.segments
+    );
+    // Every stage of the fetch datapath must appear and carry time:
+    // request out, remote IPT check, remote memory read, reply
+    // packetization, reply deposit.
+    for stage in [
+        "fetch_req",
+        "fetch_ipt_check",
+        "fetch_read",
+        "fetch_reply",
+        "fetch_deposit",
+    ] {
+        assert!(
+            b.named(stage) > SimDur::ZERO,
+            "stage {stage} missing from the breakdown: {:?}",
+            b.segments
+        );
+    }
+    // The partition is exact, so stages + everything else == total.
+    let stage_sum = [
+        "fetch_req",
+        "fetch_ipt_check",
+        "fetch_read",
+        "fetch_reply",
+        "fetch_deposit",
+    ]
+    .iter()
+    .fold(SimDur::ZERO, |acc, s| acc + b.named(s));
+    assert!(stage_sum < b.total(), "issue overhead and wire time exist");
+    assert_eq!(b.segment_sum(), b.total());
+
+    // And the invariant holds for *every* message recorded in the run,
+    // not just the fetch (the deposit-path gate extended to rmc).
+    for m in message_ids(&spans) {
+        let bd = breakdown(&spans, m).unwrap();
+        assert!(bd.is_conserved(), "message {m:?} not conserved");
+    }
+}

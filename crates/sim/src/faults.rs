@@ -77,6 +77,15 @@ pub enum FaultKind {
         /// Time until restart.
         downtime: SimDur,
     },
+    /// The responder-side remote-fetch engine at `node` pauses for
+    /// `dur`; accepted fetch requests are held (in order) and their
+    /// replies stall, so requesters see late completions, never drops.
+    FetchStall {
+        /// Node whose fetch engine stalls.
+        node: usize,
+        /// How long the engine pauses.
+        dur: SimDur,
+    },
     /// A control-plane directive for a higher layer (e.g. `"migrate"`
     /// shard `a` to node `b` for the serving layer's planned handoff):
     /// the injector records and forwards it; the simulated hardware is
@@ -101,6 +110,9 @@ impl std::fmt::Display for FaultKind {
             FaultKind::IptViolation { node } => write!(f, "ipt-violation node={node}"),
             FaultKind::DaemonCrash { node, downtime } => {
                 write!(f, "daemon-crash node={node} downtime={downtime}")
+            }
+            FaultKind::FetchStall { node, dur } => {
+                write!(f, "fetch-stall node={node} dur={dur}")
             }
             FaultKind::Directive { op, a, b } => {
                 write!(f, "directive op={op} a={a} b={b}")
@@ -147,6 +159,10 @@ pub struct FaultSpec {
     pub daemon_crashes: usize,
     /// Longest daemon downtime drawn.
     pub max_daemon_downtime: SimDur,
+    /// Number of remote-fetch engine stalls.
+    pub fetch_stalls: usize,
+    /// Longest fetch-engine stall drawn.
+    pub max_fetch_stall: SimDur,
 }
 
 impl FaultSpec {
@@ -166,6 +182,8 @@ impl FaultSpec {
             ipt_violations: 1,
             daemon_crashes: 1,
             max_daemon_downtime: SimDur::from_us(100.0),
+            fetch_stalls: 1,
+            max_fetch_stall: SimDur::from_us(50.0),
         }
     }
 
@@ -177,6 +195,7 @@ impl FaultSpec {
             dma_stalls: 4,
             ipt_violations: 3,
             daemon_crashes: 2,
+            fetch_stalls: 3,
             ..FaultSpec::light(nodes, horizon)
         }
     }
@@ -259,6 +278,15 @@ impl FaultPlan {
                 kind: FaultKind::DaemonCrash {
                     node: rng.next_below(spec.nodes.max(1) as u64) as usize,
                     downtime: draw_dur(&mut rng, spec.max_daemon_downtime),
+                },
+            });
+        }
+        for _ in 0..spec.fetch_stalls {
+            events.push(FaultEvent {
+                at: draw_at(&mut rng),
+                kind: FaultKind::FetchStall {
+                    node: rng.next_below(spec.nodes.max(1) as u64) as usize,
+                    dur: draw_dur(&mut rng, spec.max_fetch_stall),
                 },
             });
         }
@@ -492,8 +520,12 @@ mod tests {
     fn generated_events_respect_spec_bounds() {
         let s = spec();
         let plan = FaultPlan::generate(7, &s);
-        let expected =
-            s.link_stalls + s.brownouts + s.dma_stalls + s.ipt_violations + s.daemon_crashes;
+        let expected = s.link_stalls
+            + s.brownouts
+            + s.dma_stalls
+            + s.ipt_violations
+            + s.daemon_crashes
+            + s.fetch_stalls;
         assert_eq!(plan.events.len(), expected);
         assert!(
             plan.events.windows(2).all(|w| w[0].at <= w[1].at),
@@ -515,6 +547,9 @@ mod tests {
                 FaultKind::IptViolation { node } => assert!(*node < s.nodes),
                 FaultKind::DaemonCrash { node, downtime } => {
                     assert!(*node < s.nodes && *downtime <= s.max_daemon_downtime);
+                }
+                FaultKind::FetchStall { node, dur } => {
+                    assert!(*node < s.nodes && *dur <= s.max_fetch_stall);
                 }
                 FaultKind::Directive { .. } => {
                     panic!("generate never draws directives; they are scripted only")

@@ -34,16 +34,26 @@
 
 use std::sync::Arc;
 
+use shrimp_core::{ImportHandle, Vmmc};
+use shrimp_mesh::NodeId;
+use shrimp_node::{CacheMode, VAddr};
 use shrimp_sim::{Ctx, SimDur, SimTime, SplitMix64};
 use shrimp_srpc::{SrpcClient, Val};
 
 use crate::cluster::SvcCluster;
+use crate::read_through::{decode_slot, slot_of, SlotAnswer, SLOT_BYTES};
 use crate::store::{Applied, Op, MAX_KEY, MAX_VAL};
 use crate::{fnv1a, SvcError};
 
 struct Conn {
     epoch: u32,
     rpc: SrpcClient,
+}
+
+/// A cached import of one generation's read-through slot table.
+struct RtConn {
+    epoch: u32,
+    region: ImportHandle,
 }
 
 /// Client-side resilience counters.
@@ -54,6 +64,17 @@ pub struct ClientStats {
     /// Hedged reads the backup answered (the request succeeded without
     /// waiting out the primary's recovery).
     pub hedge_wins: u64,
+    /// Reads answered by a one-sided fetch of the primary's slot table
+    /// (no RPC round trip).
+    pub fetch_hits: u64,
+    /// Read-through attempts whose fetched slot did not answer (empty
+    /// slot, hash collision, or a deposed epoch) — the read fell back
+    /// to the RPC path.
+    pub fetch_misses: u64,
+    /// Read-through attempts refused by the transport (fetch NAK,
+    /// daemon outage, stale import) — the read fell back to the RPC
+    /// path and the cached import was dropped.
+    pub fetch_errors: u64,
 }
 
 /// A KV client bound to one node. Not `Send`-shared: each client
@@ -64,6 +85,10 @@ pub struct SvcClient {
     tag: String,
     conns: Vec<Option<Conn>>,
     hedge_conns: Vec<Option<Conn>>,
+    rt_conns: Vec<Option<RtConn>>,
+    /// Lazily created fetch endpoint and its slot-sized landing buffer
+    /// (read-through only).
+    rt: Option<(Vmmc, VAddr)>,
     endpoints: u64,
     rng: SplitMix64,
     stats: ClientStats,
@@ -116,6 +141,8 @@ impl SvcClient {
             tag,
             conns: (0..shards).map(|_| None).collect(),
             hedge_conns: (0..shards).map(|_| None).collect(),
+            rt_conns: (0..shards).map(|_| None).collect(),
+            rt: None,
             endpoints: 0,
             stats: ClientStats::default(),
         }
@@ -156,9 +183,19 @@ impl SvcClient {
 
     /// Read `key`: `(entry sequence, value)` — `(0, None)` when never
     /// written, a tombstone's sequence with `None` when deleted.
+    ///
+    /// With [`read_through`](crate::SvcConfig::read_through) on, the
+    /// read first tries a one-sided fetch of the primary's slot table
+    /// — half the RPC's round trip, and the primary's CPU never runs —
+    /// falling back to the RPC path on any miss or transport refusal.
     pub fn get(&mut self, ctx: &Ctx, key: &[u8]) -> Result<(u64, Option<Vec<u8>>), SvcError> {
         check_len(key, MAX_KEY)?;
         let shard = self.shard_of(key);
+        if self.cluster.config().read_through {
+            if let Some(hit) = self.try_read_through(ctx, shard, key) {
+                return Ok(hit);
+            }
+        }
         let outs = self.call(
             ctx,
             shard,
@@ -368,6 +405,76 @@ impl SvcClient {
             }
             Err(_) => {
                 self.hedge_conns[shard] = None;
+                None
+            }
+        }
+    }
+
+    /// One zero-copy read attempt: fetch the key's slot from the
+    /// primary's exported table and answer iff the slot publishes this
+    /// key under the current routing epoch. `None` means "use the RPC
+    /// path" — an empty or colliding slot, a deposed epoch, a table
+    /// not yet exported, or a transport refusal.
+    fn try_read_through(
+        &mut self,
+        ctx: &Ctx,
+        shard: usize,
+        key: &[u8],
+    ) -> Option<(u64, Option<Vec<u8>>)> {
+        let route = self.cluster.route(shard);
+        let stale = match &self.rt_conns[shard] {
+            Some(c) => c.epoch != route.epoch,
+            None => true,
+        };
+        if stale {
+            self.rt_conns[shard] = None;
+            // The generation's exporter may not have published yet —
+            // plain miss, the RPC path is always available.
+            let (node, name) = self.cluster.rt_pub(shard, route.epoch)?;
+            if self.rt.is_none() {
+                let ep = format!("svc-rt-n{}-{}", self.node, self.tag);
+                let vmmc = self.cluster.system().endpoint(self.node, ep);
+                let dst = vmmc.proc_().alloc(SLOT_BYTES, CacheMode::WriteBack);
+                self.rt = Some((vmmc, dst));
+            }
+            let (vmmc, _) = self.rt.as_ref().expect("just created");
+            match vmmc.import(ctx, NodeId(node), name) {
+                Ok(region) => {
+                    self.rt_conns[shard] = Some(RtConn {
+                        epoch: route.epoch,
+                        region,
+                    });
+                }
+                Err(_) => {
+                    self.stats.fetch_errors += 1;
+                    return None;
+                }
+            }
+        }
+        let fetched = {
+            let conn = self.rt_conns[shard].as_ref()?;
+            let (vmmc, dst) = self.rt.as_ref()?;
+            let off = slot_of(key) * SLOT_BYTES;
+            vmmc.fetch(ctx, *dst, &conn.region, off, SLOT_BYTES)
+                .map(|()| vmmc.proc_().peek(*dst, SLOT_BYTES).expect("dst is mapped"))
+        };
+        match fetched {
+            Ok(raw) => match decode_slot(&raw, route.epoch, key) {
+                SlotAnswer::Hit(seq, val) => {
+                    self.stats.fetch_hits += 1;
+                    Some((seq, val))
+                }
+                SlotAnswer::Miss => {
+                    self.stats.fetch_misses += 1;
+                    None
+                }
+            },
+            Err(_) => {
+                // NAK, daemon outage, or a stale import (the exporting
+                // daemon died): drop the binding and use the RPC path,
+                // whose retry loop owns recovery.
+                self.stats.fetch_errors += 1;
+                self.rt_conns[shard] = None;
                 None
             }
         }

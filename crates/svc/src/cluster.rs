@@ -38,17 +38,18 @@
 //! timeouts and re-bind against the refreshed route; a deposed
 //! generation can never answer a current-epoch request.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use shrimp_core::ShrimpSystem;
+use shrimp_core::{BufferName, ShrimpSystem};
 use shrimp_sim::{Ctx, SimChannel, SimDur, SimTime};
 use shrimp_srpc::{parse_interface, Interface, SrpcDirectory};
 
+use crate::read_through::RtRegion;
 use crate::server::{self, ReplReq, Transition};
-use crate::store::ShardStore;
+use crate::store::{Op, ShardStore};
 use crate::ShardRing;
 
 /// The KV fast-path interface: fixed-size slots keep the marshaling
@@ -114,6 +115,13 @@ pub struct SvcConfig {
     /// before the watchdog re-arms, so crash-loops don't thrash the
     /// sync path.
     pub rearm_grace: SimDur,
+    /// Serve cache-resident `get`s with a one-sided remote fetch of
+    /// the primary's exported value-slot table instead of an RPC round
+    /// trip (see [`crate::SvcConfig`] and the `read_through` module
+    /// docs). The client validates epoch and key on every fetched slot
+    /// and falls back to the RPC path on any mismatch, so this is a
+    /// pure fast path — never a consistency change.
+    pub read_through: bool,
 }
 
 impl SvcConfig {
@@ -134,6 +142,7 @@ impl SvcConfig {
             hedge_reads: false,
             hedge_after: SimDur::from_us(200.0),
             rearm_grace: SimDur::from_us(300.0),
+            read_through: false,
         }
     }
 }
@@ -358,6 +367,13 @@ pub struct SvcCluster {
     /// Epoch-0 replication channels, one per chained shard (later
     /// generations create their own).
     initial_repl: Vec<Option<SimChannel<ReplReq>>>,
+    /// Per-shard write handle of the current generation's value-slot
+    /// table (read-through). Locked strictly *after* the shard's store
+    /// lock, never before.
+    rt_regions: Mutex<Vec<Option<RtRegion>>>,
+    /// `(shard, epoch)` → `(node, buffer)` of each generation's
+    /// exported slot table, for clients to import.
+    rt_pubs: Mutex<HashMap<(usize, u32), (usize, BufferName)>>,
 }
 
 impl std::fmt::Debug for SvcCluster {
@@ -427,6 +443,8 @@ impl SvcCluster {
             shutdown: AtomicBool::new(false),
             clients: AtomicUsize::new(0),
             initial_repl,
+            rt_regions: Mutex::new((0..cfg.shards).map(|_| None).collect()),
+            rt_pubs: Mutex::new(HashMap::new()),
             cfg,
         });
         for s in 0..cluster.cfg.shards {
@@ -606,6 +624,47 @@ impl SvcCluster {
     /// Record one transition.
     pub(crate) fn record_event(&self, e: ClusterEvent) {
         self.events.lock().push(e);
+    }
+
+    // ----- read-through slot tables ---------------------------------
+
+    /// Install a generation's slot-table write handle. A stale
+    /// exporter (its epoch already deposed) must never clobber a newer
+    /// table, so installation keeps the highest epoch.
+    pub(crate) fn install_rt(&self, shard: usize, region: RtRegion) {
+        let mut regions = self.rt_regions.lock();
+        match &regions[shard] {
+            Some(r) if r.epoch >= region.epoch => {}
+            _ => regions[shard] = Some(region),
+        }
+    }
+
+    /// Publish one applied mutation to the shard's slot table. Called
+    /// with the shard's store lock held, so slot images land in store
+    /// sequence order; a no-op until the epoch's exporter has
+    /// installed its table (the exporter then seeds every entry under
+    /// the same lock).
+    pub(crate) fn rt_publish(&self, shard: usize, epoch: u32, op: &Op, seq: u64) {
+        let regions = self.rt_regions.lock();
+        if let Some(r) = regions[shard].as_ref() {
+            if r.epoch == epoch {
+                match op {
+                    Op::Put { key, val } => r.write_slot(key, seq, Some(val)),
+                    Op::Del { key } => r.write_slot(key, seq, None),
+                }
+            }
+        }
+    }
+
+    /// Advertise a generation's exported slot table to clients.
+    pub(crate) fn set_rt_pub(&self, shard: usize, epoch: u32, node: usize, name: BufferName) {
+        self.rt_pubs.lock().insert((shard, epoch), (node, name));
+    }
+
+    /// Where a generation's slot table lives, if its exporter has
+    /// published it.
+    pub(crate) fn rt_pub(&self, shard: usize, epoch: u32) -> Option<(usize, BufferName)> {
+        self.rt_pubs.lock().get(&(shard, epoch)).copied()
     }
 
     // ----- write freeze ---------------------------------------------

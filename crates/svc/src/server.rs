@@ -371,7 +371,18 @@ fn mutate(
     // The sequence assignment and the replication enqueue happen with
     // no virtual-time operation between them, so records reach the
     // replicator in sequence order even with many concurrent workers.
-    let applied = store.lock().apply_next(&op);
+    // The read-through slot publication rides inside the same store
+    // lock acquisition: slot images are ordered exactly like store
+    // sequences, and they land before the commit point (the backup's
+    // ack), so the slot table is never behind an acknowledged write.
+    let applied = {
+        let mut g = store.lock();
+        let a = g.apply_next(&op);
+        if cluster.config().read_through {
+            cluster.rt_publish(shard, epoch, &op, a.seq);
+        }
+        a
+    };
     if let Some(tx) = repl {
         let done: SimChannel<bool> = SimChannel::new();
         tx.send(
@@ -403,6 +414,9 @@ fn spawn_serve_workers(
     repl: Option<SimChannel<ReplReq>>,
 ) {
     let service = SvcCluster::service(shard, epoch);
+    if cluster.config().read_through {
+        crate::read_through::spawn_rt_exporter(cluster, h, shard, epoch, node, Arc::clone(&store));
+    }
     for w in 0..cluster.config().conns_per_shard {
         let cluster = Arc::clone(cluster);
         let store = Arc::clone(&store);

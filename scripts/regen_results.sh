@@ -26,6 +26,8 @@ echo ">> fig5_breakdown"
 target/release/simprof fig5 > "$out/fig5_breakdown.txt"
 echo ">> srpc_decomposition"
 target/release/simprof srpc > "$out/srpc_decomposition.txt"
+echo ">> rmc_decomposition"
+target/release/simprof rmc > "$out/rmc_decomposition.txt"
 
 # KV serving curve + failover measurement (shrimp-svc). Also rewrites
 # the committed BENCH_svc.json digest baseline that CI's svc-smoke job
@@ -39,6 +41,13 @@ target/release/svcbench --write-curve "$out/svc_curve.txt" --write-json BENCH_sv
 echo ">> svcsoak"
 target/release/svcsoak --write-report "$out/svc_soak.txt" --write-json BENCH_svcsoak.json
 
+# One-sided remote memory (shrimp-rmc): raw fetch latency/bandwidth,
+# the zero-copy svc get vs its SRPC baseline, and the disaggregated-
+# memory pager. Also rewrites the BENCH_rmc.json digest baseline CI's
+# rmc-smoke job gates on.
+echo ">> rmcbench"
+target/release/rmcbench --write-curve "$out/rmc_curve.txt" --write-json BENCH_rmc.json
+
 echo
-echo "Regenerated: ${bins[*]/%/.txt} fig5_breakdown.txt srpc_decomposition.txt svc_curve.txt BENCH_svc.json svc_soak.txt BENCH_svcsoak.json"
+echo "Regenerated: ${bins[*]/%/.txt} fig5_breakdown.txt srpc_decomposition.txt rmc_decomposition.txt svc_curve.txt BENCH_svc.json svc_soak.txt BENCH_svcsoak.json rmc_curve.txt BENCH_rmc.json"
 echo "Diff against the committed tree with: git diff -- results/"

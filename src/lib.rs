@@ -45,6 +45,7 @@ pub use shrimp_nic as nic;
 pub use shrimp_node as node;
 pub use shrimp_nx as nx;
 pub use shrimp_obs as obs;
+pub use shrimp_rmc as rmc;
 pub use shrimp_sim as sim;
 pub use shrimp_sockets as sockets;
 pub use shrimp_srpc as srpc;
