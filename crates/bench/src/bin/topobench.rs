@@ -1,0 +1,98 @@
+//! The topology-zoo collective study. See `shrimp_bench::topobench`
+//! for the experiment definition.
+//!
+//! Usage:
+//!   `cargo run --release -p shrimp-bench --bin topobench [-- FLAGS]`
+//!
+//! * default: run the full zoo (mesh/torus/fat-tree/dragonfly at 4, 16,
+//!   and 64 nodes, software vs in-network hardware) plus the
+//!   adaptive-routing ablation, print the curve and the
+//!   `BENCH_topo.json` content;
+//! * `--smoke`: run only the 4- and 16-node sizes (no JSON — the
+//!   committed JSON derives from the full run);
+//! * `--curve`: print only the `results/topo_curve.txt` content;
+//! * `--json`: print only the `BENCH_topo.json` content;
+//! * `--write-curve PATH` / `--write-json PATH`: write the artifacts
+//!   from one run (what `scripts/regen_results.sh` uses);
+//! * `--check BENCH_topo.json`: digest gate — compares bit-for-bit
+//!   against the committed file: `smoke_digest` under `--smoke` (CI's
+//!   topo-smoke job), `topo_digest` otherwise.
+
+use shrimp_bench::topobench::{
+    adaptive_ablation, committed_digest, render_curve, render_json, run_zoo, topo_digest,
+};
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+
+    let points = run_zoo(smoke);
+    let ablation = adaptive_ablation(4, 4, 8);
+    let json = if smoke {
+        None
+    } else {
+        let smoke_points = run_zoo(true);
+        let smoke_digest = topo_digest(&smoke_points, &ablation);
+        Some(render_json(&points, &ablation, smoke_digest))
+    };
+    let curve = render_curve(&points, &ablation);
+
+    if let Some(path) = arg_value(&args, "--write-curve") {
+        std::fs::write(&path, &curve).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = arg_value(&args, "--write-json") {
+        let json = json
+            .as_deref()
+            .expect("--write-json requires the full zoo (drop --smoke)");
+        std::fs::write(&path, json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        eprintln!("wrote {path}");
+    }
+
+    let curve_only = args.iter().any(|a| a == "--curve");
+    let json_only = args.iter().any(|a| a == "--json");
+    let wrote = args
+        .iter()
+        .any(|a| a == "--write-curve" || a == "--write-json");
+    if curve_only {
+        print!("{curve}");
+    } else if json_only {
+        print!(
+            "{}",
+            json.as_deref()
+                .expect("--json requires the full zoo (drop --smoke)")
+        );
+    } else if !wrote {
+        print!("{curve}");
+        if let Some(json) = &json {
+            println!();
+            print!("{json}");
+        }
+    }
+
+    if let Some(path) = arg_value(&args, "--check") {
+        let committed = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let field = if smoke { "smoke_digest" } else { "topo_digest" };
+        let want = committed_digest(&committed, field);
+        let got = topo_digest(&points, &ablation);
+        let ok = want == Some(got);
+        eprintln!(
+            "check: {field} {:016x} vs committed {} — {}",
+            got,
+            want.map_or("<missing>".to_string(), |d| format!("{d:016x}")),
+            if ok { "ok" } else { "FAIL" }
+        );
+        if !ok {
+            eprintln!("check: topology zoo virtual results diverged from {path}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -15,6 +15,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use shrimp_coll::{AllreduceAlg, CollConfig, CollWorld, ReduceOp};
 use shrimp_core::{ShrimpSystem, SystemConfig};
+use shrimp_mesh::{Mesh2D, TopologyRef};
 use shrimp_node::CacheMode;
 use shrimp_sim::{Kernel, SplitMix64};
 
@@ -31,11 +32,15 @@ pub struct SweepPoint {
     pub aggregate_mbs: f64,
 }
 
-fn build(width: usize, height: usize) -> (Kernel, Arc<ShrimpSystem>, Arc<CollWorld>) {
+fn build_with(
+    topo: TopologyRef,
+    config: CollConfig,
+) -> (Kernel, Arc<ShrimpSystem>, Arc<CollWorld>) {
     let kernel = Kernel::new();
-    let system = ShrimpSystem::build(&kernel, SystemConfig::with_mesh(width, height));
-    let n = system.len();
-    let world = CollWorld::new(Arc::clone(&system), CollConfig::default(), (0..n).collect());
+    let system = ShrimpSystem::build(&kernel, SystemConfig::with_topology(topo));
+    // One rank per fabric node, in enumeration order.
+    let nodes: Vec<usize> = system.topology().nodes().map(|n| n.0).collect();
+    let world = CollWorld::new(Arc::clone(&system), config, nodes);
     (kernel, system, world)
 }
 
@@ -62,7 +67,18 @@ fn expected_sum(n: usize, seed: u64, count: usize) -> Vec<u8> {
 /// Barrier latency averaged over `rounds`, in microseconds, through
 /// the collective layer directly.
 pub fn barrier_latency(width: usize, height: usize, rounds: u32) -> f64 {
-    let (kernel, system, world) = build(width, height);
+    barrier_latency_on(Arc::new(Mesh2D::new(width, height)), rounds)
+}
+
+/// [`barrier_latency`] over an arbitrary in-order fabric.
+pub fn barrier_latency_on(topo: TopologyRef, rounds: u32) -> f64 {
+    barrier_latency_with(topo, CollConfig::default(), rounds)
+}
+
+/// [`barrier_latency`] over an arbitrary in-order fabric, with an
+/// explicit engine choice (e.g. `CollImpl::Hardware` offload).
+pub fn barrier_latency_with(topo: TopologyRef, config: CollConfig, rounds: u32) -> f64 {
+    let (kernel, system, world) = build_with(topo, config);
     let n = system.len();
     let out: Arc<Mutex<f64>> = Arc::new(Mutex::new(0.0));
     for rank in 0..n {
@@ -98,7 +114,28 @@ pub fn allreduce_sweep(
     rounds: u32,
     seed: u64,
 ) -> Vec<SweepPoint> {
-    let (kernel, system, world) = build(width, height);
+    allreduce_sweep_with(
+        Arc::new(Mesh2D::new(width, height)),
+        CollConfig::default(),
+        sizes,
+        alg,
+        rounds,
+        seed,
+    )
+}
+
+/// [`allreduce_sweep`] over an arbitrary in-order fabric with an
+/// explicit engine choice. With `CollImpl::Hardware` and `alg = None`
+/// the rounds offload to the in-network combining stage.
+pub fn allreduce_sweep_with(
+    topo: TopologyRef,
+    config: CollConfig,
+    sizes: &[usize],
+    alg: Option<AllreduceAlg>,
+    rounds: u32,
+    seed: u64,
+) -> Vec<SweepPoint> {
+    let (kernel, system, world) = build_with(topo, config);
     let n = system.len();
     let starts: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(vec![0; sizes.len()]));
     let finishes: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(vec![0; sizes.len()]));

@@ -2,7 +2,8 @@
 //!
 //! One binary per figure (`fig3`, `fig4`, `fig5`, `fig7`, `fig8`,
 //! `ttcp`, `ablations`) plus the fault-injection harness (`chaos`) and
-//! the collective-communication scaling study (`collectives`);
+//! the collective-communication scaling study (`collectives`) and the
+//! topology-zoo collective-offload study (`topobench`);
 //! this library holds the shared workloads and reporting. See DESIGN.md §3 for the experiment index and
 //! EXPERIMENTS.md for paper-vs-measured results.
 #![warn(missing_docs)]
@@ -22,6 +23,7 @@ pub mod simprof;
 pub mod socket_bench;
 pub mod svcbench;
 pub mod svcsoak;
+pub mod topobench;
 pub mod vrpc_bench;
 
 pub use report::{paper_sizes, render_figure, Point, Series, LATENCY_CUTOFF};

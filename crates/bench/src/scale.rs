@@ -5,25 +5,23 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use shrimp_core::{ShrimpSystem, SystemConfig};
+use shrimp_mesh::{Mesh2D, TopologyRef};
 use shrimp_node::CacheMode;
 use shrimp_nx::{NxConfig, NxWorld};
 use shrimp_sim::Kernel;
 
-fn build(width: usize, height: usize) -> (Kernel, Arc<ShrimpSystem>, Arc<NxWorld>) {
+fn build(topo: TopologyRef) -> (Kernel, Arc<ShrimpSystem>, Arc<NxWorld>) {
     let kernel = Kernel::new();
-    let system = ShrimpSystem::build(&kernel, SystemConfig::with_mesh(width, height));
-    let n = system.len();
-    let world = NxWorld::new(
-        Arc::clone(&system),
-        NxConfig::paper_default(),
-        (0..n).collect(),
-    );
+    let system = ShrimpSystem::build(&kernel, SystemConfig::with_topology(topo));
+    // One rank per fabric node, in enumeration order.
+    let nodes: Vec<usize> = system.topology().nodes().map(|n| n.0).collect();
+    let world = NxWorld::new(Arc::clone(&system), NxConfig::paper_default(), nodes);
     (kernel, system, world)
 }
 
 /// Barrier (`gsync`) latency averaged over `rounds`, in microseconds.
 pub fn barrier_latency(width: usize, height: usize, rounds: u32) -> f64 {
-    let (kernel, system, world) = build(width, height);
+    let (kernel, system, world) = build(Arc::new(Mesh2D::new(width, height)));
     let n = system.len();
     let out: Arc<Mutex<f64>> = Arc::new(Mutex::new(0.0));
     for rank in 0..n {
@@ -51,7 +49,7 @@ pub fn barrier_latency(width: usize, height: usize, rounds: u32) -> f64 {
 /// Broadcast completion time (root's send start to the last rank's
 /// arrival) for `bytes`, tree vs naive, in microseconds.
 pub fn bcast_completion(width: usize, height: usize, bytes: usize, tree: bool) -> f64 {
-    let (kernel, system, world) = build(width, height);
+    let (kernel, system, world) = build(Arc::new(Mesh2D::new(width, height)));
     let n = system.len();
     let finish: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
     let start: Arc<Mutex<u64>> = Arc::new(Mutex::new(0));
@@ -87,7 +85,7 @@ pub fn bcast_completion(width: usize, height: usize, bytes: usize, tree: bool) -
 /// every rank streams `bytes` to its +1 neighbor — stressing mesh links
 /// under load.
 pub fn ring_aggregate_bandwidth(width: usize, height: usize, bytes: usize) -> f64 {
-    let (kernel, system, world) = build(width, height);
+    let (kernel, system, world) = build(Arc::new(Mesh2D::new(width, height)));
     let n = system.len();
     let finish: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
     let start: Arc<Mutex<u64>> = Arc::new(Mutex::new(0));

@@ -330,10 +330,11 @@ pub fn profile(name: &str, chaos: bool) -> Option<ProfOutcome> {
         "rmc" => {
             if chaos {
                 run_chaos_cell(&rec, Workload::Rmc);
+                ("rmc", String::new())
             } else {
-                run_rmc_fetch(&rec);
+                let section = run_rmc_fetch(&rec);
+                ("rmc", section)
             }
-            ("rmc", String::new())
         }
         _ => return None,
     };
@@ -379,8 +380,10 @@ fn run_chaos_cell(rec: &Arc<Recorder>, workload: Workload) {
 /// interesting property the profile audits is the span shape of a
 /// fetch: requester-side issue + park, the responder's NIC serving the
 /// read with its processor idle, and the reply deposits — all summing
-/// exactly to the observed fetch latency.
-fn run_rmc_fetch(rec: &Arc<Recorder>) {
+/// exactly to the observed fetch latency. Returns the responder-engine
+/// section (queue depth from the NIC's serving counters, plus the
+/// queue-depth instants the NIC emitted) for the rendered report.
+fn run_rmc_fetch(rec: &Arc<Recorder>) -> String {
     use shrimp_core::ExportOpts;
     use shrimp_mesh::NodeId;
     use shrimp_node::{CacheMode, PAGE_SIZE};
@@ -426,6 +429,21 @@ fn run_rmc_fetch(rec: &Arc<Recorder>) {
     kernel
         .run_until_quiescent()
         .expect("rmc profile run failed");
+
+    // Responder-engine section: the serving-queue shape on the owner
+    // node. Depth instants come from the NIC itself, so a FetchStall or
+    // brownout that backs requests up shows here and in the trace.
+    let report = system.report();
+    let owner = &report.nics[1];
+    let depth_events = rec
+        .instants()
+        .iter()
+        .filter(|i| i.label.starts_with("fetch_queue_depth="))
+        .count();
+    format!(
+        "responder engine (node 1):\n  fetch requests served: {}   reply packets: {}   denials: {}\n  queue depth peak: {}   depth events: {depth_events}\n",
+        owner.fetch_reqs_in, owner.fetch_replies_out, owner.fetch_denials, owner.fetch_queue_peak
+    )
 }
 
 /// The Fig. 5 workload under observation: a null VRPC call with a

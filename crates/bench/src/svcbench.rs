@@ -25,16 +25,16 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use shrimp_core::{ShrimpSystem, SystemConfig};
+use shrimp_mesh::{Mesh2D, TopologyRef};
 use shrimp_sim::{FaultEvent, FaultKind, FaultPlan, Kernel, SimDur, SimTime};
 use shrimp_svc::{spawn_engine, LoadPlan, LoadStats, SvcCluster, SvcConfig};
 
-/// Sweep shape: mesh, engines (one per node), and the offered rates.
+/// Sweep shape: fabric, engines (one per node), and the offered rates.
 #[derive(Debug, Clone)]
 pub struct SweepConfig {
-    /// Mesh width.
-    pub width: usize,
-    /// Mesh height.
-    pub height: usize,
+    /// Fabric the cluster is built over (must be in-order; the engines
+    /// and shard servers are enumerated from its node list).
+    pub topology: TopologyRef,
     /// Requests per engine per curve point.
     pub requests: u64,
     /// Schedule seed.
@@ -62,8 +62,7 @@ impl SweepConfig {
     /// engines) swept from far under to far past saturation.
     pub fn paper_4x4() -> SweepConfig {
         SweepConfig {
-            width: 4,
-            height: 4,
+            topology: Arc::new(Mesh2D::new(4, 4)),
             requests: 256,
             seed: 42,
             rates: vec![2_000.0, 8_000.0, 32_000.0, 128_000.0, 512_000.0],
@@ -85,8 +84,7 @@ impl SweepConfig {
     /// A small CI-sized variant on the 2×2 prototype.
     pub fn smoke() -> SweepConfig {
         SweepConfig {
-            width: 2,
-            height: 2,
+            topology: Arc::new(Mesh2D::new(2, 2)),
             requests: 96,
             seed: 42,
             rates: vec![4_000.0, 256_000.0],
@@ -101,7 +99,15 @@ impl SweepConfig {
     }
 
     fn engines(&self) -> usize {
-        self.width * self.height
+        self.topology.len()
+    }
+
+    /// Grid dimensions for report labels (linear fallback for fabrics
+    /// without a grid layout).
+    fn dims(&self) -> (usize, usize) {
+        self.topology
+            .grid_dims()
+            .unwrap_or((self.topology.len(), 1))
     }
 }
 
@@ -192,7 +198,10 @@ fn drive(
     track_acks: bool,
 ) -> (LoadStats, Arc<SvcCluster>) {
     let kernel = Kernel::new();
-    let system = ShrimpSystem::build(&kernel, SystemConfig::with_mesh(cfg.width, cfg.height));
+    let system = ShrimpSystem::build(
+        &kernel,
+        SystemConfig::with_topology(Arc::clone(&cfg.topology)),
+    );
     system.apply_faults(faults);
     let nodes = system.len();
     let mut scfg = SvcConfig::chained(nodes);
@@ -200,8 +209,10 @@ fn drive(
     // re-binds abandoned mid-establishment during failover.
     scfg.conns_per_shard = nodes + 4;
     let cluster = SvcCluster::spawn(&system, scfg);
-    let slots: Vec<Arc<Mutex<Option<LoadStats>>>> = (0..nodes)
-        .map(|node| spawn_engine(&cluster, node, node as u64, plan, track_acks))
+    let slots: Vec<Arc<Mutex<Option<LoadStats>>>> = system
+        .topology()
+        .nodes()
+        .map(|node| spawn_engine(&cluster, node.0, node.0 as u64, plan, track_acks))
         .collect();
     kernel
         .run_until_quiescent()
@@ -371,11 +382,12 @@ fn us(ps: u64) -> f64 {
 /// Render the committed `results/svc_curve.txt` (byte-identical across
 /// replays).
 pub fn render_curve(cfg: &SweepConfig, curve: &[CurvePoint], failover: &FailoverOutcome) -> String {
+    let (width, height) = cfg.dims();
     let mut out = format!(
         "svc serving curve mesh={}x{} engines={} requests/engine={} seed={}\n\
          {:>12} {:>10} {:>8} {:>6} {:>10} {:>9} {:>9} {:>9} {:>9}\n",
-        cfg.width,
-        cfg.height,
+        width,
+        height,
         cfg.engines(),
         cfg.requests,
         cfg.seed,
@@ -429,6 +441,7 @@ pub fn render_curve(cfg: &SweepConfig, curve: &[CurvePoint], failover: &Failover
 
 /// Render the committed `BENCH_svc.json`.
 pub fn render_json(cfg: &SweepConfig, curve: &[CurvePoint], failover: &FailoverOutcome) -> String {
+    let (width, height) = cfg.dims();
     let mut out = String::from("{\n");
     out.push_str("  \"comment\": [\n");
     out.push_str("    \"Throughput-vs-offered-load and failover measurement for the\",\n");
@@ -441,8 +454,8 @@ pub fn render_json(cfg: &SweepConfig, curve: &[CurvePoint], failover: &FailoverO
     out.push_str(&format!(
         "  \"config\": {{\"mesh\": \"{}x{}\", \"engines\": {}, \"requests_per_engine\": {}, \
          \"seed\": {}}},\n",
-        cfg.width,
-        cfg.height,
+        width,
+        height,
         cfg.engines(),
         cfg.requests,
         cfg.seed

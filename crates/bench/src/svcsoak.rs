@@ -27,6 +27,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use shrimp_core::{ShrimpSystem, SystemConfig};
+use shrimp_mesh::{Mesh2D, TopologyRef};
 use shrimp_obs::{Layer, Recorder};
 use shrimp_sim::{FaultEvent, FaultKind, FaultPlan, Kernel, SimDur, SimTime};
 use shrimp_svc::{spawn_engine, ClusterEvent, LoadPlan, LoadStats, SvcCluster, SvcConfig};
@@ -35,10 +36,9 @@ use shrimp_svc::{spawn_engine, ClusterEvent, LoadPlan, LoadStats, SvcCluster, Sv
 /// the soaked run must hold.
 #[derive(Debug, Clone)]
 pub struct SoakConfig {
-    /// Mesh width.
-    pub width: usize,
-    /// Mesh height.
-    pub height: usize,
+    /// Fabric the cluster is built over (must be in-order; engines are
+    /// spread over its enumerated node list).
+    pub topology: TopologyRef,
     /// Number of load engines (spread across the nodes).
     pub engines: usize,
     /// Requests per engine.
@@ -93,8 +93,7 @@ impl SoakConfig {
     /// primary crash, and two live migrations.
     pub fn paper_4x4() -> SoakConfig {
         SoakConfig {
-            width: 4,
-            height: 4,
+            topology: Arc::new(Mesh2D::new(4, 4)),
             engines: 16,
             requests: 224,
             seed: 7,
@@ -128,8 +127,7 @@ impl SoakConfig {
     /// migration, the same brownout + crash composition.
     pub fn smoke() -> SoakConfig {
         SoakConfig {
-            width: 2,
-            height: 2,
+            topology: Arc::new(Mesh2D::new(2, 2)),
             engines: 2,
             requests: 160,
             seed: 7,
@@ -153,6 +151,14 @@ impl SoakConfig {
             slo_p999: SimDur::from_us(9_000.0),
             max_shed_fraction: 0.20,
         }
+    }
+
+    /// Grid dimensions for report labels (linear fallback for fabrics
+    /// without a grid layout).
+    fn dims(&self) -> (usize, usize) {
+        self.topology
+            .grid_dims()
+            .unwrap_or((self.topology.len(), 1))
     }
 
     /// The soaked run's scripted fault plan, time-sorted.
@@ -347,7 +353,10 @@ fn drive(
     let rec = Recorder::new();
     let _guard = rec.install();
     let kernel = Kernel::new();
-    let system = ShrimpSystem::build(&kernel, SystemConfig::with_mesh(cfg.width, cfg.height));
+    let system = ShrimpSystem::build(
+        &kernel,
+        SystemConfig::with_topology(Arc::clone(&cfg.topology)),
+    );
     system.apply_faults(faults);
     let nodes = system.len();
     let mut scfg = SvcConfig::chained(nodes);
@@ -357,9 +366,14 @@ fn drive(
     scfg.hedge_reads = true;
     scfg.hedge_after = cfg.hedge_after;
     let cluster = SvcCluster::spawn(&system, scfg);
-    let step = (nodes / cfg.engines.max(1)).max(1);
+    // Engines spread evenly over the fabric's enumerated node list.
+    let all: Vec<usize> = system.topology().nodes().map(|n| n.0).collect();
+    let step = (all.len() / cfg.engines.max(1)).max(1);
     let slots: Vec<Arc<Mutex<Option<LoadStats>>>> = (0..cfg.engines)
-        .map(|e| spawn_engine(&cluster, (e * step) % nodes, e as u64, plan, track_acks))
+        .map(|e| {
+            let home = all[(e * step) % all.len()];
+            spawn_engine(&cluster, home, e as u64, plan, track_acks)
+        })
         .collect();
     kernel
         .run_until_quiescent()
@@ -492,12 +506,13 @@ fn us(ps: u64) -> f64 {
 /// Render the committed `results/svc_soak.txt` (byte-identical across
 /// replays).
 pub fn render_report(cfg: &SoakConfig, o: &SoakOutcome) -> String {
+    let (width, height) = cfg.dims();
     let mut out = format!(
         "svc chaos soak mesh={}x{} engines={} requests/engine={} rate/engine={:.0} seed={}\n\
          faults: brownout x{:.1} at_us={:.0} dur_us={:.0}; dma-stall node={} at_us={:.0} \
          dur_us={:.0}; crash node={} at_us={:.0} downtime_us={:.0}; migrations={}\n",
-        cfg.width,
-        cfg.height,
+        width,
+        height,
         cfg.engines,
         cfg.requests,
         cfg.rate,
@@ -580,6 +595,7 @@ pub fn render_report(cfg: &SoakConfig, o: &SoakOutcome) -> String {
 /// the cheap smoke soak and gates on `smoke_digest`; regenerating the
 /// file requires both runs).
 pub fn render_json(cfg: &SoakConfig, o: &SoakOutcome, smoke_digest: u64) -> String {
+    let (width, height) = cfg.dims();
     let mut out = String::from("{\n");
     out.push_str("  \"comment\": [\n");
     out.push_str("    \"Chaos-soaked SLO soak for the shrimp-svc self-healing serving\",\n");
@@ -594,8 +610,8 @@ pub fn render_json(cfg: &SoakConfig, o: &SoakOutcome, smoke_digest: u64) -> Stri
         "  \"config\": {{\"mesh\": \"{}x{}\", \"engines\": {}, \"requests_per_engine\": {}, \
          \"rate_per_engine\": {:.0}, \"seed\": {}, \"slo_p999_us\": {:.0}, \
          \"max_shed_fraction\": {:.2}, \"migrations\": {}}},\n",
-        cfg.width,
-        cfg.height,
+        width,
+        height,
         cfg.engines,
         cfg.requests,
         cfg.rate,

@@ -40,6 +40,7 @@ use shrimp_node::{CacheMode, UserProc, VAddr};
 use shrimp_sim::{Ctx, Gate, RetryPolicy, SimDur};
 
 use crate::geometry::{peer_set, RingOrder};
+use crate::hw::{CollImpl, HwColl, HwGroupCache};
 
 /// Tuning knobs for a communicator.
 #[derive(Debug, Clone)]
@@ -53,6 +54,8 @@ pub struct CollConfig {
     pub flat_limit: usize,
     /// Spin polls before blocking in flag/ack waits.
     pub poll_budget: usize,
+    /// Which engine executes collectives (see [`CollImpl`]).
+    pub impl_: CollImpl,
 }
 
 impl Default for CollConfig {
@@ -62,6 +65,7 @@ impl Default for CollConfig {
             slots: 2,
             flat_limit: 16,
             poll_budget: 64,
+            impl_: CollImpl::Software,
         }
     }
 }
@@ -174,6 +178,9 @@ pub struct CollWorld {
     published: Mutex<Published>,
     joined: AtomicUsize,
     ready: Gate,
+    /// Hardware spanning-tree cache shared by every rank (one tree per
+    /// root node).
+    hw_groups: HwGroupCache,
 }
 
 impl std::fmt::Debug for CollWorld {
@@ -210,6 +217,7 @@ impl CollWorld {
             published: Mutex::new(Published::default()),
             joined: AtomicUsize::new(0),
             ready: Gate::new(),
+            hw_groups: HwGroupCache::default(),
         })
     }
 
@@ -270,7 +278,7 @@ impl CollWorld {
         let n = self.len();
         let me = rank;
         let topo = self.system.topology();
-        let ring = RingOrder::new(&topo, &self.nodes);
+        let ring = RingOrder::new(topo.as_ref(), &self.nodes);
         let peers = peer_set(me, n, &ring, self.config.flat_limit);
         let layout = ChannelLayout {
             chunk: self.config.chunk_bytes,
@@ -318,6 +326,12 @@ impl CollWorld {
             );
         }
 
+        let hw = if self.config.impl_ == CollImpl::Hardware {
+            HwColl::try_new(&self.system, &self.nodes, Arc::clone(&self.hw_groups))
+        } else {
+            None
+        };
+
         Ok(CollComm {
             vmmc,
             rank: me,
@@ -328,6 +342,7 @@ impl CollWorld {
             channels,
             has_flat: n <= self.config.flat_limit,
             scratch: None,
+            hw,
         })
     }
 }
@@ -368,6 +383,9 @@ pub struct CollComm {
     /// Lazily grown word-aligned buffer backing the value-based
     /// convenience calls (`allreduce_f64` etc.).
     pub(crate) scratch: Option<(VAddr, usize)>,
+    /// The in-network engine handle when [`CollImpl::Hardware`] is
+    /// selected and the rank layout supports it.
+    pub(crate) hw: Option<HwColl>,
 }
 
 impl std::fmt::Debug for CollComm {

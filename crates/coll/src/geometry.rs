@@ -22,8 +22,14 @@ pub struct RingOrder {
 
 impl RingOrder {
     /// Build the ring for ranks living on `nodes[rank]` of `topo`.
-    pub fn new(topo: &Topology, nodes: &[usize]) -> RingOrder {
-        let snake = snake_positions(topo.width(), topo.height());
+    ///
+    /// Grid topologies (mesh, torus) get the mesh-aware snake; fabrics
+    /// without grid coordinates (fat-tree, dragonfly) fall back to a
+    /// linear order over node ids — on an indirect network all
+    /// inter-node hops cost the same anyway.
+    pub fn new(topo: &dyn Topology, nodes: &[usize]) -> RingOrder {
+        let (w, h) = topo.grid_dims().unwrap_or((topo.len(), 1));
+        let snake = snake_positions(w, h);
         let mut order: Vec<usize> = (0..nodes.len()).collect();
         // Sort ranks by their node's snake position; ties (two ranks on
         // one node) break by rank for determinism.
@@ -201,7 +207,7 @@ mod tests {
     use super::*;
 
     fn check_ring(w: usize, h: usize) {
-        let topo = Topology::new(w, h);
+        let topo = shrimp_mesh::Mesh2D::new(w, h);
         let nodes: Vec<usize> = (0..w * h).collect();
         let ring = RingOrder::new(&topo, &nodes);
         let n = w * h;
@@ -217,7 +223,7 @@ mod tests {
         for p in 0..n {
             let a = shrimp_mesh::NodeId(nodes[ring.ring[p]]);
             let b = shrimp_mesh::NodeId(nodes[ring.ring[(p + 1) % n]]);
-            if topo.distance(a, b) != 1 {
+            if topo.min_distance(a, b) != 1 {
                 long += 1;
             }
         }

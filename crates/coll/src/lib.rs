@@ -31,9 +31,11 @@
 
 mod comm;
 pub mod geometry;
+mod hw;
 mod ops;
 
 pub use comm::{CollComm, CollConfig, CollError, CollWorld};
+pub use hw::CollImpl;
 pub use ops::{
     block_range, AllgatherAlg, AllreduceAlg, BarrierAlg, BcastAlg, ReduceAlg, ReduceOp,
     ReduceScatterAlg, GATHER_BCAST_CUTOFF_BYTES, RD_CUTOFF_BYTES,

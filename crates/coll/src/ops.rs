@@ -203,7 +203,11 @@ impl CollComm {
     /// Propagates channel faults.
     pub fn barrier(&mut self, ctx: &Ctx) -> Result<(), CollError> {
         let obs_t0 = ctx.now();
-        let r = self.barrier_with(ctx, self.select_barrier());
+        let r = if self.hw.is_some() {
+            self.hw_barrier(ctx)
+        } else {
+            self.barrier_with(ctx, self.select_barrier())
+        };
         if r.is_ok() {
             self.obs_span(ctx, "coll_barrier", obs_t0, 0);
         }
@@ -283,7 +287,11 @@ impl CollComm {
         len: usize,
     ) -> Result<(), CollError> {
         let obs_t0 = ctx.now();
-        let r = self.broadcast_with(ctx, root, buf, len, self.select_broadcast(len));
+        let r = if self.hw.is_some() {
+            self.hw_broadcast(ctx, root, buf, len)
+        } else {
+            self.broadcast_with(ctx, root, buf, len, self.select_broadcast(len))
+        };
         if r.is_ok() {
             self.obs_span(ctx, "coll_broadcast", obs_t0, len);
         }
@@ -640,7 +648,11 @@ impl CollComm {
         op: ReduceOp,
     ) -> Result<(), CollError> {
         let obs_t0 = ctx.now();
-        let r = self.allreduce_with(ctx, buf, count, op, self.select_allreduce(count));
+        let r = if self.hw.is_some() {
+            self.hw_allreduce(ctx, buf, count, op)
+        } else {
+            self.allreduce_with(ctx, buf, count, op, self.select_allreduce(count))
+        };
         if r.is_ok() {
             self.obs_span(ctx, "coll_allreduce", obs_t0, count * op.elem_bytes());
         }

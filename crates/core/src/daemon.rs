@@ -285,7 +285,7 @@ impl Daemon {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use shrimp_mesh::{Backplane, LinkParams, Topology};
+    use shrimp_mesh::{Backplane, LinkParams, Mesh2D};
     use shrimp_node::{CostModel, Node};
     use shrimp_sim::Kernel;
 
@@ -293,7 +293,7 @@ mod tests {
         let kernel = Kernel::new();
         let net: Arc<Backplane<shrimp_nic::NicPacket>> = Backplane::new(
             kernel.handle(),
-            Topology::shrimp_prototype(),
+            Arc::new(Mesh2D::shrimp_prototype()),
             LinkParams::paragon(),
         );
         let node = Node::new(

@@ -5,7 +5,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Weak};
 
 use parking_lot::Mutex;
-use shrimp_mesh::{Backplane, LinkParams, NodeId, Topology};
+use shrimp_mesh::{Backplane, DeliveryOrder, LinkParams, Mesh2D, NodeId, TopologyRef};
 use shrimp_nic::{Nic, NicPacket, IRQ_NOTIFICATION, IRQ_RECV_FREEZE};
 use shrimp_node::{CostModel, Ethernet, Node, UserProc};
 use shrimp_sim::{FaultKind, FaultLog, FaultPlan, Kernel, SimHandle};
@@ -16,8 +16,8 @@ use crate::endpoint::{EndpointShared, Vmmc};
 /// Configuration for building a [`ShrimpSystem`].
 #[derive(Debug, Clone)]
 pub struct SystemConfig {
-    /// Mesh shape; the node count is `topology.len()`.
-    pub topology: Topology,
+    /// Fabric topology; the node count is `topology.len()`.
+    pub topology: TopologyRef,
     /// DRAM pages per node (4 KB each).
     pub mem_pages_per_node: usize,
     /// The cost model applied on every node.
@@ -31,7 +31,7 @@ impl SystemConfig {
     /// costs, Paragon backplane.
     pub fn prototype() -> SystemConfig {
         SystemConfig {
-            topology: Topology::shrimp_prototype(),
+            topology: std::sync::Arc::new(Mesh2D::shrimp_prototype()),
             mem_pages_per_node: 10 * 1024, // 40 MB
             costs: CostModel::shrimp_prototype(),
             link: LinkParams::paragon(),
@@ -43,7 +43,7 @@ impl SystemConfig {
     /// per-node hardware.
     pub fn expanded_16() -> SystemConfig {
         SystemConfig {
-            topology: Topology::new(4, 4),
+            topology: std::sync::Arc::new(Mesh2D::new(4, 4)),
             ..SystemConfig::prototype()
         }
     }
@@ -52,7 +52,18 @@ impl SystemConfig {
     /// scaling studies.
     pub fn with_mesh(width: usize, height: usize) -> SystemConfig {
         SystemConfig {
-            topology: Topology::new(width, height),
+            topology: std::sync::Arc::new(Mesh2D::new(width, height)),
+            ..SystemConfig::prototype()
+        }
+    }
+
+    /// Prototype nodes over an arbitrary fabric topology.
+    ///
+    /// VMMC's delivery contract requires an in-order fabric;
+    /// [`ShrimpSystem::build`] enforces that.
+    pub fn with_topology(topology: TopologyRef) -> SystemConfig {
+        SystemConfig {
+            topology,
             ..SystemConfig::prototype()
         }
     }
@@ -107,7 +118,7 @@ impl Registry {
 /// ```
 pub struct ShrimpSystem {
     handle: SimHandle,
-    topology: Topology,
+    topology: TopologyRef,
     net: Arc<Backplane<NicPacket>>,
     eth: Arc<Ethernet>,
     nodes: Vec<Arc<Node>>,
@@ -141,8 +152,19 @@ impl ShrimpSystem {
     /// Build and wire the whole machine on `kernel`.
     pub fn build(kernel: &Kernel, config: SystemConfig) -> Arc<ShrimpSystem> {
         let handle = kernel.handle();
+        // VMMC's per-sender in-order delivery guarantee (paper §3) is
+        // *derived* from the fabric: only topologies declaring in-order
+        // delivery (pairwise path-invariant routing over FIFO links) can
+        // carry the VMMC protocol. Adaptive/non-minimal fabrics are for
+        // raw-backplane ablations only.
+        assert_eq!(
+            config.topology.ordering(),
+            DeliveryOrder::InOrder,
+            "VMMC requires an in-order fabric; topology '{}' delivers unordered",
+            config.topology.name()
+        );
         let net: Arc<Backplane<NicPacket>> =
-            Backplane::new(handle.clone(), config.topology, config.link);
+            Backplane::new(handle.clone(), Arc::clone(&config.topology), config.link);
         let eth = Ethernet::new(handle.clone());
         let registry = Arc::new(Registry::default());
 
@@ -165,7 +187,7 @@ impl ShrimpSystem {
 
         let system = Arc::new(ShrimpSystem {
             handle,
-            topology: config.topology,
+            topology: Arc::clone(&config.topology),
             net,
             eth,
             nodes,
@@ -244,9 +266,9 @@ impl ShrimpSystem {
         self.nodes.is_empty()
     }
 
-    /// The mesh topology.
-    pub fn topology(&self) -> Topology {
-        self.topology
+    /// The fabric topology.
+    pub fn topology(&self) -> &TopologyRef {
+        &self.topology
     }
 
     /// The simulation handle.
@@ -382,6 +404,9 @@ impl ShrimpSystem {
             match ev.kind {
                 FaultKind::LinkStall { node, dur } => {
                     sys.net.stall_node_links(NodeId(node), now, dur);
+                }
+                FaultKind::PortStall { router, port, dur } => {
+                    sys.net.stall_link(router, port, now, dur);
                 }
                 FaultKind::Brownout { factor, dur } => {
                     sys.net.brownout(now, dur, factor);

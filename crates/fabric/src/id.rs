@@ -1,0 +1,50 @@
+//! Node identity and grid coordinates, shared by every topology.
+
+use std::fmt;
+
+/// Identifies a compute node (and the router its NIC injects into).
+///
+/// Node ids are dense `0..len`; grid topologies number them row-major.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// A position in a grid-shaped topology (2-D mesh or torus).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Coord {
+    /// Column (X dimension, routed first).
+    pub x: usize,
+    /// Row (Y dimension, routed second).
+    pub y: usize,
+}
+
+/// One of the four grid directions; its [`Direction::index`] is the
+/// output-port number on a grid router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Increasing X.
+    East,
+    /// Decreasing X.
+    West,
+    /// Increasing Y.
+    South,
+    /// Decreasing Y.
+    North,
+}
+
+impl Direction {
+    /// Index 0..4, used to address per-router output links.
+    pub fn index(self) -> usize {
+        match self {
+            Direction::East => 0,
+            Direction::West => 1,
+            Direction::South => 2,
+            Direction::North => 3,
+        }
+    }
+}

@@ -1,0 +1,300 @@
+//! The reference topology: a rectangular 2-D mesh with oblivious
+//! dimension-order wormhole routing — the SHRIMP prototype's Paragon
+//! backplane of Intel Mesh Routing Chips (iMRCs).
+//!
+//! Dimension-order routing (Dally & Seitz) sends every packet first along
+//! the X dimension, then along Y; because the route is a pure function of
+//! (source, destination), all packets between a pair follow the same path,
+//! which (with FIFO links) yields the in-order delivery guarantee the VMMC
+//! layer relies on.
+
+use crate::id::{Coord, Direction, NodeId};
+use crate::topology::{DeliveryOrder, Hop, RouterId, Topology};
+
+/// A rectangular 2-D mesh.
+///
+/// The 4-node SHRIMP prototype is a 2×2 mesh
+/// ([`Mesh2D::shrimp_prototype`]); the paper's planned expansion to 16
+/// nodes is 4×4. Output port numbers are [`Direction::index`].
+///
+/// # Examples
+///
+/// ```
+/// use shrimp_fabric::{Mesh2D, NodeId, Topology};
+/// let t = Mesh2D::new(4, 4);
+/// assert_eq!(t.len(), 16);
+/// let route = t.route(NodeId(0), NodeId(15), 0);
+/// assert_eq!(route.len(), 6); // 3 east + 3 south
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mesh2D {
+    width: usize,
+    height: usize,
+}
+
+impl Mesh2D {
+    /// Create a `width × height` mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: usize, height: usize) -> Mesh2D {
+        assert!(width > 0 && height > 0, "mesh dimensions must be positive");
+        Mesh2D { width, height }
+    }
+
+    /// The 2×2 mesh of the four-node prototype system.
+    pub fn shrimp_prototype() -> Mesh2D {
+        Mesh2D::new(2, 2)
+    }
+
+    /// Mesh width (X extent).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Mesh height (Y extent).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Grid coordinate of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn coord(&self, node: NodeId) -> Coord {
+        assert!(
+            node.0 < self.width * self.height,
+            "node {node} out of range for {self:?}"
+        );
+        Coord {
+            x: node.0 % self.width,
+            y: node.0 / self.width,
+        }
+    }
+
+    /// Node at a grid coordinate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is outside the mesh.
+    pub fn node_at(&self, c: Coord) -> NodeId {
+        assert!(
+            c.x < self.width && c.y < self.height,
+            "coordinate out of range"
+        );
+        NodeId(c.y * self.width + c.x)
+    }
+
+    /// Neighbor of `node` in `dir`, if it exists.
+    pub fn neighbor(&self, node: NodeId, dir: Direction) -> Option<NodeId> {
+        let c = self.coord(node);
+        let n = match dir {
+            Direction::East if c.x + 1 < self.width => Coord { x: c.x + 1, y: c.y },
+            Direction::West if c.x > 0 => Coord { x: c.x - 1, y: c.y },
+            Direction::South if c.y + 1 < self.height => Coord { x: c.x, y: c.y + 1 },
+            Direction::North if c.y > 0 => Coord { x: c.x, y: c.y - 1 },
+            _ => return None,
+        };
+        Some(self.node_at(n))
+    }
+
+    /// Manhattan distance between two nodes.
+    pub fn distance(&self, a: NodeId, b: NodeId) -> usize {
+        let ca = self.coord(a);
+        let cb = self.coord(b);
+        ca.x.abs_diff(cb.x) + ca.y.abs_diff(cb.y)
+    }
+
+    /// The dimension-order (X then Y) hop sequence, shared with
+    /// [`AdaptiveMesh`](crate::AdaptiveMesh) as the per-phase router.
+    pub(crate) fn dim_order_route(&self, src: NodeId, dst: NodeId, hops: &mut Vec<Hop>) {
+        let s = self.coord(src);
+        let d = self.coord(dst);
+        let mut cur = s;
+        while cur.x != d.x {
+            let dir = if cur.x < d.x {
+                Direction::East
+            } else {
+                Direction::West
+            };
+            hops.push(Hop {
+                router: self.node_at(cur).0,
+                port: dir.index(),
+            });
+            cur.x = if cur.x < d.x { cur.x + 1 } else { cur.x - 1 };
+        }
+        while cur.y != d.y {
+            let dir = if cur.y < d.y {
+                Direction::South
+            } else {
+                Direction::North
+            };
+            hops.push(Hop {
+                router: self.node_at(cur).0,
+                port: dir.index(),
+            });
+            cur.y = if cur.y < d.y { cur.y + 1 } else { cur.y - 1 };
+        }
+    }
+}
+
+impl Topology for Mesh2D {
+    fn name(&self) -> &'static str {
+        "mesh"
+    }
+
+    fn len(&self) -> usize {
+        self.width * self.height
+    }
+
+    fn ports(&self) -> usize {
+        4
+    }
+
+    fn link(&self, router: RouterId, port: usize) -> Option<RouterId> {
+        let dir = match port {
+            0 => Direction::East,
+            1 => Direction::West,
+            2 => Direction::South,
+            3 => Direction::North,
+            _ => return None,
+        };
+        self.neighbor(NodeId(router), dir).map(|n| n.0)
+    }
+
+    fn route(&self, src: NodeId, dst: NodeId, _salt: u64) -> Vec<Hop> {
+        let mut hops = Vec::with_capacity(self.distance(src, dst));
+        self.dim_order_route(src, dst, &mut hops);
+        hops
+    }
+
+    fn min_distance(&self, a: NodeId, b: NodeId) -> usize {
+        self.distance(a, b)
+    }
+
+    fn ordering(&self) -> DeliveryOrder {
+        DeliveryOrder::InOrder
+    }
+
+    fn grid_dims(&self) -> Option<(usize, usize)> {
+        Some((self.width, self.height))
+    }
+
+    fn diameter(&self) -> usize {
+        self.width - 1 + self.height - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prototype_is_2x2() {
+        let t = Mesh2D::shrimp_prototype();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.coord(NodeId(3)), Coord { x: 1, y: 1 });
+        assert_eq!(t.node_at(Coord { x: 0, y: 1 }), NodeId(2));
+    }
+
+    #[test]
+    fn route_is_x_then_y() {
+        let t = Mesh2D::new(4, 4);
+        let route = t.route(NodeId(1), NodeId(14), 0); // (1,0) -> (2,3)
+        assert_eq!(
+            route,
+            vec![
+                Hop {
+                    router: 1,
+                    port: Direction::East.index()
+                },
+                Hop {
+                    router: 2,
+                    port: Direction::South.index()
+                },
+                Hop {
+                    router: 6,
+                    port: Direction::South.index()
+                },
+                Hop {
+                    router: 10,
+                    port: Direction::South.index()
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn route_to_self_is_empty() {
+        let t = Mesh2D::new(3, 3);
+        assert!(t.route(NodeId(4), NodeId(4), 0).is_empty());
+        assert_eq!(t.distance(NodeId(4), NodeId(4)), 0);
+    }
+
+    #[test]
+    fn route_westward_and_northward() {
+        let t = Mesh2D::new(3, 2);
+        let route = t.route(NodeId(5), NodeId(0), 0); // (2,1) -> (0,0)
+        assert_eq!(
+            route,
+            vec![
+                Hop {
+                    router: 5,
+                    port: Direction::West.index()
+                },
+                Hop {
+                    router: 4,
+                    port: Direction::West.index()
+                },
+                Hop {
+                    router: 3,
+                    port: Direction::North.index()
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn neighbors_respect_edges() {
+        let t = Mesh2D::new(2, 2);
+        assert_eq!(t.neighbor(NodeId(0), Direction::East), Some(NodeId(1)));
+        assert_eq!(t.neighbor(NodeId(0), Direction::West), None);
+        assert_eq!(t.neighbor(NodeId(0), Direction::South), Some(NodeId(2)));
+        assert_eq!(t.neighbor(NodeId(0), Direction::North), None);
+        assert_eq!(t.neighbor(NodeId(3), Direction::East), None);
+        assert_eq!(t.neighbor(NodeId(3), Direction::North), Some(NodeId(1)));
+    }
+
+    #[test]
+    fn route_length_equals_distance() {
+        let t = Mesh2D::new(5, 4);
+        for a in t.nodes() {
+            for b in t.nodes() {
+                assert_eq!(t.route(a, b, 0).len(), t.distance(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn links_are_grid_edges() {
+        let t = Mesh2D::new(2, 2);
+        // 4 nodes x 2 internal links each (corner nodes have exactly two
+        // neighbors in a 2x2) = 8 unidirectional links.
+        assert_eq!(t.links().len(), 8);
+        assert_eq!(t.diameter(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn coord_of_invalid_node_panics() {
+        Mesh2D::new(2, 2).coord(NodeId(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn zero_dimension_panics() {
+        Mesh2D::new(0, 3);
+    }
+}

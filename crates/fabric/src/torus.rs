@@ -1,0 +1,237 @@
+//! 2-D torus: a mesh with wraparound links in both dimensions.
+//!
+//! Routing stays oblivious dimension-order (X then Y) but each dimension
+//! picks the shorter way around the ring, halving the diameter and doubling
+//! the bisection of an equal-sized mesh — the topology knob the PMS cluster
+//! work showed matters most for bisection-bound workloads. Ties (an even
+//! ring with the destination exactly opposite) break toward East/South so
+//! the route stays a pure function of the pair: in-order delivery holds.
+
+use crate::id::{Coord, Direction, NodeId};
+use crate::topology::{DeliveryOrder, Hop, RouterId, Topology};
+
+/// A `width × height` torus; node numbering and port numbering match
+/// [`Mesh2D`](crate::Mesh2D) (ports are [`Direction::index`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Torus2D {
+    width: usize,
+    height: usize,
+}
+
+impl Torus2D {
+    /// Create a `width × height` torus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: usize, height: usize) -> Torus2D {
+        assert!(width > 0 && height > 0, "torus dimensions must be positive");
+        Torus2D { width, height }
+    }
+
+    fn coord(&self, node: NodeId) -> Coord {
+        assert!(
+            node.0 < self.width * self.height,
+            "node {node} out of range for {self:?}"
+        );
+        Coord {
+            x: node.0 % self.width,
+            y: node.0 / self.width,
+        }
+    }
+
+    fn node_at(&self, c: Coord) -> NodeId {
+        NodeId(c.y * self.width + c.x)
+    }
+
+    /// Signed step and hop count for one ring dimension: distance going up
+    /// (`+1` with wrap) is `fwd`, going down is `size - fwd`; prefer up
+    /// (East/South) on ties.
+    fn ring_plan(from: usize, to: usize, size: usize) -> (bool, usize) {
+        let fwd = (to + size - from) % size;
+        let back = size - fwd;
+        if fwd == 0 {
+            (true, 0)
+        } else if fwd <= back {
+            (true, fwd)
+        } else {
+            (false, back)
+        }
+    }
+}
+
+impl Topology for Torus2D {
+    fn name(&self) -> &'static str {
+        "torus"
+    }
+
+    fn len(&self) -> usize {
+        self.width * self.height
+    }
+
+    fn ports(&self) -> usize {
+        4
+    }
+
+    fn link(&self, router: RouterId, port: usize) -> Option<RouterId> {
+        if router >= self.len() {
+            return None;
+        }
+        let c = self.coord(NodeId(router));
+        let n = match port {
+            0 => Coord {
+                x: (c.x + 1) % self.width,
+                y: c.y,
+            },
+            1 => Coord {
+                x: (c.x + self.width - 1) % self.width,
+                y: c.y,
+            },
+            2 => Coord {
+                x: c.x,
+                y: (c.y + 1) % self.height,
+            },
+            3 => Coord {
+                x: c.x,
+                y: (c.y + self.height - 1) % self.height,
+            },
+            _ => return None,
+        };
+        let to = self.node_at(n).0;
+        // A dimension of extent 1 would make this a self-loop; report the
+        // port as unconnected instead.
+        if to == router {
+            None
+        } else {
+            Some(to)
+        }
+    }
+
+    fn route(&self, src: NodeId, dst: NodeId, _salt: u64) -> Vec<Hop> {
+        let s = self.coord(src);
+        let d = self.coord(dst);
+        let (x_fwd, x_hops) = Torus2D::ring_plan(s.x, d.x, self.width);
+        let (y_fwd, y_hops) = Torus2D::ring_plan(s.y, d.y, self.height);
+        let mut hops = Vec::with_capacity(x_hops + y_hops);
+        let mut cur = s;
+        for _ in 0..x_hops {
+            let dir = if x_fwd {
+                Direction::East
+            } else {
+                Direction::West
+            };
+            hops.push(Hop {
+                router: self.node_at(cur).0,
+                port: dir.index(),
+            });
+            cur.x = if x_fwd {
+                (cur.x + 1) % self.width
+            } else {
+                (cur.x + self.width - 1) % self.width
+            };
+        }
+        for _ in 0..y_hops {
+            let dir = if y_fwd {
+                Direction::South
+            } else {
+                Direction::North
+            };
+            hops.push(Hop {
+                router: self.node_at(cur).0,
+                port: dir.index(),
+            });
+            cur.y = if y_fwd {
+                (cur.y + 1) % self.height
+            } else {
+                (cur.y + self.height - 1) % self.height
+            };
+        }
+        debug_assert_eq!(self.node_at(cur), dst);
+        hops
+    }
+
+    fn min_distance(&self, a: NodeId, b: NodeId) -> usize {
+        let ca = self.coord(a);
+        let cb = self.coord(b);
+        let dx = ca.x.abs_diff(cb.x);
+        let dy = ca.y.abs_diff(cb.y);
+        dx.min(self.width - dx) + dy.min(self.height - dy)
+    }
+
+    fn ordering(&self) -> DeliveryOrder {
+        DeliveryOrder::InOrder
+    }
+
+    fn grid_dims(&self) -> Option<(usize, usize)> {
+        Some((self.width, self.height))
+    }
+
+    fn diameter(&self) -> usize {
+        self.width / 2 + self.height / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrap_route_is_shorter() {
+        let t = Torus2D::new(4, 4);
+        // (0,0) -> (3,0): one westward wrap hop, not three east.
+        let route = t.route(NodeId(0), NodeId(3), 0);
+        assert_eq!(
+            route,
+            vec![Hop {
+                router: 0,
+                port: Direction::West.index()
+            }]
+        );
+        assert_eq!(t.min_distance(NodeId(0), NodeId(3)), 1);
+    }
+
+    #[test]
+    fn tie_breaks_east_and_south() {
+        let t = Torus2D::new(4, 4);
+        // (0,0) -> (2,2): both ways are 2 hops in each dimension; ties go
+        // East then South.
+        let route = t.route(NodeId(0), NodeId(10), 0);
+        assert_eq!(route[0].port, Direction::East.index());
+        assert_eq!(route[2].port, Direction::South.index());
+        assert_eq!(route.len(), 4);
+    }
+
+    #[test]
+    fn route_length_equals_min_distance() {
+        let t = Torus2D::new(5, 4);
+        for a in t.nodes() {
+            for b in t.nodes() {
+                assert_eq!(t.route(a, b, 0).len(), t.min_distance(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn torus_diameter_halves_mesh() {
+        assert_eq!(Torus2D::new(8, 8).diameter(), 8);
+        assert_eq!(Torus2D::new(4, 4).diameter(), 4);
+    }
+
+    #[test]
+    fn degenerate_dimension_has_no_self_loop() {
+        let t = Torus2D::new(1, 4);
+        assert_eq!(t.link(0, Direction::East.index()), None);
+        assert_eq!(t.link(0, Direction::South.index()), Some(1));
+        // Wrap north from row 0 lands on row 3.
+        assert_eq!(t.link(0, Direction::North.index()), Some(3));
+    }
+
+    #[test]
+    fn width_two_has_parallel_links() {
+        let t = Torus2D::new(2, 2);
+        // East and West from node 0 both reach node 1 — two parallel
+        // links on distinct ports.
+        assert_eq!(t.link(0, Direction::East.index()), Some(1));
+        assert_eq!(t.link(0, Direction::West.index()), Some(1));
+    }
+}

@@ -7,7 +7,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use proptest::prelude::*;
-use shrimp_mesh::{Backplane, LinkParams, NodeId, Topology};
+use shrimp_mesh::{Backplane, LinkParams, Mesh2D, NodeId, TopologyRef};
 use shrimp_sim::{Kernel, SimDur, SimTime};
 
 #[derive(Debug, Clone)]
@@ -30,11 +30,12 @@ fn injection_strategy(nodes: usize) -> impl Strategy<Value = Injection> {
 }
 
 fn run_workload(
-    topo: Topology,
+    topo: TopologyRef,
     injections: Vec<Injection>,
 ) -> Vec<(usize, usize, u64, SimTime, usize)> {
     let kernel = Kernel::new();
-    let net: Arc<Backplane<u64>> = Backplane::new(kernel.handle(), topo, LinkParams::paragon());
+    let net: Arc<Backplane<u64>> =
+        Backplane::new(kernel.handle(), Arc::clone(&topo), LinkParams::paragon());
     let log: Arc<Mutex<Vec<(usize, usize, u64, SimTime, usize)>>> =
         Arc::new(Mutex::new(Vec::new()));
     for node in topo.nodes() {
@@ -79,7 +80,7 @@ proptest! {
     fn mesh_delivery_invariants(
         injections in proptest::collection::vec(injection_strategy(4), 1..60)
     ) {
-        let topo = Topology::shrimp_prototype();
+        let topo: TopologyRef = Arc::new(Mesh2D::shrimp_prototype());
         let deliveries = run_workload(topo, injections.clone());
         prop_assert_eq!(deliveries.len(), injections.len());
 
@@ -106,7 +107,7 @@ proptest! {
     fn single_packet_never_beats_light(
         src in 0usize..16, dst in 0usize..16, bytes in 1usize..8192
     ) {
-        let topo = Topology::new(4, 4);
+        let topo: TopologyRef = Arc::new(Mesh2D::new(4, 4));
         let kernel = Kernel::new();
         let net: Arc<Backplane<()>> = Backplane::new(kernel.handle(), topo, LinkParams::paragon());
         net.attach(NodeId(dst), |_| {});
@@ -121,7 +122,7 @@ proptest! {
     fn payload_byte_conservation(
         injections in proptest::collection::vec(injection_strategy(4), 1..40)
     ) {
-        let topo = Topology::shrimp_prototype();
+        let topo: TopologyRef = Arc::new(Mesh2D::shrimp_prototype());
         let deliveries = run_workload(topo, injections.clone());
         let injected: usize = injections.iter().map(|i| i.bytes).sum();
         let delivered: usize = deliveries.iter().map(|d| d.4).sum();

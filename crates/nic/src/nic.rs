@@ -187,6 +187,11 @@ pub struct NicStats {
     pub fetch_denials: u64,
     /// Typed NAKs received for fetches this NIC issued.
     pub fetch_naks_in: u64,
+    /// Deepest simultaneous responder-engine backlog observed: accepted
+    /// fetch requests whose replies had not yet fully streamed out. A
+    /// peak above 1 means requests queued behind a busy (or stalled)
+    /// responder — the signature of brownouts and `FetchStall` faults.
+    pub fetch_queue_peak: u64,
 }
 
 type DeliveryHook = Arc<dyn Fn(u64, SimTime) + Send + Sync>;
@@ -844,8 +849,19 @@ impl Nic {
             );
             return;
         }
-        self.serving_fetches.fetch_add(1, Ordering::SeqCst);
+        let depth = self.serving_fetches.fetch_add(1, Ordering::SeqCst) + 1;
+        {
+            let mut st = self.stats.lock();
+            st.fetch_queue_peak = st.fetch_queue_peak.max(depth);
+        }
         let now = self.node.sim().now();
+        if let Some(rec) = self.obs.get() {
+            rec.instant(
+                now,
+                Some(self.node.id().0),
+                format!("fetch_queue_depth={depth}"),
+            );
+        }
         // An injected fetch-engine stall holds the accepted request
         // (post-IPT-check) until the window passes, delaying the reply.
         let at = {
@@ -939,7 +955,14 @@ impl Nic {
                 msg,
             );
             if last {
-                me.serving_fetches.fetch_sub(1, Ordering::SeqCst);
+                let depth = me.serving_fetches.fetch_sub(1, Ordering::SeqCst) - 1;
+                if let Some(rec) = me.obs.get() {
+                    rec.instant(
+                        me.node.sim().now(),
+                        Some(me.node.id().0),
+                        format!("fetch_queue_depth={depth}"),
+                    );
+                }
             } else {
                 me.fetch_reply_chunk(desc, data, off + n, msg);
             }
@@ -1138,7 +1161,7 @@ impl Nic {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use shrimp_mesh::{LinkParams, Topology};
+    use shrimp_mesh::{LinkParams, Mesh2D, TopologyRef};
     use shrimp_node::{CacheMode, CostModel, UserProc};
     use shrimp_sim::Kernel;
 
@@ -1154,10 +1177,10 @@ mod tests {
 
     fn rig_with(n_nodes: usize, costs: CostModel) -> Rig {
         let kernel = Kernel::new();
-        let topo = if n_nodes <= 4 {
-            Topology::shrimp_prototype()
+        let topo: TopologyRef = if n_nodes <= 4 {
+            Arc::new(Mesh2D::shrimp_prototype())
         } else {
-            Topology::new(4, 4)
+            Arc::new(Mesh2D::new(4, 4))
         };
         let net: Arc<Backplane<NicPacket>> =
             Backplane::new(kernel.handle(), topo, LinkParams::paragon());
@@ -1832,6 +1855,45 @@ mod tests {
             t >= SimTime::ZERO + SimDur::from_us(150.0),
             "reply held by the stall window: {t}"
         );
+    }
+
+    #[test]
+    fn responder_queue_depth_peaks_under_stall() {
+        // Three fetches land while the responder engine is stalled:
+        // they must queue, and the peak counter (plus the obs depth
+        // instants) must expose the backlog.
+        let rec = shrimp_obs::Recorder::new();
+        let r = rig(2);
+        r.nics[1].set_obs(Some(Arc::clone(&rec)));
+        let src = export_read_page(&r, 1, &[7u8; 64]);
+        r.nics[1].stall_fetch_engine(SimTime::ZERO, SimDur::from_us(400.0));
+        let (_, dst_pa) = reply_page(&r, 0);
+        let done = Arc::new(Mutex::new(0usize));
+        for i in 0..3 {
+            let d = Arc::clone(&done);
+            r.nics[0].fetch(
+                FetchRequest {
+                    src_node: NodeId(1),
+                    src_paddr: src,
+                    len: 64,
+                    dst_paddr: dst_pa + (i * 64) as u64,
+                    msg: shrimp_obs::MsgId::NONE,
+                },
+                move |_| *d.lock() += 1,
+            );
+        }
+        r.kernel.run_until_quiescent().unwrap();
+        assert_eq!(*done.lock(), 3);
+        let peak = r.nics[1].stats().fetch_queue_peak;
+        assert!(peak >= 2, "stalled responder must show a backlog: {peak}");
+        let depths: Vec<u64> = rec
+            .instants()
+            .iter()
+            .filter_map(|i| i.label.strip_prefix("fetch_queue_depth=")?.parse().ok())
+            .collect();
+        assert_eq!(depths.len(), 6, "one instant per accept and per drain");
+        assert_eq!(depths.iter().copied().max(), Some(peak));
+        assert_eq!(*depths.last().unwrap(), 0, "queue drains to empty");
     }
 
     #[test]

@@ -45,6 +45,24 @@ pub enum FaultKind {
         /// How long the stall lasts.
         dur: SimDur,
     },
+    /// The single fabric link leaving `router` through output `port`
+    /// stops moving flits for `dur` (backpressure; in-flight packets
+    /// are delayed, never dropped). Unlike [`FaultKind::LinkStall`]
+    /// this targets one physical link by its topology coordinates —
+    /// including switch-only routers (fat-tree spines) and wraparound
+    /// or global links — so topology-parameterized chaos plans can be
+    /// built from `Topology::links()` enumeration. Scripted only:
+    /// [`FaultPlan::generate`] never draws these (router/port spaces
+    /// are topology-specific, and generated-plan digests must stay
+    /// stable across fabrics).
+    PortStall {
+        /// Router the stalled link leaves.
+        router: usize,
+        /// Output port on that router.
+        port: usize,
+        /// How long the stall lasts.
+        dur: SimDur,
+    },
     /// Every mesh link's serialization slows by `factor` for `dur`
     /// (a bandwidth brownout, e.g. congestion from outside traffic).
     Brownout {
@@ -105,6 +123,9 @@ impl std::fmt::Display for FaultKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             FaultKind::LinkStall { node, dur } => write!(f, "link-stall node={node} dur={dur}"),
+            FaultKind::PortStall { router, port, dur } => {
+                write!(f, "port-stall router={router} port={port} dur={dur}")
+            }
             FaultKind::Brownout { factor, dur } => write!(f, "brownout x{factor:.2} dur={dur}"),
             FaultKind::DmaStall { node, dur } => write!(f, "dma-stall node={node} dur={dur}"),
             FaultKind::IptViolation { node } => write!(f, "ipt-violation node={node}"),
@@ -553,6 +574,9 @@ mod tests {
                 }
                 FaultKind::Directive { .. } => {
                     panic!("generate never draws directives; they are scripted only")
+                }
+                FaultKind::PortStall { .. } => {
+                    panic!("generate never draws port stalls; they are scripted only")
                 }
             }
         }

@@ -48,6 +48,13 @@ target/release/svcsoak --write-report "$out/svc_soak.txt" --write-json BENCH_svc
 echo ">> rmcbench"
 target/release/rmcbench --write-curve "$out/rmc_curve.txt" --write-json BENCH_rmc.json
 
+# Topology zoo (shrimp-fabric): software vs in-network collectives over
+# mesh/torus/fat-tree/dragonfly plus the adaptive-routing ablation.
+# Also rewrites the BENCH_topo.json digest baseline CI's topo-smoke job
+# gates on.
+echo ">> topobench"
+target/release/topobench --write-curve "$out/topo_curve.txt" --write-json BENCH_topo.json
+
 echo
-echo "Regenerated: ${bins[*]/%/.txt} fig5_breakdown.txt srpc_decomposition.txt rmc_decomposition.txt svc_curve.txt BENCH_svc.json svc_soak.txt BENCH_svcsoak.json rmc_curve.txt BENCH_rmc.json"
+echo "Regenerated: ${bins[*]/%/.txt} fig5_breakdown.txt srpc_decomposition.txt rmc_decomposition.txt svc_curve.txt BENCH_svc.json svc_soak.txt BENCH_svcsoak.json rmc_curve.txt BENCH_rmc.json topo_curve.txt BENCH_topo.json"
 echo "Diff against the committed tree with: git diff -- results/"
